@@ -1,0 +1,172 @@
+//! Pairwise user distance matrices.
+//!
+//! Stores the upper triangle of the symmetric `n x n` Kendall-Tau distance
+//! matrix in condensed form (n(n-1)/2 entries). Rows are computed in
+//! parallel with scoped threads — no extra dependency needed.
+
+use crate::kendall;
+use gf_core::{MissingPolicy, PrefIndex, RatingMatrix};
+
+/// Condensed symmetric pairwise distance matrix over `n` users.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Upper triangle, row-major: entry `(i, j)` with `i < j` lives at
+    /// `i*n - i*(i+1)/2 + (j - i - 1)`.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero users.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// The distance between users `a` and `b` (0 when `a == b`).
+    #[inline]
+    pub fn get(&self, a: u32, b: u32) -> f64 {
+        let (a, b) = (a as usize, b as usize);
+        if a == b {
+            return 0.0;
+        }
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        self.data[self.index(i, j)]
+    }
+
+    /// Builds the pairwise normalized Kendall-Tau distance matrix with
+    /// `n_threads` scoped worker threads.
+    ///
+    /// Θ(n²·m log m) — only feasible for quality-experiment sizes; the
+    /// scalable baseline path uses [`crate::kmeans`] instead.
+    pub fn kendall_tau(
+        matrix: &RatingMatrix,
+        prefs: &PrefIndex,
+        policy: MissingPolicy,
+        n_threads: usize,
+    ) -> Self {
+        let n = matrix.n_users() as usize;
+        // Precompute all full rankings once: n * m memory.
+        let rankings: Vec<Vec<u32>> = (0..matrix.n_users())
+            .map(|u| kendall::full_ranking(matrix, prefs, policy, u))
+            .collect();
+        let mut data = vec![0.0f64; n * (n - 1) / 2];
+        let threads = n_threads.max(1).min(n.max(1));
+
+        // Partition the rows i in 0..n-1 round-robin across threads; each
+        // thread writes disjoint row slices of the condensed vector.
+        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(n.saturating_sub(1));
+        let mut rest: &mut [f64] = &mut data;
+        for i in 0..n.saturating_sub(1) {
+            let (row, tail) = rest.split_at_mut(n - i - 1);
+            slices.push(row);
+            rest = tail;
+        }
+        let mut per_thread: Vec<Vec<(usize, &mut [f64])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, row) in slices.into_iter().enumerate() {
+            per_thread[i % threads].push((i, row));
+        }
+
+        std::thread::scope(|scope| {
+            for work in per_thread {
+                let rankings = &rankings;
+                scope.spawn(move || {
+                    for (i, row) in work {
+                        for (off, cell) in row.iter_mut().enumerate() {
+                            let j = i + 1 + off;
+                            *cell =
+                                kendall::kendall_tau_normalized(&rankings[i], &rankings[j]);
+                        }
+                    }
+                });
+            }
+        });
+
+        DistanceMatrix { n, data }
+    }
+
+    /// Builds a matrix from an arbitrary symmetric distance closure
+    /// (single-threaded; used by tests and small experiments).
+    pub fn from_fn(n: usize, mut dist: impl FnMut(u32, u32) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data.push(dist(i as u32, j as u32));
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Sum of distances from `point` to each member of `others`.
+    pub fn total_distance(&self, point: u32, others: &[u32]) -> f64 {
+        others.iter().map(|&o| self.get(point, o)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_core::RatingScale;
+
+    #[test]
+    fn from_fn_indexing() {
+        let d = DistanceMatrix::from_fn(4, |a, b| (a + b) as f64);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.get(0, 1), 1.0);
+        assert_eq!(d.get(1, 0), 1.0);
+        assert_eq!(d.get(2, 3), 5.0);
+        assert_eq!(d.get(3, 3), 0.0);
+    }
+
+    #[test]
+    fn kendall_matrix_matches_pairwise_calls() {
+        let m = RatingMatrix::from_dense(
+            &[
+                &[5.0, 3.0, 1.0, 2.0][..],
+                &[4.0, 3.0, 2.0, 1.0],
+                &[1.0, 3.0, 5.0, 4.0],
+                &[2.0, 2.0, 2.0, 2.0],
+            ],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let prefs = PrefIndex::build(&m);
+        for threads in [1, 2, 4] {
+            let d = DistanceMatrix::kendall_tau(&m, &prefs, MissingPolicy::Min, threads);
+            for a in 0..4u32 {
+                for b in 0..4u32 {
+                    let want = if a == b {
+                        0.0
+                    } else {
+                        let ra = crate::kendall::full_ranking(&m, &prefs, MissingPolicy::Min, a);
+                        let rb = crate::kendall::full_ranking(&m, &prefs, MissingPolicy::Min, b);
+                        crate::kendall::kendall_tau_normalized(&ra, &rb)
+                    };
+                    assert!(
+                        (d.get(a, b) - want).abs() < 1e-12,
+                        "threads={threads} ({a},{b}): {} vs {want}",
+                        d.get(a, b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_distance() {
+        let d = DistanceMatrix::from_fn(3, |_, _| 2.0);
+        assert_eq!(d.total_distance(0, &[1, 2]), 4.0);
+        assert_eq!(d.total_distance(0, &[0]), 0.0);
+    }
+}

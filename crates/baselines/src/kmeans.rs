@@ -1,0 +1,216 @@
+//! Sparse-aware Lloyd's k-means over rating vectors.
+//!
+//! The scalable baseline path: users are their sparse rating vectors
+//! (missing = 0), centroids are dense. Distances use the expansion
+//! `||x - c||² = ||x||² - 2⟨x, c⟩ + ||c||²`, so an assignment pass costs
+//! O(Σ_u d_u · ℓ) instead of O(n · m · ℓ). Seeding is k-means++ on a
+//! sampled candidate set. Deterministic in the seed.
+
+use crate::kmedoids::Clustering;
+use gf_core::RatingMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs k-means over the users of `matrix`, aiming for `k` clusters.
+pub fn kmeans(matrix: &RatingMatrix, k: usize, max_iter: usize, seed: u64) -> Clustering {
+    let n = matrix.n_users() as usize;
+    let m = matrix.n_items() as usize;
+    assert!(k >= 1, "need at least one cluster");
+    if n == 0 {
+        return Clustering {
+            assignment: vec![],
+            n_clusters: 0,
+            iterations: 0,
+        };
+    }
+    let k = k.min(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Squared norms of the user vectors.
+    let user_sq: Vec<f64> = (0..matrix.n_users())
+        .map(|u| matrix.user_scores(u).iter().map(|s| s * s).sum())
+        .collect();
+
+    // k-means++ seeding from user points.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut centroid_sq: Vec<f64> = Vec::with_capacity(k);
+    let to_dense = |u: u32| -> Vec<f64> {
+        let mut v = vec![0.0f64; m];
+        for (i, s) in matrix.user_ratings(u) {
+            v[i as usize] = s;
+        }
+        v
+    };
+    let dist_sq_to = |u: u32, c: &[f64], c_sq: f64| -> f64 {
+        let mut dot = 0.0;
+        for (i, s) in matrix.user_ratings(u) {
+            dot += s * c[i as usize];
+        }
+        (user_sq[u as usize] - 2.0 * dot + c_sq).max(0.0)
+    };
+
+    let first = rng.gen_range(0..n) as u32;
+    centroids.push(to_dense(first));
+    centroid_sq.push(user_sq[first as usize]);
+    let mut nearest: Vec<f64> = (0..n)
+        .map(|u| dist_sq_to(u as u32, &centroids[0], centroid_sq[0]))
+        .collect();
+    #[allow(clippy::needless_range_loop)] // `u` is a user id fed to closures
+    while centroids.len() < k {
+        let total: f64 = nearest.iter().sum();
+        let pick = if total <= 1e-12 {
+            rng.gen_range(0..n) as u32
+        } else {
+            let mut draw = rng.gen::<f64>() * total;
+            let mut chosen = (n - 1) as u32;
+            for (u, &w) in nearest.iter().enumerate() {
+                draw -= w;
+                if draw <= 0.0 {
+                    chosen = u as u32;
+                    break;
+                }
+            }
+            chosen
+        };
+        let c = to_dense(pick);
+        let c_sq = user_sq[pick as usize];
+        for u in 0..n {
+            let d = dist_sq_to(u as u32, &c, c_sq);
+            if d < nearest[u] {
+                nearest[u] = d;
+            }
+        }
+        centroids.push(c);
+        centroid_sq.push(c_sq);
+    }
+
+    let mut assignment = vec![0u32; n];
+    let mut iterations = 0usize;
+    for _ in 0..max_iter.max(1) {
+        iterations += 1;
+        // Assignment.
+        let mut changed = false;
+        #[allow(clippy::needless_range_loop)] // `u` is a user id fed to closures
+        for u in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = dist_sq_to(u as u32, centroid, centroid_sq[c]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[u] != best as u32 {
+                assignment[u] = best as u32;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+        // Update.
+        let mut counts = vec![0usize; k];
+        for centroid in &mut centroids {
+            centroid.iter_mut().for_each(|v| *v = 0.0);
+        }
+        for u in 0..matrix.n_users() {
+            let c = assignment[u as usize] as usize;
+            counts[c] += 1;
+            for (i, s) in matrix.user_ratings(u) {
+                centroids[c][i as usize] += s;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                continue; // keep the stale centroid; cluster may repopulate
+            }
+            let inv = 1.0 / counts[c] as f64;
+            centroid.iter_mut().for_each(|v| *v *= inv);
+        }
+        for c in 0..k {
+            centroid_sq[c] = centroids[c].iter().map(|v| v * v).sum();
+        }
+    }
+
+    Clustering {
+        n_clusters: k,
+        assignment,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_core::RatingScale;
+    use gf_datasets::SynthConfig;
+
+    fn blocky() -> RatingMatrix {
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|u| {
+                if u < 5 {
+                    vec![5.0, 5.0, 4.0, 1.0, 1.0, 1.0]
+                } else {
+                    vec![1.0, 1.0, 1.0, 5.0, 5.0, 4.0]
+                }
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap()
+    }
+
+    #[test]
+    fn separates_taste_blocks() {
+        let m = blocky();
+        let c = kmeans(&m, 2, 100, 1);
+        for u in 1..5 {
+            assert_eq!(c.assignment[u], c.assignment[0]);
+        }
+        for u in 6..10 {
+            assert_eq!(c.assignment[u], c.assignment[5]);
+        }
+        assert_ne!(c.assignment[0], c.assignment[5]);
+    }
+
+    #[test]
+    fn handles_sparse_input() {
+        let d = SynthConfig::yahoo_music()
+            .with_users(200)
+            .with_items(100)
+            .generate();
+        let c = kmeans(&d.matrix, 10, 30, 2);
+        assert_eq!(c.assignment.len(), 200);
+        let groups = c.groups();
+        assert!(!groups.is_empty() && groups.len() <= 10);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let m = blocky();
+        assert_eq!(kmeans(&m, 2, 50, 9).assignment, kmeans(&m, 2, 50, 9).assignment);
+    }
+
+    #[test]
+    fn k_one_trivial() {
+        let m = blocky();
+        let c = kmeans(&m, 1, 10, 3);
+        assert!(c.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let m = blocky();
+        let c = kmeans(&m, 100, 10, 4);
+        assert!(c.groups().len() <= 10);
+    }
+
+    #[test]
+    fn converges_before_cap_on_easy_data() {
+        let m = blocky();
+        let c = kmeans(&m, 2, 100, 5);
+        assert!(c.iterations < 100);
+    }
+}

@@ -1,0 +1,212 @@
+//! K-medoids clustering over a precomputed distance matrix.
+//!
+//! The paper applies "K-means clustering" to Kendall-Tau distances; K-means
+//! proper needs a vector space, so over a pure distance matrix the standard
+//! realization is k-medoids (Voronoi iteration): assign every point to its
+//! nearest medoid, then recenter each cluster on the member minimizing the
+//! within-cluster distance sum. Matches the paper's cap of 100 iterations.
+
+use crate::distance::DistanceMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// `assignment[u]` = cluster index of user `u`.
+    pub assignment: Vec<u32>,
+    /// Number of clusters actually populated.
+    pub n_clusters: usize,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Materializes the clusters as member lists (empty clusters dropped,
+    /// members ascending).
+    pub fn groups(&self) -> Vec<Vec<u32>> {
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); self.n_clusters];
+        for (u, &c) in self.assignment.iter().enumerate() {
+            groups[c as usize].push(u as u32);
+        }
+        groups.retain(|g| !g.is_empty());
+        groups
+    }
+}
+
+/// Runs k-medoids over `dist`, aiming for `k` clusters.
+///
+/// Seeding is k-means++-style: the first medoid is drawn uniformly, each
+/// further medoid with probability proportional to squared distance from
+/// the nearest existing medoid. Deterministic in `seed`.
+pub fn kmedoids(dist: &DistanceMatrix, k: usize, max_iter: usize, seed: u64) -> Clustering {
+    let n = dist.len();
+    assert!(k >= 1, "need at least one cluster");
+    if n == 0 {
+        return Clustering {
+            assignment: vec![],
+            n_clusters: 0,
+            iterations: 0,
+        };
+    }
+    let k = k.min(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // k-means++ seeding on the distance matrix.
+    let mut medoids: Vec<u32> = Vec::with_capacity(k);
+    medoids.push(rng.gen_range(0..n) as u32);
+    let mut nearest_sq: Vec<f64> = (0..n)
+        .map(|u| {
+            let d = dist.get(u as u32, medoids[0]);
+            d * d
+        })
+        .collect();
+    while medoids.len() < k {
+        let total: f64 = nearest_sq.iter().sum();
+        let next = if total <= 1e-12 {
+            // All points coincide with existing medoids; pick any non-medoid.
+            (0..n as u32).find(|u| !medoids.contains(u))
+        } else {
+            let mut draw = rng.gen::<f64>() * total;
+            let mut chosen = None;
+            for (u, &w) in nearest_sq.iter().enumerate() {
+                draw -= w;
+                if draw <= 0.0 {
+                    chosen = Some(u as u32);
+                    break;
+                }
+            }
+            chosen.or(Some((n - 1) as u32))
+        };
+        let Some(next) = next else { break };
+        medoids.push(next);
+        #[allow(clippy::needless_range_loop)] // `u` is a point id
+        for u in 0..n {
+            let d = dist.get(u as u32, next);
+            nearest_sq[u] = nearest_sq[u].min(d * d);
+        }
+    }
+
+    let mut assignment = vec![0u32; n];
+    let mut iterations = 0usize;
+    for _ in 0..max_iter.max(1) {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        #[allow(clippy::needless_range_loop)] // `u` is a point id
+        for u in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, &m) in medoids.iter().enumerate() {
+                let d = dist.get(u as u32, m);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[u] != best as u32 {
+                assignment[u] = best as u32;
+                changed = true;
+            }
+        }
+        // Update step: recenter each cluster on its best medoid.
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); medoids.len()];
+        for (u, &c) in assignment.iter().enumerate() {
+            members[c as usize].push(u as u32);
+        }
+        let mut moved = false;
+        for (c, cluster) in members.iter().enumerate() {
+            if cluster.is_empty() {
+                continue;
+            }
+            let mut best = medoids[c];
+            let mut best_total = f64::INFINITY;
+            for &candidate in cluster {
+                let total = dist.total_distance(candidate, cluster);
+                if total < best_total {
+                    best_total = total;
+                    best = candidate;
+                }
+            }
+            if best != medoids[c] {
+                medoids[c] = best;
+                moved = true;
+            }
+        }
+        if !changed && !moved {
+            break;
+        }
+    }
+
+    Clustering {
+        n_clusters: medoids.len(),
+        assignment,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs on a line.
+    fn two_blobs() -> DistanceMatrix {
+        let coords = [0.0f64, 0.1, 0.2, 10.0, 10.1, 10.2];
+        DistanceMatrix::from_fn(coords.len(), |a, b| {
+            (coords[a as usize] - coords[b as usize]).abs()
+        })
+    }
+
+    #[test]
+    fn separates_obvious_blobs() {
+        let d = two_blobs();
+        let c = kmedoids(&d, 2, 100, 1);
+        assert_eq!(c.assignment.len(), 6);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[1], c.assignment[2]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_eq!(c.assignment[4], c.assignment[5]);
+        assert_ne!(c.assignment[0], c.assignment[3]);
+    }
+
+    #[test]
+    fn groups_materialize_every_user_once() {
+        let d = two_blobs();
+        let c = kmedoids(&d, 3, 100, 2);
+        let groups = c.groups();
+        let mut all: Vec<u32> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let d = DistanceMatrix::from_fn(3, |a, b| (a as f64 - b as f64).abs());
+        let c = kmedoids(&d, 10, 100, 3);
+        assert!(c.groups().len() <= 3);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = two_blobs();
+        let a = kmedoids(&d, 2, 100, 7);
+        let b = kmedoids(&d, 2, 100, 7);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn identical_points_converge_quickly() {
+        let d = DistanceMatrix::from_fn(5, |_, _| 0.0);
+        let c = kmedoids(&d, 2, 100, 4);
+        assert!(c.iterations <= 2);
+        assert_eq!(c.assignment.len(), 5);
+    }
+
+    #[test]
+    fn k_one_puts_everyone_together() {
+        let d = two_blobs();
+        let c = kmedoids(&d, 1, 100, 5);
+        assert!(c.assignment.iter().all(|&a| a == 0));
+        assert_eq!(c.groups().len(), 1);
+    }
+}

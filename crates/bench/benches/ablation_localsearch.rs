@@ -1,0 +1,98 @@
+//! Ablation: how much optimality gap does local search close, at what cost?
+//!
+//! On instances small enough for the exact DP we can measure the true gap:
+//! `GRD ≤ GRD+LS ≤ OPT`. This justifies using `OPT~` (local search) as the
+//! optimum proxy at the paper's 200-user calibration scale, and measures
+//! the value of swap moves over relocate-only search.
+
+use gf_bench::quality_instance;
+use gf_core::{Aggregation, FormationConfig, GreedyFormer, GroupFormer, Semantics};
+use gf_datasets::SynthConfig;
+use gf_eval::table::{fmt_duration, fmt_f};
+use gf_eval::Table;
+use gf_exact::{LocalSearch, LocalSearchConfig, PartitionDp};
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(
+        "Ablation: greedy vs local search vs exact DP (14 users, 20 items, l=4, k=3)",
+        &["algo", "objective", "gap to OPT", "time"],
+    );
+    let inst = quality_instance(SynthConfig::yahoo_music(), 14, 20, 91);
+    let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 3, 4);
+
+    let timed = |former: &dyn GroupFormer| {
+        let start = Instant::now();
+        let r = former.form(&inst.matrix, &inst.prefs, &cfg).unwrap();
+        (r.objective, start.elapsed())
+    };
+
+    let (opt_obj, opt_time) = timed(&PartitionDp::new());
+    let runs: Vec<(&str, f64, std::time::Duration)> = vec![
+        {
+            let (o, t) = timed(&GreedyFormer::new());
+            ("GRD-LM-MIN", o, t)
+        },
+        {
+            let ls = LocalSearch::with_config(LocalSearchConfig {
+                max_rounds: 12,
+                allow_swaps: false,
+            });
+            let (o, t) = timed(&ls);
+            ("GRD + LS (relocate only)", o, t)
+        },
+        {
+            let (o, t) = timed(&LocalSearch::new());
+            ("GRD + LS (relocate + swap)", o, t)
+        },
+    ];
+    for (name, obj, time) in runs {
+        table.push_row(vec![
+            name.to_string(),
+            fmt_f(obj),
+            fmt_f(opt_obj - obj),
+            fmt_duration(time),
+        ]);
+    }
+    table.push_row(vec![
+        "OPT (partition DP)".to_string(),
+        fmt_f(opt_obj),
+        "0".to_string(),
+        fmt_duration(opt_time),
+    ]);
+    println!("{table}");
+
+    // Gap closure across many random small instances.
+    let mut closed = 0usize;
+    let mut total = 0usize;
+    let mut grd_gap_sum = 0.0;
+    let mut ls_gap_sum = 0.0;
+    for seed in 0..20u64 {
+        let inst = quality_instance(SynthConfig::yahoo_music(), 10, 12, 100 + seed);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3);
+        let opt = PartitionDp::new()
+            .form(&inst.matrix, &inst.prefs, &cfg)
+            .unwrap()
+            .objective;
+        let grd = GreedyFormer::new()
+            .form(&inst.matrix, &inst.prefs, &cfg)
+            .unwrap()
+            .objective;
+        let ls = LocalSearch::new()
+            .form(&inst.matrix, &inst.prefs, &cfg)
+            .unwrap()
+            .objective;
+        grd_gap_sum += opt - grd;
+        ls_gap_sum += opt - ls;
+        total += 1;
+        if (opt - ls).abs() < 1e-9 {
+            closed += 1;
+        }
+    }
+    println!(
+        "over {total} random 10-user instances: mean GRD gap {:.3}, mean LS gap {:.3}, \
+         LS matched OPT on {closed}/{total}",
+        grd_gap_sum / total as f64,
+        ls_gap_sum / total as f64
+    );
+}

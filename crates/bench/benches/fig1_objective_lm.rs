@@ -1,0 +1,70 @@
+//! Figure 1(a–c) — objective value under LM / Max-aggregation on the
+//! Yahoo!-shaped data, varying # users, # items and # groups (one at a
+//! time; defaults 200 users, 100 items, 10 groups, k = 5).
+//!
+//! Series: `GRD-LM-MAX`, `Baseline-LM-MAX`, `OPT~-LM-MAX` (local-search
+//! proxy for the paper's CPLEX optimum — see DESIGN.md).
+//!
+//! Paper shape to reproduce: GRD tracks OPT closely and beats the baseline
+//! throughout; the objective *decreases* with more users, *increases* with
+//! more items and with more groups.
+
+use gf_bench::{baseline, grd, opt_proxy, quality_instance, run, QualityDefaults};
+use gf_core::{Aggregation, FormationConfig, Semantics};
+use gf_datasets::SynthConfig;
+use gf_eval::table::fmt_f;
+use gf_eval::Table;
+
+fn sweep(
+    title: &str,
+    xs: &[usize],
+    make: impl Fn(usize) -> (gf_bench::Instance, FormationConfig),
+) {
+    let mut table = Table::new(title, &["x", "GRD-LM-MAX", "Baseline-LM-MAX", "OPT~-LM-MAX"]);
+    for &x in xs {
+        let (inst, cfg) = make(x);
+        let g = run(grd().as_ref(), &inst, &cfg, 1);
+        let b = run(baseline(50).as_ref(), &inst, &cfg, 1);
+        let o = run(opt_proxy(inst.matrix.n_users()).as_ref(), &inst, &cfg, 1);
+        table.push_row(vec![
+            x.to_string(),
+            fmt_f(g.objective),
+            fmt_f(b.objective),
+            fmt_f(o.objective),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn main() {
+    let d = QualityDefaults::get();
+    let cfg0 = FormationConfig::new(Semantics::LeastMisery, Aggregation::Max, d.k, d.ell);
+
+    // Figure 1(a): vary # users.
+    sweep(
+        "Fig 1(a): objective vs # users (items=100, groups=10, k=5, LM-Max, Yahoo!)",
+        &[200, 400, 600, 800, 1000],
+        |n| (quality_instance(SynthConfig::yahoo_music(), n, d.n_items, 11), cfg0),
+    );
+
+    // Figure 1(b): vary # items.
+    sweep(
+        "Fig 1(b): objective vs # items (users=200, groups=10, k=5, LM-Max, Yahoo!)",
+        &[100, 200, 300, 400, 500],
+        |m| (quality_instance(SynthConfig::yahoo_music(), d.n_users, m, 12), cfg0),
+    );
+
+    // Figure 1(c): vary # groups.
+    sweep(
+        "Fig 1(c): objective vs # groups (users=200, items=100, k=5, LM-Max, Yahoo!)",
+        &[10, 15, 20, 25, 30],
+        |ell| {
+            (
+                quality_instance(SynthConfig::yahoo_music(), d.n_users, d.n_items, 13),
+                FormationConfig::new(Semantics::LeastMisery, Aggregation::Max, d.k, ell),
+            )
+        },
+    );
+    println!("paper shape: objective falls with users, rises with items and groups;");
+    println!("GRD ~= OPT~ > Baseline on every point.");
+}

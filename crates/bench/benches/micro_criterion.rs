@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks backing the complexity claims of Sections
+//! 4.3 and 5.1: GRD formation is O(n·k + ℓ·log n) after the preference
+//! index build, Kendall-Tau is O(m log m), group top-k is linear in the
+//! members' ratings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gf_baselines::kendall::kendall_tau;
+use gf_core::{
+    Aggregation, FormationConfig, GreedyFormer, GroupFormer, GroupRecommender, PrefIndex,
+    Semantics,
+};
+use gf_datasets::SynthConfig;
+
+fn bench_formation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grd_formation");
+    group.sample_size(10);
+    for n in [1_000u32, 4_000] {
+        let data = SynthConfig::yahoo_music()
+            .with_users(n)
+            .with_items(1_000)
+            .generate();
+        let prefs = PrefIndex::build(&data.matrix);
+        for (label, sem) in [
+            ("GRD-LM-MIN", Semantics::LeastMisery),
+            ("GRD-AV-MIN", Semantics::AggregateVoting),
+        ] {
+            let cfg = FormationConfig::new(sem, Aggregation::Min, 5, 10);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    GreedyFormer::new()
+                        .form(&data.matrix, &prefs, &cfg)
+                        .unwrap()
+                        .objective
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_pref_index(c: &mut Criterion) {
+    let data = SynthConfig::yahoo_music()
+        .with_users(4_000)
+        .with_items(1_000)
+        .generate();
+    c.bench_function("pref_index_build_4k_users", |b| {
+        b.iter(|| PrefIndex::build(&data.matrix).n_users())
+    });
+}
+
+fn bench_group_topk(c: &mut Criterion) {
+    let data = SynthConfig::yahoo_music()
+        .with_users(500)
+        .with_items(2_000)
+        .generate();
+    let members: Vec<u32> = (0..500).collect();
+    let mut group = c.benchmark_group("group_top_k_500_members");
+    for sem in [Semantics::LeastMisery, Semantics::AggregateVoting] {
+        let rec = GroupRecommender::new(&data.matrix, sem);
+        group.bench_function(sem.tag(), |b| {
+            b.iter(|| rec.top_k(&members, 5).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_kendall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kendall_tau");
+    for m in [1_000usize, 10_000] {
+        let a: Vec<u32> = (0..m as u32).collect();
+        let mut b_rank: Vec<u32> = (0..m as u32).rev().collect();
+        // Perturb so it is not the pure worst case.
+        b_rank.swap(0, m / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| kendall_tau(&a, &b_rank))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_formation,
+    bench_pref_index,
+    bench_group_topk,
+    bench_kendall
+);
+criterion_main!(benches);

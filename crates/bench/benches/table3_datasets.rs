@@ -1,0 +1,47 @@
+//! Table 3 — dataset descriptions.
+//!
+//! Paper values: Yahoo! Music 200,000 users × 136,736 items; MovieLens
+//! 71,567 users × 10,681 items. We regenerate the table from the synthetic
+//! stand-ins (full shapes under `GF_BENCH_SCALE=paper`, reduced under the
+//! default `quick`).
+
+use gf_bench::Scale;
+use gf_datasets::{DatasetStats, SynthConfig};
+use gf_eval::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut table = Table::new(
+        "Table 3: dataset descriptions (paper: Yahoo! 200000x136736, MovieLens 71567x10681)",
+        &["dataset", "# users", "# items", "# ratings", "density", "min r/user"],
+    );
+    let presets = [
+        (
+            SynthConfig::yahoo_music()
+                .with_users(scale.shrink(200_000, 40) as u32)
+                .with_items(scale.shrink(136_736, 40) as u32),
+            "yahoo-music-synth",
+        ),
+        (
+            SynthConfig::movielens()
+                .with_users(scale.shrink(71_567, 40) as u32)
+                .with_items(scale.shrink(10_681, 40) as u32),
+            "movielens-synth",
+        ),
+        (SynthConfig::flickr_poi(), "flickr-poi-synth"),
+    ];
+    for (preset, name) in presets {
+        let data = preset.generate();
+        let stats = DatasetStats::compute(name, &data.matrix);
+        table.push_row(vec![
+            name.to_string(),
+            stats.n_users.to_string(),
+            stats.n_items.to_string(),
+            stats.n_ratings.to_string(),
+            format!("{:.5}", stats.density),
+            stats.min_ratings_per_user.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("(scale regime: {scale:?}; set GF_BENCH_SCALE=paper for full sizes)");
+}

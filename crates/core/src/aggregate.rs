@@ -1,0 +1,157 @@
+//! Group satisfaction aggregation over a top-`k` list (Section 2.3).
+//!
+//! Once a semantics has produced a score `sc(g, i^j)` for every item in the
+//! recommended list `I_g^k`, the *aggregation function* collapses the `k`
+//! scores into the group's satisfaction `gs(I_g^k)`:
+//!
+//! * **Max**: the score of the very top item, `sc(g, i^1)`;
+//! * **Min**: the score of the `k`-th (bottom) item, `sc(g, i^k)`;
+//! * **Sum**: the sum over all `k` items;
+//! * **WeightedSum**: the Section-6 extension with position weights.
+//!
+//! When `k = 1` all of these coincide.
+
+use crate::weights::WeightScheme;
+use std::fmt;
+
+/// Which item position(s) of a top-`k` list determine the hash key used by
+/// the greedy algorithms (see [`Aggregation::pivot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pivot {
+    /// The single 0-based position whose score the aggregation depends on.
+    Position(usize),
+    /// The aggregation depends on all `k` scores.
+    All,
+}
+
+/// How a group's satisfaction with a top-`k` list is computed from the `k`
+/// per-item group scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Aggregation {
+    /// Score of the bottom (`k`-th) item: `gs = sc(g, i^k)`.
+    Min,
+    /// Score of the top item: `gs = sc(g, i^1)`.
+    Max,
+    /// Sum over all `k` items.
+    Sum,
+    /// Weighted sum over all `k` items (Section 6 extension).
+    WeightedSum(WeightScheme),
+}
+
+impl Aggregation {
+    /// Collapses the scores of a top-`k` list (position 1 first) into the
+    /// group satisfaction. An empty list yields 0.
+    pub fn apply(self, scores: &[f64]) -> f64 {
+        if scores.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Aggregation::Min => scores[scores.len() - 1],
+            Aggregation::Max => scores[0],
+            Aggregation::Sum => scores.iter().sum(),
+            Aggregation::WeightedSum(w) => w.weighted_sum(scores),
+        }
+    }
+
+    /// Which positions of a user's personal top-`k` list must match for two
+    /// users to be grouped by `GRD-LM` (Section 4): the position the
+    /// aggregation is based on, or all of them for (weighted) Sum.
+    pub fn pivot(self, k: usize) -> Pivot {
+        match self {
+            Aggregation::Min => Pivot::Position(k - 1),
+            Aggregation::Max => Pivot::Position(0),
+            Aggregation::Sum | Aggregation::WeightedSum(_) => Pivot::All,
+        }
+    }
+
+    /// Short uppercase tag used in algorithm names (`MIN`/`MAX`/`SUM`/`WSUM`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Aggregation::Min => "MIN",
+            Aggregation::Max => "MAX",
+            Aggregation::Sum => "SUM",
+            Aggregation::WeightedSum(_) => "WSUM",
+        }
+    }
+
+    /// The three aggregations evaluated in the paper's experiments.
+    pub fn paper_set() -> [Aggregation; 3] {
+        [Aggregation::Min, Aggregation::Max, Aggregation::Sum]
+    }
+}
+
+impl fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregation::WeightedSum(w) => write!(f, "WSUM({w})"),
+            other => f.write_str(other.tag()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCORES: [f64; 3] = [5.0, 3.0, 2.0];
+
+    #[test]
+    fn min_takes_bottom() {
+        assert_eq!(Aggregation::Min.apply(&SCORES), 2.0);
+    }
+
+    #[test]
+    fn max_takes_top() {
+        assert_eq!(Aggregation::Max.apply(&SCORES), 5.0);
+    }
+
+    #[test]
+    fn sum_takes_all() {
+        assert_eq!(Aggregation::Sum.apply(&SCORES), 10.0);
+    }
+
+    #[test]
+    fn weighted_uniform_equals_sum() {
+        assert_eq!(
+            Aggregation::WeightedSum(WeightScheme::Uniform).apply(&SCORES),
+            Aggregation::Sum.apply(&SCORES)
+        );
+    }
+
+    #[test]
+    fn k_equals_one_coincides() {
+        // Section 2.3: "when k = 1, Max, Min, and Sum-aggregation coincide".
+        let one = [4.0];
+        for agg in Aggregation::paper_set() {
+            assert_eq!(agg.apply(&one), 4.0);
+        }
+    }
+
+    #[test]
+    fn empty_list_scores_zero() {
+        for agg in Aggregation::paper_set() {
+            assert_eq!(agg.apply(&[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn pivots() {
+        assert_eq!(Aggregation::Min.pivot(5), Pivot::Position(4));
+        assert_eq!(Aggregation::Max.pivot(5), Pivot::Position(0));
+        assert_eq!(Aggregation::Sum.pivot(5), Pivot::All);
+        assert_eq!(
+            Aggregation::WeightedSum(WeightScheme::InverseLog2).pivot(3),
+            Pivot::All
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Aggregation::Min.to_string(), "MIN");
+        assert_eq!(
+            Aggregation::WeightedSum(WeightScheme::InversePosition).to_string(),
+            "WSUM(1/pos)"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Group formation algorithms.
+//!
+//! The paper's six greedy algorithms — `GRD-LM-MIN`, `GRD-LM-MAX`,
+//! `GRD-LM-SUM` (Section 4) and `GRD-AV-MIN`, `GRD-AV-MAX`, `GRD-AV-SUM`
+//! (Section 5) — share one three-step skeleton:
+//!
+//! 1. **Intermediate groups**: hash every user by a key derived from her
+//!    personal top-`k` preference list (the key depends on semantics and
+//!    aggregation, see [`bucket`]), bundling indistinguishable users.
+//! 2. **Greedy selection**: pop the `ell - 1` intermediate groups with the
+//!    highest group satisfaction from a max-heap.
+//! 3. **Last group**: merge all remaining users into the `ell`-th group and
+//!    score it with the full group recommendation engine.
+//!
+//! All six variants are provided by a single [`GreedyFormer`] parameterised
+//! by the [`FormationConfig`]. Under least misery, `GRD-LM-MIN` and
+//! `GRD-LM-SUM` carry the paper's absolute-error guarantees (Theorems 2–3):
+//! at most `r_max` and `k * r_max` below the optimum respectively.
+
+pub mod bucket;
+mod greedy;
+pub mod overlap;
+
+pub use greedy::GreedyFormer;
+pub use overlap::{OverlapConfig, OverlappingFormer, OverlappingGrouping};
+
+use crate::aggregate::Aggregation;
+use crate::error::{GfError, Result};
+use crate::grouping::Grouping;
+use crate::grouprec::MissingPolicy;
+use crate::matrix::RatingMatrix;
+use crate::prefs::PrefIndex;
+use crate::semantics::Semantics;
+
+/// Everything that parameterises a group formation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FormationConfig {
+    /// Group recommendation semantics (LM or AV).
+    pub semantics: Semantics,
+    /// Aggregation over the recommended top-`k` list.
+    pub aggregation: Aggregation,
+    /// Length of the recommended item list.
+    pub k: usize,
+    /// Maximum number of groups `ell`.
+    pub ell: usize,
+    /// Score for unrated `(member, item)` pairs.
+    pub policy: MissingPolicy,
+}
+
+impl FormationConfig {
+    /// A configuration with the default [`MissingPolicy::Min`].
+    pub fn new(semantics: Semantics, aggregation: Aggregation, k: usize, ell: usize) -> Self {
+        FormationConfig {
+            semantics,
+            aggregation,
+            k,
+            ell,
+            policy: MissingPolicy::Min,
+        }
+    }
+
+    /// Overrides the missing-rating policy.
+    pub fn with_policy(mut self, policy: MissingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Validates `k >= 1`, `ell >= 1` and a non-trivial matrix.
+    pub fn validate(&self, matrix: &RatingMatrix) -> Result<()> {
+        if self.k == 0 {
+            return Err(GfError::InvalidK { k: self.k });
+        }
+        if self.ell == 0 {
+            return Err(GfError::InvalidEll { ell: self.ell });
+        }
+        if matrix.n_users() == 0 || matrix.n_items() == 0 {
+            return Err(GfError::EmptyMatrix);
+        }
+        Ok(())
+    }
+
+    /// The paper's name for the greedy algorithm under this configuration,
+    /// e.g. `GRD-LM-MIN`.
+    pub fn grd_name(&self) -> String {
+        format!("GRD-{}-{}", self.semantics.tag(), self.aggregation.tag())
+    }
+
+    /// The absolute-error guarantee of the greedy algorithm under this
+    /// configuration, when one is proven in the paper:
+    /// `r_max` for LM + Min (Theorem 2), `k * r_max` for LM + Sum
+    /// (Theorem 3), `None` otherwise.
+    pub fn error_bound(&self, matrix: &RatingMatrix) -> Option<f64> {
+        match (self.semantics, self.aggregation) {
+            (Semantics::LeastMisery, Aggregation::Min) => {
+                Some(matrix.scale().lm_min_error_bound())
+            }
+            (Semantics::LeastMisery, Aggregation::Sum) => {
+                Some(matrix.scale().lm_sum_error_bound(self.k))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of a formation run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FormationResult {
+    /// The formed groups with their recommended lists and satisfactions.
+    pub grouping: Grouping,
+    /// The objective `Obj = Σ_j gs_j(I_gj^k)` of Section 2.4.
+    pub objective: f64,
+    /// How many intermediate groups (unique hash keys) Step 1 produced.
+    /// Section 5 observes AV produces fewer keys than LM; this exposes it.
+    pub n_buckets: usize,
+}
+
+/// A group formation algorithm.
+pub trait GroupFormer {
+    /// Human-readable algorithm name for the given configuration.
+    fn name(&self, cfg: &FormationConfig) -> String;
+
+    /// Forms at most `cfg.ell` groups over all users of `matrix`.
+    ///
+    /// `prefs` must be built from the same matrix (callers typically build
+    /// it once and reuse it across runs).
+    fn form(
+        &self,
+        matrix: &RatingMatrix,
+        prefs: &PrefIndex,
+        cfg: &FormationConfig,
+    ) -> Result<FormationResult>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::RatingScale;
+
+    #[test]
+    fn grd_names() {
+        let c = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 5, 10);
+        assert_eq!(c.grd_name(), "GRD-LM-MIN");
+        let c = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 5, 10);
+        assert_eq!(c.grd_name(), "GRD-AV-SUM");
+    }
+
+    #[test]
+    fn validation() {
+        let m = RatingMatrix::from_dense(&[&[3.0]], RatingScale::one_to_five()).unwrap();
+        assert!(FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 1)
+            .validate(&m)
+            .is_ok());
+        assert!(matches!(
+            FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 0, 1).validate(&m),
+            Err(GfError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 0).validate(&m),
+            Err(GfError::InvalidEll { .. })
+        ));
+    }
+
+    #[test]
+    fn error_bounds_only_for_lm_min_and_sum() {
+        let m = RatingMatrix::from_dense(&[&[3.0]], RatingScale::one_to_five()).unwrap();
+        let bound = |sem, agg, k| FormationConfig::new(sem, agg, k, 2).error_bound(&m);
+        assert_eq!(bound(Semantics::LeastMisery, Aggregation::Min, 3), Some(5.0));
+        assert_eq!(bound(Semantics::LeastMisery, Aggregation::Sum, 3), Some(15.0));
+        assert_eq!(bound(Semantics::LeastMisery, Aggregation::Max, 3), None);
+        assert_eq!(bound(Semantics::AggregateVoting, Aggregation::Min, 3), None);
+    }
+}

@@ -1,0 +1,289 @@
+//! Overlapping group formation — one of the paper's explicit future-work
+//! directions ("groups that are possibly overlapping are also worthy of
+//! study", Section 9).
+//!
+//! A user may belong to up to `max_memberships` groups: a music service can
+//! put a listener in both a "jazz" and a "classical" segment. We keep the
+//! paper's machinery and semantics and extend greedily:
+//!
+//! 1. run the disjoint greedy former ([`GreedyFormer`]) to get base groups;
+//! 2. for every user and every *other* group, admit the user as an extra
+//!    member when (a) their affinity to the group's recommended list is at
+//!    least `min_affinity` (an NDCG-style score in `[0, 1]`), and (b) the
+//!    admission does not lower the group's satisfaction (it never can under
+//!    AV, where members add; under LM this is the natural guard).
+//!
+//! The objective of an overlapping grouping is still the sum of group
+//! satisfactions over each group's recommended list.
+
+use super::{FormationConfig, GroupFormer};
+use crate::error::Result;
+use crate::grouping::Group;
+use crate::grouprec::GroupRecommender;
+use crate::matrix::RatingMatrix;
+use crate::ndcg::user_satisfaction;
+use crate::prefs::PrefIndex;
+use crate::GreedyFormer;
+
+/// Configuration of the overlapping extension.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapConfig {
+    /// Maximum number of groups a user may belong to (>= 1).
+    pub max_memberships: usize,
+    /// Minimum NDCG-style affinity of a user to a group's recommended list
+    /// for an extra membership (in `[0, 1]`).
+    pub min_affinity: f64,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        OverlapConfig {
+            max_memberships: 2,
+            min_affinity: 0.9,
+        }
+    }
+}
+
+/// An overlapping grouping: groups may share members; every user belongs to
+/// at least one and at most `max_memberships` groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlappingGrouping {
+    /// The groups with their recommended lists and satisfactions.
+    pub groups: Vec<Group>,
+    /// `memberships[u]` = indices of the groups user `u` belongs to.
+    pub memberships: Vec<Vec<usize>>,
+}
+
+impl OverlappingGrouping {
+    /// Sum of group satisfactions.
+    pub fn objective(&self) -> f64 {
+        self.groups.iter().map(|g| g.satisfaction).sum()
+    }
+
+    /// Number of users holding more than one membership.
+    pub fn n_overlapping_users(&self) -> usize {
+        self.memberships.iter().filter(|m| m.len() > 1).count()
+    }
+
+    /// Validates cover and the membership cap.
+    pub fn validate(&self, n_users: u32, max_memberships: usize) -> Result<()> {
+        for (u, m) in self.memberships.iter().enumerate() {
+            if m.is_empty() {
+                return Err(crate::GfError::InvalidGrouping(format!(
+                    "user {u} has no group"
+                )));
+            }
+            if m.len() > max_memberships {
+                return Err(crate::GfError::InvalidGrouping(format!(
+                    "user {u} holds {} memberships (cap {max_memberships})",
+                    m.len()
+                )));
+            }
+        }
+        if self.memberships.len() != n_users as usize {
+            return Err(crate::GfError::InvalidGrouping(format!(
+                "memberships cover {} of {n_users} users",
+                self.memberships.len()
+            )));
+        }
+        // Group member lists must be consistent with the membership index.
+        for (gi, g) in self.groups.iter().enumerate() {
+            for &u in &g.members {
+                if !self.memberships[u as usize].contains(&gi) {
+                    return Err(crate::GfError::InvalidGrouping(format!(
+                        "group {gi} lists user {u} but the index does not"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Greedy overlapping group formation (extension beyond the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlappingFormer {
+    /// Overlap knobs.
+    pub overlap: OverlapConfig,
+}
+
+impl OverlappingFormer {
+    /// A former with the default overlap configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the overlap configuration.
+    pub fn with_overlap(mut self, overlap: OverlapConfig) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Forms base groups with [`GreedyFormer`], then admits extra
+    /// memberships as described in the module docs.
+    pub fn form(
+        &self,
+        matrix: &RatingMatrix,
+        prefs: &PrefIndex,
+        cfg: &FormationConfig,
+    ) -> Result<OverlappingGrouping> {
+        let base = GreedyFormer::new().form(matrix, prefs, cfg)?;
+        let rec = GroupRecommender::new(matrix, cfg.semantics).with_policy(cfg.policy);
+        let mut groups = base.grouping.groups;
+        let mut memberships: Vec<Vec<usize>> = vec![Vec::new(); matrix.n_users() as usize];
+        for (gi, g) in groups.iter().enumerate() {
+            for &u in &g.members {
+                memberships[u as usize].push(gi);
+            }
+        }
+
+        // Candidate admissions, processed in (user, group) order for
+        // determinism. Affinity is measured against the group's *current*
+        // list; satisfaction is re-checked so LM groups never degrade.
+        for u in 0..matrix.n_users() {
+            #[allow(clippy::needless_range_loop)] // `groups` is mutated in the body
+            for gi in 0..groups.len() {
+                if memberships[u as usize].len() >= self.overlap.max_memberships.max(1) {
+                    break;
+                }
+                if memberships[u as usize].contains(&gi) {
+                    continue;
+                }
+                let items: Vec<u32> = groups[gi].items().collect();
+                let affinity = user_satisfaction(matrix, prefs, u, &items, cfg.k);
+                if affinity < self.overlap.min_affinity {
+                    continue;
+                }
+                let mut extended = groups[gi].members.clone();
+                let pos = extended.partition_point(|&x| x < u);
+                extended.insert(pos, u);
+                let new_sat = rec.satisfaction(&extended, cfg.k, cfg.aggregation);
+                if new_sat + 1e-9 < groups[gi].satisfaction {
+                    continue; // admission would hurt the group
+                }
+                groups[gi] = Group {
+                    top_k: rec.top_k(&extended, cfg.k),
+                    members: extended,
+                    satisfaction: new_sat,
+                };
+                memberships[u as usize].push(gi);
+            }
+        }
+
+        let result = OverlappingGrouping {
+            groups,
+            memberships,
+        };
+        debug_assert!(result
+            .validate(matrix.n_users(), self.overlap.max_memberships.max(1))
+            .is_ok());
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregation;
+    use crate::scale::RatingScale;
+    use crate::semantics::Semantics;
+
+    /// Two taste blocks plus one user who genuinely likes both.
+    fn bridged() -> (RatingMatrix, PrefIndex) {
+        let m = RatingMatrix::from_dense(
+            &[
+                &[5.0, 4.0, 1.0, 1.0][..], // block A
+                &[5.0, 4.0, 1.0, 1.0],
+                &[1.0, 1.0, 5.0, 4.0], // block B
+                &[1.0, 1.0, 5.0, 4.0],
+                &[5.0, 4.0, 5.0, 4.0], // the bridge
+            ],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let p = PrefIndex::build(&m);
+        (m, p)
+    }
+
+    #[test]
+    fn bridge_user_joins_both_blocks() {
+        let (m, p) = bridged();
+        let cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 2, 3);
+        let result = OverlappingFormer::new()
+            .with_overlap(OverlapConfig {
+                max_memberships: 2,
+                min_affinity: 0.85,
+            })
+            .form(&m, &p, &cfg)
+            .unwrap();
+        result.validate(5, 2).unwrap();
+        assert!(
+            result.n_overlapping_users() >= 1,
+            "the bridge user should hold two memberships: {:?}",
+            result.memberships
+        );
+    }
+
+    #[test]
+    fn overlap_never_reduces_objective() {
+        let (m, p) = bridged();
+        for sem in Semantics::all() {
+            let cfg = FormationConfig::new(sem, Aggregation::Min, 2, 3);
+            let base = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+            let over = OverlappingFormer::new().form(&m, &p, &cfg).unwrap();
+            assert!(
+                over.objective() >= base.objective - 1e-9,
+                "{sem}: {} < {}",
+                over.objective(),
+                base.objective
+            );
+        }
+    }
+
+    #[test]
+    fn membership_cap_one_reduces_to_disjoint() {
+        let (m, p) = bridged();
+        let cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 2, 3);
+        let result = OverlappingFormer::new()
+            .with_overlap(OverlapConfig {
+                max_memberships: 1,
+                min_affinity: 0.0,
+            })
+            .form(&m, &p, &cfg)
+            .unwrap();
+        assert_eq!(result.n_overlapping_users(), 0);
+        result.validate(5, 1).unwrap();
+    }
+
+    #[test]
+    fn strict_affinity_blocks_admissions() {
+        let (m, p) = bridged();
+        let cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 2, 3);
+        let strict = OverlappingFormer::new()
+            .with_overlap(OverlapConfig {
+                max_memberships: 3,
+                min_affinity: 1.1, // impossible
+            })
+            .form(&m, &p, &cfg)
+            .unwrap();
+        assert_eq!(strict.n_overlapping_users(), 0);
+    }
+
+    #[test]
+    fn lm_groups_never_degrade() {
+        let (m, p) = bridged();
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3);
+        let base = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+        let over = OverlappingFormer::new()
+            .with_overlap(OverlapConfig {
+                max_memberships: 3,
+                min_affinity: 0.0,
+            })
+            .form(&m, &p, &cfg)
+            .unwrap();
+        // Pair up by base order: satisfaction must be >= the base group's.
+        for (b, o) in base.grouping.groups.iter().zip(&over.groups) {
+            assert!(o.satisfaction >= b.satisfaction - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types for the `gf-core` crate.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, GfError>;
+
+/// Errors produced while building rating matrices or forming groups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GfError {
+    /// The rating matrix has no users or no items.
+    EmptyMatrix,
+    /// `k` (the length of the recommended list) must be at least 1.
+    InvalidK {
+        /// The offending value.
+        k: usize,
+    },
+    /// `ell` (the maximum number of groups) must be at least 1.
+    InvalidEll {
+        /// The offending value.
+        ell: usize,
+    },
+    /// A user index was out of range.
+    UserOutOfRange {
+        /// The offending user index.
+        user: u32,
+        /// Number of users in the matrix.
+        n_users: u32,
+    },
+    /// An item index was out of range.
+    ItemOutOfRange {
+        /// The offending item index.
+        item: u32,
+        /// Number of items in the matrix.
+        n_items: u32,
+    },
+    /// The same (user, item) pair was rated twice.
+    DuplicateRating {
+        /// The user index.
+        user: u32,
+        /// The item index.
+        item: u32,
+    },
+    /// A rating was NaN or infinite.
+    NonFiniteScore {
+        /// The user index.
+        user: u32,
+        /// The item index.
+        item: u32,
+    },
+    /// A rating fell outside the declared [`RatingScale`](crate::RatingScale).
+    ScaleViolation {
+        /// The user index.
+        user: u32,
+        /// The item index.
+        item: u32,
+        /// The offending score.
+        score: f64,
+    },
+    /// The rating scale itself is malformed (`min >= max` or non-finite).
+    InvalidScale {
+        /// Declared minimum.
+        min: f64,
+        /// Declared maximum.
+        max: f64,
+    },
+    /// A grouping failed validation (overlap, missing user, too many groups).
+    InvalidGrouping(String),
+}
+
+impl fmt::Display for GfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfError::EmptyMatrix => write!(f, "rating matrix has no users or no items"),
+            GfError::InvalidK { k } => write!(f, "top-k length must be >= 1, got {k}"),
+            GfError::InvalidEll { ell } => {
+                write!(f, "maximum number of groups must be >= 1, got {ell}")
+            }
+            GfError::UserOutOfRange { user, n_users } => {
+                write!(f, "user index {user} out of range (n_users = {n_users})")
+            }
+            GfError::ItemOutOfRange { item, n_items } => {
+                write!(f, "item index {item} out of range (n_items = {n_items})")
+            }
+            GfError::DuplicateRating { user, item } => {
+                write!(f, "duplicate rating for user {user}, item {item}")
+            }
+            GfError::NonFiniteScore { user, item } => {
+                write!(f, "non-finite rating for user {user}, item {item}")
+            }
+            GfError::ScaleViolation { user, item, score } => write!(
+                f,
+                "rating {score} for user {user}, item {item} violates the rating scale"
+            ),
+            GfError::InvalidScale { min, max } => {
+                write!(f, "invalid rating scale [{min}, {max}]")
+            }
+            GfError::InvalidGrouping(msg) => write!(f, "invalid grouping: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_with_context() {
+        let e = GfError::UserOutOfRange { user: 9, n_users: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3"));
+        let e = GfError::ScaleViolation { user: 1, item: 2, score: 7.5 };
+        assert!(e.to_string().contains("7.5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GfError::EmptyMatrix);
+    }
+}

@@ -1,0 +1,136 @@
+//! A small, fast, non-cryptographic hasher for integer-heavy keys.
+//!
+//! The group formation algorithms hash millions of short integer sequences
+//! (top-`k` item ids plus rating bit patterns). SipHash — the standard
+//! library default — is a poor fit for such keys, so we bundle the same
+//! multiply-rotate scheme used by `rustc` (the `rustc-hash`/Fx algorithm)
+//! rather than pulling in an extra dependency. HashDoS resistance is
+//! irrelevant here: keys are derived from local rating data, not from
+//! untrusted network input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// The Fx multiply-rotate hasher. Fast on short integer keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail. This is only used for
+        // non-integer keys, which are rare in this workspace.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&(1u32, 2u32, 3u64)), hash_of(&(1u32, 2u32, 3u64)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&vec![1u32, 2]), hash_of(&vec![2u32, 1]));
+    }
+
+    #[test]
+    fn byte_tail_lengths_differ() {
+        // Same prefix, different tails must not collide trivially.
+        assert_ne!(hash_of(&b"abcdefghi".as_slice()), hash_of(&b"abcdefgh".as_slice()));
+        assert_ne!(hash_of(&b"a".as_slice()), hash_of(&b"".as_slice()));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(vec![i, i + 1], i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&vec![17, 18]], 17);
+    }
+
+    #[test]
+    fn distribution_smoke() {
+        // Not a statistical test, just a sanity check that low bits vary.
+        let mut buckets = [0usize; 16];
+        for i in 0..4096u64 {
+            buckets[(hash_of(&i) & 0xf) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 64, "suspiciously empty bucket: {buckets:?}");
+        }
+    }
+}

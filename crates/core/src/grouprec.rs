@@ -1,0 +1,454 @@
+//! The group recommendation engine.
+//!
+//! Given a formed group, this module computes the top-`k` item list `I_g^k`
+//! the group would be recommended under a [`Semantics`], together with the
+//! per-item group scores `sc(g, i^j)` — i.e. it implements the "existing
+//! group recommendation algorithm" the paper's group formation sits on top
+//! of.
+//!
+//! Real rating data is sparse, so a member may not have rated a candidate
+//! item; the [`MissingPolicy`] decides what score such a pair contributes.
+//! The paper side-steps this by predicting missing ratings during
+//! pre-processing (see `gf-recsys`); [`MissingPolicy::Min`] is the
+//! pessimistic default that keeps the engine exact and fast at the paper's
+//! 200,000-user scalability scale.
+
+use crate::aggregate::Aggregation;
+use crate::fxhash::FxHashMap;
+use crate::matrix::RatingMatrix;
+use crate::semantics::Semantics;
+
+/// Score assigned to a `(member, item)` pair the member did not rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MissingPolicy {
+    /// Unrated items score `r_min` — pessimistic, and the only policy under
+    /// which an item unknown to any member can never displace an item the
+    /// whole group knows. Default.
+    #[default]
+    Min,
+    /// Unrated items score the member's mean rating — a common
+    /// mean-imputation heuristic.
+    UserMean,
+    /// Unrated pairs are skipped: the group score of an item is computed
+    /// over the members who rated it only.
+    Skip,
+}
+
+/// Computes group top-`k` lists and satisfaction scores.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupRecommender<'a> {
+    matrix: &'a RatingMatrix,
+    semantics: Semantics,
+    policy: MissingPolicy,
+}
+
+/// Per-item accumulator filled in one pass over the members' ratings.
+#[derive(Clone, Copy)]
+struct Acc {
+    count: u32,
+    min: f64,
+    sum: f64,
+    /// Sum of the raters' mean ratings (only used under `UserMean`).
+    rater_mean_sum: f64,
+}
+
+impl Default for Acc {
+    fn default() -> Self {
+        Acc {
+            count: 0,
+            min: f64::INFINITY,
+            sum: 0.0,
+            rater_mean_sum: 0.0,
+        }
+    }
+}
+
+impl<'a> GroupRecommender<'a> {
+    /// A recommender with the default [`MissingPolicy::Min`].
+    pub fn new(matrix: &'a RatingMatrix, semantics: Semantics) -> Self {
+        GroupRecommender {
+            matrix,
+            semantics,
+            policy: MissingPolicy::Min,
+        }
+    }
+
+    /// Overrides the missing-rating policy.
+    pub fn with_policy(mut self, policy: MissingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The semantics this recommender scores under.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// The missing-rating policy in effect.
+    pub fn policy(&self) -> MissingPolicy {
+        self.policy
+    }
+
+    /// The group score `sc(g, item)` of a single item — the reference
+    /// implementation, O(|g| log d). Used as the oracle in tests and for
+    /// spot queries.
+    pub fn item_score(&self, members: &[u32], item: u32) -> f64 {
+        let mut acc = self.semantics.identity();
+        let mut any = false;
+        for &u in members {
+            let s = match self.matrix.get(u, item) {
+                Some(s) => Some(s),
+                None => match self.policy {
+                    MissingPolicy::Min => Some(self.matrix.scale().min()),
+                    MissingPolicy::UserMean => Some(self.matrix.user_mean(u)),
+                    MissingPolicy::Skip => None,
+                },
+            };
+            if let Some(s) = s {
+                acc = self.semantics.fold(acc, s);
+                any = true;
+            }
+        }
+        if !any {
+            return self.unrated_floor(members);
+        }
+        acc
+    }
+
+    /// The top-`k` list `I_g^k` for a group: `(item, group score)` pairs,
+    /// best first, ties broken by ascending item id.
+    ///
+    /// Runs in O(Σ_u d_u + C log C) where C is the size of the union of the
+    /// members' rated items (plus an O(|g| log d)-per-item fallback for the
+    /// rare `LM + UserMean` combination).
+    pub fn top_k(&self, members: &[u32], k: usize) -> Vec<(u32, f64)> {
+        if members.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let g = members.len();
+        let mut accs: FxHashMap<u32, Acc> = FxHashMap::default();
+        let need_means = matches!(self.policy, MissingPolicy::UserMean);
+        let mut mean_total = 0.0;
+        for &u in members {
+            let mean = if need_means { self.matrix.user_mean(u) } else { 0.0 };
+            mean_total += mean;
+            for (i, s) in self.matrix.user_ratings(u) {
+                let a = accs.entry(i).or_default();
+                a.count += 1;
+                a.min = a.min.min(s);
+                a.sum += s;
+                a.rater_mean_sum += mean;
+            }
+        }
+        // Members sorted by ascending mean, for the LM + UserMean fallback.
+        let mean_order: Vec<u32> = if need_means
+            && matches!(self.semantics, Semantics::LeastMisery)
+        {
+            let mut order: Vec<u32> = members.to_vec();
+            order.sort_by(|&a, &b| {
+                self.matrix
+                    .user_mean(a)
+                    .total_cmp(&self.matrix.user_mean(b))
+                    .then(a.cmp(&b))
+            });
+            order
+        } else {
+            Vec::new()
+        };
+
+        let r_min = self.matrix.scale().min();
+        let mut scored: Vec<(u32, f64)> = Vec::with_capacity(accs.len());
+        for (&item, acc) in &accs {
+            let score = match (self.semantics, self.policy) {
+                (Semantics::LeastMisery, MissingPolicy::Min) => {
+                    if acc.count as usize == g {
+                        acc.min
+                    } else {
+                        r_min
+                    }
+                }
+                (Semantics::LeastMisery, MissingPolicy::Skip) => acc.min,
+                (Semantics::LeastMisery, MissingPolicy::UserMean) => {
+                    if acc.count as usize == g {
+                        acc.min
+                    } else {
+                        acc.min.min(self.first_missing_mean(&mean_order, item))
+                    }
+                }
+                (Semantics::AggregateVoting, MissingPolicy::Min) => {
+                    acc.sum + (g - acc.count as usize) as f64 * r_min
+                }
+                (Semantics::AggregateVoting, MissingPolicy::UserMean) => {
+                    acc.sum + (mean_total - acc.rater_mean_sum)
+                }
+                (Semantics::AggregateVoting, MissingPolicy::Skip) => acc.sum,
+            };
+            scored.push((item, score));
+        }
+        scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+
+        // Items no member rated score the policy floor. They belong in the
+        // list whenever fewer than k union items exist, when they tie the
+        // k-th candidate with a smaller id, or (for exotic scales) when the
+        // floor exceeds a candidate score — so merge the candidate stream
+        // with an ascending-id floor stream unless the k-th candidate
+        // strictly beats the floor.
+        let floor = self.unrated_floor(members);
+        let merge_needed = (accs.len() as u32) < self.matrix.n_items()
+            && (scored.len() < k || scored.last().is_none_or(|&(_, s)| s <= floor));
+        if merge_needed {
+            let mut result: Vec<(u32, f64)> = Vec::with_capacity(k);
+            let mut cand = scored.into_iter().peekable();
+            let mut next_floor = 0u32;
+            while result.len() < k {
+                // Advance to the next item id with no ratings from the group.
+                while next_floor < self.matrix.n_items() && accs.contains_key(&next_floor) {
+                    next_floor += 1;
+                }
+                let take_candidate = match cand.peek() {
+                    Some(&(ci, cs)) => {
+                        if next_floor >= self.matrix.n_items() {
+                            true
+                        } else {
+                            // (score desc, id asc) ordering.
+                            cs > floor || (cs == floor && ci < next_floor)
+                        }
+                    }
+                    None => false,
+                };
+                if take_candidate {
+                    result.push(cand.next().unwrap());
+                } else if next_floor < self.matrix.n_items() {
+                    result.push((next_floor, floor));
+                    next_floor += 1;
+                } else {
+                    break; // fewer than k items exist in total
+                }
+            }
+            return result;
+        }
+        scored
+    }
+
+    /// The group's satisfaction `gs(I_g^k)` with its own top-`k` list.
+    pub fn satisfaction(&self, members: &[u32], k: usize, agg: Aggregation) -> f64 {
+        let top = self.top_k(members, k);
+        let scores: Vec<f64> = top.iter().map(|&(_, s)| s).collect();
+        agg.apply(&scores)
+    }
+
+    /// Score of an item no member rated, under the active policy.
+    fn unrated_floor(&self, members: &[u32]) -> f64 {
+        let r_min = self.matrix.scale().min();
+        match (self.semantics, self.policy) {
+            (Semantics::LeastMisery, MissingPolicy::Min | MissingPolicy::Skip) => r_min,
+            (Semantics::LeastMisery, MissingPolicy::UserMean) => members
+                .iter()
+                .map(|&u| self.matrix.user_mean(u))
+                .fold(f64::INFINITY, f64::min),
+            (Semantics::AggregateVoting, MissingPolicy::Skip) => 0.0,
+            (Semantics::AggregateVoting, MissingPolicy::Min) => {
+                members.len() as f64 * r_min
+            }
+            (Semantics::AggregateVoting, MissingPolicy::UserMean) => {
+                members.iter().map(|&u| self.matrix.user_mean(u)).sum()
+            }
+        }
+    }
+
+    /// Smallest mean among members who did *not* rate `item`. `mean_order`
+    /// is sorted by ascending mean, so the first non-rater wins; most users
+    /// miss most items, so this usually terminates on the first probe.
+    fn first_missing_mean(&self, mean_order: &[u32], item: u32) -> f64 {
+        for &u in mean_order {
+            if self.matrix.get(u, item).is_none() {
+                return self.matrix.user_mean(u);
+            }
+        }
+        f64::INFINITY // unreachable when count < g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::RatingScale;
+
+    fn dense(rows: &[&[f64]]) -> RatingMatrix {
+        RatingMatrix::from_dense(rows, RatingScale::one_to_five()).unwrap()
+    }
+
+    #[test]
+    fn example3_lm_top2() {
+        // Example 3: u1 = (5,4,1), u2 = (1,4,5). Under LM the group scores
+        // are i1 -> 1, i2 -> 4, i3 -> 1, so the top-2 list is (i2; i1) with
+        // the tie at 1 broken by item id, and the bottom score is 1.
+        let m = dense(&[&[5.0, 4.0, 1.0], &[1.0, 4.0, 5.0]]);
+        let rec = GroupRecommender::new(&m, Semantics::LeastMisery);
+        let top = rec.top_k(&[0, 1], 2);
+        assert_eq!(top, vec![(1, 4.0), (0, 1.0)]);
+        assert_eq!(rec.satisfaction(&[0, 1], 2, Aggregation::Min), 1.0);
+    }
+
+    #[test]
+    fn example4_av_group_scores() {
+        // Example 4: u1 = (5,4), u2 = u3 = (4,5), u4 = (3,2), k = 2.
+        let m = dense(&[&[5.0, 4.0], &[4.0, 5.0], &[4.0, 5.0], &[3.0, 2.0]]);
+        let rec = GroupRecommender::new(&m, Semantics::AggregateVoting);
+        // Group {u1,u2,u3}: i1 -> 13, i2 -> 14, so top-2 = (i2; i1).
+        let top = rec.top_k(&[0, 1, 2], 2);
+        assert_eq!(top, vec![(1, 14.0), (0, 13.0)]);
+        // Min aggregation scores the bottom item: 13; singleton {u4}: 2.
+        assert_eq!(rec.satisfaction(&[0, 1, 2], 2, Aggregation::Min), 13.0);
+        assert_eq!(rec.satisfaction(&[3], 2, Aggregation::Min), 2.0);
+    }
+
+    #[test]
+    fn item_score_oracle_matches_top_k() {
+        let m = dense(&[
+            &[1.0, 4.0, 3.0],
+            &[2.0, 3.0, 5.0],
+            &[2.0, 5.0, 1.0],
+        ]);
+        for sem in Semantics::all() {
+            let rec = GroupRecommender::new(&m, sem);
+            let top = rec.top_k(&[0, 1, 2], 3);
+            for (item, score) in top {
+                assert_eq!(rec.item_score(&[0, 1, 2], item), score, "{sem} {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_group_or_zero_k() {
+        let m = dense(&[&[1.0, 2.0]]);
+        let rec = GroupRecommender::new(&m, Semantics::LeastMisery);
+        assert!(rec.top_k(&[], 2).is_empty());
+        assert!(rec.top_k(&[0], 0).is_empty());
+        assert_eq!(rec.satisfaction(&[], 2, Aggregation::Sum), 0.0);
+    }
+
+    fn sparse() -> RatingMatrix {
+        // u0 rates i0=5, i1=3; u1 rates i1=4, i2=2; m = 4 items.
+        RatingMatrix::from_triples(
+            2,
+            4,
+            vec![(0, 0, 5.0), (0, 1, 3.0), (1, 1, 4.0), (1, 2, 2.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn missing_policy_min_lm() {
+        let m = sparse();
+        let rec = GroupRecommender::new(&m, Semantics::LeastMisery);
+        // Only i1 is rated by both: LM score min(3,4) = 3. Everything else
+        // floors at r_min = 1 (ties broken by item id).
+        let top = rec.top_k(&[0, 1], 3);
+        assert_eq!(top, vec![(1, 3.0), (0, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn missing_policy_min_av() {
+        let m = sparse();
+        let rec = GroupRecommender::new(&m, Semantics::AggregateVoting);
+        // i0: 5 + r_min = 6; i1: 3+4 = 7; i2: 2 + 1 = 3; i3 unrated: 2.
+        let top = rec.top_k(&[0, 1], 4);
+        assert_eq!(top, vec![(1, 7.0), (0, 6.0), (2, 3.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn missing_policy_skip() {
+        let m = sparse();
+        let lm = GroupRecommender::new(&m, Semantics::LeastMisery)
+            .with_policy(MissingPolicy::Skip);
+        // Under Skip, i0 keeps u0's 5 even though u1 never rated it.
+        let top = lm.top_k(&[0, 1], 2);
+        assert_eq!(top, vec![(0, 5.0), (1, 3.0)]);
+        let av = GroupRecommender::new(&m, Semantics::AggregateVoting)
+            .with_policy(MissingPolicy::Skip);
+        let top = av.top_k(&[0, 1], 4);
+        assert_eq!(top, vec![(1, 7.0), (0, 5.0), (2, 2.0), (3, 0.0)]);
+    }
+
+    #[test]
+    fn missing_policy_user_mean() {
+        let m = sparse();
+        // Means: u0 = 4.0, u1 = 3.0.
+        let av = GroupRecommender::new(&m, Semantics::AggregateVoting)
+            .with_policy(MissingPolicy::UserMean);
+        // i0: 5 + mean(u1)=3 -> 8; i1: 7; i2: mean(u0)=4 + 2 -> 6; i3: 7.
+        let top = av.top_k(&[0, 1], 4);
+        assert_eq!(top, vec![(0, 8.0), (1, 7.0), (3, 7.0), (2, 6.0)]);
+        let lm = GroupRecommender::new(&m, Semantics::LeastMisery)
+            .with_policy(MissingPolicy::UserMean);
+        // i0: min(5, mean(u1)=3) = 3; i1: 3; i2: min(mean(u0)=4, 2) = 2;
+        // i3: min(4, 3) = 3.
+        let top = lm.top_k(&[0, 1], 4);
+        assert_eq!(top, vec![(0, 3.0), (1, 3.0), (3, 3.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn user_mean_oracle_agreement_on_random_small() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..5u32);
+            let m = rng.gen_range(2..6u32);
+            let mut triples = Vec::new();
+            for u in 0..n {
+                for i in 0..m {
+                    if rng.gen_bool(0.6) {
+                        triples.push((u, i, rng.gen_range(1..=5) as f64));
+                    }
+                }
+            }
+            if triples.is_empty() {
+                continue;
+            }
+            let mat =
+                RatingMatrix::from_triples(n, m, triples, RatingScale::one_to_five()).unwrap();
+            let members: Vec<u32> = (0..n).collect();
+            for sem in Semantics::all() {
+                for policy in [MissingPolicy::Min, MissingPolicy::UserMean, MissingPolicy::Skip] {
+                    let rec = GroupRecommender::new(&mat, sem).with_policy(policy);
+                    let top = rec.top_k(&members, m as usize);
+                    for &(item, score) in &top {
+                        let oracle = rec.item_score(&members, item);
+                        assert!(
+                            (score - oracle).abs() < 1e-9,
+                            "{sem:?} {policy:?} item {item}: {score} vs {oracle}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_is_deterministic_and_ordered() {
+        // A single user who rated one item; ask for more than they rated.
+        let m = RatingMatrix::from_triples(
+            1,
+            5,
+            vec![(0, 3, 4.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let rec = GroupRecommender::new(&m, Semantics::LeastMisery);
+        let top = rec.top_k(&[0], 4);
+        assert_eq!(top, vec![(3, 4.0), (0, 1.0), (1, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn k_larger_than_m_returns_all_items() {
+        let m = dense(&[&[1.0, 2.0]]);
+        let rec = GroupRecommender::new(&m, Semantics::LeastMisery);
+        let top = rec.top_k(&[0], 10);
+        assert_eq!(top.len(), 2);
+    }
+}

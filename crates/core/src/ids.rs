@@ -1,0 +1,83 @@
+//! Strongly-typed user and item identifiers.
+//!
+//! Internally users and items are dense `u32` indices into the
+//! [`RatingMatrix`](crate::RatingMatrix); the newtypes exist so that a user
+//! index can never be accidentally used where an item index is expected.
+
+use std::fmt;
+
+/// A dense user index in `0..n_users`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserId(pub u32);
+
+/// A dense item index in `0..n_items`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ItemId(pub u32);
+
+impl UserId {
+    /// The raw index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// The raw index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for UserId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        UserId(v)
+    }
+}
+
+impl From<u32> for ItemId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        // The paper writes u1..u6 and i1..i3; internal indices are 0-based.
+        assert_eq!(UserId(0).to_string(), "u1");
+        assert_eq!(ItemId(2).to_string(), "i3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(UserId(1) < UserId(2));
+        assert!(ItemId(0) < ItemId(7));
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(UserId::from(5).index(), 5);
+        assert_eq!(ItemId::from(9).index(), 9);
+    }
+}

@@ -1,0 +1,89 @@
+//! # gf-core — recommendation-aware group formation
+//!
+//! Core data model and algorithms reproducing *"From Group Recommendations to
+//! Group Formation"* (Roy, Lakshmanan, Liu — SIGMOD 2015, arXiv:1503.03753).
+//!
+//! Given `n` users with explicit ratings over `m` items, a group
+//! recommendation semantics ([`Semantics::LeastMisery`] or
+//! [`Semantics::AggregateVoting`]), an aggregation function over the
+//! recommended top-`k` list ([`Aggregation`]) and a budget of `ell` groups,
+//! the *group formation* problem asks for a partition of the users into at
+//! most `ell` disjoint groups maximizing the total satisfaction of the groups
+//! with their own recommended top-`k` item lists. The problem is NP-hard
+//! under both semantics (paper, Theorem 1).
+//!
+//! This crate provides:
+//!
+//! * the sparse [`RatingMatrix`] data model and per-user [`PrefIndex`],
+//! * the group recommendation engine ([`GroupRecommender`]) that computes a
+//!   group's top-`k` list and satisfaction under either semantics,
+//! * the paper's greedy algorithms ([`GreedyFormer`]): `GRD-LM-MIN`,
+//!   `GRD-LM-MAX`, `GRD-LM-SUM`, `GRD-AV-MIN`, `GRD-AV-MAX`, `GRD-AV-SUM`,
+//! * evaluation metrics (objective value, average group satisfaction, NDCG),
+//! * the Section-6 extensions (weighted sum aggregation, NDCG-weighted
+//!   user-level satisfaction).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gf_core::{
+//!     Aggregation, FormationConfig, GreedyFormer, GroupFormer, PrefIndex,
+//!     RatingMatrix, RatingScale, Semantics,
+//! };
+//!
+//! // Example 1 from the paper: 6 users, 3 items, ratings on a 1..5 scale.
+//! let matrix = RatingMatrix::from_dense(
+//!     &[
+//!         // i1, i2, i3  (rows = users)
+//!         &[1.0, 4.0, 3.0][..],
+//!         &[2.0, 3.0, 5.0],
+//!         &[2.0, 5.0, 1.0],
+//!         &[2.0, 5.0, 1.0],
+//!         &[3.0, 1.0, 1.0],
+//!         &[1.0, 2.0, 5.0],
+//!     ],
+//!     RatingScale::one_to_five(),
+//! )
+//! .unwrap();
+//! let prefs = PrefIndex::build(&matrix);
+//! let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 3);
+//! let result = GreedyFormer::new().form(&matrix, &prefs, &cfg).unwrap();
+//! // The paper reports an objective value of 11 for GRD-LM-MIN with k = 1.
+//! assert_eq!(result.objective.round() as i64, 11);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod alg;
+pub mod error;
+pub mod fxhash;
+pub mod grouprec;
+pub mod grouping;
+pub mod ids;
+pub mod matrix;
+pub mod metrics;
+pub mod ndcg;
+pub mod prefs;
+pub mod scale;
+pub mod semantics;
+pub mod userweight;
+pub mod weights;
+
+pub use aggregate::Aggregation;
+pub use alg::{FormationConfig, FormationResult, GreedyFormer, GroupFormer};
+pub use error::{GfError, Result};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use grouprec::{GroupRecommender, MissingPolicy};
+pub use grouping::{Group, Grouping};
+pub use ids::{ItemId, UserId};
+pub use matrix::{MatrixBuilder, RatingMatrix};
+pub use metrics::{avg_group_satisfaction, objective_value, recompute_objective};
+pub use ndcg::{dcg, ndcg, user_satisfaction};
+pub use prefs::PrefIndex;
+pub use scale::RatingScale;
+pub use semantics::Semantics;
+pub use userweight::WeightedRecommender;
+pub use weights::WeightScheme;

@@ -1,0 +1,556 @@
+//! Sparse user–item rating matrix.
+//!
+//! Ratings are stored in CSR (compressed sparse row) layout: one row per
+//! user, columns sorted by item id. This supports the two access patterns
+//! the algorithms need — iterate a user's ratings in item order (for group
+//! top-k merges) and O(log d) point lookup — while keeping memory at
+//! O(#ratings), which is what makes the paper's 200,000-user scalability
+//! experiments feasible.
+
+use crate::error::{GfError, Result};
+use crate::scale::RatingScale;
+
+/// A sparse, immutable user–item rating matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatingMatrix {
+    n_users: u32,
+    n_items: u32,
+    scale: RatingScale,
+    /// Row offsets; `offsets[u]..offsets[u+1]` indexes `items`/`scores`.
+    offsets: Vec<usize>,
+    /// Item ids per row, strictly increasing within a row.
+    items: Vec<u32>,
+    /// Scores aligned with `items`.
+    scores: Vec<f64>,
+}
+
+impl RatingMatrix {
+    /// Builds a matrix from `(user, item, score)` triples.
+    ///
+    /// Triples may arrive in any order; duplicates are rejected. All scores
+    /// must be finite and within `scale`.
+    pub fn from_triples(
+        n_users: u32,
+        n_items: u32,
+        triples: impl IntoIterator<Item = (u32, u32, f64)>,
+        scale: RatingScale,
+    ) -> Result<Self> {
+        let mut b = MatrixBuilder::new(n_users, n_items, scale);
+        for (u, i, s) in triples {
+            b.push(u, i, s)?;
+        }
+        b.build()
+    }
+
+    /// Builds a dense matrix: `rows[u][i]` is user `u`'s rating of item `i`.
+    ///
+    /// Every row must have the same length. Handy for the paper's small
+    /// worked examples (Tables 1, 2 and 5).
+    pub fn from_dense(rows: &[&[f64]], scale: RatingScale) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(GfError::EmptyMatrix);
+        }
+        let m = rows[0].len();
+        let mut b = MatrixBuilder::new(rows.len() as u32, m as u32, scale);
+        for (u, row) in rows.iter().enumerate() {
+            if row.len() != m {
+                return Err(GfError::InvalidGrouping(format!(
+                    "dense row {u} has length {} but expected {m}",
+                    row.len()
+                )));
+            }
+            for (i, &s) in row.iter().enumerate() {
+                b.push(u as u32, i as u32, s)?;
+            }
+        }
+        b.build()
+    }
+
+    /// Number of users `n`.
+    #[inline]
+    pub fn n_users(&self) -> u32 {
+        self.n_users
+    }
+
+    /// Number of items `m`.
+    #[inline]
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// The rating scale the matrix was validated against.
+    #[inline]
+    pub fn scale(&self) -> RatingScale {
+        self.scale
+    }
+
+    /// Total number of stored ratings.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Fraction of the full `n x m` matrix that is rated.
+    pub fn density(&self) -> f64 {
+        if self.n_users == 0 || self.n_items == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.n_users as f64 * self.n_items as f64)
+    }
+
+    /// Number of ratings by user `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        let u = u as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// The items rated by `u`, in increasing item order.
+    #[inline]
+    pub fn user_items(&self, u: u32) -> &[u32] {
+        let u = u as usize;
+        &self.items[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// The scores of user `u`, aligned with [`RatingMatrix::user_items`].
+    #[inline]
+    pub fn user_scores(&self, u: u32) -> &[f64] {
+        let u = u as usize;
+        &self.scores[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Iterates `(item, score)` pairs of user `u` in increasing item order.
+    pub fn user_ratings(&self, u: u32) -> impl ExactSizeIterator<Item = (u32, f64)> + '_ {
+        self.user_items(u)
+            .iter()
+            .copied()
+            .zip(self.user_scores(u).iter().copied())
+    }
+
+    /// User `u`'s rating of item `i`, if present. O(log d) binary search.
+    pub fn get(&self, u: u32, i: u32) -> Option<f64> {
+        let items = self.user_items(u);
+        items
+            .binary_search(&i)
+            .ok()
+            .map(|pos| self.user_scores(u)[pos])
+    }
+
+    /// Mean of user `u`'s ratings, or the scale midpoint if `u` rated
+    /// nothing (a neutral prior for cold users).
+    pub fn user_mean(&self, u: u32) -> f64 {
+        let scores = self.user_scores(u);
+        if scores.is_empty() {
+            return (self.scale.min() + self.scale.max()) / 2.0;
+        }
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+
+    /// Mean over all stored ratings, or the scale midpoint if empty.
+    pub fn global_mean(&self) -> f64 {
+        if self.scores.is_empty() {
+            return (self.scale.min() + self.scale.max()) / 2.0;
+        }
+        self.scores.iter().sum::<f64>() / self.scores.len() as f64
+    }
+
+    /// Builds the item-major transpose: for each item, the `(user, score)`
+    /// pairs in increasing user order. Used by collaborative filtering and
+    /// by per-item statistics.
+    pub fn transpose(&self) -> ItemMajor {
+        let m = self.n_items as usize;
+        let mut counts = vec![0usize; m + 1];
+        for &i in &self.items {
+            counts[i as usize + 1] += 1;
+        }
+        for i in 0..m {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut users = vec![0u32; self.items.len()];
+        let mut scores = vec![0f64; self.items.len()];
+        for u in 0..self.n_users {
+            for (i, s) in self.user_ratings(u) {
+                let slot = cursor[i as usize];
+                users[slot] = u;
+                scores[slot] = s;
+                cursor[i as usize] += 1;
+            }
+        }
+        ItemMajor {
+            n_items: self.n_items,
+            offsets,
+            users,
+            scores,
+        }
+    }
+
+    /// Restricts the matrix to `users x items` sub-populations, re-indexing
+    /// both densely in the order given. Duplicate selections are rejected.
+    ///
+    /// This is how the experiments "randomly select 200 users and 100 items"
+    /// from the full datasets.
+    pub fn submatrix(&self, users: &[u32], items: &[u32]) -> Result<RatingMatrix> {
+        let mut item_map = vec![u32::MAX; self.n_items as usize];
+        for (new, &old) in items.iter().enumerate() {
+            if old >= self.n_items {
+                return Err(GfError::ItemOutOfRange {
+                    item: old,
+                    n_items: self.n_items,
+                });
+            }
+            if item_map[old as usize] != u32::MAX {
+                return Err(GfError::InvalidGrouping(format!(
+                    "item {old} selected twice in submatrix"
+                )));
+            }
+            item_map[old as usize] = new as u32;
+        }
+        let mut b = MatrixBuilder::new(users.len() as u32, items.len() as u32, self.scale);
+        let mut seen = vec![false; self.n_users as usize];
+        for (new_u, &old_u) in users.iter().enumerate() {
+            if old_u >= self.n_users {
+                return Err(GfError::UserOutOfRange {
+                    user: old_u,
+                    n_users: self.n_users,
+                });
+            }
+            if seen[old_u as usize] {
+                return Err(GfError::InvalidGrouping(format!(
+                    "user {old_u} selected twice in submatrix"
+                )));
+            }
+            seen[old_u as usize] = true;
+            for (i, s) in self.user_ratings(old_u) {
+                let mapped = item_map[i as usize];
+                if mapped != u32::MAX {
+                    b.push(new_u as u32, mapped, s)?;
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Item-major (transposed) view of a [`RatingMatrix`].
+#[derive(Debug, Clone)]
+pub struct ItemMajor {
+    n_items: u32,
+    offsets: Vec<usize>,
+    users: Vec<u32>,
+    scores: Vec<f64>,
+}
+
+impl ItemMajor {
+    /// Number of items.
+    #[inline]
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// Number of users who rated item `i`.
+    #[inline]
+    pub fn degree(&self, i: u32) -> usize {
+        let i = i as usize;
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// The users who rated item `i`, in increasing user order.
+    #[inline]
+    pub fn item_users(&self, i: u32) -> &[u32] {
+        let i = i as usize;
+        &self.users[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Scores aligned with [`ItemMajor::item_users`].
+    #[inline]
+    pub fn item_scores(&self, i: u32) -> &[f64] {
+        let i = i as usize;
+        &self.scores[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Mean rating of item `i`, if anyone rated it.
+    pub fn item_mean(&self, i: u32) -> Option<f64> {
+        let s = self.item_scores(i);
+        if s.is_empty() {
+            None
+        } else {
+            Some(s.iter().sum::<f64>() / s.len() as f64)
+        }
+    }
+}
+
+/// Incremental builder for [`RatingMatrix`].
+///
+/// Accepts triples in any order; `build` sorts rows and verifies there are
+/// no duplicate `(user, item)` pairs.
+#[derive(Debug, Clone)]
+pub struct MatrixBuilder {
+    n_users: u32,
+    n_items: u32,
+    scale: RatingScale,
+    triples: Vec<(u32, u32, f64)>,
+}
+
+impl MatrixBuilder {
+    /// Creates a builder for an `n_users x n_items` matrix.
+    pub fn new(n_users: u32, n_items: u32, scale: RatingScale) -> Self {
+        MatrixBuilder {
+            n_users,
+            n_items,
+            scale,
+            triples: Vec::new(),
+        }
+    }
+
+    /// Reserves capacity for `additional` more ratings.
+    pub fn reserve(&mut self, additional: usize) {
+        self.triples.reserve(additional);
+    }
+
+    /// Adds one rating, validating the indices and the score eagerly.
+    pub fn push(&mut self, user: u32, item: u32, score: f64) -> Result<()> {
+        if user >= self.n_users {
+            return Err(GfError::UserOutOfRange {
+                user,
+                n_users: self.n_users,
+            });
+        }
+        if item >= self.n_items {
+            return Err(GfError::ItemOutOfRange {
+                item,
+                n_items: self.n_items,
+            });
+        }
+        if !score.is_finite() {
+            return Err(GfError::NonFiniteScore { user, item });
+        }
+        if !self.scale.contains(score) {
+            return Err(GfError::ScaleViolation { user, item, score });
+        }
+        self.triples.push((user, item, score));
+        Ok(())
+    }
+
+    /// Number of ratings pushed so far.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether no ratings have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Finalizes into a [`RatingMatrix`], sorting rows and rejecting
+    /// duplicate `(user, item)` pairs.
+    pub fn build(mut self) -> Result<RatingMatrix> {
+        if self.n_users == 0 || self.n_items == 0 {
+            return Err(GfError::EmptyMatrix);
+        }
+        // Counting sort by user keeps this O(nnz) instead of O(nnz log nnz).
+        let n = self.n_users as usize;
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _, _) in &self.triples {
+            counts[u as usize + 1] += 1;
+        }
+        for u in 0..n {
+            counts[u + 1] += counts[u];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let nnz = self.triples.len();
+        let mut items = vec![0u32; nnz];
+        let mut scores = vec![0f64; nnz];
+        for &(u, i, s) in &self.triples {
+            let slot = cursor[u as usize];
+            items[slot] = i;
+            scores[slot] = s;
+            cursor[u as usize] += 1;
+        }
+        self.triples.clear();
+        self.triples.shrink_to_fit();
+        // Sort each row by item id and detect duplicates.
+        for u in 0..n {
+            let (lo, hi) = (offsets[u], offsets[u + 1]);
+            if hi - lo <= 1 {
+                continue;
+            }
+            let mut row: Vec<(u32, f64)> = items[lo..hi]
+                .iter()
+                .copied()
+                .zip(scores[lo..hi].iter().copied())
+                .collect();
+            row.sort_unstable_by_key(|&(i, _)| i);
+            for w in row.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(GfError::DuplicateRating {
+                        user: u as u32,
+                        item: w[0].0,
+                    });
+                }
+            }
+            for (slot, (i, s)) in row.into_iter().enumerate() {
+                items[lo + slot] = i;
+                scores[lo + slot] = s;
+            }
+        }
+        Ok(RatingMatrix {
+            n_users: self.n_users,
+            n_items: self.n_items,
+            scale: self.scale,
+            offsets,
+            items,
+            scores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example1() -> RatingMatrix {
+        // Table 1 of the paper (rows here are users, columns items).
+        RatingMatrix::from_dense(
+            &[
+                &[1.0, 4.0, 3.0][..],
+                &[2.0, 3.0, 5.0],
+                &[2.0, 5.0, 1.0],
+                &[2.0, 5.0, 1.0],
+                &[3.0, 1.0, 1.0],
+                &[1.0, 2.0, 5.0],
+            ],
+            RatingScale::one_to_five(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = example1();
+        assert_eq!(m.n_users(), 6);
+        assert_eq!(m.n_items(), 3);
+        assert_eq!(m.nnz(), 18);
+        assert_eq!(m.get(0, 1), Some(4.0));
+        assert_eq!(m.get(4, 0), Some(3.0));
+        assert_eq!(m.density(), 1.0);
+    }
+
+    #[test]
+    fn triples_any_order() {
+        let m = RatingMatrix::from_triples(
+            2,
+            3,
+            vec![(1, 2, 5.0), (0, 0, 1.0), (1, 0, 2.0), (0, 2, 3.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        assert_eq!(m.user_items(0), &[0, 2]);
+        assert_eq!(m.user_scores(1), &[2.0, 5.0]);
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.degree(0), 2);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let err = RatingMatrix::from_triples(
+            2,
+            2,
+            vec![(0, 1, 3.0), (0, 1, 4.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap_err();
+        assert_eq!(err, GfError::DuplicateRating { user: 0, item: 1 });
+    }
+
+    #[test]
+    fn out_of_range_and_scale_rejected() {
+        let mut b = MatrixBuilder::new(2, 2, RatingScale::one_to_five());
+        assert!(matches!(b.push(2, 0, 3.0), Err(GfError::UserOutOfRange { .. })));
+        assert!(matches!(b.push(0, 5, 3.0), Err(GfError::ItemOutOfRange { .. })));
+        assert!(matches!(b.push(0, 0, 9.0), Err(GfError::ScaleViolation { .. })));
+        assert!(matches!(b.push(0, 0, f64::NAN), Err(GfError::NonFiniteScore { .. })));
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        assert_eq!(
+            MatrixBuilder::new(0, 5, RatingScale::one_to_five())
+                .build()
+                .unwrap_err(),
+            GfError::EmptyMatrix
+        );
+        assert!(RatingMatrix::from_dense(&[], RatingScale::one_to_five()).is_err());
+    }
+
+    #[test]
+    fn user_with_no_ratings_is_fine() {
+        let m = RatingMatrix::from_triples(3, 2, vec![(0, 0, 2.0)], RatingScale::one_to_five())
+            .unwrap();
+        assert_eq!(m.degree(1), 0);
+        assert_eq!(m.user_items(2), &[] as &[u32]);
+        // Cold user mean falls back to the scale midpoint.
+        assert_eq!(m.user_mean(1), 3.0);
+    }
+
+    #[test]
+    fn means() {
+        let m = example1();
+        assert!((m.user_mean(0) - (1.0 + 4.0 + 3.0) / 3.0).abs() < 1e-12);
+        let total: f64 = (0..6).map(|u| m.user_scores(u).iter().sum::<f64>()).sum();
+        assert!((m.global_mean() - total / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_matches_row_view() {
+        let m = example1();
+        let t = m.transpose();
+        assert_eq!(t.n_items(), 3);
+        assert_eq!(t.degree(1), 6);
+        assert_eq!(t.item_users(0), &[0, 1, 2, 3, 4, 5]);
+        // Column i2 of Table 1: 4 3 5 5 1 2.
+        assert_eq!(t.item_scores(1), &[4.0, 3.0, 5.0, 5.0, 1.0, 2.0]);
+        assert_eq!(t.item_mean(1), Some(20.0 / 6.0));
+    }
+
+    #[test]
+    fn transpose_on_sparse() {
+        let m = RatingMatrix::from_triples(
+            3,
+            3,
+            vec![(0, 1, 2.0), (2, 1, 4.0), (1, 0, 5.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let t = m.transpose();
+        assert_eq!(t.item_users(1), &[0, 2]);
+        assert_eq!(t.item_scores(1), &[2.0, 4.0]);
+        assert_eq!(t.degree(2), 0);
+        assert_eq!(t.item_mean(2), None);
+    }
+
+    #[test]
+    fn submatrix_reindexes() {
+        let m = example1();
+        // Keep users u2, u6 (indices 1, 5) and items i3, i1 (indices 2, 0).
+        let s = m.submatrix(&[1, 5], &[2, 0]).unwrap();
+        assert_eq!(s.n_users(), 2);
+        assert_eq!(s.n_items(), 2);
+        // New user 0 = old u2: i3 -> new item 0 (5.0), i1 -> new item 1 (2.0).
+        assert_eq!(s.get(0, 0), Some(5.0));
+        assert_eq!(s.get(0, 1), Some(2.0));
+        assert_eq!(s.get(1, 0), Some(5.0));
+        assert_eq!(s.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn submatrix_rejects_bad_selections() {
+        let m = example1();
+        assert!(m.submatrix(&[0, 0], &[0]).is_err());
+        assert!(m.submatrix(&[0], &[0, 0]).is_err());
+        assert!(m.submatrix(&[99], &[0]).is_err());
+        assert!(m.submatrix(&[0], &[99]).is_err());
+    }
+}

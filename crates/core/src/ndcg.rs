@@ -1,0 +1,159 @@
+//! Discounted cumulative gain and NDCG-based user satisfaction.
+//!
+//! Section 6 of the paper ("weights at the user level") proposes measuring
+//! how satisfied an *individual* is with a recommended list via NDCG over a
+//! graded relevance scale, then feeding those per-user satisfactions into
+//! any group semantics. The user-study simulator (`gf-eval`) also uses this
+//! to model a worker's 1–5 rating of their assigned group.
+
+use crate::matrix::RatingMatrix;
+use crate::prefs::PrefIndex;
+
+/// Discounted cumulative gain of a list of relevance scores (position 1
+/// first): `Σ_p rel_p / log2(p + 1)`.
+pub fn dcg(relevances: &[f64]) -> f64 {
+    relevances
+        .iter()
+        .enumerate()
+        .map(|(idx, &rel)| rel / ((idx as f64 + 2.0).log2()))
+        .sum()
+}
+
+/// Normalized DCG: `dcg(actual) / dcg(ideal)`, where `ideal` is the same
+/// multiset of any available relevances sorted descending. Returns 1.0 when
+/// the ideal DCG is 0 (nothing to gain — vacuously satisfied).
+pub fn ndcg(actual: &[f64], ideal: &[f64]) -> f64 {
+    let denom = dcg(ideal);
+    if denom <= 0.0 {
+        return 1.0;
+    }
+    (dcg(actual) / denom).clamp(0.0, 1.0)
+}
+
+/// How satisfied user `u` is with a recommended item list, in `[0, 1]`:
+/// the DCG of `u`'s own ratings of the recommended items (unrated items
+/// gain `r_min`) over the DCG of `u`'s personal ideal top-`k`.
+///
+/// Equals 1 exactly when the recommended list matches the user's personal
+/// top-`k` by score profile — the paper's observation that all users in the
+/// first `ℓ-1` greedy groups are "fully satisfied".
+pub fn user_satisfaction(
+    matrix: &RatingMatrix,
+    prefs: &PrefIndex,
+    u: u32,
+    recommended: &[u32],
+    k: usize,
+) -> f64 {
+    let take = k.min(recommended.len());
+    let r_min = matrix.scale().min();
+    let actual: Vec<f64> = recommended[..take]
+        .iter()
+        .map(|&i| matrix.get(u, i).unwrap_or(r_min))
+        .collect();
+    let (_, ideal_scores) = prefs.top_k(u, k);
+    let mut ideal: Vec<f64> = ideal_scores.to_vec();
+    // If the user rated fewer than k items, the ideal list pads with r_min,
+    // mirroring how recommendations treat unrated items.
+    while ideal.len() < take {
+        ideal.push(r_min);
+    }
+    ndcg(&actual, &ideal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::RatingScale;
+
+    #[test]
+    fn dcg_discounts_by_position() {
+        // DCG((3, 2)) = 3/log2(2) + 2/log2(3) = 3 + 2/1.585 = 4.2618…
+        let v = dcg(&[3.0, 2.0]);
+        assert!((v - (3.0 + 2.0 / 3f64.log2())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dcg_of_empty_is_zero() {
+        assert_eq!(dcg(&[]), 0.0);
+    }
+
+    #[test]
+    fn ndcg_is_one_for_ideal_order() {
+        assert!((ndcg(&[5.0, 3.0, 1.0], &[5.0, 3.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalizes_wrong_order() {
+        let v = ndcg(&[1.0, 3.0, 5.0], &[5.0, 3.0, 1.0]);
+        assert!(v < 1.0);
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn ndcg_handles_zero_ideal() {
+        assert_eq!(ndcg(&[0.0], &[0.0]), 1.0);
+    }
+
+    fn example1() -> (RatingMatrix, PrefIndex) {
+        let m = RatingMatrix::from_dense(
+            &[
+                &[1.0, 4.0, 3.0][..],
+                &[2.0, 3.0, 5.0],
+                &[2.0, 5.0, 1.0],
+            ],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let p = PrefIndex::build(&m);
+        (m, p)
+    }
+
+    #[test]
+    fn satisfied_user_scores_one() {
+        let (m, p) = example1();
+        // u1's personal top-2 is (i2, i3).
+        assert!((user_satisfaction(&m, &p, 0, &[1, 2], 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_scores_count_as_fully_satisfied() {
+        let (m, p) = example1();
+        // u3 rates i1 = 2, i3 = 1: recommending (i1, i3) instead of the
+        // ideal (i2, i1) is strictly worse; recommending (i2, i1) is ideal.
+        let worse = user_satisfaction(&m, &p, 2, &[0, 2], 2);
+        let ideal = user_satisfaction(&m, &p, 2, &[1, 0], 2);
+        assert!(worse < ideal);
+        assert!((ideal - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrated_recommendations_gain_r_min() {
+        let m = RatingMatrix::from_triples(
+            1,
+            4,
+            vec![(0, 0, 5.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let p = PrefIndex::build(&m);
+        // Recommending two items the user never rated: gains r_min each,
+        // ideal is (5, r_min) -> satisfaction strictly below 1.
+        let s = user_satisfaction(&m, &p, 0, &[1, 2], 2);
+        assert!(s < 1.0);
+        // Recommending the rated best plus one unrated matches the ideal.
+        let s = user_satisfaction(&m, &p, 0, &[0, 3], 2);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfaction_monotone_in_list_quality() {
+        let (m, p) = example1();
+        // For u2 (ratings 2, 3, 5): ideal (i3, i2); flipping positions or
+        // substituting the worst item only lowers satisfaction.
+        let best = user_satisfaction(&m, &p, 1, &[2, 1], 2);
+        let flip = user_satisfaction(&m, &p, 1, &[1, 2], 2);
+        let worst = user_satisfaction(&m, &p, 1, &[0, 1], 2);
+        assert!(best > flip);
+        assert!(flip > worst);
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-user preference lists.
+//!
+//! Section 4 of the paper assumes each user has a preference list `L_u` of
+//! items sorted in non-increasing order of rating — e.g. for user `u2` of
+//! Example 1, `L_u2 = <i3,5; i2,3; i1,2>`. [`PrefIndex`] materializes those
+//! lists once (O(Σ d_u log d_u)) so the greedy algorithms can read any
+//! user's top-`k` prefix in O(k).
+//!
+//! Ties are broken by ascending item id, making every preference list — and
+//! therefore every algorithm in this crate — deterministic.
+
+use crate::matrix::RatingMatrix;
+
+/// All users' preference lists, stored flat in CSR layout.
+#[derive(Debug, Clone)]
+pub struct PrefIndex {
+    offsets: Vec<usize>,
+    /// Item ids sorted by (score desc, item asc) within each user row.
+    items: Vec<u32>,
+    /// Scores aligned with `items` (non-increasing within a row).
+    scores: Vec<f64>,
+}
+
+impl PrefIndex {
+    /// Sorts every user's ratings into a preference list.
+    pub fn build(matrix: &RatingMatrix) -> Self {
+        let n = matrix.n_users() as usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut items = Vec::with_capacity(matrix.nnz());
+        let mut scores = Vec::with_capacity(matrix.nnz());
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        for u in 0..matrix.n_users() {
+            row.clear();
+            row.extend(matrix.user_ratings(u));
+            // Score descending, then item id ascending. total_cmp is safe
+            // because the matrix rejects non-finite scores.
+            row.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            for &(i, s) in &row {
+                items.push(i);
+                scores.push(s);
+            }
+            offsets.push(items.len());
+        }
+        PrefIndex {
+            offsets,
+            items,
+            scores,
+        }
+    }
+
+    /// Number of users indexed.
+    #[inline]
+    pub fn n_users(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of rated items for user `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        let u = u as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// User `u`'s full preference list: items sorted by preference.
+    #[inline]
+    pub fn ranked_items(&self, u: u32) -> &[u32] {
+        let u = u as usize;
+        &self.items[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Scores aligned with [`PrefIndex::ranked_items`] (non-increasing).
+    #[inline]
+    pub fn ranked_scores(&self, u: u32) -> &[f64] {
+        let u = u as usize;
+        &self.scores[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// The first `k` entries of `u`'s preference list, fewer if `u` rated
+    /// fewer than `k` items.
+    pub fn top_k(&self, u: u32, k: usize) -> (&[u32], &[f64]) {
+        let items = self.ranked_items(u);
+        let scores = self.ranked_scores(u);
+        let t = k.min(items.len());
+        (&items[..t], &scores[..t])
+    }
+
+    /// `u`'s `k`-th best score `sc(u, i^k)`, if `u` rated at least `k` items.
+    pub fn kth_score(&self, u: u32, k: usize) -> Option<f64> {
+        debug_assert!(k >= 1);
+        self.ranked_scores(u).get(k - 1).copied()
+    }
+
+    /// The rank (0-based position) of `item` in `u`'s preference list, or
+    /// `None` if `u` did not rate it. O(d) scan — used by evaluation code,
+    /// not by the formation hot path.
+    pub fn rank_of(&self, u: u32, item: u32) -> Option<usize> {
+        self.ranked_items(u).iter().position(|&i| i == item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::RatingScale;
+
+    fn example1() -> RatingMatrix {
+        RatingMatrix::from_dense(
+            &[
+                &[1.0, 4.0, 3.0][..],
+                &[2.0, 3.0, 5.0],
+                &[2.0, 5.0, 1.0],
+                &[2.0, 5.0, 1.0],
+                &[3.0, 1.0, 1.0],
+                &[1.0, 2.0, 5.0],
+            ],
+            RatingScale::one_to_five(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_preference_list_u2() {
+        // The paper: L_u2 = <i3,5; i2,3; i1,2>.
+        let prefs = PrefIndex::build(&example1());
+        assert_eq!(prefs.ranked_items(1), &[2, 1, 0]);
+        assert_eq!(prefs.ranked_scores(1), &[5.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn tie_break_by_item_id() {
+        // u5 in Example 1 rates (3, 1, 1): i2 and i3 tie at 1, i2 wins.
+        let prefs = PrefIndex::build(&example1());
+        assert_eq!(prefs.ranked_items(4), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn top_k_and_kth_score() {
+        let prefs = PrefIndex::build(&example1());
+        let (items, scores) = prefs.top_k(0, 2);
+        assert_eq!(items, &[1, 2]); // u1: i2 (4), i3 (3)
+        assert_eq!(scores, &[4.0, 3.0]);
+        assert_eq!(prefs.kth_score(0, 2), Some(3.0));
+        assert_eq!(prefs.kth_score(0, 4), None);
+    }
+
+    #[test]
+    fn top_k_truncates_for_sparse_users() {
+        let m = crate::matrix::RatingMatrix::from_triples(
+            2,
+            5,
+            vec![(0, 3, 4.0), (0, 1, 2.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let prefs = PrefIndex::build(&m);
+        let (items, scores) = prefs.top_k(0, 10);
+        assert_eq!(items, &[3, 1]);
+        assert_eq!(scores, &[4.0, 2.0]);
+        let (items, _) = prefs.top_k(1, 10);
+        assert!(items.is_empty());
+        assert_eq!(prefs.degree(1), 0);
+    }
+
+    #[test]
+    fn rank_of() {
+        let prefs = PrefIndex::build(&example1());
+        assert_eq!(prefs.rank_of(1, 2), Some(0)); // u2's best is i3
+        assert_eq!(prefs.rank_of(1, 0), Some(2));
+        let sparse = crate::matrix::RatingMatrix::from_triples(
+            1,
+            4,
+            vec![(0, 2, 3.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let p = PrefIndex::build(&sparse);
+        assert_eq!(p.rank_of(0, 0), None);
+    }
+
+    #[test]
+    fn scores_are_non_increasing() {
+        let prefs = PrefIndex::build(&example1());
+        for u in 0..prefs.n_users() {
+            let s = prefs.ranked_scores(u);
+            for w in s.windows(2) {
+                assert!(w[0] >= w[1]);
+            }
+        }
+    }
+}

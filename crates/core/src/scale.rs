@@ -1,0 +1,157 @@
+//! Rating scales.
+//!
+//! The paper assumes explicit feedback on a discrete positive scale `R`
+//! (e.g. 1..5) with minimum `r_min` and maximum `r_max`. `r_max` appears in
+//! the absolute-error guarantees of the greedy LM algorithms (Theorems 2–3),
+//! and `r_min` is the pessimistic score assigned to unrated items under
+//! [`MissingPolicy::Min`](crate::MissingPolicy). Predicted ratings may be
+//! real numbers, so the scale is stored as `f64` bounds.
+
+use crate::error::{GfError, Result};
+
+/// An inclusive rating range `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RatingScale {
+    min: f64,
+    max: f64,
+}
+
+impl RatingScale {
+    /// Creates a scale, rejecting `min >= max` and non-finite bounds.
+    pub fn new(min: f64, max: f64) -> Result<Self> {
+        if !min.is_finite() || !max.is_finite() || min >= max {
+            return Err(GfError::InvalidScale { min, max });
+        }
+        Ok(RatingScale { min, max })
+    }
+
+    /// The classic 1..5 star scale used by Yahoo! Music and MovieLens.
+    pub fn one_to_five() -> Self {
+        RatingScale { min: 1.0, max: 5.0 }
+    }
+
+    /// A 0..5 scale (the paper notes `r_min` may be 0).
+    pub fn zero_to_five() -> Self {
+        RatingScale { min: 0.0, max: 5.0 }
+    }
+
+    /// MovieLens 10M's half-star scale, 0.5..5.0.
+    pub fn half_star() -> Self {
+        RatingScale { min: 0.5, max: 5.0 }
+    }
+
+    /// Binary relevance, as used in the NP-hardness reduction (Theorem 1).
+    pub fn binary() -> Self {
+        RatingScale { min: 0.0, max: 1.0 }
+    }
+
+    /// The minimum rating `r_min`.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// The maximum rating `r_max` (the constant in the LM error bounds).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The width `r_max - r_min` of the scale.
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Whether `score` lies within the scale (NaN is never contained).
+    #[inline]
+    pub fn contains(&self, score: f64) -> bool {
+        score >= self.min && score <= self.max
+    }
+
+    /// Clamps `score` into the scale; NaN becomes `r_min`.
+    #[inline]
+    pub fn clamp(&self, score: f64) -> f64 {
+        if score.is_nan() {
+            return self.min;
+        }
+        score.clamp(self.min, self.max)
+    }
+
+    /// Rounds `score` to the nearest multiple of `step` within the scale,
+    /// e.g. `step = 1.0` for whole stars or `0.5` for half stars.
+    pub fn quantize(&self, score: f64, step: f64) -> f64 {
+        debug_assert!(step > 0.0);
+        let snapped = self.min + ((score - self.min) / step).round() * step;
+        self.clamp(snapped)
+    }
+
+    /// The absolute-error guarantee of `GRD-LM-MIN` (Theorem 2): `r_max`.
+    #[inline]
+    pub fn lm_min_error_bound(&self) -> f64 {
+        self.max
+    }
+
+    /// The absolute-error guarantee of `GRD-LM-SUM` (Theorem 3): `k * r_max`.
+    #[inline]
+    pub fn lm_sum_error_bound(&self, k: usize) -> f64 {
+        self.max * k as f64
+    }
+}
+
+impl Default for RatingScale {
+    fn default() -> Self {
+        RatingScale::one_to_five()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(RatingScale::new(1.0, 5.0).is_ok());
+        assert!(RatingScale::new(5.0, 1.0).is_err());
+        assert!(RatingScale::new(3.0, 3.0).is_err());
+        assert!(RatingScale::new(f64::NAN, 5.0).is_err());
+        assert!(RatingScale::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let s = RatingScale::one_to_five();
+        assert!(s.contains(1.0));
+        assert!(s.contains(5.0));
+        assert!(!s.contains(0.99));
+        assert!(!s.contains(f64::NAN));
+        assert_eq!(s.clamp(9.0), 5.0);
+        assert_eq!(s.clamp(-2.0), 1.0);
+        assert_eq!(s.clamp(f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn quantize_snaps_to_steps() {
+        let s = RatingScale::one_to_five();
+        assert_eq!(s.quantize(3.4, 1.0), 3.0);
+        assert_eq!(s.quantize(3.6, 1.0), 4.0);
+        let hs = RatingScale::half_star();
+        assert_eq!(hs.quantize(3.3, 0.5), 3.5);
+        assert_eq!(hs.quantize(0.1, 0.5), 0.5);
+    }
+
+    #[test]
+    fn error_bounds_match_theorems() {
+        let s = RatingScale::one_to_five();
+        assert_eq!(s.lm_min_error_bound(), 5.0);
+        assert_eq!(s.lm_sum_error_bound(5), 25.0);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(RatingScale::binary().range(), 1.0);
+        assert_eq!(RatingScale::zero_to_five().min(), 0.0);
+        assert_eq!(RatingScale::default(), RatingScale::one_to_five());
+    }
+}

@@ -1,0 +1,113 @@
+//! Group recommendation semantics (Definitions 1 and 2 of the paper).
+//!
+//! A semantics turns the individual preference ratings of a group's members
+//! for an item into a single *group satisfaction score* for that item:
+//!
+//! * **Least misery (LM)**: `sc(g, i) = min_{u in g} sc(u, i)` — the group is
+//!   only as happy as its least happy member.
+//! * **Aggregate voting (AV)**: `sc(g, i) = sum_{u in g} sc(u, i)` — the
+//!   group's happiness is the sum of its members' happiness.
+
+use std::fmt;
+
+/// The two group recommendation semantics studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Semantics {
+    /// Least misery (`F_LM`, Definition 1): the minimum member rating.
+    LeastMisery,
+    /// Aggregate voting (`F_AV`, Definition 2): the sum of member ratings.
+    AggregateVoting,
+}
+
+impl Semantics {
+    /// Folds one more member score into a running group score.
+    ///
+    /// `acc` starts at [`Semantics::identity`].
+    #[inline]
+    pub fn fold(self, acc: f64, member_score: f64) -> f64 {
+        match self {
+            Semantics::LeastMisery => acc.min(member_score),
+            Semantics::AggregateVoting => acc + member_score,
+        }
+    }
+
+    /// The identity element of [`Semantics::fold`].
+    #[inline]
+    pub fn identity(self) -> f64 {
+        match self {
+            Semantics::LeastMisery => f64::INFINITY,
+            Semantics::AggregateVoting => 0.0,
+        }
+    }
+
+    /// Combines a slice of member scores into the group score for one item.
+    pub fn combine(self, member_scores: &[f64]) -> f64 {
+        let mut acc = self.identity();
+        for &s in member_scores {
+            acc = self.fold(acc, s);
+        }
+        acc
+    }
+
+    /// Short uppercase tag used in algorithm names (`LM` / `AV`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Semantics::LeastMisery => "LM",
+            Semantics::AggregateVoting => "AV",
+        }
+    }
+
+    /// Both semantics, for exhaustive sweeps.
+    pub fn all() -> [Semantics; 2] {
+        [Semantics::LeastMisery, Semantics::AggregateVoting]
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lm_is_min() {
+        let s = Semantics::LeastMisery;
+        assert_eq!(s.combine(&[4.0, 2.0, 5.0]), 2.0);
+        assert_eq!(s.combine(&[3.0]), 3.0);
+    }
+
+    #[test]
+    fn av_is_sum() {
+        let s = Semantics::AggregateVoting;
+        assert_eq!(s.combine(&[4.0, 2.0, 5.0]), 11.0);
+        assert_eq!(s.combine(&[]), 0.0);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        for sem in Semantics::all() {
+            assert_eq!(sem.fold(sem.identity(), 3.5), 3.5);
+        }
+    }
+
+    #[test]
+    fn example3_group_scores() {
+        // Example 3: u1 = (5,4,1), u2 = (1,4,5) under LM:
+        // i1 -> 1, i2 -> 4, i3 -> 1.
+        let lm = Semantics::LeastMisery;
+        assert_eq!(lm.combine(&[5.0, 1.0]), 1.0);
+        assert_eq!(lm.combine(&[4.0, 4.0]), 4.0);
+        assert_eq!(lm.combine(&[1.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn display_tags() {
+        assert_eq!(Semantics::LeastMisery.to_string(), "LM");
+        assert_eq!(Semantics::AggregateVoting.to_string(), "AV");
+    }
+}

@@ -1,0 +1,204 @@
+//! Weighted group members — the paper's other future-work direction
+//! ("forming groups where the individual members are not treated equally",
+//! Section 9).
+//!
+//! A weight `w_u >= 0` expresses how much member `u` counts:
+//!
+//! * **Weighted AV**: `sc(g, i) = Σ_u w_u · sc(u, i)` — a straight
+//!   importance-weighted vote.
+//! * **Weighted LM**: `sc(g, i) = min_u ( r_max - w_u · (r_max - sc(u, i)) )`
+//!   — each member's *dissatisfaction* (distance below `r_max`) is scaled
+//!   by their weight before taking the misery minimum, so `w_u = 1` is the
+//!   classic semantics, `w_u = 0` makes the member invisible, and
+//!   `w_u > 1` makes their misery dominate.
+//!
+//! Both reduce exactly to the unweighted semantics at all-ones weights
+//! (tested below). The implementation favors clarity over raw speed
+//! (O(|g| log d) per item): weighting is an analysis/extension feature, not
+//! part of the paper's scalability claims.
+
+use crate::aggregate::Aggregation;
+use crate::grouprec::MissingPolicy;
+use crate::matrix::RatingMatrix;
+use crate::semantics::Semantics;
+
+/// Group scoring with per-user weights.
+#[derive(Debug, Clone)]
+pub struct WeightedRecommender<'a> {
+    matrix: &'a RatingMatrix,
+    semantics: Semantics,
+    policy: MissingPolicy,
+    /// `weights[u]` = importance of user `u`; users outside the slice
+    /// default to weight 1.
+    weights: Vec<f64>,
+}
+
+impl<'a> WeightedRecommender<'a> {
+    /// Creates a weighted recommender. Negative weights are clamped to 0.
+    pub fn new(
+        matrix: &'a RatingMatrix,
+        semantics: Semantics,
+        policy: MissingPolicy,
+        weights: &[f64],
+    ) -> Self {
+        WeightedRecommender {
+            matrix,
+            semantics,
+            policy,
+            weights: weights.iter().map(|&w| w.max(0.0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn weight(&self, u: u32) -> f64 {
+        self.weights.get(u as usize).copied().unwrap_or(1.0)
+    }
+
+    fn member_score(&self, u: u32, item: u32) -> f64 {
+        self.matrix.get(u, item).unwrap_or(match self.policy {
+            MissingPolicy::Min | MissingPolicy::Skip => self.matrix.scale().min(),
+            MissingPolicy::UserMean => self.matrix.user_mean(u),
+        })
+    }
+
+    /// The weighted group score of one item.
+    pub fn item_score(&self, members: &[u32], item: u32) -> f64 {
+        let r_max = self.matrix.scale().max();
+        match self.semantics {
+            Semantics::AggregateVoting => members
+                .iter()
+                .map(|&u| self.weight(u) * self.member_score(u, item))
+                .sum(),
+            Semantics::LeastMisery => members
+                .iter()
+                .map(|&u| r_max - self.weight(u) * (r_max - self.member_score(u, item)))
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// The weighted top-`k` list for a group (full scan over all items;
+    /// ties broken by ascending item id).
+    pub fn top_k(&self, members: &[u32], k: usize) -> Vec<(u32, f64)> {
+        if members.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut scored: Vec<(u32, f64)> = (0..self.matrix.n_items())
+            .map(|i| (i, self.item_score(members, i)))
+            .collect();
+        scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// The group's weighted satisfaction with its own top-`k` list.
+    pub fn satisfaction(&self, members: &[u32], k: usize, agg: Aggregation) -> f64 {
+        let scores: Vec<f64> = self.top_k(members, k).iter().map(|&(_, s)| s).collect();
+        agg.apply(&scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouprec::GroupRecommender;
+    use crate::scale::RatingScale;
+
+    fn example() -> RatingMatrix {
+        RatingMatrix::from_dense(
+            &[
+                &[1.0, 4.0, 3.0][..],
+                &[2.0, 3.0, 5.0],
+                &[2.0, 5.0, 1.0],
+            ],
+            RatingScale::one_to_five(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_classic_semantics() {
+        let m = example();
+        let members = [0u32, 1, 2];
+        for sem in Semantics::all() {
+            let weighted =
+                WeightedRecommender::new(&m, sem, MissingPolicy::Min, &[1.0, 1.0, 1.0]);
+            let classic = GroupRecommender::new(&m, sem);
+            for k in 1..=3 {
+                let a = weighted.top_k(&members, k);
+                let b = classic.top_k(&members, k);
+                assert_eq!(a, b, "{sem} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_member_is_invisible() {
+        let m = example();
+        for sem in Semantics::all() {
+            let weighted =
+                WeightedRecommender::new(&m, sem, MissingPolicy::Min, &[1.0, 1.0, 0.0]);
+            let classic = GroupRecommender::new(&m, sem);
+            // u3 weighted to zero: the pair {u1, u2} decides everything.
+            let a = weighted.top_k(&[0, 1, 2], 3);
+            let b = classic.top_k(&[0, 1], 3);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.0, y.0, "{sem}: item order differs");
+                assert!((x.1 - y.1).abs() < 1e-9, "{sem}: {x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn heavier_member_pulls_the_lm_list() {
+        let m = example();
+        // Weight u3 (who loves i2, hates i3) very heavily under LM: i3's
+        // weighted misery explodes, i2's stays mild.
+        let w = WeightedRecommender::new(
+            &m,
+            Semantics::LeastMisery,
+            MissingPolicy::Min,
+            &[1.0, 1.0, 3.0],
+        );
+        let top = w.top_k(&[0, 1, 2], 1);
+        assert_eq!(top[0].0, 1, "i2 should win when u3 dominates: {top:?}");
+        // And the worst item for u3 scores very low.
+        let i3 = w.item_score(&[0, 1, 2], 2);
+        assert!(i3 < 0.0, "weighted misery of i3 should go below 0: {i3}");
+    }
+
+    #[test]
+    fn weighted_av_scales_votes() {
+        let m = example();
+        let w = WeightedRecommender::new(
+            &m,
+            Semantics::AggregateVoting,
+            MissingPolicy::Min,
+            &[2.0, 1.0, 1.0],
+        );
+        // i3: 2*3 + 5 + 1 = 12 vs unweighted 9.
+        assert_eq!(w.item_score(&[0, 1, 2], 2), 12.0);
+    }
+
+    #[test]
+    fn negative_weights_clamp_to_zero() {
+        let m = example();
+        let w = WeightedRecommender::new(
+            &m,
+            Semantics::AggregateVoting,
+            MissingPolicy::Min,
+            &[-5.0, 1.0, 1.0],
+        );
+        assert_eq!(w.item_score(&[0, 1, 2], 2), 6.0); // 0*3 + 5 + 1
+    }
+
+    #[test]
+    fn missing_weights_default_to_one() {
+        let m = example();
+        let w = WeightedRecommender::new(&m, Semantics::AggregateVoting, MissingPolicy::Min, &[]);
+        let classic = GroupRecommender::new(&m, Semantics::AggregateVoting);
+        assert_eq!(
+            w.satisfaction(&[0, 1, 2], 2, Aggregation::Sum),
+            classic.satisfaction(&[0, 1, 2], 2, Aggregation::Sum)
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Position weight schemes for Weighted Sum aggregation (Section 6).
+//!
+//! The paper's "weights at the item list level" extension assigns each of
+//! the top-`k` positions a weight "inversely proportional to the position or
+//! its logarithm", so that top items count more than bottom ones. Plain Sum
+//! aggregation is the uniform special case.
+
+use std::fmt;
+
+/// How much each of the `k` list positions contributes to a weighted sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum WeightScheme {
+    /// All positions weigh 1 — identical to plain Sum aggregation.
+    Uniform,
+    /// Position `p` (1-based) weighs `1 / p`.
+    InversePosition,
+    /// Position `p` (1-based) weighs `1 / log2(p + 1)` — the DCG discount.
+    InverseLog2,
+}
+
+impl WeightScheme {
+    /// The weight of 1-based position `p >= 1`.
+    #[inline]
+    pub fn weight(self, p: usize) -> f64 {
+        debug_assert!(p >= 1, "positions are 1-based");
+        match self {
+            WeightScheme::Uniform => 1.0,
+            WeightScheme::InversePosition => 1.0 / p as f64,
+            WeightScheme::InverseLog2 => 1.0 / ((p as f64) + 1.0).log2(),
+        }
+    }
+
+    /// The weights of positions `1..=k`.
+    pub fn weights(self, k: usize) -> Vec<f64> {
+        (1..=k).map(|p| self.weight(p)).collect()
+    }
+
+    /// Weighted sum of `scores`, where `scores[0]` is position 1.
+    pub fn weighted_sum(self, scores: &[f64]) -> f64 {
+        scores
+            .iter()
+            .enumerate()
+            .map(|(idx, &s)| self.weight(idx + 1) * s)
+            .sum()
+    }
+
+    /// All schemes, for sweeps.
+    pub fn all() -> [WeightScheme; 3] {
+        [
+            WeightScheme::Uniform,
+            WeightScheme::InversePosition,
+            WeightScheme::InverseLog2,
+        ]
+    }
+}
+
+impl fmt::Display for WeightScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightScheme::Uniform => f.write_str("uniform"),
+            WeightScheme::InversePosition => f.write_str("1/pos"),
+            WeightScheme::InverseLog2 => f.write_str("1/log2(pos+1)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_plain_sum() {
+        let s = [5.0, 3.0, 1.0];
+        assert_eq!(WeightScheme::Uniform.weighted_sum(&s), 9.0);
+    }
+
+    #[test]
+    fn inverse_position_weights() {
+        let w = WeightScheme::InversePosition.weights(3);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!((w[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log2_is_the_dcg_discount() {
+        let w = WeightScheme::InverseLog2.weights(2);
+        assert!((w[0] - 1.0).abs() < 1e-12); // 1/log2(2) = 1
+        assert!((w[1] - 1.0 / 3f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_are_non_increasing() {
+        for scheme in WeightScheme::all() {
+            let w = scheme.weights(10);
+            for pair in w.windows(2) {
+                assert!(pair[0] >= pair[1] - 1e-12, "{scheme}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sum_of_empty_is_zero() {
+        for scheme in WeightScheme::all() {
+            assert_eq!(scheme.weighted_sum(&[]), 0.0);
+        }
+    }
+}

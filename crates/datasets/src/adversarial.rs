@@ -1,0 +1,160 @@
+//! Adversarial instances from the NP-hardness machinery (Section 3).
+//!
+//! The paper reduces Exact Cover by 3-Sets (X3C) to PECS to group
+//! formation: ground elements become users with binary preferences, the
+//! 3-sets become items, and an exact cover exists iff `q` groups can each
+//! achieve satisfaction 1 with `k = 1`. These generators build such
+//! instances — both satisfiable (planted cover) and perturbed — which make
+//! excellent stress inputs: they maximize hash-key collisions and tie
+//! density, the regimes where greedy tie-breaking and the Theorem-2
+//! degenerate cases live.
+
+use gf_core::{MatrixBuilder, RatingMatrix, RatingScale};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An X3C-derived group formation instance.
+#[derive(Debug, Clone)]
+pub struct X3cInstance {
+    /// Users = ground elements (3q of them), items = 3-sets; rating 1 iff
+    /// the element belongs to the set.
+    pub matrix: RatingMatrix,
+    /// The planted exact cover (item ids), if one was planted.
+    pub cover: Vec<u32>,
+    /// q — the number of cover sets (= the group budget for the reduction).
+    pub q: usize,
+}
+
+/// Builds a satisfiable X3C instance with `q` planted cover sets plus
+/// `extra_sets` random distractor 3-sets.
+///
+/// # Panics
+/// Panics if `q == 0`.
+pub fn planted_x3c(q: usize, extra_sets: usize, seed: u64) -> X3cInstance {
+    assert!(q > 0, "need at least one cover set");
+    let n_elements = 3 * q;
+    let n_sets = q + extra_sets;
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Planted cover: sets {0,1,2}, {3,4,5}, … over a shuffled ground set.
+    let mut ground: Vec<u32> = (0..n_elements as u32).collect();
+    for i in (1..ground.len()).rev() {
+        ground.swap(i, rng.gen_range(0..=i));
+    }
+    let mut b = MatrixBuilder::new(n_elements as u32, n_sets as u32, RatingScale::binary());
+    let mut rated: Vec<Vec<bool>> = vec![vec![false; n_sets]; n_elements];
+    for set in 0..q {
+        for slot in 0..3 {
+            let element = ground[3 * set + slot] as usize;
+            rated[element][set] = true;
+        }
+    }
+    // Distractor sets: three distinct random elements each.
+    #[allow(clippy::needless_range_loop)] // `set` is an id, not just an index
+    for set in q..n_sets {
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < 3 {
+            chosen.insert(rng.gen_range(0..n_elements));
+        }
+        for &element in &chosen {
+            rated[element][set] = true;
+        }
+    }
+    for (element, row) in rated.iter().enumerate() {
+        for (set, &member) in row.iter().enumerate() {
+            b.push(element as u32, set as u32, if member { 1.0 } else { 0.0 })
+                .expect("binary rating");
+        }
+    }
+    X3cInstance {
+        matrix: b.build().expect("non-empty instance"),
+        cover: (0..q as u32).collect(),
+        q,
+    }
+}
+
+/// A tie-dense instance: every user rates every item from a tiny value set
+/// (default `{1, 5}`), maximizing duplicate preference profiles. Stresses
+/// tie-breaking determinism and the duplicate-key regime of Theorem 2.
+pub fn tie_dense(n_users: u32, n_items: u32, seed: u64) -> RatingMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = MatrixBuilder::new(n_users, n_items, RatingScale::one_to_five());
+    for u in 0..n_users {
+        for i in 0..n_items {
+            let v = if rng.gen_bool(0.5) { 1.0 } else { 5.0 };
+            b.push(u, i, v).expect("valid rating");
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_core::{Aggregation, FormationConfig, GroupFormer, PrefIndex, Semantics};
+    use gf_exact::PartitionDp;
+
+    #[test]
+    fn planted_instance_shape() {
+        let inst = planted_x3c(3, 2, 1);
+        assert_eq!(inst.matrix.n_users(), 9);
+        assert_eq!(inst.matrix.n_items(), 5);
+        // Each planted set covers exactly 3 elements.
+        let t = inst.matrix.transpose();
+        for &set in &inst.cover {
+            let ones = t.item_scores(set).iter().filter(|&&s| s == 1.0).count();
+            assert_eq!(ones, 3, "set {set}");
+        }
+    }
+
+    #[test]
+    fn planted_cover_achieves_objective_q() {
+        // The reduction's YES direction: partitioning by the planted cover
+        // gives q groups each scoring 1 under LM with k = 1, so the exact
+        // optimum is exactly q.
+        let inst = planted_x3c(3, 1, 2);
+        let prefs = PrefIndex::build(&inst.matrix);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, inst.q);
+        let opt = PartitionDp::new().form(&inst.matrix, &prefs, &cfg).unwrap();
+        assert_eq!(opt.objective, inst.q as f64);
+    }
+
+    #[test]
+    fn every_element_in_exactly_one_cover_set() {
+        let inst = planted_x3c(4, 3, 3);
+        let t = inst.matrix.transpose();
+        let mut covered = vec![0usize; inst.matrix.n_users() as usize];
+        for &set in &inst.cover {
+            for (pos, &u) in t.item_users(set).iter().enumerate() {
+                if t.item_scores(set)[pos] == 1.0 {
+                    covered[u as usize] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "{covered:?}");
+    }
+
+    #[test]
+    fn tie_dense_values_are_binaryish() {
+        let m = tie_dense(20, 5, 4);
+        for u in 0..20 {
+            for (_, s) in m.user_ratings(u) {
+                assert!(s == 1.0 || s == 5.0);
+            }
+        }
+        assert_eq!(m.nnz(), 100);
+    }
+
+    #[test]
+    fn tie_dense_produces_duplicate_keys() {
+        // With 2^3 = 8 possible profiles and 40 users, pigeonhole forces
+        // duplicates — the regime where bucket sharing actually occurs.
+        use gf_core::GreedyFormer;
+        let m = tie_dense(40, 3, 5);
+        let prefs = PrefIndex::build(&m);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, 3, 5);
+        let r = GreedyFormer::new().form(&m, &prefs, &cfg).unwrap();
+        assert!(r.n_buckets < 40, "expected duplicate profiles, got {}", r.n_buckets);
+        r.grouping.validate(40, 5).unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! Loaders for real rating files.
+//!
+//! When the actual corpora are available, these loaders remove the synthetic
+//! substitution entirely:
+//!
+//! * [`read_movielens_dat`] — MovieLens `ratings.dat`
+//!   (`UserID::MovieID::Rating::Timestamp`);
+//! * [`read_movielens_csv`] — MovieLens `ratings.csv`
+//!   (`userId,movieId,rating,timestamp` with a header row);
+//! * [`read_netflix`] — the Netflix Prize per-movie block layout;
+//! * [`read_tsv`] — generic `user \t item \t rating` (the Yahoo! Webscope
+//!   layout);
+//! * [`write_tsv`] — exports any matrix back to TSV.
+//!
+//! Raw ids are arbitrary (non-dense) integers; loaders re-index them densely
+//! in first-appearance order and return the mapping so results can be
+//! reported against the original ids.
+
+use gf_core::{GfError, MatrixBuilder, RatingMatrix, RatingScale, Result};
+use std::io::{BufRead, Write};
+
+/// A loaded dataset: the dense matrix plus the original id of every dense
+/// user/item index.
+#[derive(Debug, Clone)]
+pub struct Loaded {
+    /// The re-indexed rating matrix.
+    pub matrix: RatingMatrix,
+    /// `user_ids[dense_index]` = original user id.
+    pub user_ids: Vec<u64>,
+    /// `item_ids[dense_index]` = original item id.
+    pub item_ids: Vec<u64>,
+}
+
+/// Internal accumulating re-indexer.
+#[derive(Default)]
+struct Reindexer {
+    map: gf_core::FxHashMap<u64, u32>,
+    ids: Vec<u64>,
+}
+
+impl Reindexer {
+    fn intern(&mut self, raw: u64) -> u32 {
+        *self.map.entry(raw).or_insert_with(|| {
+            let dense = self.ids.len() as u32;
+            self.ids.push(raw);
+            dense
+        })
+    }
+}
+
+fn parse_err(line_no: usize, line: &str, what: &str) -> GfError {
+    GfError::InvalidGrouping(format!("line {line_no}: {what}: {line:?}"))
+}
+
+/// One parsed line: a rating record, or a structural line to skip.
+enum Parsed {
+    Record(u64, u64, f64),
+    Skip,
+}
+
+/// Parses ratings with a caller-supplied per-line splitter. The splitter
+/// returns `Some(Parsed::Record)` for data lines, `Some(Parsed::Skip)` for
+/// structural lines (e.g. Netflix movie headers), `None` for malformed
+/// input.
+fn read_with<R: BufRead>(
+    reader: R,
+    scale: RatingScale,
+    skip_header: bool,
+    mut split: impl FnMut(&str) -> Option<Parsed>,
+) -> Result<Loaded> {
+    let mut users = Reindexer::default();
+    let mut items = Reindexer::default();
+    let mut triples: Vec<(u32, u32, f64)> = Vec::new();
+    let mut line_no = 0usize;
+    for line in reader.lines() {
+        let line = line.map_err(|e| GfError::InvalidGrouping(format!("io error: {e}")))?;
+        line_no += 1;
+        if line_no == 1 && skip_header {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match split(trimmed) {
+            Some(Parsed::Record(u, i, r)) => {
+                triples.push((users.intern(u), items.intern(i), r));
+            }
+            Some(Parsed::Skip) => {}
+            None => return Err(parse_err(line_no, trimmed, "malformed record")),
+        }
+    }
+    if triples.is_empty() {
+        return Err(GfError::EmptyMatrix);
+    }
+    let mut b = MatrixBuilder::new(users.ids.len() as u32, items.ids.len() as u32, scale);
+    b.reserve(triples.len());
+    for (u, i, r) in triples {
+        b.push(u, i, r)?;
+    }
+    Ok(Loaded {
+        matrix: b.build()?,
+        user_ids: users.ids,
+        item_ids: items.ids,
+    })
+}
+
+/// Reads MovieLens `ratings.dat`: `UserID::MovieID::Rating::Timestamp`.
+pub fn read_movielens_dat<R: BufRead>(reader: R, scale: RatingScale) -> Result<Loaded> {
+    read_with(reader, scale, false, |line| {
+        let mut parts = line.split("::");
+        let u = parts.next()?.parse().ok()?;
+        let i = parts.next()?.parse().ok()?;
+        let r = parts.next()?.parse().ok()?;
+        Some(Parsed::Record(u, i, r))
+    })
+}
+
+/// Reads MovieLens `ratings.csv` (`userId,movieId,rating,timestamp`), with
+/// header row.
+pub fn read_movielens_csv<R: BufRead>(reader: R, scale: RatingScale) -> Result<Loaded> {
+    read_with(reader, scale, true, |line| {
+        let mut parts = line.split(',');
+        let u = parts.next()?.trim().parse().ok()?;
+        let i = parts.next()?.trim().parse().ok()?;
+        let r = parts.next()?.trim().parse().ok()?;
+        Some(Parsed::Record(u, i, r))
+    })
+}
+
+/// Reads the Netflix Prize training-file layout: a `movie_id:` header line
+/// opens each block, followed by `user_id,rating,date` records for that
+/// movie.
+pub fn read_netflix<R: BufRead>(reader: R, scale: RatingScale) -> Result<Loaded> {
+    let mut current_movie: Option<u64> = None;
+    read_with(reader, scale, false, move |line| {
+        if let Some(header) = line.strip_suffix(':') {
+            current_movie = Some(header.parse().ok()?);
+            return Some(Parsed::Skip);
+        }
+        let movie = current_movie?; // record before any header is malformed
+        let mut parts = line.split(',');
+        let user = parts.next()?.trim().parse().ok()?;
+        let rating = parts.next()?.trim().parse().ok()?;
+        Some(Parsed::Record(user, movie, rating))
+    })
+}
+
+/// Reads whitespace-separated `user item rating` records (Yahoo! Webscope
+/// TSV layout).
+pub fn read_tsv<R: BufRead>(reader: R, scale: RatingScale) -> Result<Loaded> {
+    read_with(reader, scale, false, |line| {
+        let mut parts = line.split_whitespace();
+        let u = parts.next()?.parse().ok()?;
+        let i = parts.next()?.parse().ok()?;
+        let r = parts.next()?.parse().ok()?;
+        Some(Parsed::Record(u, i, r))
+    })
+}
+
+/// Writes a matrix as `user \t item \t rating` using dense indices.
+pub fn write_tsv<W: Write>(matrix: &RatingMatrix, mut writer: W) -> std::io::Result<()> {
+    let mut buf = std::io::BufWriter::new(&mut writer);
+    for u in 0..matrix.n_users() {
+        for (i, s) in matrix.user_ratings(u) {
+            writeln!(buf, "{u}\t{i}\t{s}")?;
+        }
+    }
+    buf.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn movielens_dat_round_trip() {
+        let data = "1::10::5::978300760\n1::20::3::978302109\n7::10::4::978301968\n";
+        let loaded =
+            read_movielens_dat(Cursor::new(data), RatingScale::one_to_five()).unwrap();
+        assert_eq!(loaded.matrix.n_users(), 2);
+        assert_eq!(loaded.matrix.n_items(), 2);
+        assert_eq!(loaded.user_ids, vec![1, 7]);
+        assert_eq!(loaded.item_ids, vec![10, 20]);
+        assert_eq!(loaded.matrix.get(0, 0), Some(5.0));
+        assert_eq!(loaded.matrix.get(1, 0), Some(4.0));
+        assert_eq!(loaded.matrix.get(1, 1), None);
+    }
+
+    #[test]
+    fn movielens_csv_skips_header() {
+        let data = "userId,movieId,rating,timestamp\n3,100,4.0,11\n3,200,2.0,12\n";
+        let loaded =
+            read_movielens_csv(Cursor::new(data), RatingScale::one_to_five()).unwrap();
+        assert_eq!(loaded.matrix.nnz(), 2);
+        assert_eq!(loaded.user_ids, vec![3]);
+    }
+
+    #[test]
+    fn half_star_ratings_need_half_star_scale() {
+        let data = "userId,movieId,rating,timestamp\n1,1,4.5,0\n";
+        assert!(read_movielens_csv(Cursor::new(data), RatingScale::half_star()).is_ok());
+        // 4.5 fits the 1..5 scale too; 0.5 does not:
+        let data = "userId,movieId,rating,timestamp\n1,1,0.5,0\n";
+        assert!(matches!(
+            read_movielens_csv(Cursor::new(data), RatingScale::one_to_five()),
+            Err(GfError::ScaleViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn netflix_blocks() {
+        let data = "8:\n100,4,2005-09-06\n200,3,2005-09-07\n9:\n100,5,2005-09-08\n";
+        let loaded = read_netflix(Cursor::new(data), RatingScale::one_to_five()).unwrap();
+        assert_eq!(loaded.matrix.n_users(), 2);
+        assert_eq!(loaded.matrix.n_items(), 2);
+        assert_eq!(loaded.user_ids, vec![100, 200]);
+        assert_eq!(loaded.item_ids, vec![8, 9]);
+        assert_eq!(loaded.matrix.get(0, 0), Some(4.0));
+        assert_eq!(loaded.matrix.get(0, 1), Some(5.0));
+        assert_eq!(loaded.matrix.get(1, 1), None);
+    }
+
+    #[test]
+    fn netflix_record_before_header_is_malformed() {
+        let data = "100,4,2005-09-06\n8:\n";
+        let err = read_netflix(Cursor::new(data), RatingScale::one_to_five()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let data = "0\t0\t5\n0\t1\t3\n1\t0\t2\n";
+        let loaded = read_tsv(Cursor::new(data), RatingScale::one_to_five()).unwrap();
+        let mut out = Vec::new();
+        write_tsv(&loaded.matrix, &mut out).unwrap();
+        let reloaded =
+            read_tsv(Cursor::new(out), RatingScale::one_to_five()).unwrap();
+        assert_eq!(loaded.matrix, reloaded.matrix);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let data = "# a comment\n\n1\t1\t4\n";
+        let loaded = read_tsv(Cursor::new(data), RatingScale::one_to_five()).unwrap();
+        assert_eq!(loaded.matrix.nnz(), 1);
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_number() {
+        let data = "1\t1\t4\nnot-a-record\n";
+        let err = read_tsv(Cursor::new(data), RatingScale::one_to_five()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            read_tsv(Cursor::new(""), RatingScale::one_to_five()),
+            Err(GfError::EmptyMatrix)
+        ));
+    }
+
+    #[test]
+    fn duplicate_rating_detected_at_build() {
+        let data = "1\t1\t4\n1\t1\t5\n";
+        assert!(matches!(
+            read_tsv(Cursor::new(data), RatingScale::one_to_five()),
+            Err(GfError::DuplicateRating { .. })
+        ));
+    }
+}

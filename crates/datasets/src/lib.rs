@@ -1,0 +1,36 @@
+//! # gf-datasets — the dataset substrate
+//!
+//! The paper evaluates on Yahoo! Music (200,000 users × 136,736 songs) and
+//! MovieLens 10M (71,567 users × 10,681 movies), plus a Flickr-derived POI
+//! log for the user study (Table 3, Section 7). Those corpora cannot be
+//! redistributed, so this crate provides:
+//!
+//! * a **latent-factor synthetic generator** ([`synth`]) that reproduces
+//!   the *structural* properties the experiments rely on — clustered user
+//!   preferences (so greedy group formation finds users with shared top-`k`
+//!   prefixes), Zipf item popularity, a densely-rated head, per-user rating
+//!   counts ≥ 20 and a 1–5 star scale — with presets matching each paper
+//!   dataset's shape;
+//! * **loaders** ([`io`]) for the real MovieLens `.dat`/CSV formats and
+//!   generic TSV, so the actual files can be dropped in when available;
+//! * **sampling** ([`sample`]) of user/item sub-populations (the paper's
+//!   "randomly select 200 users and 100 items");
+//! * **splits** ([`split`]) — the 10-fold user partition the Yahoo! set
+//!   ships with, and per-user holdout splits for recommender evaluation;
+//! * **statistics** ([`stats`]) that regenerate Table 3.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+pub mod io;
+pub mod sample;
+pub mod split;
+pub mod stats;
+pub mod synth;
+pub mod zipf;
+
+pub use stats::DatasetStats;
+pub use synth::{Dataset, SynthConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,111 @@
+//! Sub-population sampling.
+//!
+//! The paper's quality experiments "randomly select 200 users and 100 items"
+//! from the full corpora. These helpers draw such samples reproducibly and
+//! slice the matrix down with [`RatingMatrix::submatrix`].
+
+use gf_core::{RatingMatrix, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `count` distinct values from `0..n` by partial Fisher–Yates,
+/// in O(n) memory and O(count) swaps. Returns all of `0..n` if `count >= n`.
+pub fn sample_indices(rng: &mut impl Rng, n: u32, count: usize) -> Vec<u32> {
+    let n_usize = n as usize;
+    let mut pool: Vec<u32> = (0..n).collect();
+    let take = count.min(n_usize);
+    for slot in 0..take {
+        let pick = rng.gen_range(slot..n_usize);
+        pool.swap(slot, pick);
+    }
+    pool.truncate(take);
+    pool
+}
+
+/// The `count` most-rated items of the matrix (ties by ascending id) — the
+/// realistic choice when slicing a sparse corpus down to an experimental
+/// item set, since uniformly random items of a Zipf corpus are mostly
+/// unrated.
+pub fn densest_items(matrix: &RatingMatrix, count: usize) -> Vec<u32> {
+    let t = matrix.transpose();
+    let mut by_degree: Vec<u32> = (0..matrix.n_items()).collect();
+    by_degree.sort_by_key(|&i| (std::cmp::Reverse(t.degree(i)), i));
+    by_degree.truncate(count.min(matrix.n_items() as usize));
+    by_degree
+}
+
+/// Draws a reproducible `n_users x n_items` experimental slice: uniformly
+/// random users crossed with the densest items.
+pub fn experimental_slice(
+    matrix: &RatingMatrix,
+    n_users: usize,
+    n_items: usize,
+    seed: u64,
+) -> Result<RatingMatrix> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let users = sample_indices(&mut rng, matrix.n_users(), n_users);
+    let items = densest_items(matrix, n_items);
+    matrix.submatrix(&users, &items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = sample_indices(&mut rng, 100, 30);
+        assert_eq!(s.len(), 30);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+        assert!(s.iter().all(|&v| v < 100));
+    }
+
+    #[test]
+    fn sample_indices_saturates() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = sample_indices(&mut rng, 5, 50);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn sample_is_seed_deterministic() {
+        let a = sample_indices(&mut SmallRng::seed_from_u64(3), 1000, 10);
+        let b = sample_indices(&mut SmallRng::seed_from_u64(3), 1000, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn densest_items_sorted_by_degree() {
+        let d = SynthConfig::yahoo_music()
+            .with_users(100)
+            .with_items(300)
+            .generate();
+        let items = densest_items(&d.matrix, 20);
+        assert_eq!(items.len(), 20);
+        let t = d.matrix.transpose();
+        for w in items.windows(2) {
+            assert!(t.degree(w[0]) >= t.degree(w[1]));
+        }
+    }
+
+    #[test]
+    fn experimental_slice_has_requested_shape() {
+        let d = SynthConfig::yahoo_music()
+            .with_users(500)
+            .with_items(400)
+            .generate();
+        let s = experimental_slice(&d.matrix, 200, 100, 7).unwrap();
+        assert_eq!(s.n_users(), 200);
+        assert_eq!(s.n_items(), 100);
+        // Densest-item slicing keeps the slice usable: everyone still has
+        // ratings (the head items are rated by everyone).
+        for u in 0..s.n_users() {
+            assert!(s.degree(u) > 0, "user {u} lost all ratings");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Dataset partitioning.
+//!
+//! Two kinds of splits appear in the paper's setup:
+//!
+//! * the Yahoo! Music snapshot "has been randomly partitioned so as to
+//!   correspond to 10 equally sized sets of users, in order to enable
+//!   cross-validation" — [`user_folds`];
+//! * collaborative-filtering pre-processing needs per-user train/test
+//!   rating holdouts to evaluate predictors — [`holdout_split`].
+
+use gf_core::{MatrixBuilder, RatingMatrix, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Partitions the users into `folds` equally sized sets (sizes differ by at
+/// most 1), reproducibly in `seed`. Returns the user ids of each fold.
+pub fn user_folds(n_users: u32, folds: usize, seed: u64) -> Vec<Vec<u32>> {
+    assert!(folds > 0, "need at least one fold");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut users: Vec<u32> = (0..n_users).collect();
+    for i in (1..users.len()).rev() {
+        users.swap(i, rng.gen_range(0..=i));
+    }
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); folds];
+    for (pos, u) in users.into_iter().enumerate() {
+        out[pos % folds].push(u);
+    }
+    for fold in &mut out {
+        fold.sort_unstable();
+    }
+    out
+}
+
+/// A per-user train/test holdout of ratings.
+#[derive(Debug, Clone)]
+pub struct Holdout {
+    /// Training ratings (same shape as the source matrix).
+    pub train: RatingMatrix,
+    /// Held-out `(user, item, rating)` triples.
+    pub test: Vec<(u32, u32, f64)>,
+}
+
+/// Holds out `test_fraction` of every user's ratings (at least one rating
+/// always stays in train for users with ≥ 2 ratings; users with a single
+/// rating keep it in train).
+pub fn holdout_split(
+    matrix: &RatingMatrix,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<Holdout> {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test fraction must be in [0, 1)"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut train = MatrixBuilder::new(matrix.n_users(), matrix.n_items(), matrix.scale());
+    let mut test = Vec::new();
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    for u in 0..matrix.n_users() {
+        row.clear();
+        row.extend(matrix.user_ratings(u));
+        if row.len() < 2 {
+            for &(i, s) in &row {
+                train.push(u, i, s)?;
+            }
+            continue;
+        }
+        // Shuffle the row, keep the first (1 - fraction) in train.
+        for i in (1..row.len()).rev() {
+            row.swap(i, rng.gen_range(0..=i));
+        }
+        let n_test = ((row.len() as f64) * test_fraction).floor() as usize;
+        let n_test = n_test.min(row.len() - 1);
+        for (pos, &(i, s)) in row.iter().enumerate() {
+            if pos < n_test {
+                test.push((u, i, s));
+            } else {
+                train.push(u, i, s)?;
+            }
+        }
+    }
+    Ok(Holdout {
+        train: train.build()?,
+        test,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    #[test]
+    fn folds_partition_all_users() {
+        let folds = user_folds(103, 10, 42);
+        assert_eq!(folds.len(), 10);
+        let mut all: Vec<u32> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        // Equal sizes within 1 (the paper's "10 equally sized sets").
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn folds_deterministic() {
+        assert_eq!(user_folds(50, 5, 7), user_folds(50, 5, 7));
+        assert_ne!(user_folds(50, 5, 7), user_folds(50, 5, 8));
+    }
+
+    #[test]
+    fn holdout_preserves_every_rating_once() {
+        let d = SynthConfig::tiny(30, 10).generate();
+        let h = holdout_split(&d.matrix, 0.3, 1).unwrap();
+        assert_eq!(h.train.nnz() + h.test.len(), d.matrix.nnz());
+        for &(u, i, s) in &h.test {
+            assert_eq!(d.matrix.get(u, i), Some(s));
+            assert_eq!(h.train.get(u, i), None, "rating leaked into train");
+        }
+    }
+
+    #[test]
+    fn holdout_keeps_at_least_one_train_rating_per_user() {
+        let d = SynthConfig::yahoo_music()
+            .with_users(40)
+            .with_items(50)
+            .generate();
+        let h = holdout_split(&d.matrix, 0.9, 2).unwrap();
+        for u in 0..40 {
+            assert!(h.train.degree(u) >= 1, "user {u} has no train ratings");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything_in_train() {
+        let d = SynthConfig::tiny(10, 5).generate();
+        let h = holdout_split(&d.matrix, 0.0, 3).unwrap();
+        assert!(h.test.is_empty());
+        assert_eq!(h.train.nnz(), d.matrix.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn full_fraction_rejected() {
+        let d = SynthConfig::tiny(4, 4).generate();
+        let _ = holdout_split(&d.matrix, 1.0, 0);
+    }
+}

@@ -1,0 +1,424 @@
+//! Latent-factor synthetic rating generator.
+//!
+//! The generator substitutes for the paper's proprietary corpora. It is
+//! built so that the *structural* properties the experiments depend on hold:
+//!
+//! * **clustered preferences** — users are noisy copies of a small number of
+//!   taste archetypes, so subsets of users share top-`k` prefixes and the
+//!   greedy algorithms can form non-trivial groups;
+//! * **Zipf item popularity** with a densely-rated *head* (every user rates
+//!   the most popular `head_items` items), mirroring the effect of the
+//!   paper's pre-processing (each user ≥ 20 ratings, each item ≥ 20 raters,
+//!   missing ratings predicted);
+//! * **heavy-tailed per-user activity** — `min_ratings` plus an
+//!   exponentially distributed surplus;
+//! * **discrete 1–5 star ratings** by default (set `rating_step: None` for
+//!   continuous "predicted" scores).
+//!
+//! All generation is deterministic in the `seed`.
+
+use crate::zipf::Zipf;
+use gf_core::{MatrixBuilder, RatingMatrix, RatingScale};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated (or loaded) dataset: a named rating matrix.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name (e.g. `yahoo-music-synth`).
+    pub name: String,
+    /// The ratings.
+    pub matrix: RatingMatrix,
+}
+
+/// Configuration of the synthetic generator. Construct via a preset
+/// ([`SynthConfig::yahoo_music`], [`SynthConfig::movielens`],
+/// [`SynthConfig::flickr_poi`], [`SynthConfig::tiny`]) and customise with
+/// the `with_*` builders.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Dataset name stamped on the output.
+    pub name: String,
+    /// Number of users `n`.
+    pub n_users: u32,
+    /// Number of items `m`.
+    pub n_items: u32,
+    /// Number of user taste archetypes.
+    pub n_clusters: usize,
+    /// Latent dimensionality.
+    pub n_factors: usize,
+    /// Minimum ratings per user (the paper's pre-processing guarantees 20).
+    pub min_ratings: usize,
+    /// Mean of the exponential surplus of ratings beyond `min_ratings`.
+    pub mean_extra: f64,
+    /// The `head_items` most popular items are rated by every user.
+    pub head_items: usize,
+    /// Zipf exponent for tail item popularity.
+    pub zipf_exponent: f64,
+    /// Std of a user's deviation from their cluster archetype. Smaller
+    /// values produce more users with identical top-`k` lists.
+    pub user_noise: f64,
+    /// Std of independent per-rating noise.
+    pub rating_noise: f64,
+    /// Quantization step (`Some(1.0)` = whole stars); `None` = continuous.
+    pub rating_step: Option<f64>,
+    /// Rating scale.
+    pub scale: RatingScale,
+    /// RNG seed; everything is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// Shape of the Yahoo! Music snapshot in Table 3:
+    /// 200,000 users × 136,736 songs, ratings 1–5, ≥ 20 ratings per user.
+    pub fn yahoo_music() -> Self {
+        SynthConfig {
+            name: "yahoo-music-synth".into(),
+            n_users: 200_000,
+            n_items: 136_736,
+            n_clusters: 60,
+            n_factors: 8,
+            min_ratings: 20,
+            mean_extra: 20.0,
+            head_items: 30,
+            zipf_exponent: 1.0,
+            user_noise: 0.25,
+            rating_noise: 0.35,
+            rating_step: Some(1.0),
+            scale: RatingScale::one_to_five(),
+            seed: 0x59a4_0001,
+        }
+    }
+
+    /// Shape of MovieLens 10M in Table 3: 71,567 users × 10,681 movies
+    /// (~140 ratings per user), 1–5 stars as the paper uses it.
+    pub fn movielens() -> Self {
+        SynthConfig {
+            name: "movielens-synth".into(),
+            n_users: 71_567,
+            n_items: 10_681,
+            n_clusters: 40,
+            n_factors: 8,
+            min_ratings: 20,
+            mean_extra: 120.0,
+            head_items: 30,
+            zipf_exponent: 1.0,
+            user_noise: 0.3,
+            rating_noise: 0.35,
+            rating_step: Some(1.0),
+            scale: RatingScale::one_to_five(),
+            seed: 0x314e_0002,
+        }
+    }
+
+    /// Shape of the Section-7.3 user study: 50 AMT workers rating the 10
+    /// most popular New York POIs, 1–5, everyone rates everything.
+    pub fn flickr_poi() -> Self {
+        SynthConfig {
+            name: "flickr-poi-synth".into(),
+            n_users: 50,
+            n_items: 10,
+            n_clusters: 4,
+            n_factors: 4,
+            min_ratings: 10,
+            mean_extra: 0.0,
+            head_items: 10,
+            zipf_exponent: 0.8,
+            user_noise: 0.35,
+            rating_noise: 0.4,
+            rating_step: Some(1.0),
+            scale: RatingScale::one_to_five(),
+            seed: 0xf11c_0003,
+        }
+    }
+
+    /// A small dense instance for tests and examples.
+    pub fn tiny(n_users: u32, n_items: u32) -> Self {
+        SynthConfig {
+            name: format!("tiny-{n_users}x{n_items}"),
+            n_users,
+            n_items,
+            n_clusters: 3,
+            n_factors: 4,
+            min_ratings: n_items as usize,
+            mean_extra: 0.0,
+            head_items: n_items as usize,
+            zipf_exponent: 1.0,
+            user_noise: 0.3,
+            rating_noise: 0.3,
+            rating_step: Some(1.0),
+            scale: RatingScale::one_to_five(),
+            seed: 0x7e57_0004,
+        }
+    }
+
+    /// Overrides the number of users (for sweeps).
+    pub fn with_users(mut self, n: u32) -> Self {
+        self.n_users = n;
+        self
+    }
+
+    /// Overrides the number of items (for sweeps). Caps `head_items` and
+    /// `min_ratings` so the configuration stays satisfiable.
+    pub fn with_items(mut self, m: u32) -> Self {
+        self.n_items = m;
+        self.head_items = self.head_items.min(m as usize);
+        self.min_ratings = self.min_ratings.min(m as usize);
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the user-noise level (cluster tightness).
+    pub fn with_user_noise(mut self, noise: f64) -> Self {
+        self.user_noise = noise;
+        self
+    }
+
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    /// Panics if `n_users` or `n_items` is zero.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.n_users > 0 && self.n_items > 0, "empty dataset shape");
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let m = self.n_items as usize;
+        let f = self.n_factors.max(1);
+        let head = self.head_items.min(m);
+
+        // Popularity order: a seeded shuffle of the item ids, so popularity
+        // rank and item id are uncorrelated.
+        let mut pop_order: Vec<u32> = (0..self.n_items).collect();
+        for i in (1..pop_order.len()).rev() {
+            pop_order.swap(i, rng.gen_range(0..=i));
+        }
+
+        // Cluster archetypes and item factors.
+        let norm = 1.0 / (f as f64).sqrt();
+        let archetypes: Vec<Vec<f64>> = (0..self.n_clusters.max(1))
+            .map(|_| (0..f).map(|_| randn(&mut rng)).collect())
+            .collect();
+        let item_vecs: Vec<f64> = (0..m * f).map(|_| randn(&mut rng) * norm).collect();
+        let item_bias: Vec<f64> = (0..m).map(|_| randn(&mut rng) * 0.3).collect();
+
+        let tail = m - head;
+        let tail_zipf = (tail > 0).then(|| Zipf::new(tail, self.zipf_exponent));
+
+        let center = (self.scale.min() + self.scale.max()) / 2.0;
+        let gain = self.scale.range() * 0.45;
+
+        let mut builder = MatrixBuilder::new(self.n_users, self.n_items, self.scale);
+        let expected = self.n_users as usize
+            * (self.min_ratings + self.mean_extra as usize).min(m);
+        builder.reserve(expected);
+
+        let mut user_vec = vec![0.0f64; f];
+        for u in 0..self.n_users {
+            let cluster = (u as usize) % self.n_clusters.max(1);
+            for (slot, &a) in archetypes[cluster].iter().enumerate() {
+                user_vec[slot] = a + self.user_noise * randn(&mut rng);
+            }
+            let user_bias = randn(&mut rng) * 0.2;
+
+            // How many items this user rates.
+            let extra = if self.mean_extra > 0.0 {
+                let x: f64 = rng.gen::<f64>().max(1e-12);
+                (-self.mean_extra * x.ln()) as usize
+            } else {
+                0
+            };
+            let d = (self.min_ratings + extra).clamp(head.max(1), m);
+
+            // The head plus a Zipf sample of the tail.
+            let mut rated_ranks: Vec<usize> = (0..head).collect();
+            if d > head {
+                if let Some(z) = &tail_zipf {
+                    rated_ranks
+                        .extend(z.sample_distinct(&mut rng, d - head).iter().map(|r| r + head));
+                }
+            }
+
+            for rank in rated_ranks {
+                let item = pop_order[rank];
+                let iv = &item_vecs[item as usize * f..(item as usize + 1) * f];
+                let dot: f64 = user_vec.iter().zip(iv).map(|(a, b)| a * b).sum();
+                let raw = center
+                    + gain * dot
+                    + user_bias
+                    + item_bias[item as usize]
+                    + self.rating_noise * randn(&mut rng);
+                let score = match self.rating_step {
+                    Some(step) => self.scale.quantize(raw, step),
+                    None => self.scale.clamp(raw),
+                };
+                builder
+                    .push(u, item, score)
+                    .expect("generator produced an invalid rating");
+            }
+        }
+
+        Dataset {
+            name: self.name.clone(),
+            matrix: builder.build().expect("generator produced no ratings"),
+        }
+    }
+}
+
+/// One standard normal draw (Box–Muller; `rand` 0.8 ships no normal
+/// distribution without `rand_distr`, which we avoid depending on).
+fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_core::{
+        Aggregation, FormationConfig, GreedyFormer, GroupFormer, PrefIndex, Semantics,
+    };
+
+    fn small_yahoo() -> Dataset {
+        SynthConfig::yahoo_music()
+            .with_users(300)
+            .with_items(200)
+            .generate()
+    }
+
+    #[test]
+    fn shape_and_scale() {
+        let d = small_yahoo();
+        assert_eq!(d.matrix.n_users(), 300);
+        assert_eq!(d.matrix.n_items(), 200);
+        for u in 0..d.matrix.n_users() {
+            assert!(d.matrix.degree(u) >= 20, "user {u} has {} < 20", d.matrix.degree(u));
+            for (_, s) in d.matrix.user_ratings(u) {
+                assert!((1.0..=5.0).contains(&s));
+                assert_eq!(s, s.round(), "whole stars expected");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = SynthConfig::tiny(20, 8).generate();
+        let b = SynthConfig::tiny(20, 8).generate();
+        assert_eq!(a.matrix, b.matrix);
+        let c = SynthConfig::tiny(20, 8).with_seed(99).generate();
+        assert_ne!(a.matrix, c.matrix);
+    }
+
+    #[test]
+    fn ratings_use_the_full_scale() {
+        let d = small_yahoo();
+        let mut histogram = [0usize; 6];
+        for u in 0..d.matrix.n_users() {
+            for (_, s) in d.matrix.user_ratings(u) {
+                histogram[s as usize] += 1;
+            }
+        }
+        // Every star level 1..5 appears somewhere.
+        for star in 1..=5 {
+            assert!(histogram[star] > 0, "star {star} never generated: {histogram:?}");
+        }
+    }
+
+    #[test]
+    fn clusters_create_shareable_prefixes() {
+        // The reason this generator exists: greedy formation must find users
+        // with identical top-k lists, i.e. fewer buckets than users.
+        let d = SynthConfig::yahoo_music()
+            .with_users(400)
+            .with_items(100)
+            .with_user_noise(0.1)
+            .generate();
+        let prefs = PrefIndex::build(&d.matrix);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 3, 10);
+        let r = GreedyFormer::new().form(&d.matrix, &prefs, &cfg).unwrap();
+        assert!(
+            r.n_buckets < 400,
+            "no shared top-k prefixes at all: {} buckets for 400 users",
+            r.n_buckets
+        );
+    }
+
+    #[test]
+    fn head_items_are_rated_by_everyone() {
+        let cfg = SynthConfig::yahoo_music().with_users(50).with_items(60);
+        let d = cfg.generate();
+        let t = d.matrix.transpose();
+        let fully_rated = (0..60u32).filter(|&i| t.degree(i) == 50).count();
+        assert!(
+            fully_rated >= cfg.head_items,
+            "only {fully_rated} items rated by everyone (head = {})",
+            cfg.head_items
+        );
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let d = SynthConfig::yahoo_music()
+            .with_users(200)
+            .with_items(500)
+            .generate();
+        let t = d.matrix.transpose();
+        let mut degrees: Vec<usize> = (0..500u32).map(|i| t.degree(i)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top50: usize = degrees[..50].iter().sum();
+        let total: usize = degrees.iter().sum();
+        assert!(
+            top50 as f64 > 0.4 * total as f64,
+            "head mass too small: {top50}/{total}"
+        );
+    }
+
+    #[test]
+    fn continuous_ratings_mode() {
+        let mut cfg = SynthConfig::tiny(10, 6);
+        cfg.rating_step = None;
+        let d = cfg.generate();
+        let mut any_fractional = false;
+        for u in 0..d.matrix.n_users() {
+            for (_, s) in d.matrix.user_ratings(u) {
+                assert!((1.0..=5.0).contains(&s));
+                if (s - s.round()).abs() > 1e-9 {
+                    any_fractional = true;
+                }
+            }
+        }
+        assert!(any_fractional, "continuous mode produced only integers");
+    }
+
+    #[test]
+    fn flickr_preset_is_dense() {
+        let d = SynthConfig::flickr_poi().generate();
+        assert_eq!(d.matrix.n_users(), 50);
+        assert_eq!(d.matrix.n_items(), 10);
+        assert_eq!(d.matrix.nnz(), 500);
+    }
+
+    #[test]
+    fn with_items_caps_head_and_min() {
+        let cfg = SynthConfig::yahoo_music().with_items(5);
+        assert!(cfg.head_items <= 5);
+        assert!(cfg.min_ratings <= 5);
+        let d = cfg.with_users(10).generate();
+        assert_eq!(d.matrix.n_items(), 5);
+    }
+
+    #[test]
+    fn randn_is_roughly_standard() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

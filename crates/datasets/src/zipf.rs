@@ -1,0 +1,179 @@
+//! Zipf-distributed sampling over item ranks.
+//!
+//! Item popularity in rating datasets is heavy-tailed: a small head of
+//! items collects most ratings. The generator samples which items a user
+//! rates from a Zipf distribution `P(rank r) ∝ 1 / r^s`, implemented by
+//! inverse-CDF lookup over a precomputed cumulative table (O(m) memory,
+//! O(log m) per sample) — no extra dependency needed.
+
+use rand::Rng;
+
+/// A Zipf sampler over ranks `0..n` (rank 0 is the most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[r]` = P(rank <= r).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s >= 0`
+    /// (`s = 0` is uniform; `s ≈ 1` is classic Zipf).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "invalid Zipf exponent {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point drift at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over zero ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Draws `count` *distinct* ranks (by rejection), ascending order not
+    /// guaranteed. Falls back to taking every rank when `count >= n`.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        let n = self.len();
+        if count >= n {
+            return (0..n).collect();
+        }
+        let mut seen = vec![false; n];
+        let mut out = Vec::with_capacity(count);
+        // Rejection sampling is fast while count << n; once the acceptance
+        // rate degrades (count close to n), sweep the remaining ranks.
+        let mut attempts = 0usize;
+        let max_attempts = 20 * count + 100;
+        while out.len() < count && attempts < max_attempts {
+            attempts += 1;
+            let r = self.sample(rng);
+            if !seen[r] {
+                seen[r] = true;
+                out.push(r);
+            }
+        }
+        if out.len() < count {
+            for (r, s) in seen.iter().enumerate() {
+                if !*s {
+                    out.push(r);
+                    if out.len() == count {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn head_dominates_when_s_is_one() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut head = 0usize;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s = 1 over 1000 ranks, the top-10 mass is H(10)/H(1000) ≈ 39%.
+        let frac = head as f64 / N as f64;
+        assert!((0.3..0.5).contains(&frac), "head fraction {frac}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(17, 1.2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn distinct_sampling() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = z.sample_distinct(&mut rng, 30);
+        assert_eq!(s.len(), 30);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+    }
+
+    #[test]
+    fn distinct_sampling_saturates() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = z.sample_distinct(&mut rng, 50);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn distinct_sampling_near_saturation_completes() {
+        // Acceptance degrades near n; the sweep fallback must kick in.
+        let z = Zipf::new(50, 2.0);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let s = z.sample_distinct(&mut rng, 49);
+        assert_eq!(s.len(), 49);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Zipf exponent")]
+    fn negative_exponent_panics() {
+        let _ = Zipf::new(3, -1.0);
+    }
+}

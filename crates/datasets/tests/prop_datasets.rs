@@ -1,0 +1,131 @@
+//! Property-based tests for the dataset substrate.
+
+use gf_datasets::adversarial::{planted_x3c, tie_dense};
+use gf_datasets::split::{holdout_split, user_folds};
+use gf_datasets::zipf::Zipf;
+use gf_datasets::SynthConfig;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator always honors shape, scale and the min-ratings floor.
+    #[test]
+    fn generator_invariants(
+        n in 1u32..40,
+        m in 1u32..30,
+        seed in 0u64..1000,
+        noise in 0.0f64..1.5,
+    ) {
+        let cfg = SynthConfig::tiny(n, m).with_seed(seed).with_user_noise(noise);
+        let d = cfg.generate();
+        prop_assert_eq!(d.matrix.n_users(), n);
+        prop_assert_eq!(d.matrix.n_items(), m);
+        for u in 0..n {
+            prop_assert!(d.matrix.degree(u) >= cfg.min_ratings.min(m as usize));
+            for (_, s) in d.matrix.user_ratings(u) {
+                prop_assert!((1.0..=5.0).contains(&s));
+                prop_assert_eq!(s, s.round()); // whole stars by default
+            }
+        }
+    }
+
+    /// Same seed, same dataset; different seed, (almost surely) different.
+    #[test]
+    fn generator_determinism(n in 2u32..20, m in 2u32..10, seed in 0u64..500) {
+        let a = SynthConfig::tiny(n, m).with_seed(seed).generate();
+        let b = SynthConfig::tiny(n, m).with_seed(seed).generate();
+        prop_assert_eq!(a.matrix, b.matrix);
+    }
+
+    /// Folds partition the users with sizes within 1 of each other.
+    #[test]
+    fn folds_partition(n in 1u32..200, folds in 1usize..12, seed in 0u64..100) {
+        let f = user_folds(n, folds, seed);
+        prop_assert_eq!(f.len(), folds);
+        let mut all: Vec<u32> = f.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        let sizes: Vec<usize> = f.iter().map(Vec::len).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1);
+    }
+
+    /// Holdout conserves ratings and never leaks test pairs into train.
+    #[test]
+    fn holdout_conservation(
+        n in 2u32..25,
+        m in 2u32..12,
+        frac in 0.0f64..0.9,
+        seed in 0u64..100,
+    ) {
+        let d = SynthConfig::tiny(n, m).generate();
+        let h = holdout_split(&d.matrix, frac, seed).unwrap();
+        prop_assert_eq!(h.train.nnz() + h.test.len(), d.matrix.nnz());
+        for &(u, i, r) in &h.test {
+            prop_assert_eq!(d.matrix.get(u, i), Some(r));
+            prop_assert_eq!(h.train.get(u, i), None);
+        }
+        for u in 0..n {
+            if d.matrix.degree(u) > 0 {
+                prop_assert!(h.train.degree(u) >= 1, "user {u} lost all train ratings");
+            }
+        }
+    }
+
+    /// Zipf samples stay in range and the CDF head dominates the tail.
+    #[test]
+    fn zipf_range_and_skew(n in 2usize..500, s_times_10 in 0u32..25) {
+        let s = s_times_10 as f64 / 10.0;
+        let z = Zipf::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut head = 0usize;
+        const DRAWS: usize = 2000;
+        for _ in 0..DRAWS {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n);
+            if r < n.div_ceil(2) {
+                head += 1;
+            }
+        }
+        // The first half of the ranks always receives at least half the
+        // mass (exactly half for s = 0, more for s > 0).
+        prop_assert!(head * 2 >= DRAWS - DRAWS / 10, "head {head}/{DRAWS}");
+    }
+
+    /// Planted X3C instances are well-formed: binary, 3 elements per set,
+    /// every element in exactly one planted cover set.
+    #[test]
+    fn x3c_wellformed(q in 1usize..8, extra in 0usize..6, seed in 0u64..100) {
+        let inst = planted_x3c(q, extra, seed);
+        prop_assert_eq!(inst.matrix.n_users(), 3 * q as u32);
+        prop_assert_eq!(inst.matrix.n_items(), (q + extra) as u32);
+        let t = inst.matrix.transpose();
+        let mut covered = vec![0usize; 3 * q];
+        for &set in &inst.cover {
+            let mut ones = 0;
+            for (pos, &u) in t.item_users(set).iter().enumerate() {
+                if t.item_scores(set)[pos] == 1.0 {
+                    ones += 1;
+                    covered[u as usize] += 1;
+                }
+            }
+            prop_assert_eq!(ones, 3);
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    /// Tie-dense instances only produce the two extreme ratings.
+    #[test]
+    fn tie_dense_is_binaryish(n in 1u32..30, m in 1u32..10, seed in 0u64..50) {
+        let mat = tie_dense(n, m, seed);
+        prop_assert_eq!(mat.nnz(), (n * m) as usize);
+        for u in 0..n {
+            for (_, s) in mat.user_ratings(u) {
+                prop_assert!(s == 1.0 || s == 5.0);
+            }
+        }
+    }
+}

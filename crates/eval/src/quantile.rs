@@ -1,0 +1,161 @@
+//! Five-number summaries (Table 4's "box-plot" representation).
+
+use std::fmt;
+
+/// Minimum, lower quartile, median, upper quartile, maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Smallest value.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Computes the summary with linear interpolation between order
+    /// statistics (the common "R-7" quantile definition).
+    ///
+    /// Returns `None` for an empty input.
+    pub fn compute(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some(FiveNumber {
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Averages several summaries element-wise (the paper reports
+    /// "average minimum size, average Q1, …" over repeated runs).
+    pub fn average(summaries: &[FiveNumber]) -> Option<FiveNumber> {
+        if summaries.is_empty() {
+            return None;
+        }
+        let n = summaries.len() as f64;
+        Some(FiveNumber {
+            min: summaries.iter().map(|s| s.min).sum::<f64>() / n,
+            q1: summaries.iter().map(|s| s.q1).sum::<f64>() / n,
+            median: summaries.iter().map(|s| s.median).sum::<f64>() / n,
+            q3: summaries.iter().map(|s| s.q3).sum::<f64>() / n,
+            max: summaries.iter().map(|s| s.max).sum::<f64>() / n,
+        })
+    }
+}
+
+/// `q`-quantile of an ascending-sorted slice, linearly interpolated.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let h = (sorted.len() as f64 - 1.0) * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+impl fmt::Display for FiveNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:.2} | Q1 {:.2} | median {:.2} | Q3 {:.2} | max {:.2}",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard error of the mean (0 for fewer than two values).
+pub fn std_error(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n as f64 - 1.0);
+    (var / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_of_known_data() {
+        let s = FiveNumber::compute(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn interpolated_quantiles() {
+        let s = FiveNumber::compute(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.q1, 1.75);
+        assert_eq!(s.q3, 3.25);
+    }
+
+    #[test]
+    fn unordered_input_is_fine() {
+        let a = FiveNumber::compute(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        let b = FiveNumber::compute(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(FiveNumber::compute(&[]).is_none());
+        assert!(FiveNumber::average(&[]).is_none());
+    }
+
+    #[test]
+    fn singleton_summary() {
+        let s = FiveNumber::compute(&[7.0]).unwrap();
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn averaging_summaries() {
+        let a = FiveNumber::compute(&[1.0, 2.0, 3.0]).unwrap();
+        let b = FiveNumber::compute(&[3.0, 4.0, 5.0]).unwrap();
+        let avg = FiveNumber::average(&[a, b]).unwrap();
+        assert_eq!(avg.median, 3.0);
+        assert_eq!(avg.min, 2.0);
+        assert_eq!(avg.max, 4.0);
+    }
+
+    #[test]
+    fn mean_and_std_error() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_error(&[3.0]), 0.0);
+        // Values 1..5: sample std = sqrt(2.5), stderr = sqrt(2.5/5).
+        let se = std_error(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((se - (2.5f64 / 5.0).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Exact set-partition dynamic programming.
+//!
+//! `f[j][S]` = the best objective achievable by partitioning the user set
+//! `S` into at most `j` non-empty groups. Transition: peel off the block
+//! containing the lowest-indexed user of `S` (canonical, so each partition
+//! is considered once):
+//!
+//! `f[j][S] = max over blocks B ⊆ S with low(S) ∈ B of score(B) + f[j-1][S \ B]`
+//!
+//! Time O(ℓ·3ⁿ + 2ⁿ·cost(score)), memory O(ℓ·2ⁿ) — the reference optimum
+//! for n ≲ 16 users, which covers the paper's calibration range in spirit
+//! (their CPLEX runs topped out at 200 users only with multi-minute runtimes;
+//! see DESIGN.md for the substitution notes).
+
+use crate::scorer::MaskScorer;
+use gf_core::{
+    FormationConfig, FormationResult, GfError, GroupFormer, Grouping, PrefIndex, RatingMatrix,
+    Result,
+};
+
+/// Exact optimal group formation by subset DP.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionDp {
+    /// Hard cap on users; the DP refuses larger instances rather than
+    /// consuming exponential memory. Default 16.
+    pub max_users: u32,
+}
+
+impl Default for PartitionDp {
+    fn default() -> Self {
+        PartitionDp { max_users: 16 }
+    }
+}
+
+impl PartitionDp {
+    /// A DP solver with the default 16-user cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl GroupFormer for PartitionDp {
+    fn name(&self, cfg: &FormationConfig) -> String {
+        format!("OPT-{}-{}", cfg.semantics.tag(), cfg.aggregation.tag())
+    }
+
+    fn form(
+        &self,
+        matrix: &RatingMatrix,
+        _prefs: &PrefIndex,
+        cfg: &FormationConfig,
+    ) -> Result<FormationResult> {
+        cfg.validate(matrix)?;
+        let n = matrix.n_users() as usize;
+        if n > self.max_users as usize || n > 24 {
+            return Err(GfError::InvalidGrouping(format!(
+                "PartitionDp handles at most {} users; got {n} (use BranchAndBound or \
+                 LocalSearch for larger instances)",
+                self.max_users.min(24)
+            )));
+        }
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let size = 1usize << n;
+        let mut scorer = MaskScorer::new(matrix, cfg);
+
+        // Score every non-empty subset once.
+        let mut score = vec![0.0f64; size];
+        for (mask, slot) in score.iter_mut().enumerate().skip(1) {
+            *slot = scorer.score(mask as u64);
+        }
+
+        let ell_cap = cfg.ell.min(n);
+        // f[mask] for the current j; choice[j][mask] = block peeled at (j, mask).
+        let mut prev = vec![f64::NEG_INFINITY; size]; // j = 1
+        prev[0] = 0.0;
+        for (mask, slot) in prev.iter_mut().enumerate().skip(1) {
+            *slot = score[mask];
+        }
+        let mut choices: Vec<Vec<u64>> = Vec::with_capacity(ell_cap);
+        choices.push((0..size).map(|m| m as u64).collect()); // j=1: whole set is the block
+
+        for _j in 2..=ell_cap {
+            let mut cur = vec![f64::NEG_INFINITY; size];
+            cur[0] = 0.0;
+            let mut choice = vec![0u64; size];
+            for mask in 1..size {
+                let mask_u = mask as u64;
+                let low = mask_u & mask_u.wrapping_neg(); // lowest set bit
+                // Enumerate submasks of `rest` and attach `low` to each.
+                let rest = mask_u & !low;
+                let mut best = score[mask]; // block = whole set
+                let mut best_block = mask_u;
+                let mut sub = rest;
+                loop {
+                    // block = low | sub, remainder = mask \ block
+                    let block = low | sub;
+                    let rem = mask_u & !block;
+                    if rem != 0 {
+                        let cand = score[block as usize] + prev[rem as usize];
+                        if cand > best {
+                            best = cand;
+                            best_block = block;
+                        }
+                    }
+                    if sub == 0 {
+                        break;
+                    }
+                    sub = (sub - 1) & rest;
+                }
+                cur[mask] = best;
+                choice[mask] = best_block;
+            }
+            choices.push(choice);
+            prev = cur;
+        }
+
+        // Backtrack from (ell_cap, full).
+        let mut groups = Vec::new();
+        let mut mask = full;
+        let mut j = ell_cap;
+        while mask != 0 {
+            let block = if j >= 1 { choices[j - 1][mask as usize] } else { mask };
+            groups.push(scorer.group(block));
+            mask &= !block;
+            j = j.saturating_sub(1);
+        }
+        // Highest-satisfaction groups first, for stable presentation.
+        groups.sort_by(|a, b| {
+            b.satisfaction
+                .total_cmp(&a.satisfaction)
+                .then(a.members.cmp(&b.members))
+        });
+        let grouping = Grouping::new(groups);
+        debug_assert!(grouping.validate(matrix.n_users(), cfg.ell).is_ok());
+        let objective = grouping.objective();
+        Ok(FormationResult {
+            grouping,
+            objective,
+            n_buckets: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::brute_force;
+    use gf_core::{Aggregation, RatingScale, Semantics};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn example1() -> (RatingMatrix, PrefIndex) {
+        let m = RatingMatrix::from_dense(
+            &[
+                &[1.0, 4.0, 3.0][..],
+                &[2.0, 3.0, 5.0],
+                &[2.0, 5.0, 1.0],
+                &[2.0, 5.0, 1.0],
+                &[3.0, 1.0, 1.0],
+                &[1.0, 2.0, 5.0],
+            ],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let p = PrefIndex::build(&m);
+        (m, p)
+    }
+
+    #[test]
+    fn reproduces_paper_optima() {
+        let (m, p) = example1();
+        // k=1 LM-Min, ℓ=3: OPT = 12.
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 3);
+        let r = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+        assert_eq!(r.objective, 12.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..7u32);
+            let m = rng.gen_range(2..5u32);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(1..=5) as f64).collect())
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let mat = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
+            let prefs = PrefIndex::build(&mat);
+            let sem = if trial % 2 == 0 {
+                Semantics::LeastMisery
+            } else {
+                Semantics::AggregateVoting
+            };
+            let agg = Aggregation::paper_set()[trial % 3];
+            let k = 1 + trial % 2;
+            let ell = 1 + trial % 4;
+            let cfg = FormationConfig::new(sem, agg, k, ell);
+            let dp = PartitionDp::new().form(&mat, &prefs, &cfg).unwrap();
+            let bf = brute_force(&mat, &prefs, &cfg).unwrap();
+            assert!(
+                (dp.objective - bf.objective).abs() < 1e-9,
+                "trial {trial} ({sem} {agg} k={k} ell={ell}): DP {} vs BF {}",
+                dp.objective,
+                bf.objective
+            );
+            dp.grouping.validate(n, ell).unwrap();
+        }
+    }
+
+    #[test]
+    fn dominates_every_partition_it_outputs() {
+        let (m, p) = example1();
+        for ell in 1..=6usize {
+            let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, ell);
+            let r = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+            r.grouping.validate(6, ell).unwrap();
+            // More budget can only help.
+            if ell > 1 {
+                let prev_cfg =
+                    FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, ell - 1);
+                let prev = PartitionDp::new().form(&m, &p, &prev_cfg).unwrap();
+                assert!(r.objective >= prev.objective - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_instances() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|_| vec![3.0, 4.0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
+        let p = PrefIndex::build(&m);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 3);
+        assert!(PartitionDp::new().form(&m, &p, &cfg).is_err());
+    }
+
+    #[test]
+    fn opt_name() {
+        let cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 5, 10);
+        assert_eq!(PartitionDp::new().name(&cfg), "OPT-AV-SUM");
+    }
+}

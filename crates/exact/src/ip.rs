@@ -1,0 +1,354 @@
+//! The Appendix-A integer program, with CPLEX LP export.
+//!
+//! The paper solves optimal group formation by handing an IP to CPLEX. The
+//! formulation in Appendix A uses products of decision variables (e.g.
+//! `y_jg × sc(g, j)` where `sc(g, j)` itself depends on the membership
+//! variables), so a solver-ready model needs the standard big-M
+//! linearization. [`IpModel`] builds that linearized model for the `k = 1`
+//! case — the case the paper's NP-hardness proof reduces to, and where
+//! Min/Max/Sum aggregation coincide (Section 2.3) — and exports it in CPLEX
+//! LP format so anyone with a MIP solver can replicate the paper's OPT
+//! pipeline verbatim. For `k > 1` use the in-crate exact solvers
+//! ([`PartitionDp`](crate::PartitionDp), [`BranchAndBound`](crate::BranchAndBound)).
+//!
+//! Variables (mirroring Appendix A):
+//! * `u_{i,g} ∈ {0,1}` — user `i` belongs to group `g`;
+//! * `y_{j,g} ∈ {0,1}` — item `j` is the (single) item recommended to `g`;
+//! * `z_g ≥ 0` — the satisfaction of group `g` (the linearized stand-in
+//!   for `y_jg × sc(g, j)`).
+//!
+//! Constraints:
+//! * every user in exactly one group; every group picks exactly one item;
+//! * **LM**: `z_g ≤ sc(i, j) + M(1 - u_{i,g}) + M(1 - y_{j,g})` for all
+//!   `i, j, g` — the group score is at most the rating of each member for
+//!   the chosen item;
+//! * **AV**: `z_g ≤ Σ_i sc(i, j)·u_{i,g} + M(1 - y_{j,g})` for all `j, g`;
+//! * `z_g ≤ M·Σ_i u_{i,g}` — empty groups contribute nothing.
+
+use gf_core::{
+    FormationConfig, GfError, GroupRecommender, Grouping, MissingPolicy, RatingMatrix, Result,
+    Semantics,
+};
+use std::fmt::Write as _;
+
+/// A linearized instance of the Appendix-A IP (k = 1).
+#[derive(Debug, Clone)]
+pub struct IpModel {
+    semantics: Semantics,
+    n_users: u32,
+    n_items: u32,
+    ell: usize,
+    big_m: f64,
+    /// Dense `n x m` preference scores with the missing policy applied.
+    scores: Vec<f64>,
+}
+
+impl IpModel {
+    /// Builds the model for a `k = 1` configuration.
+    pub fn build(matrix: &RatingMatrix, cfg: &FormationConfig) -> Result<Self> {
+        cfg.validate(matrix)?;
+        if cfg.k != 1 {
+            return Err(GfError::InvalidK { k: cfg.k });
+        }
+        let n = matrix.n_users();
+        let m = matrix.n_items();
+        let mut scores = Vec::with_capacity(n as usize * m as usize);
+        for u in 0..n {
+            for i in 0..m {
+                scores.push(effective_score(matrix, cfg.policy, u, i));
+            }
+        }
+        let big_m = match cfg.semantics {
+            Semantics::LeastMisery => matrix.scale().max() + 1.0,
+            Semantics::AggregateVoting => n as f64 * matrix.scale().max() + 1.0,
+        };
+        Ok(IpModel {
+            semantics: cfg.semantics,
+            n_users: n,
+            n_items: m,
+            ell: cfg.ell,
+            big_m,
+            scores,
+        })
+    }
+
+    #[inline]
+    fn score(&self, u: u32, i: u32) -> f64 {
+        self.scores[u as usize * self.n_items as usize + i as usize]
+    }
+
+    /// Number of decision variables (`u`, `y` and `z`).
+    pub fn n_variables(&self) -> usize {
+        let (n, m, l) = (self.n_users as usize, self.n_items as usize, self.ell);
+        n * l + m * l + l
+    }
+
+    /// Number of constraints emitted into the LP.
+    pub fn n_constraints(&self) -> usize {
+        let (n, m, l) = (self.n_users as usize, self.n_items as usize, self.ell);
+        let semantic = match self.semantics {
+            Semantics::LeastMisery => n * m * l,
+            Semantics::AggregateVoting => m * l,
+        };
+        // assignment (n) + item choice (l) + semantic + empty-group guard (l)
+        n + l + semantic + l
+    }
+
+    /// Serializes the model in CPLEX LP format.
+    pub fn to_lp_string(&self) -> String {
+        let (n, m, l) = (self.n_users, self.n_items, self.ell);
+        let big_m = self.big_m;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "\\ Group formation ({} semantics, k = 1, {} users, {} items, {} groups)",
+            self.semantics, n, m, l
+        );
+        let _ = writeln!(out, "\\ Appendix A of 'From Group Recommendations to Group Formation'");
+        out.push_str("Maximize\n obj:");
+        for g in 0..l {
+            let _ = write!(out, " {} z_{g}", if g == 0 { "" } else { "+" });
+        }
+        out.push_str("\nSubject To\n");
+        // Each user in exactly one group.
+        for u in 0..n {
+            let _ = write!(out, " assign_u{u}:");
+            for g in 0..l {
+                let _ = write!(out, " {} x_{u}_{g}", if g == 0 { "" } else { "+" });
+            }
+            out.push_str(" = 1\n");
+        }
+        // Each group chooses exactly one item.
+        for g in 0..l {
+            let _ = write!(out, " choose_g{g}:");
+            for j in 0..m {
+                let _ = write!(out, " {} y_{j}_{g}", if j == 0 { "" } else { "+" });
+            }
+            out.push_str(" = 1\n");
+        }
+        // Semantic constraints.
+        match self.semantics {
+            Semantics::LeastMisery => {
+                for g in 0..l {
+                    for u in 0..n {
+                        for j in 0..m {
+                            // z_g + M x_ug + M y_jg <= s_uj + 2M
+                            let rhs = self.score(u, j) + 2.0 * big_m;
+                            let _ = writeln!(
+                                out,
+                                " lm_g{g}_u{u}_i{j}: z_{g} + {big_m} x_{u}_{g} + {big_m} y_{j}_{g} <= {rhs}"
+                            );
+                        }
+                    }
+                }
+            }
+            Semantics::AggregateVoting => {
+                for g in 0..l {
+                    for j in 0..m {
+                        // z_g - sum_u s_uj x_ug + M y_jg <= M
+                        let _ = write!(out, " av_g{g}_i{j}: z_{g}");
+                        for u in 0..n {
+                            let _ = write!(out, " - {} x_{u}_{g}", self.score(u, j));
+                        }
+                        let _ = writeln!(out, " + {big_m} y_{j}_{g} <= {big_m}");
+                    }
+                }
+            }
+        }
+        // Empty groups contribute nothing: z_g <= M * sum_u x_ug.
+        for g in 0..l {
+            let _ = write!(out, " nonempty_g{g}: z_{g}");
+            for u in 0..n {
+                let _ = write!(out, " - {big_m} x_{u}_{g}");
+            }
+            out.push_str(" <= 0\n");
+        }
+        // Bounds and binaries.
+        out.push_str("Bounds\n");
+        for g in 0..l {
+            let _ = writeln!(out, " 0 <= z_{g} <= {big_m}");
+        }
+        out.push_str("Binary\n");
+        for u in 0..n {
+            for g in 0..l {
+                let _ = writeln!(out, " x_{u}_{g}");
+            }
+        }
+        for j in 0..m {
+            for g in 0..l {
+                let _ = writeln!(out, " y_{j}_{g}");
+            }
+        }
+        out.push_str("End\n");
+        out
+    }
+
+    /// Evaluates a grouping against the model: validates the assignment
+    /// constraints and returns the model objective (sum over groups of the
+    /// best single-item score under the semantics).
+    pub fn evaluate(&self, grouping: &Grouping) -> Result<f64> {
+        grouping.validate(self.n_users, self.ell)?;
+        let mut total = 0.0;
+        for g in &grouping.groups {
+            let mut best = f64::NEG_INFINITY;
+            for j in 0..self.n_items {
+                let s = match self.semantics {
+                    Semantics::LeastMisery => g
+                        .members
+                        .iter()
+                        .map(|&u| self.score(u, j))
+                        .fold(f64::INFINITY, f64::min),
+                    Semantics::AggregateVoting => {
+                        g.members.iter().map(|&u| self.score(u, j)).sum()
+                    }
+                };
+                best = best.max(s);
+            }
+            total += best;
+        }
+        Ok(total)
+    }
+}
+
+/// The preference score the model uses for `(u, i)`: the rating if present,
+/// otherwise the policy imputation (`Skip` has no sensible single-value
+/// reading in an IP, so it imputes `r_min` like `Min`).
+fn effective_score(matrix: &RatingMatrix, policy: MissingPolicy, u: u32, i: u32) -> f64 {
+    matrix.get(u, i).unwrap_or(match policy {
+        MissingPolicy::Min | MissingPolicy::Skip => matrix.scale().min(),
+        MissingPolicy::UserMean => matrix.user_mean(u),
+    })
+}
+
+/// Convenience: the model objective of the grouping produced by any former,
+/// for cross-checking solver outputs against the IP's own scoring.
+pub fn model_objective(
+    matrix: &RatingMatrix,
+    cfg: &FormationConfig,
+    grouping: &Grouping,
+) -> Result<f64> {
+    IpModel::build(matrix, cfg)?.evaluate(grouping)
+}
+
+/// Sanity helper used by tests: the recommendation engine's objective for
+/// k = 1 must agree with the IP model's objective on the same grouping.
+pub fn engine_objective(
+    matrix: &RatingMatrix,
+    cfg: &FormationConfig,
+    grouping: &Grouping,
+) -> f64 {
+    let rec = GroupRecommender::new(matrix, cfg.semantics).with_policy(cfg.policy);
+    grouping
+        .groups
+        .iter()
+        .map(|g| rec.satisfaction(&g.members, 1, cfg.aggregation))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::PartitionDp;
+    use gf_core::{Aggregation, GreedyFormer, GroupFormer, PrefIndex, RatingScale};
+
+    fn example1() -> (RatingMatrix, PrefIndex) {
+        let m = RatingMatrix::from_dense(
+            &[
+                &[1.0, 4.0, 3.0][..],
+                &[2.0, 3.0, 5.0],
+                &[2.0, 5.0, 1.0],
+                &[2.0, 5.0, 1.0],
+                &[3.0, 1.0, 1.0],
+                &[1.0, 2.0, 5.0],
+            ],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let p = PrefIndex::build(&m);
+        (m, p)
+    }
+
+    fn cfg_lm() -> FormationConfig {
+        FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 3)
+    }
+
+    #[test]
+    fn rejects_k_greater_than_one() {
+        let (m, _) = example1();
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3);
+        assert!(matches!(IpModel::build(&m, &cfg), Err(GfError::InvalidK { .. })));
+    }
+
+    #[test]
+    fn variable_and_constraint_counts() {
+        let (m, _) = example1();
+        let model = IpModel::build(&m, &cfg_lm()).unwrap();
+        // 6*3 x + 3*3 y + 3 z = 30 variables.
+        assert_eq!(model.n_variables(), 30);
+        // 6 assign + 3 choose + 6*3*3 lm + 3 nonempty = 66.
+        assert_eq!(model.n_constraints(), 66);
+    }
+
+    #[test]
+    fn lp_export_is_well_formed() {
+        let (m, _) = example1();
+        let model = IpModel::build(&m, &cfg_lm()).unwrap();
+        let lp = model.to_lp_string();
+        for section in ["Maximize", "Subject To", "Bounds", "Binary", "End"] {
+            assert!(lp.contains(section), "missing section {section}");
+        }
+        // One named constraint per counted constraint.
+        let named = lp.matches(':').count() - 1; // minus the objective row
+        assert_eq!(named, model.n_constraints());
+        assert!(lp.contains("x_0_0"));
+        assert!(lp.contains("y_2_2"));
+        assert!(lp.contains("z_2"));
+    }
+
+    #[test]
+    fn av_lp_export_differs() {
+        let (m, _) = example1();
+        let cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Min, 1, 2);
+        let model = IpModel::build(&m, &cfg).unwrap();
+        let lp = model.to_lp_string();
+        assert!(lp.contains("av_g0_i0"));
+        assert!(!lp.contains("lm_g0"));
+    }
+
+    #[test]
+    fn evaluate_matches_engine_for_k1() {
+        let (m, p) = example1();
+        for sem in Semantics::all() {
+            let cfg = FormationConfig::new(sem, Aggregation::Min, 1, 3);
+            let model = IpModel::build(&m, &cfg).unwrap();
+            let grd = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+            let ip_obj = model.evaluate(&grd.grouping).unwrap();
+            let engine = engine_objective(&m, &cfg, &grd.grouping);
+            assert!(
+                (ip_obj - engine).abs() < 1e-9,
+                "{sem}: IP {ip_obj} vs engine {engine}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_grouping_scores_12_under_the_model() {
+        // The appendix reports the IP solution {u1,u3,u4}, {u2,u6}, {u5} = 12.
+        let (m, p) = example1();
+        let cfg = cfg_lm();
+        let model = IpModel::build(&m, &cfg).unwrap();
+        let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+        assert_eq!(model.evaluate(&opt.grouping).unwrap(), 12.0);
+        // And the greedy grouping scores 11 — strictly below.
+        let grd = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+        assert_eq!(model.evaluate(&grd.grouping).unwrap(), 11.0);
+    }
+
+    #[test]
+    fn evaluate_rejects_invalid_groupings() {
+        let (m, _) = example1();
+        let model = IpModel::build(&m, &cfg_lm()).unwrap();
+        let bad = Grouping::new(vec![]);
+        assert!(model.evaluate(&bad).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # gf-exact — optimal group formation (the paper's CPLEX substitute)
+//!
+//! Appendix A of the paper formulates optimal group formation as an integer
+//! program and solves it with IBM CPLEX, purely to calibrate the greedy
+//! algorithms' quality on small inputs ("the IP-based optimal algorithms do
+//! not complete in a reasonable time beyond 200 users, 100 items, and 10
+//! groups"). CPLEX is proprietary, so this crate supplies the same
+//! capability three ways:
+//!
+//! * [`PartitionDp`] — exact set-partition dynamic programming over user
+//!   subsets, O(ℓ·3ⁿ): the reference optimum for n ≲ 16;
+//! * [`BranchAndBound`] — exact depth-first search with admissible bounds
+//!   and first-touch symmetry breaking, usually far faster than the DP and
+//!   feasible somewhat beyond it;
+//! * [`LocalSearch`] — an anytime hill-climber (relocate + swap moves) used
+//!   as the `OPT~` proxy at the paper's 200-user calibration scale; on every
+//!   instance small enough to verify it matches the exact optimum in our
+//!   test-suite.
+//!
+//! [`ip`] additionally builds the Appendix-A IP model itself and exports it
+//! in CPLEX LP format, so anyone with a MIP solver can reproduce the
+//! paper's exact pipeline verbatim.
+//!
+//! All three solvers implement the same
+//! [`GroupFormer`](gf_core::GroupFormer) interface as the greedy and
+//! baseline algorithms.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod anytime;
+pub mod bnb;
+pub mod dp;
+pub mod enumerate;
+pub mod ip;
+pub mod scorer;
+
+pub use anytime::{LocalSearch, LocalSearchConfig};
+pub use bnb::BranchAndBound;
+pub use dp::PartitionDp;
+pub use scorer::MaskScorer;

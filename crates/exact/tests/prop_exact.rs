@@ -1,0 +1,216 @@
+//! Property tests pitting the greedy algorithms against exact optima —
+//! empirical verification of the paper's theorems.
+
+use gf_core::{
+    Aggregation, FormationConfig, GreedyFormer, GroupFormer, PrefIndex, RatingMatrix,
+    RatingScale, Semantics,
+};
+use gf_exact::{BranchAndBound, LocalSearch, PartitionDp};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct DenseInstance {
+    rows: Vec<Vec<f64>>,
+}
+
+fn dense_instance(max_users: usize, max_items: usize) -> impl Strategy<Value = DenseInstance> {
+    (2..=max_users, 2..=max_items)
+        .prop_flat_map(|(n, m)| {
+            proptest::collection::vec(
+                proptest::collection::vec((1..=5u8).prop_map(|r| r as f64), m),
+                n,
+            )
+        })
+        .prop_map(|rows| DenseInstance { rows })
+}
+
+fn matrix_of(inst: &DenseInstance) -> (RatingMatrix, PrefIndex) {
+    let refs: Vec<&[f64]> = inst.rows.iter().map(|r| r.as_slice()).collect();
+    let m = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
+    let p = PrefIndex::build(&m);
+    (m, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2 as stated in the paper: GRD-LM-MIN has absolute error at
+    /// most r_max = 5. Our reproduction found this holds only when no two
+    /// users share a hash key (see EXPERIMENTS.md "Discrepancies"); the
+    /// test therefore conditions on distinct keys — the regime the paper's
+    /// proof actually covers.
+    #[test]
+    fn theorem2_grd_lm_min_error_bound_distinct_keys(
+        inst in dense_instance(7, 5),
+        k in 1usize..4,
+        ell in 1usize..5,
+    ) {
+        let (m, p) = matrix_of(&inst);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, k, ell);
+        let grd = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+        prop_assume!(grd.n_buckets == m.n_users() as usize); // all keys distinct
+        let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+        let bound = cfg.error_bound(&m).unwrap();
+        prop_assert!(grd.objective <= opt.objective + 1e-9, "greedy beat the optimum?!");
+        prop_assert!(
+            opt.objective - grd.objective <= bound + 1e-9,
+            "Theorem 2 violated: OPT {} - GRD {} > {bound}",
+            opt.objective, grd.objective
+        );
+    }
+
+    /// Our split-aware selection fix restores the Theorem-2 bound
+    /// *unconditionally* — duplicates and generous budgets included.
+    #[test]
+    fn theorem2_bound_unconditional_with_split_aware_selection(
+        inst in dense_instance(7, 5),
+        k in 1usize..4,
+        ell in 1usize..6,
+    ) {
+        let (m, p) = matrix_of(&inst);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, k, ell);
+        let grd = GreedyFormer::new()
+            .with_split_aware_selection(true)
+            .form(&m, &p, &cfg)
+            .unwrap();
+        let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+        let bound = cfg.error_bound(&m).unwrap();
+        prop_assert!(
+            opt.objective - grd.objective <= bound + 1e-9,
+            "split-aware bound violated: OPT {} - GRD {} > {bound}",
+            opt.objective, grd.objective
+        );
+    }
+
+    /// Theorem 3 (distinct-key regime): GRD-LM-SUM within k * r_max.
+    #[test]
+    fn theorem3_grd_lm_sum_error_bound_distinct_keys(
+        inst in dense_instance(7, 5),
+        k in 1usize..4,
+        ell in 1usize..5,
+    ) {
+        let (m, p) = matrix_of(&inst);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, k, ell);
+        let grd = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+        prop_assume!(grd.n_buckets == m.n_users() as usize);
+        let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+        let bound = cfg.error_bound(&m).unwrap();
+        prop_assert!(
+            opt.objective - grd.objective <= bound + 1e-9,
+            "Theorem 3 violated: OPT {} - GRD {} > {bound}",
+            opt.objective, grd.objective
+        );
+    }
+
+    /// Theorem 3 with split-aware selection: unconditional.
+    #[test]
+    fn theorem3_bound_unconditional_with_split_aware_selection(
+        inst in dense_instance(7, 5),
+        k in 1usize..4,
+        ell in 1usize..6,
+    ) {
+        let (m, p) = matrix_of(&inst);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, k, ell);
+        let grd = GreedyFormer::new()
+            .with_split_aware_selection(true)
+            .form(&m, &p, &cfg)
+            .unwrap();
+        let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+        let bound = cfg.error_bound(&m).unwrap();
+        prop_assert!(
+            opt.objective - grd.objective <= bound + 1e-9,
+            "split-aware Theorem-3 bound violated: OPT {} - GRD {} > {bound}",
+            opt.objective, grd.objective
+        );
+    }
+
+    /// The LM-Max analogue the paper leaves implicit: empirically the same
+    /// r_max absolute-error bound holds for GRD-LM-MAX (in the same
+    /// distinct-key regime as Theorems 2–3).
+    #[test]
+    fn lm_max_empirical_error_bound(
+        inst in dense_instance(7, 5),
+        k in 1usize..4,
+        ell in 1usize..5,
+    ) {
+        let (m, p) = matrix_of(&inst);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Max, k, ell);
+        let grd = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+        prop_assume!(grd.n_buckets == m.n_users() as usize);
+        let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+        prop_assert!(
+            opt.objective - grd.objective <= m.scale().max() + 1e-9,
+            "empirical LM-Max bound violated: OPT {} vs GRD {}",
+            opt.objective, grd.objective
+        );
+    }
+
+    /// Branch-and-bound is exact: it matches the DP on every instance,
+    /// under both semantics and all aggregations.
+    #[test]
+    fn bnb_is_exact(
+        inst in dense_instance(7, 4),
+        k in 1usize..3,
+        ell in 1usize..4,
+        lm in any::<bool>(),
+        agg_ix in 0usize..3,
+    ) {
+        let (m, p) = matrix_of(&inst);
+        let sem = if lm { Semantics::LeastMisery } else { Semantics::AggregateVoting };
+        let cfg = FormationConfig::new(sem, Aggregation::paper_set()[agg_ix], k, ell);
+        let dp = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+        let bnb = BranchAndBound::new().form(&m, &p, &cfg).unwrap();
+        prop_assert!((dp.objective - bnb.objective).abs() < 1e-9,
+            "DP {} vs BnB {}", dp.objective, bnb.objective);
+    }
+
+    /// Local search is sandwiched between greedy and the optimum.
+    #[test]
+    fn local_search_sandwich(
+        inst in dense_instance(6, 4),
+        k in 1usize..3,
+        ell in 1usize..4,
+        lm in any::<bool>(),
+    ) {
+        let (m, p) = matrix_of(&inst);
+        let sem = if lm { Semantics::LeastMisery } else { Semantics::AggregateVoting };
+        let cfg = FormationConfig::new(sem, Aggregation::Min, k, ell);
+        let grd = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+        let ls = LocalSearch::new().form(&m, &p, &cfg).unwrap();
+        let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+        prop_assert!(ls.objective >= grd.objective - 1e-9);
+        prop_assert!(ls.objective <= opt.objective + 1e-9);
+        ls.grouping.validate(m.n_users(), ell).unwrap();
+    }
+
+    /// The exact optimum is monotone in the group budget.
+    #[test]
+    fn optimum_monotone_in_ell(inst in dense_instance(6, 4), k in 1usize..3) {
+        let (m, p) = matrix_of(&inst);
+        let mut prev = f64::NEG_INFINITY;
+        for ell in 1..=4usize {
+            let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, k, ell);
+            let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+            prop_assert!(opt.objective >= prev - 1e-9);
+            prev = opt.objective;
+        }
+    }
+
+    /// With ell >= n the LM optimum is the all-singletons value: the sum of
+    /// every user's personal satisfaction.
+    #[test]
+    fn optimum_with_full_budget_is_singletons(inst in dense_instance(6, 4), k in 1usize..3) {
+        let (m, p) = matrix_of(&inst);
+        let n = m.n_users() as usize;
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, k, n);
+        let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
+        let singleton_total: f64 = (0..m.n_users())
+            .map(|u| {
+                let (_, scores) = p.top_k(u, k);
+                Aggregation::Min.apply(scores)
+            })
+            .sum();
+        prop_assert!((opt.objective - singleton_total).abs() < 1e-9,
+            "OPT {} vs singleton total {singleton_total}", opt.objective);
+    }
+}

@@ -1,0 +1,155 @@
+//! Baseline bias model: `r̂(u, i) = μ + b_u + b_i`.
+//!
+//! The classic damped-mean baseline. Biases are regularized toward zero by
+//! a damping term so that users/items with few ratings do not swing wildly —
+//! and it is the base estimate the KNN model corrects.
+
+use crate::predictor::RatingPredictor;
+use gf_core::{RatingMatrix, RatingScale};
+
+/// Global mean plus damped user and item biases.
+#[derive(Debug, Clone)]
+pub struct BiasModel {
+    scale: RatingScale,
+    mu: f64,
+    user_bias: Vec<f64>,
+    item_bias: Vec<f64>,
+}
+
+impl BiasModel {
+    /// Fits the model. `damping` is the regularization pseudo-count
+    /// (25 is a reasonable default for 1–5 star data).
+    pub fn fit(matrix: &RatingMatrix, damping: f64) -> Self {
+        let mu = matrix.global_mean();
+        let n = matrix.n_users() as usize;
+        let m = matrix.n_items() as usize;
+
+        // Item biases first (from raw residuals vs μ), then user biases
+        // from residuals vs μ + b_i.
+        let mut item_sum = vec![0.0f64; m];
+        let mut item_cnt = vec![0usize; m];
+        for u in 0..matrix.n_users() {
+            for (i, s) in matrix.user_ratings(u) {
+                item_sum[i as usize] += s - mu;
+                item_cnt[i as usize] += 1;
+            }
+        }
+        let item_bias: Vec<f64> = (0..m)
+            .map(|i| item_sum[i] / (item_cnt[i] as f64 + damping))
+            .collect();
+
+        let mut user_bias = vec![0.0f64; n];
+        for u in 0..matrix.n_users() {
+            let mut acc = 0.0;
+            for (i, s) in matrix.user_ratings(u) {
+                acc += s - mu - item_bias[i as usize];
+            }
+            user_bias[u as usize] = acc / (matrix.degree(u) as f64 + damping);
+        }
+
+        BiasModel {
+            scale: matrix.scale(),
+            mu,
+            user_bias,
+            item_bias,
+        }
+    }
+
+    /// The fitted global mean μ.
+    pub fn global_mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// The fitted bias of user `u`.
+    pub fn user_bias(&self, u: u32) -> f64 {
+        self.user_bias.get(u as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The fitted bias of item `i`.
+    pub fn item_bias(&self, i: u32) -> f64 {
+        self.item_bias.get(i as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The unclamped base estimate `μ + b_u + b_i` (used internally by the
+    /// KNN model, which corrects residuals around it).
+    pub fn baseline(&self, u: u32, i: u32) -> f64 {
+        self.mu + self.user_bias(u) + self.item_bias(i)
+    }
+}
+
+impl RatingPredictor for BiasModel {
+    fn predict(&self, u: u32, i: u32) -> f64 {
+        self.scale.clamp(self.baseline(u, i))
+    }
+
+    fn scale(&self) -> RatingScale {
+        self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_core::RatingMatrix;
+
+    fn toy() -> RatingMatrix {
+        // u0 is generous (5,5,4), u1 is harsh (1,2,1); i1 is liked by both
+        // relative to their own level.
+        RatingMatrix::from_dense(
+            &[&[5.0, 5.0, 4.0][..], &[1.0, 2.0, 1.0]],
+            RatingScale::one_to_five(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn biases_capture_tendencies() {
+        let m = toy();
+        let b = BiasModel::fit(&m, 1.0);
+        assert!(b.user_bias(0) > 0.0, "generous user should have + bias");
+        assert!(b.user_bias(1) < 0.0, "harsh user should have - bias");
+        assert!(b.item_bias(1) > b.item_bias(2), "i1 outrates i2");
+    }
+
+    #[test]
+    fn predictions_respect_scale() {
+        let m = toy();
+        let b = BiasModel::fit(&m, 0.1);
+        for u in 0..2 {
+            for i in 0..3 {
+                let p = b.predict(u, i);
+                assert!((1.0..=5.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn damping_shrinks_biases() {
+        let m = toy();
+        let loose = BiasModel::fit(&m, 0.01);
+        let tight = BiasModel::fit(&m, 100.0);
+        assert!(tight.user_bias(0).abs() < loose.user_bias(0).abs());
+        assert!(tight.item_bias(0).abs() <= loose.item_bias(0).abs() + 1e-12);
+    }
+
+    #[test]
+    fn constant_matrix_predicts_the_constant() {
+        let m = RatingMatrix::from_dense(
+            &[&[3.0, 3.0][..], &[3.0, 3.0]],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let b = BiasModel::fit(&m, 5.0);
+        assert!((b.predict(0, 1) - 3.0).abs() < 1e-9);
+        assert!(b.user_bias(0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_indices_fall_back_to_mean() {
+        let m = toy();
+        let b = BiasModel::fit(&m, 1.0);
+        // Unknown user/item: bias 0 -> clamp(μ).
+        let p = b.predict(99, 99);
+        assert!((p - b.global_mean().clamp(1.0, 5.0)).abs() < 1e-9);
+    }
+}

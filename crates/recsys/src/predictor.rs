@@ -1,0 +1,44 @@
+//! The predictor interface.
+
+use gf_core::RatingScale;
+
+/// Anything that can predict user `u`'s rating of item `i`.
+///
+/// Predictions are always clamped into the training scale (predicted
+/// ratings "may be real numbers" — paper, Section 2.1 footnote).
+pub trait RatingPredictor {
+    /// Predicted rating of item `i` for user `u` (dense indices).
+    fn predict(&self, u: u32, i: u32) -> f64;
+
+    /// The rating scale predictions are clamped to.
+    fn scale(&self) -> RatingScale;
+
+    /// Predicts a whole row of items for one user (override for speed).
+    fn predict_many(&self, u: u32, items: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(items.iter().map(|&i| self.predict(u, i)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(f64);
+    impl RatingPredictor for Constant {
+        fn predict(&self, _: u32, _: u32) -> f64 {
+            self.0
+        }
+        fn scale(&self) -> RatingScale {
+            RatingScale::one_to_five()
+        }
+    }
+
+    #[test]
+    fn predict_many_default_matches_predict() {
+        let p = Constant(3.5);
+        let mut out = Vec::new();
+        p.predict_many(0, &[0, 1, 2], &mut out);
+        assert_eq!(out, vec![3.5, 3.5, 3.5]);
+    }
+}

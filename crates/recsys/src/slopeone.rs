@@ -1,0 +1,212 @@
+//! Slope One — the classic lightweight CF predictor (Lemire & Maclachlan,
+//! 2005).
+//!
+//! For every item pair `(i, j)` the model stores the average rating
+//! difference `dev(i, j)` over their co-raters; a prediction for `(u, i)`
+//! averages `r_uj + dev(i, j)` over the items `j` the user rated, weighted
+//! by co-rater support. It has no hyper-parameters beyond the matrix
+//! itself, which makes it a robust sanity predictor between the bias model
+//! and the tuned KNN/MF models.
+
+use crate::predictor::RatingPredictor;
+use gf_core::{FxHashMap, RatingMatrix, RatingScale};
+
+/// Weighted Slope One predictor.
+#[derive(Debug, Clone)]
+pub struct SlopeOne {
+    scale: RatingScale,
+    /// `(i << 32 | j)` for `i < j` → (sum of `r_i - r_j`, co-rater count).
+    devs: FxHashMap<u64, (f64, u32)>,
+    /// Fallback when a user/item has no usable deviations.
+    user_means: Vec<f64>,
+    global_mean: f64,
+    /// Row maps for O(1) rating lookups at predict time.
+    rows: Vec<FxHashMap<u32, f64>>,
+}
+
+impl SlopeOne {
+    /// Fits the pairwise deviation table. O(Σ_u d_u²), like item-item KNN.
+    pub fn fit(matrix: &RatingMatrix) -> Self {
+        let mut devs: FxHashMap<u64, (f64, u32)> = FxHashMap::default();
+        for u in 0..matrix.n_users() {
+            let items = matrix.user_items(u);
+            let scores = matrix.user_scores(u);
+            for a in 0..items.len() {
+                for b in (a + 1)..items.len() {
+                    // items are sorted ascending, so items[a] < items[b].
+                    let key = ((items[a] as u64) << 32) | items[b] as u64;
+                    let e = devs.entry(key).or_insert((0.0, 0));
+                    e.0 += scores[a] - scores[b];
+                    e.1 += 1;
+                }
+            }
+        }
+        SlopeOne {
+            scale: matrix.scale(),
+            devs,
+            user_means: (0..matrix.n_users()).map(|u| matrix.user_mean(u)).collect(),
+            global_mean: matrix.global_mean(),
+            rows: (0..matrix.n_users())
+                .map(|u| matrix.user_ratings(u).collect())
+                .collect(),
+        }
+    }
+
+    /// The fitted deviation `dev(i, j)` = average of `r_i - r_j`, with the
+    /// number of co-raters, if any user rated both.
+    pub fn deviation(&self, i: u32, j: u32) -> Option<(f64, u32)> {
+        if i == j {
+            return Some((0.0, 0));
+        }
+        let (lo, hi, flip) = if i < j { (i, j, false) } else { (j, i, true) };
+        let key = ((lo as u64) << 32) | hi as u64;
+        self.devs.get(&key).map(|&(sum, n)| {
+            let dev = sum / n as f64;
+            (if flip { -dev } else { dev }, n)
+        })
+    }
+}
+
+impl RatingPredictor for SlopeOne {
+    fn predict(&self, u: u32, i: u32) -> f64 {
+        let Some(row) = self.rows.get(u as usize) else {
+            return self.scale.clamp(self.global_mean);
+        };
+        if let Some(&r) = row.get(&i) {
+            return r; // known rating
+        }
+        let mut num = 0.0;
+        let mut den = 0u32;
+        for (&j, &r_uj) in row {
+            if let Some((dev, support)) = self.deviation(i, j) {
+                if support > 0 {
+                    num += (r_uj + dev) * support as f64;
+                    den += support;
+                }
+            }
+        }
+        if den == 0 {
+            let fallback = self
+                .user_means
+                .get(u as usize)
+                .copied()
+                .unwrap_or(self.global_mean);
+            return self.scale.clamp(fallback);
+        }
+        self.scale.clamp(num / den as f64)
+    }
+
+    fn scale(&self) -> RatingScale {
+        self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_datasets::split::holdout_split;
+    use gf_datasets::SynthConfig;
+
+    /// The canonical Slope One example from the original paper: users rate
+    /// items A and B; dev(B, A) = ((3-5) + (4-2)) / 2 ... here simplified.
+    fn toy() -> RatingMatrix {
+        RatingMatrix::from_triples(
+            3,
+            3,
+            vec![
+                (0, 0, 5.0),
+                (0, 1, 3.0),
+                (0, 2, 2.0),
+                (1, 0, 3.0),
+                (1, 1, 4.0),
+                (2, 1, 2.0),
+                (2, 2, 5.0),
+            ],
+            RatingScale::one_to_five(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deviations_are_antisymmetric() {
+        let m = toy();
+        let s = SlopeOne::fit(&m);
+        let (d01, n01) = s.deviation(0, 1).unwrap();
+        let (d10, n10) = s.deviation(1, 0).unwrap();
+        assert_eq!(n01, n10);
+        assert!((d01 + d10).abs() < 1e-12);
+        // dev(i0, i1) over co-raters u0 (5-3) and u1 (3-4): (2 - 1)/2 = 0.5.
+        assert!((d01 - 0.5).abs() < 1e-12);
+        assert_eq!(n01, 2);
+    }
+
+    #[test]
+    fn predicts_from_deviations() {
+        let m = toy();
+        let s = SlopeOne::fit(&m);
+        // u2 rated i1=2, i2=5; predict i0 via dev(i0,i1)=0.5 (support 2)
+        // and dev(i0,i2)=3 (support 1, from u0: 5-2):
+        // ((2+0.5)*2 + (5+3)*1) / 3 = 13/3.
+        let p = s.predict(2, 0);
+        assert!((p - 13.0 / 3.0).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn known_ratings_returned_verbatim() {
+        let m = toy();
+        let s = SlopeOne::fit(&m);
+        assert_eq!(s.predict(0, 0), 5.0);
+        assert_eq!(s.predict(2, 2), 5.0);
+    }
+
+    #[test]
+    fn predictions_within_scale() {
+        let d = SynthConfig::yahoo_music().with_users(50).with_items(40).generate();
+        let s = SlopeOne::fit(&d.matrix);
+        for u in 0..50 {
+            for i in 0..40 {
+                let p = s.predict(u, i);
+                assert!((1.0..=5.0).contains(&p), "({u},{i}) -> {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn cold_user_falls_back_to_mean() {
+        let m = RatingMatrix::from_triples(
+            2,
+            2,
+            vec![(0, 0, 4.0), (0, 1, 2.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let s = SlopeOne::fit(&m);
+        // u1 rated nothing: user mean falls back to scale midpoint 3.
+        assert_eq!(s.predict(1, 0), 3.0);
+        // Unknown user id entirely: global mean.
+        assert_eq!(s.predict(99, 0), 3.0);
+    }
+
+    #[test]
+    fn beats_global_mean_on_holdout() {
+        let d = SynthConfig::yahoo_music()
+            .with_users(120)
+            .with_items(60)
+            .generate();
+        let h = holdout_split(&d.matrix, 0.2, 3).unwrap();
+        let s = SlopeOne::fit(&h.train);
+        let mu = h.train.global_mean();
+        let mut se_slope = 0.0;
+        let mut se_mean = 0.0;
+        for &(u, i, r) in &h.test {
+            let e = r - s.predict(u, i);
+            se_slope += e * e;
+            let e = r - mu;
+            se_mean += e * e;
+        }
+        assert!(
+            se_slope < se_mean,
+            "SlopeOne RMSE² {se_slope:.1} should beat mean {se_mean:.1}"
+        );
+    }
+}

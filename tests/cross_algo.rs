@@ -1,0 +1,140 @@
+//! Cross-algorithm consistency: every former implements the same contract
+//! and their quality ordering is coherent on structured data.
+
+use groupform::prelude::*;
+
+fn structured() -> (RatingMatrix, PrefIndex) {
+    let d = SynthConfig::yahoo_music()
+        .with_users(100)
+        .with_items(50)
+        .with_user_noise(0.15)
+        .generate();
+    let p = PrefIndex::build(&d.matrix);
+    (d.matrix, p)
+}
+
+fn all_formers(n_users: u32) -> Vec<Box<dyn GroupFormer>> {
+    let mut v: Vec<Box<dyn GroupFormer>> = vec![
+        Box::new(GreedyFormer::new()),
+        Box::new(GreedyFormer::new().with_surplus_splitting(true)),
+        Box::new(BaselineFormer::new().with_max_iter(30)),
+        Box::new(LocalSearch::new()),
+    ];
+    if n_users <= 16 {
+        v.push(Box::new(PartitionDp::new()));
+    }
+    if n_users <= 20 {
+        v.push(Box::new(BranchAndBound::new()));
+    }
+    v
+}
+
+#[test]
+fn every_former_produces_valid_groupings() {
+    let (m, p) = structured();
+    for sem in [Semantics::LeastMisery, Semantics::AggregateVoting] {
+        for agg in [Aggregation::Min, Aggregation::Max, Aggregation::Sum] {
+            let cfg = FormationConfig::new(sem, agg, 4, 7);
+            for former in all_formers(m.n_users()) {
+                let r = former.form(&m, &p, &cfg).unwrap();
+                r.grouping
+                    .validate(m.n_users(), cfg.ell)
+                    .unwrap_or_else(|e| panic!("{}: {e}", former.name(&cfg)));
+                let recomputed = groupform::core::recompute_objective(
+                    &m, &r.grouping, sem, agg, cfg.policy, cfg.k,
+                );
+                assert!(
+                    (recomputed - r.objective).abs() < 1e-9,
+                    "{} reported {} but recomputes to {recomputed}",
+                    former.name(&cfg),
+                    r.objective
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn names_are_distinct_and_stable() {
+    let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 5, 10);
+    let names: Vec<String> = all_formers(10).iter().map(|f| f.name(&cfg)).collect();
+    assert_eq!(
+        names,
+        vec![
+            "GRD-LM-MIN",
+            "GRD-LM-MIN",
+            "Baseline-LM-MIN",
+            "OPT~-LM-MIN",
+            "OPT-LM-MIN",
+            "BNB-LM-MIN"
+        ]
+    );
+}
+
+#[test]
+fn quality_ordering_grd_vs_baseline_vs_proxy() {
+    let (m, p) = structured();
+    let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 3, 10);
+    let grd = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+    let base = BaselineFormer::new().with_max_iter(50).form(&m, &p, &cfg).unwrap();
+    let ls = LocalSearch::new().form(&m, &p, &cfg).unwrap();
+    assert!(grd.objective >= base.objective, "GRD lost to the baseline");
+    assert!(ls.objective >= grd.objective - 1e-9, "LS below its own seed");
+}
+
+#[test]
+fn weighted_sum_extension_is_consistent() {
+    // WeightedSum(Uniform) must agree exactly with plain Sum everywhere.
+    let (m, p) = structured();
+    let sum_cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, 4, 6);
+    let wsum_cfg = FormationConfig::new(
+        Semantics::LeastMisery,
+        Aggregation::WeightedSum(WeightScheme::Uniform),
+        4,
+        6,
+    );
+    let a = GreedyFormer::new().form(&m, &p, &sum_cfg).unwrap();
+    let b = GreedyFormer::new().form(&m, &p, &wsum_cfg).unwrap();
+    assert!((a.objective - b.objective).abs() < 1e-9);
+    // Position-discounted weights yield a smaller objective (weights <= 1).
+    let log_cfg = FormationConfig::new(
+        Semantics::LeastMisery,
+        Aggregation::WeightedSum(WeightScheme::InverseLog2),
+        4,
+        6,
+    );
+    let c = GreedyFormer::new().form(&m, &p, &log_cfg).unwrap();
+    assert!(c.objective <= a.objective + 1e-9);
+}
+
+#[test]
+fn missing_policies_affect_sparse_but_not_dense_inputs() {
+    // Dense matrix: policy is irrelevant.
+    let dense = SynthConfig::tiny(20, 8).generate();
+    let p = PrefIndex::build(&dense.matrix);
+    let mut objectives = Vec::new();
+    for policy in [MissingPolicy::Min, MissingPolicy::UserMean, MissingPolicy::Skip] {
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 3, 4)
+            .with_policy(policy);
+        objectives.push(GreedyFormer::new().form(&dense.matrix, &p, &cfg).unwrap().objective);
+    }
+    assert!((objectives[0] - objectives[1]).abs() < 1e-9);
+    assert!((objectives[0] - objectives[2]).abs() < 1e-9);
+
+    // Sparse matrix: Skip >= Min objective under LM (skipping misery floors).
+    let sparse = SynthConfig::yahoo_music()
+        .with_users(60)
+        .with_items(300)
+        .generate();
+    let p = PrefIndex::build(&sparse.matrix);
+    let base = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 3, 6);
+    let min_obj = GreedyFormer::new()
+        .form(&sparse.matrix, &p, &base.with_policy(MissingPolicy::Min))
+        .unwrap()
+        .objective;
+    let skip_obj = GreedyFormer::new()
+        .form(&sparse.matrix, &p, &base.with_policy(MissingPolicy::Skip))
+        .unwrap()
+        .objective;
+    assert!(skip_obj >= min_obj - 1e-9);
+}
