@@ -85,8 +85,7 @@ impl DistanceMatrix {
                     for (i, row) in work {
                         for (off, cell) in row.iter_mut().enumerate() {
                             let j = i + 1 + off;
-                            *cell =
-                                kendall::kendall_tau_normalized(&rankings[i], &rankings[j]);
+                            *cell = kendall::kendall_tau_normalized(&rankings[i], &rankings[j]);
                         }
                     }
                 });

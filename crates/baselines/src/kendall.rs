@@ -192,11 +192,7 @@ mod tests {
     fn user_distance_reflects_preference_disagreement() {
         // u0 and u1 agree; u2 is reversed.
         let m = RatingMatrix::from_dense(
-            &[
-                &[5.0, 3.0, 1.0][..],
-                &[4.0, 3.0, 2.0],
-                &[1.0, 3.0, 5.0],
-            ],
+            &[&[5.0, 3.0, 1.0][..], &[4.0, 3.0, 2.0], &[1.0, 3.0, 5.0]],
             RatingScale::one_to_five(),
         )
         .unwrap();

@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let m = blocky();
-        assert_eq!(kmeans(&m, 2, 50, 9).assignment, kmeans(&m, 2, 50, 9).assignment);
+        assert_eq!(
+            kmeans(&m, 2, 50, 9).assignment,
+            kmeans(&m, 2, 50, 9).assignment
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@ use crate::distance::DistanceMatrix;
 use crate::kmeans::kmeans;
 use crate::kmedoids::{kmedoids, Clustering};
 use gf_core::{
-    FormationConfig, FormationResult, Group, GroupFormer, GroupRecommender, Grouping,
-    PrefIndex, RatingMatrix, Result,
+    FormationConfig, FormationResult, Group, GroupFormer, GroupRecommender, Grouping, PrefIndex,
+    RatingMatrix, Result,
 };
 
 /// Which clustering backend the baseline uses.
@@ -107,11 +107,7 @@ impl BaselineFormer {
 
 impl GroupFormer for BaselineFormer {
     fn name(&self, cfg: &FormationConfig) -> String {
-        format!(
-            "Baseline-{}-{}",
-            cfg.semantics.tag(),
-            cfg.aggregation.tag()
-        )
+        format!("Baseline-{}-{}", cfg.semantics.tag(), cfg.aggregation.tag())
     }
 
     fn form(
@@ -253,8 +249,14 @@ mod tests {
     fn deterministic_given_seed() {
         let (m, p) = structured();
         let cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 3, 6);
-        let a = BaselineFormer::new().with_seed(3).form(&m, &p, &cfg).unwrap();
-        let b = BaselineFormer::new().with_seed(3).form(&m, &p, &cfg).unwrap();
+        let a = BaselineFormer::new()
+            .with_seed(3)
+            .form(&m, &p, &cfg)
+            .unwrap();
+        let b = BaselineFormer::new()
+            .with_seed(3)
+            .form(&m, &p, &cfg)
+            .unwrap();
         assert_eq!(a.grouping, b.grouping);
     }
 

@@ -6,8 +6,8 @@
 //! merely *having* ℓ balanced groups.
 
 use gf_core::{
-    FormationConfig, FormationResult, Group, GroupFormer, GroupRecommender, Grouping,
-    PrefIndex, RatingMatrix, Result,
+    FormationConfig, FormationResult, Group, GroupFormer, GroupRecommender, Grouping, PrefIndex,
+    RatingMatrix, Result,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -108,9 +108,18 @@ mod tests {
         let d = SynthConfig::tiny(15, 6).generate();
         let p = PrefIndex::build(&d.matrix);
         let cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 2, 4);
-        let a = RandomFormer::new().with_seed(1).form(&d.matrix, &p, &cfg).unwrap();
-        let b = RandomFormer::new().with_seed(1).form(&d.matrix, &p, &cfg).unwrap();
-        let c = RandomFormer::new().with_seed(2).form(&d.matrix, &p, &cfg).unwrap();
+        let a = RandomFormer::new()
+            .with_seed(1)
+            .form(&d.matrix, &p, &cfg)
+            .unwrap();
+        let b = RandomFormer::new()
+            .with_seed(1)
+            .form(&d.matrix, &p, &cfg)
+            .unwrap();
+        let c = RandomFormer::new()
+            .with_seed(2)
+            .form(&d.matrix, &p, &cfg)
+            .unwrap();
         assert_eq!(a.grouping, b.grouping);
         assert_ne!(a.grouping, c.grouping);
     }

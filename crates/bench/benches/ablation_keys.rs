@@ -24,7 +24,12 @@ fn main() {
     let inst = quality_instance(SynthConfig::yahoo_music(), d.n_users, d.n_items, 81);
     let mut table = Table::new(
         "Ablation: hash-key design, evaluated under the LM objective (200x100, l=10)",
-        &["aggregation", "sequence+score (GRD-LM)", "sequence-only (AV keys)", "GRD-LM + splitting"],
+        &[
+            "aggregation",
+            "sequence+score (GRD-LM)",
+            "sequence-only (AV keys)",
+            "GRD-LM + splitting",
+        ],
     );
     for agg in [Aggregation::Min, Aggregation::Max, Aggregation::Sum] {
         let lm_cfg = FormationConfig::new(Semantics::LeastMisery, agg, d.k, d.ell);
@@ -92,7 +97,13 @@ fn main() {
     let prefs = gf_core::PrefIndex::build(&m);
     let mut table = Table::new(
         "Ablation (tie-dense 200x8): LM objective and bucket counts per key design",
-        &["aggregation", "GRD-LM obj", "AV-keys obj", "LM buckets", "AV buckets"],
+        &[
+            "aggregation",
+            "GRD-LM obj",
+            "AV-keys obj",
+            "LM buckets",
+            "AV buckets",
+        ],
     );
     for agg in [Aggregation::Min, Aggregation::Sum] {
         let lm_cfg = FormationConfig::new(Semantics::LeastMisery, agg, 3, d.ell);

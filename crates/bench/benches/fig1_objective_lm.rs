@@ -15,12 +15,11 @@ use gf_datasets::SynthConfig;
 use gf_eval::table::fmt_f;
 use gf_eval::Table;
 
-fn sweep(
-    title: &str,
-    xs: &[usize],
-    make: impl Fn(usize) -> (gf_bench::Instance, FormationConfig),
-) {
-    let mut table = Table::new(title, &["x", "GRD-LM-MAX", "Baseline-LM-MAX", "OPT~-LM-MAX"]);
+fn sweep(title: &str, xs: &[usize], make: impl Fn(usize) -> (gf_bench::Instance, FormationConfig)) {
+    let mut table = Table::new(
+        title,
+        &["x", "GRD-LM-MAX", "Baseline-LM-MAX", "OPT~-LM-MAX"],
+    );
     for &x in xs {
         let (inst, cfg) = make(x);
         let g = run(grd().as_ref(), &inst, &cfg, 1);
@@ -44,14 +43,24 @@ fn main() {
     sweep(
         "Fig 1(a): objective vs # users (items=100, groups=10, k=5, LM-Max, Yahoo!)",
         &[200, 400, 600, 800, 1000],
-        |n| (quality_instance(SynthConfig::yahoo_music(), n, d.n_items, 11), cfg0),
+        |n| {
+            (
+                quality_instance(SynthConfig::yahoo_music(), n, d.n_items, 11),
+                cfg0,
+            )
+        },
     );
 
     // Figure 1(b): vary # items.
     sweep(
         "Fig 1(b): objective vs # items (users=200, groups=10, k=5, LM-Max, Yahoo!)",
         &[100, 200, 300, 400, 500],
-        |m| (quality_instance(SynthConfig::yahoo_music(), d.n_users, m, 12), cfg0),
+        |m| {
+            (
+                quality_instance(SynthConfig::yahoo_music(), d.n_users, m, 12),
+                cfg0,
+            )
+        },
     );
 
     // Figure 1(c): vary # groups.

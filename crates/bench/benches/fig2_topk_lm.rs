@@ -15,8 +15,16 @@ fn main() {
     let d = QualityDefaults::get();
     let inst = quality_instance(SynthConfig::yahoo_music(), d.n_users, d.n_items, 21);
     for (agg, label, shape) in [
-        (Aggregation::Min, "Fig 2(a): Min-aggregation", "decreases with k"),
-        (Aggregation::Sum, "Fig 2(b): Sum-aggregation", "increases with k"),
+        (
+            Aggregation::Min,
+            "Fig 2(a): Min-aggregation",
+            "decreases with k",
+        ),
+        (
+            Aggregation::Sum,
+            "Fig 2(b): Sum-aggregation",
+            "increases with k",
+        ),
     ] {
         let mut table = Table::new(
             &format!("{label} — objective vs top-k (LM, Yahoo!, 200x100, 10 groups)"),

@@ -14,28 +14,35 @@ use gf_datasets::SynthConfig;
 use gf_eval::table::fmt_f;
 use gf_eval::Table;
 
-fn avg_sat(
-    former: &dyn GroupFormer,
-    inst: &gf_bench::Instance,
-    cfg: &FormationConfig,
-) -> f64 {
-    let result = former.form(&inst.matrix, &inst.prefs, cfg).expect("bench run");
-    avg_group_satisfaction(&inst.matrix, &result.grouping, cfg.semantics, bench_policy(), cfg.k)
+fn avg_sat(former: &dyn GroupFormer, inst: &gf_bench::Instance, cfg: &FormationConfig) -> f64 {
+    let result = former
+        .form(&inst.matrix, &inst.prefs, cfg)
+        .expect("bench run");
+    avg_group_satisfaction(
+        &inst.matrix,
+        &result.grouping,
+        cfg.semantics,
+        bench_policy(),
+        cfg.k,
+    )
 }
 
-fn sweep(
-    title: &str,
-    xs: &[usize],
-    make: impl Fn(usize) -> (gf_bench::Instance, FormationConfig),
-) {
-    let mut table = Table::new(title, &["x", "GRD-AV-MIN", "Baseline-AV-MIN", "OPT~-AV-MIN"]);
+fn sweep(title: &str, xs: &[usize], make: impl Fn(usize) -> (gf_bench::Instance, FormationConfig)) {
+    let mut table = Table::new(
+        title,
+        &["x", "GRD-AV-MIN", "Baseline-AV-MIN", "OPT~-AV-MIN"],
+    );
     for &x in xs {
         let (inst, cfg) = make(x);
         table.push_row(vec![
             x.to_string(),
             fmt_f(avg_sat(grd().as_ref(), &inst, &cfg)),
             fmt_f(avg_sat(baseline(50).as_ref(), &inst, &cfg)),
-            fmt_f(avg_sat(opt_proxy(inst.matrix.n_users()).as_ref(), &inst, &cfg)),
+            fmt_f(avg_sat(
+                opt_proxy(inst.matrix.n_users()).as_ref(),
+                &inst,
+                &cfg,
+            )),
         ]);
     }
     println!("{table}");
@@ -44,17 +51,32 @@ fn sweep(
 fn main() {
     let d = QualityDefaults::get();
     let cfg0 = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Min, d.k, d.ell);
-    let _ = run(grd().as_ref(), &quality_instance(SynthConfig::movielens(), 50, 25, 30), &cfg0, 1);
+    let _ = run(
+        grd().as_ref(),
+        &quality_instance(SynthConfig::movielens(), 50, 25, 30),
+        &cfg0,
+        1,
+    );
 
     sweep(
         "Fig 3(a): avg satisfaction vs # users (MovieLens, AV-Min, items=100, groups=10, k=5)",
         &[200, 400, 600, 800, 1000],
-        |n| (quality_instance(SynthConfig::movielens(), n, d.n_items, 31), cfg0),
+        |n| {
+            (
+                quality_instance(SynthConfig::movielens(), n, d.n_items, 31),
+                cfg0,
+            )
+        },
     );
     sweep(
         "Fig 3(b): avg satisfaction vs # items (MovieLens, AV-Min, users=200, groups=10, k=5)",
         &[100, 200, 300, 400, 500],
-        |m| (quality_instance(SynthConfig::movielens(), d.n_users, m, 32), cfg0),
+        |m| {
+            (
+                quality_instance(SynthConfig::movielens(), d.n_users, m, 32),
+                cfg0,
+            )
+        },
     );
     sweep(
         "Fig 3(c): avg satisfaction vs # groups (MovieLens, AV-Min, users=200, items=100, k=5)",

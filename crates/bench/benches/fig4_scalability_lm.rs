@@ -8,7 +8,7 @@
 //! items, and always far below the clustering baseline, which grows
 //! super-linearly in users and is sensitive to items.
 
-use gf_bench::{baseline_kmeans, grd, run, scalability_instance, Scale, ScalabilityDefaults};
+use gf_bench::{baseline_kmeans, grd, run, scalability_instance, ScalabilityDefaults, Scale};
 use gf_core::{Aggregation, FormationConfig, Semantics};
 use gf_datasets::SynthConfig;
 use gf_eval::table::fmt_duration;

@@ -6,7 +6,7 @@
 //! the final group's top-k extraction depends on it), and GRD stays well
 //! below the baseline throughout.
 
-use gf_bench::{baseline_kmeans, grd, run, scalability_instance, Scale, ScalabilityDefaults};
+use gf_bench::{baseline_kmeans, grd, run, scalability_instance, ScalabilityDefaults, Scale};
 use gf_core::{Aggregation, FormationConfig, Semantics};
 use gf_datasets::SynthConfig;
 use gf_eval::table::fmt_duration;

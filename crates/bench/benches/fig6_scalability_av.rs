@@ -6,7 +6,7 @@
 //! (AV aggregates the satisfaction of every member), and a baseline that is
 //! insensitive to the semantics (clustering ignores them).
 
-use gf_bench::{baseline_kmeans, grd, run, scalability_instance, Scale, ScalabilityDefaults};
+use gf_bench::{baseline_kmeans, grd, run, scalability_instance, ScalabilityDefaults, Scale};
 use gf_core::{Aggregation, FormationConfig, Semantics};
 use gf_datasets::SynthConfig;
 use gf_eval::table::fmt_duration;

@@ -6,8 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gf_baselines::kendall::kendall_tau;
 use gf_core::{
-    Aggregation, FormationConfig, GreedyFormer, GroupFormer, GroupRecommender, PrefIndex,
-    Semantics,
+    Aggregation, FormationConfig, GreedyFormer, GroupFormer, GroupRecommender, PrefIndex, Semantics,
 };
 use gf_datasets::SynthConfig;
 
@@ -57,9 +56,7 @@ fn bench_group_topk(c: &mut Criterion) {
     let mut group = c.benchmark_group("group_top_k_500_members");
     for sem in [Semantics::LeastMisery, Semantics::AggregateVoting] {
         let rec = GroupRecommender::new(&data.matrix, sem);
-        group.bench_function(sem.tag(), |b| {
-            b.iter(|| rec.top_k(&members, 5).len())
-        });
+        group.bench_function(sem.tag(), |b| b.iter(|| rec.top_k(&members, 5).len()));
     }
     group.finish();
 }

@@ -13,7 +13,14 @@ fn main() {
     let scale = Scale::from_env();
     let mut table = Table::new(
         "Table 3: dataset descriptions (paper: Yahoo! 200000x136736, MovieLens 71567x10681)",
-        &["dataset", "# users", "# items", "# ratings", "density", "min r/user"],
+        &[
+            "dataset",
+            "# users",
+            "# items",
+            "# ratings",
+            "density",
+            "min r/user",
+        ],
     );
     let presets = [
         (

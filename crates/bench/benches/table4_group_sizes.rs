@@ -32,13 +32,9 @@ fn main() {
                     .with_user_noise(0.05)
                     .with_seed(40 + run_ix)
                     .generate();
-                let slice = sample::experimental_slice(
-                    &corpus.matrix,
-                    d.n_users,
-                    d.n_items,
-                    40 + run_ix,
-                )
-                .expect("slice");
+                let slice =
+                    sample::experimental_slice(&corpus.matrix, d.n_users, d.n_items, 40 + run_ix)
+                        .expect("slice");
                 let prefs = PrefIndex::build(&slice);
                 let inst = gf_bench::Instance {
                     name: "table4".into(),
@@ -63,7 +59,11 @@ fn main() {
         }
     }
     println!("{table}");
-    println!("paper reference (LM): MAX 11.33/15.75/18.5/23.58/31.33, SUM 8.33/11.5/13.66/19.33/39.33");
-    println!("paper reference (AV): MAX 20.33/22.4/25.4/28.66/30.33, SUM 14.33/19.35/22.5/25.95/33.75");
+    println!(
+        "paper reference (LM): MAX 11.33/15.75/18.5/23.58/31.33, SUM 8.33/11.5/13.66/19.33/39.33"
+    );
+    println!(
+        "paper reference (AV): MAX 20.33/22.4/25.4/28.66/30.33, SUM 14.33/19.35/22.5/25.95/33.75"
+    );
     println!("shape: AV sizes larger and tighter than LM; MAX tighter than SUM.");
 }

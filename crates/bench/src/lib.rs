@@ -68,7 +68,12 @@ pub struct Instance {
 /// (random users × densest items) and completed with predicted ratings
 /// (bias model, quantized to whole stars) — the "user provided or system
 /// predicted" preference matrix of Section 2.1.
-pub fn quality_instance(preset: SynthConfig, n_users: usize, n_items: usize, seed: u64) -> Instance {
+pub fn quality_instance(
+    preset: SynthConfig,
+    n_users: usize,
+    n_items: usize,
+    seed: u64,
+) -> Instance {
     // Generate a corpus comfortably larger than the slice.
     let corpus = preset
         .with_users((n_users as u32) * 3)
@@ -90,7 +95,12 @@ pub fn quality_instance(preset: SynthConfig, n_users: usize, n_items: usize, see
 /// Prepares a *scalability* instance: the sparse corpus itself, no
 /// completion (missing ratings handled by `MissingPolicy::Min`), as at
 /// 100k+ users a dense matrix would not fit in memory — see DESIGN.md.
-pub fn scalability_instance(preset: SynthConfig, n_users: u32, n_items: u32, seed: u64) -> Instance {
+pub fn scalability_instance(
+    preset: SynthConfig,
+    n_users: u32,
+    n_items: u32,
+    seed: u64,
+) -> Instance {
     let corpus = preset
         .with_items(n_items)
         .with_users(n_users)

@@ -192,12 +192,7 @@ pub fn build_buckets(
 /// (lexicographically descending), then larger bucket, then ascending item
 /// sequence, then smallest member id. This ordering reproduces every worked
 /// example in the paper (Examples 1, 2, 5 and Appendix B).
-pub fn bucket_order(
-    a: &Bucket,
-    b: &Bucket,
-    semantics: Semantics,
-    agg: Aggregation,
-) -> Ordering {
+pub fn bucket_order(a: &Bucket, b: &Bucket, semantics: Semantics, agg: Aggregation) -> Ordering {
     let sa = a.satisfaction(semantics, agg);
     let sb = b.satisfaction(semantics, agg);
     sb.total_cmp(&sa)
@@ -412,7 +407,12 @@ mod tests {
         assert_eq!(k_max.score_bits.as_ref(), &[5.0f64.to_bits()]);
         let k_sum = key_for(Semantics::LeastMisery, Aggregation::Sum, &items, &scores);
         assert_eq!(k_sum.score_bits.len(), 3);
-        let k_av = key_for(Semantics::AggregateVoting, Aggregation::Min, &items, &scores);
+        let k_av = key_for(
+            Semantics::AggregateVoting,
+            Aggregation::Min,
+            &items,
+            &scores,
+        );
         assert!(k_av.score_bits.is_empty());
     }
 
@@ -431,7 +431,7 @@ mod tests {
         let agg = Aggregation::Sum;
         assert_eq!(bucket_order(&c, &a, sem, agg), Ordering::Less); // c first
         assert_eq!(bucket_order(&a, &b, sem, agg), Ordering::Less); // (5,2) > (4,3) lexicographically
-        // Equal vector: larger bucket first.
+                                                                    // Equal vector: larger bucket first.
         let d = mk(vec![4], vec![5.0, 2.0]);
         assert_eq!(bucket_order(&a, &d, sem, agg), Ordering::Less);
     }

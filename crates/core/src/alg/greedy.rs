@@ -109,8 +109,13 @@ impl Ord for HeapEntry {
         // for the bucket that should be picked first; BinaryHeap pops the
         // greatest, so reverse it.
         self.sat.total_cmp(&other.sat).then_with(|| {
-            bucket::bucket_order(&self.bucket, &other.bucket, self.semantics, self.aggregation)
-                .reverse()
+            bucket::bucket_order(
+                &self.bucket,
+                &other.bucket,
+                self.semantics,
+                self.aggregation,
+            )
+            .reverse()
         })
     }
 }
@@ -209,8 +214,7 @@ fn split_bucket(
         .map(|(pos, _)| pos)
         .expect("non-empty bucket");
     let user = b.users.swap_remove(lowest_pos);
-    let (_, single_scores) =
-        bucket::personal_top_k(matrix, prefs, cfg.policy, user, cfg.k);
+    let (_, single_scores) = bucket::personal_top_k(matrix, prefs, cfg.policy, user, cfg.k);
     let single = Bucket {
         items: b.items.clone(),
         users: vec![user],
@@ -250,8 +254,7 @@ fn bucket_to_group(bucket: Bucket, cfg: &FormationConfig) -> Group {
 /// while doing so strictly improves the objective.
 fn split_surplus(matrix: &RatingMatrix, cfg: &FormationConfig, groups: &mut Vec<Group>) {
     let rec = GroupRecommender::new(matrix, cfg.semantics).with_policy(cfg.policy);
-    let score =
-        |members: &[u32]| -> f64 { rec.satisfaction(members, cfg.k, cfg.aggregation) };
+    let score = |members: &[u32]| -> f64 { rec.satisfaction(members, cfg.k, cfg.aggregation) };
     while groups.len() < cfg.ell {
         // Find the split with the largest strict gain.
         let mut best: Option<(usize, usize, f64)> = None; // (group, member pos, gain)
@@ -260,12 +263,7 @@ fn split_surplus(matrix: &RatingMatrix, cfg: &FormationConfig, groups: &mut Vec<
                 continue;
             }
             for (pos, &u) in g.members.iter().enumerate() {
-                let rest: Vec<u32> = g
-                    .members
-                    .iter()
-                    .copied()
-                    .filter(|&v| v != u)
-                    .collect();
+                let rest: Vec<u32> = g.members.iter().copied().filter(|&v| v != u).collect();
                 let gain = score(&[u]) + score(&rest) - g.satisfaction;
                 if gain > 1e-9 && best.is_none_or(|(_, _, bg)| gain > bg) {
                     best = Some((gi, pos, gain));
@@ -356,10 +354,7 @@ mod tests {
         let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 3);
         let r = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
         assert_eq!(r.objective, 11.0);
-        assert_eq!(
-            sorted_groups(&r),
-            vec![vec![0, 4], vec![1, 5], vec![2, 3]]
-        );
+        assert_eq!(sorted_groups(&r), vec![vec![0, 4], vec![1, 5], vec![2, 3]]);
         assert_eq!(r.n_buckets, 4);
         // Recommended items: {u3,u4} -> i2 at 5; {u2,u6} -> i3 at 5.
         let g34 = r
@@ -378,10 +373,7 @@ mod tests {
         let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3);
         let r = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
         assert_eq!(r.objective, 7.0);
-        assert_eq!(
-            sorted_groups(&r),
-            vec![vec![0], vec![1], vec![2, 3, 4, 5]]
-        );
+        assert_eq!(sorted_groups(&r), vec![vec![0], vec![1], vec![2, 3, 4, 5]]);
         assert_eq!(r.n_buckets, 5);
     }
 
@@ -392,10 +384,7 @@ mod tests {
         let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, 2, 3);
         let r = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
         assert_eq!(r.objective, 17.0);
-        assert_eq!(
-            sorted_groups(&r),
-            vec![vec![0, 4, 5], vec![1], vec![2, 3]]
-        );
+        assert_eq!(sorted_groups(&r), vec![vec![0, 4, 5], vec![1], vec![2, 3]]);
     }
 
     #[test]
@@ -406,10 +395,7 @@ mod tests {
         let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, 2, 3);
         let r = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
         assert_eq!(r.objective, 20.0);
-        assert_eq!(
-            sorted_groups(&r),
-            vec![vec![0, 4, 5], vec![1], vec![2, 3]]
-        );
+        assert_eq!(sorted_groups(&r), vec![vec![0, 4, 5], vec![1], vec![2, 3]]);
     }
 
     #[test]
@@ -450,8 +436,7 @@ mod tests {
                     for ell in 1..=6 {
                         let cfg = FormationConfig::new(sem, agg, k, ell);
                         let r = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
-                        let total: f64 =
-                            r.grouping.groups.iter().map(|g| g.satisfaction).sum();
+                        let total: f64 = r.grouping.groups.iter().map(|g| g.satisfaction).sum();
                         assert!((total - r.objective).abs() < 1e-9);
                         r.grouping.validate(m.n_users(), ell).unwrap();
                     }
@@ -572,7 +557,11 @@ mod tests {
     #[test]
     fn policy_variants_run() {
         let (m, p) = example1();
-        for policy in [MissingPolicy::Min, MissingPolicy::UserMean, MissingPolicy::Skip] {
+        for policy in [
+            MissingPolicy::Min,
+            MissingPolicy::UserMean,
+            MissingPolicy::Skip,
+        ] {
             let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3)
                 .with_policy(policy);
             let r = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
@@ -655,19 +644,20 @@ mod tests {
             let mat = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
             let prefs = PrefIndex::build(&mat);
             let agg = Aggregation::paper_set()[trial % 3];
-            let cfg = FormationConfig::new(
-                Semantics::LeastMisery,
-                agg,
-                1 + trial % 2,
-                1 + trial % 5,
-            );
+            let cfg =
+                FormationConfig::new(Semantics::LeastMisery, agg, 1 + trial % 2, 1 + trial % 5);
             let former = GreedyFormer::new().with_split_aware_selection(true);
             let a = former.form(&mat, &prefs, &cfg).unwrap();
             let b = former.form(&mat, &prefs, &cfg).unwrap();
             assert_eq!(a.grouping, b.grouping, "trial {trial}");
             a.grouping.validate(n, cfg.ell).unwrap();
             let recomputed = crate::metrics::recompute_objective(
-                &mat, &a.grouping, cfg.semantics, agg, cfg.policy, cfg.k,
+                &mat,
+                &a.grouping,
+                cfg.semantics,
+                agg,
+                cfg.policy,
+                cfg.k,
             );
             assert!((recomputed - a.objective).abs() < 1e-9, "trial {trial}");
         }

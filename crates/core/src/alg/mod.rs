@@ -92,9 +92,7 @@ impl FormationConfig {
     /// (Theorem 3), `None` otherwise.
     pub fn error_bound(&self, matrix: &RatingMatrix) -> Option<f64> {
         match (self.semantics, self.aggregation) {
-            (Semantics::LeastMisery, Aggregation::Min) => {
-                Some(matrix.scale().lm_min_error_bound())
-            }
+            (Semantics::LeastMisery, Aggregation::Min) => Some(matrix.scale().lm_min_error_bound()),
             (Semantics::LeastMisery, Aggregation::Sum) => {
                 Some(matrix.scale().lm_sum_error_bound(self.k))
             }
@@ -149,9 +147,11 @@ mod tests {
     #[test]
     fn validation() {
         let m = RatingMatrix::from_dense(&[&[3.0]], RatingScale::one_to_five()).unwrap();
-        assert!(FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 1)
-            .validate(&m)
-            .is_ok());
+        assert!(
+            FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 1)
+                .validate(&m)
+                .is_ok()
+        );
         assert!(matches!(
             FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 0, 1).validate(&m),
             Err(GfError::InvalidK { .. })
@@ -166,8 +166,14 @@ mod tests {
     fn error_bounds_only_for_lm_min_and_sum() {
         let m = RatingMatrix::from_dense(&[&[3.0]], RatingScale::one_to_five()).unwrap();
         let bound = |sem, agg, k| FormationConfig::new(sem, agg, k, 2).error_bound(&m);
-        assert_eq!(bound(Semantics::LeastMisery, Aggregation::Min, 3), Some(5.0));
-        assert_eq!(bound(Semantics::LeastMisery, Aggregation::Sum, 3), Some(15.0));
+        assert_eq!(
+            bound(Semantics::LeastMisery, Aggregation::Min, 3),
+            Some(5.0)
+        );
+        assert_eq!(
+            bound(Semantics::LeastMisery, Aggregation::Sum, 3),
+            Some(15.0)
+        );
         assert_eq!(bound(Semantics::LeastMisery, Aggregation::Max, 3), None);
         assert_eq!(bound(Semantics::AggregateVoting, Aggregation::Min, 3), None);
     }

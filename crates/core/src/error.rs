@@ -108,10 +108,17 @@ mod tests {
 
     #[test]
     fn errors_render_with_context() {
-        let e = GfError::UserOutOfRange { user: 9, n_users: 3 };
+        let e = GfError::UserOutOfRange {
+            user: 9,
+            n_users: 3,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("3"));
-        let e = GfError::ScaleViolation { user: 1, item: 2, score: 7.5 };
+        let e = GfError::ScaleViolation {
+            user: 1,
+            item: 2,
+            score: 7.5,
+        };
         assert!(e.to_string().contains("7.5"));
     }
 

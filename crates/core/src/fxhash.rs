@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn byte_tail_lengths_differ() {
         // Same prefix, different tails must not collide trivially.
-        assert_ne!(hash_of(&b"abcdefghi".as_slice()), hash_of(&b"abcdefgh".as_slice()));
+        assert_ne!(
+            hash_of(&b"abcdefghi".as_slice()),
+            hash_of(&b"abcdefgh".as_slice())
+        );
         assert_ne!(hash_of(&b"a".as_slice()), hash_of(&b"".as_slice()));
     }
 

@@ -131,7 +131,11 @@ impl<'a> GroupRecommender<'a> {
         let need_means = matches!(self.policy, MissingPolicy::UserMean);
         let mut mean_total = 0.0;
         for &u in members {
-            let mean = if need_means { self.matrix.user_mean(u) } else { 0.0 };
+            let mean = if need_means {
+                self.matrix.user_mean(u)
+            } else {
+                0.0
+            };
             mean_total += mean;
             for (i, s) in self.matrix.user_ratings(u) {
                 let a = accs.entry(i).or_default();
@@ -142,8 +146,7 @@ impl<'a> GroupRecommender<'a> {
             }
         }
         // Members sorted by ascending mean, for the LM + UserMean fallback.
-        let mean_order: Vec<u32> = if need_means
-            && matches!(self.semantics, Semantics::LeastMisery)
+        let mean_order: Vec<u32> = if need_means && matches!(self.semantics, Semantics::LeastMisery)
         {
             let mut order: Vec<u32> = members.to_vec();
             order.sort_by(|&a, &b| {
@@ -249,9 +252,7 @@ impl<'a> GroupRecommender<'a> {
                 .map(|&u| self.matrix.user_mean(u))
                 .fold(f64::INFINITY, f64::min),
             (Semantics::AggregateVoting, MissingPolicy::Skip) => 0.0,
-            (Semantics::AggregateVoting, MissingPolicy::Min) => {
-                members.len() as f64 * r_min
-            }
+            (Semantics::AggregateVoting, MissingPolicy::Min) => members.len() as f64 * r_min,
             (Semantics::AggregateVoting, MissingPolicy::UserMean) => {
                 members.iter().map(|&u| self.matrix.user_mean(u)).sum()
             }
@@ -307,11 +308,7 @@ mod tests {
 
     #[test]
     fn item_score_oracle_matches_top_k() {
-        let m = dense(&[
-            &[1.0, 4.0, 3.0],
-            &[2.0, 3.0, 5.0],
-            &[2.0, 5.0, 1.0],
-        ]);
+        let m = dense(&[&[1.0, 4.0, 3.0], &[2.0, 3.0, 5.0], &[2.0, 5.0, 1.0]]);
         for sem in Semantics::all() {
             let rec = GroupRecommender::new(&m, sem);
             let top = rec.top_k(&[0, 1, 2], 3);
@@ -363,13 +360,12 @@ mod tests {
     #[test]
     fn missing_policy_skip() {
         let m = sparse();
-        let lm = GroupRecommender::new(&m, Semantics::LeastMisery)
-            .with_policy(MissingPolicy::Skip);
+        let lm = GroupRecommender::new(&m, Semantics::LeastMisery).with_policy(MissingPolicy::Skip);
         // Under Skip, i0 keeps u0's 5 even though u1 never rated it.
         let top = lm.top_k(&[0, 1], 2);
         assert_eq!(top, vec![(0, 5.0), (1, 3.0)]);
-        let av = GroupRecommender::new(&m, Semantics::AggregateVoting)
-            .with_policy(MissingPolicy::Skip);
+        let av =
+            GroupRecommender::new(&m, Semantics::AggregateVoting).with_policy(MissingPolicy::Skip);
         let top = av.top_k(&[0, 1], 4);
         assert_eq!(top, vec![(1, 7.0), (0, 5.0), (2, 2.0), (3, 0.0)]);
     }
@@ -383,8 +379,8 @@ mod tests {
         // i0: 5 + mean(u1)=3 -> 8; i1: 7; i2: mean(u0)=4 + 2 -> 6; i3: 7.
         let top = av.top_k(&[0, 1], 4);
         assert_eq!(top, vec![(0, 8.0), (1, 7.0), (3, 7.0), (2, 6.0)]);
-        let lm = GroupRecommender::new(&m, Semantics::LeastMisery)
-            .with_policy(MissingPolicy::UserMean);
+        let lm =
+            GroupRecommender::new(&m, Semantics::LeastMisery).with_policy(MissingPolicy::UserMean);
         // i0: min(5, mean(u1)=3) = 3; i1: 3; i2: min(mean(u0)=4, 2) = 2;
         // i3: min(4, 3) = 3.
         let top = lm.top_k(&[0, 1], 4);
@@ -414,7 +410,11 @@ mod tests {
                 RatingMatrix::from_triples(n, m, triples, RatingScale::one_to_five()).unwrap();
             let members: Vec<u32> = (0..n).collect();
             for sem in Semantics::all() {
-                for policy in [MissingPolicy::Min, MissingPolicy::UserMean, MissingPolicy::Skip] {
+                for policy in [
+                    MissingPolicy::Min,
+                    MissingPolicy::UserMean,
+                    MissingPolicy::Skip,
+                ] {
                     let rec = GroupRecommender::new(&mat, sem).with_policy(policy);
                     let top = rec.top_k(&members, m as usize);
                     for &(item, score) in &top {
@@ -432,13 +432,8 @@ mod tests {
     #[test]
     fn fill_is_deterministic_and_ordered() {
         // A single user who rated one item; ask for more than they rated.
-        let m = RatingMatrix::from_triples(
-            1,
-            5,
-            vec![(0, 3, 4.0)],
-            RatingScale::one_to_five(),
-        )
-        .unwrap();
+        let m = RatingMatrix::from_triples(1, 5, vec![(0, 3, 4.0)], RatingScale::one_to_five())
+            .unwrap();
         let rec = GroupRecommender::new(&m, Semantics::LeastMisery);
         let top = rec.top_k(&[0], 4);
         assert_eq!(top, vec![(3, 4.0), (0, 1.0), (1, 1.0), (2, 1.0)]);

@@ -60,8 +60,8 @@ pub mod aggregate;
 pub mod alg;
 pub mod error;
 pub mod fxhash;
-pub mod grouprec;
 pub mod grouping;
+pub mod grouprec;
 pub mod ids;
 pub mod matrix;
 pub mod metrics;
@@ -76,8 +76,8 @@ pub use aggregate::Aggregation;
 pub use alg::{FormationConfig, FormationResult, GreedyFormer, GroupFormer};
 pub use error::{GfError, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use grouprec::{GroupRecommender, MissingPolicy};
 pub use grouping::{Group, Grouping};
+pub use grouprec::{GroupRecommender, MissingPolicy};
 pub use ids::{ItemId, UserId};
 pub use matrix::{MatrixBuilder, RatingMatrix};
 pub use metrics::{avg_group_satisfaction, objective_value, recompute_objective};

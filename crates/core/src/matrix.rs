@@ -468,10 +468,22 @@ mod tests {
     #[test]
     fn out_of_range_and_scale_rejected() {
         let mut b = MatrixBuilder::new(2, 2, RatingScale::one_to_five());
-        assert!(matches!(b.push(2, 0, 3.0), Err(GfError::UserOutOfRange { .. })));
-        assert!(matches!(b.push(0, 5, 3.0), Err(GfError::ItemOutOfRange { .. })));
-        assert!(matches!(b.push(0, 0, 9.0), Err(GfError::ScaleViolation { .. })));
-        assert!(matches!(b.push(0, 0, f64::NAN), Err(GfError::NonFiniteScore { .. })));
+        assert!(matches!(
+            b.push(2, 0, 3.0),
+            Err(GfError::UserOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.push(0, 5, 3.0),
+            Err(GfError::ItemOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.push(0, 0, 9.0),
+            Err(GfError::ScaleViolation { .. })
+        ));
+        assert!(matches!(
+            b.push(0, 0, f64::NAN),
+            Err(GfError::NonFiniteScore { .. })
+        ));
     }
 
     #[test]

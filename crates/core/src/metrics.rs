@@ -90,7 +90,10 @@ pub fn per_user_satisfaction(
     for g in &grouping.groups {
         let rec_items: Vec<u32> = g.items().collect();
         for &u in &g.members {
-            out.push((u, crate::ndcg::user_satisfaction(matrix, prefs, u, &rec_items, k)));
+            out.push((
+                u,
+                crate::ndcg::user_satisfaction(matrix, prefs, u, &rec_items, k),
+            ));
         }
     }
     out.sort_unstable_by_key(|&(u, _)| u);
@@ -145,8 +148,13 @@ mod tests {
         let (m, p) = example1();
         let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3);
         let r = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
-        let avg = avg_group_satisfaction(&m, &r.grouping, Semantics::LeastMisery,
-            MissingPolicy::Min, 2);
+        let avg = avg_group_satisfaction(
+            &m,
+            &r.grouping,
+            Semantics::LeastMisery,
+            MissingPolicy::Min,
+            2,
+        );
         assert!((2.0..=10.0).contains(&avg), "avg = {avg}");
     }
 
@@ -162,8 +170,8 @@ mod tests {
             })
             .collect();
         let grouping = Grouping::new(groups);
-        let avg = avg_group_satisfaction(&m, &grouping, Semantics::LeastMisery,
-            MissingPolicy::Min, 1);
+        let avg =
+            avg_group_satisfaction(&m, &grouping, Semantics::LeastMisery, MissingPolicy::Min, 1);
         // Personal best scores: 4, 5, 5, 5, 3, 5 -> mean = 27/6.
         assert!((avg - 27.0 / 6.0).abs() < 1e-9);
     }

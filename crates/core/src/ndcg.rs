@@ -96,11 +96,7 @@ mod tests {
 
     fn example1() -> (RatingMatrix, PrefIndex) {
         let m = RatingMatrix::from_dense(
-            &[
-                &[1.0, 4.0, 3.0][..],
-                &[2.0, 3.0, 5.0],
-                &[2.0, 5.0, 1.0],
-            ],
+            &[&[1.0, 4.0, 3.0][..], &[2.0, 3.0, 5.0], &[2.0, 5.0, 1.0]],
             RatingScale::one_to_five(),
         )
         .unwrap();
@@ -128,13 +124,8 @@ mod tests {
 
     #[test]
     fn unrated_recommendations_gain_r_min() {
-        let m = RatingMatrix::from_triples(
-            1,
-            4,
-            vec![(0, 0, 5.0)],
-            RatingScale::one_to_five(),
-        )
-        .unwrap();
+        let m = RatingMatrix::from_triples(1, 4, vec![(0, 0, 5.0)], RatingScale::one_to_five())
+            .unwrap();
         let p = PrefIndex::build(&m);
         // Recommending two items the user never rated: gains r_min each,
         // ideal is (5, r_min) -> satisfaction strictly below 1.

@@ -105,11 +105,7 @@ mod tests {
 
     fn example() -> RatingMatrix {
         RatingMatrix::from_dense(
-            &[
-                &[1.0, 4.0, 3.0][..],
-                &[2.0, 3.0, 5.0],
-                &[2.0, 5.0, 1.0],
-            ],
+            &[&[1.0, 4.0, 3.0][..], &[2.0, 3.0, 5.0], &[2.0, 5.0, 1.0]],
             RatingScale::one_to_five(),
         )
         .unwrap()
@@ -120,8 +116,7 @@ mod tests {
         let m = example();
         let members = [0u32, 1, 2];
         for sem in Semantics::all() {
-            let weighted =
-                WeightedRecommender::new(&m, sem, MissingPolicy::Min, &[1.0, 1.0, 1.0]);
+            let weighted = WeightedRecommender::new(&m, sem, MissingPolicy::Min, &[1.0, 1.0, 1.0]);
             let classic = GroupRecommender::new(&m, sem);
             for k in 1..=3 {
                 let a = weighted.top_k(&members, k);
@@ -135,8 +130,7 @@ mod tests {
     fn zero_weight_member_is_invisible() {
         let m = example();
         for sem in Semantics::all() {
-            let weighted =
-                WeightedRecommender::new(&m, sem, MissingPolicy::Min, &[1.0, 1.0, 0.0]);
+            let weighted = WeightedRecommender::new(&m, sem, MissingPolicy::Min, &[1.0, 1.0, 0.0]);
             let classic = GroupRecommender::new(&m, sem);
             // u3 weighted to zero: the pair {u1, u2} decides everything.
             let a = weighted.top_k(&[0, 1, 2], 3);

@@ -53,7 +53,11 @@ fn matrix_of(inst: &Instance) -> RatingMatrix {
 }
 
 fn all_policies() -> [MissingPolicy; 3] {
-    [MissingPolicy::Min, MissingPolicy::UserMean, MissingPolicy::Skip]
+    [
+        MissingPolicy::Min,
+        MissingPolicy::UserMean,
+        MissingPolicy::Skip,
+    ]
 }
 
 proptest! {

@@ -154,7 +154,11 @@ mod tests {
         let prefs = PrefIndex::build(&m);
         let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, 3, 5);
         let r = GreedyFormer::new().form(&m, &prefs, &cfg).unwrap();
-        assert!(r.n_buckets < 40, "expected duplicate profiles, got {}", r.n_buckets);
+        assert!(
+            r.n_buckets < 40,
+            "expected duplicate profiles, got {}",
+            r.n_buckets
+        );
         r.grouping.validate(40, 5).unwrap();
     }
 }

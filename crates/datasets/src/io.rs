@@ -177,8 +177,7 @@ mod tests {
     #[test]
     fn movielens_dat_round_trip() {
         let data = "1::10::5::978300760\n1::20::3::978302109\n7::10::4::978301968\n";
-        let loaded =
-            read_movielens_dat(Cursor::new(data), RatingScale::one_to_five()).unwrap();
+        let loaded = read_movielens_dat(Cursor::new(data), RatingScale::one_to_five()).unwrap();
         assert_eq!(loaded.matrix.n_users(), 2);
         assert_eq!(loaded.matrix.n_items(), 2);
         assert_eq!(loaded.user_ids, vec![1, 7]);
@@ -191,8 +190,7 @@ mod tests {
     #[test]
     fn movielens_csv_skips_header() {
         let data = "userId,movieId,rating,timestamp\n3,100,4.0,11\n3,200,2.0,12\n";
-        let loaded =
-            read_movielens_csv(Cursor::new(data), RatingScale::one_to_five()).unwrap();
+        let loaded = read_movielens_csv(Cursor::new(data), RatingScale::one_to_five()).unwrap();
         assert_eq!(loaded.matrix.nnz(), 2);
         assert_eq!(loaded.user_ids, vec![3]);
     }
@@ -235,8 +233,7 @@ mod tests {
         let loaded = read_tsv(Cursor::new(data), RatingScale::one_to_five()).unwrap();
         let mut out = Vec::new();
         write_tsv(&loaded.matrix, &mut out).unwrap();
-        let reloaded =
-            read_tsv(Cursor::new(out), RatingScale::one_to_five()).unwrap();
+        let reloaded = read_tsv(Cursor::new(out), RatingScale::one_to_five()).unwrap();
         assert_eq!(loaded.matrix, reloaded.matrix);
     }
 

@@ -43,11 +43,7 @@ pub struct Holdout {
 /// Holds out `test_fraction` of every user's ratings (at least one rating
 /// always stays in train for users with ≥ 2 ratings; users with a single
 /// rating keep it in train).
-pub fn holdout_split(
-    matrix: &RatingMatrix,
-    test_fraction: f64,
-    seed: u64,
-) -> Result<Holdout> {
+pub fn holdout_split(matrix: &RatingMatrix, test_fraction: f64, seed: u64) -> Result<Holdout> {
     assert!(
         (0.0..1.0).contains(&test_fraction),
         "test fraction must be in [0, 1)"

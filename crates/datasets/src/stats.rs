@@ -101,11 +101,9 @@ mod tests {
 
     #[test]
     fn stats_of_dense_example() {
-        let m = RatingMatrix::from_dense(
-            &[&[1.0, 4.0][..], &[2.0, 3.0]],
-            RatingScale::one_to_five(),
-        )
-        .unwrap();
+        let m =
+            RatingMatrix::from_dense(&[&[1.0, 4.0][..], &[2.0, 3.0]], RatingScale::one_to_five())
+                .unwrap();
         let s = DatasetStats::compute("ex", &m);
         assert_eq!(s.n_users, 2);
         assert_eq!(s.n_items, 2);

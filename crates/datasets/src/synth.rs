@@ -212,8 +212,7 @@ impl SynthConfig {
         let gain = self.scale.range() * 0.45;
 
         let mut builder = MatrixBuilder::new(self.n_users, self.n_items, self.scale);
-        let expected = self.n_users as usize
-            * (self.min_ratings + self.mean_extra as usize).min(m);
+        let expected = self.n_users as usize * (self.min_ratings + self.mean_extra as usize).min(m);
         builder.reserve(expected);
 
         let mut user_vec = vec![0.0f64; f];
@@ -237,8 +236,11 @@ impl SynthConfig {
             let mut rated_ranks: Vec<usize> = (0..head).collect();
             if d > head {
                 if let Some(z) = &tail_zipf {
-                    rated_ranks
-                        .extend(z.sample_distinct(&mut rng, d - head).iter().map(|r| r + head));
+                    rated_ranks.extend(
+                        z.sample_distinct(&mut rng, d - head)
+                            .iter()
+                            .map(|r| r + head),
+                    );
                 }
             }
 
@@ -279,9 +281,7 @@ fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gf_core::{
-        Aggregation, FormationConfig, GreedyFormer, GroupFormer, PrefIndex, Semantics,
-    };
+    use gf_core::{Aggregation, FormationConfig, GreedyFormer, GroupFormer, PrefIndex, Semantics};
 
     fn small_yahoo() -> Dataset {
         SynthConfig::yahoo_music()
@@ -296,7 +296,11 @@ mod tests {
         assert_eq!(d.matrix.n_users(), 300);
         assert_eq!(d.matrix.n_items(), 200);
         for u in 0..d.matrix.n_users() {
-            assert!(d.matrix.degree(u) >= 20, "user {u} has {} < 20", d.matrix.degree(u));
+            assert!(
+                d.matrix.degree(u) >= 20,
+                "user {u} has {} < 20",
+                d.matrix.degree(u)
+            );
             for (_, s) in d.matrix.user_ratings(u) {
                 assert!((1.0..=5.0).contains(&s));
                 assert_eq!(s, s.round(), "whole stars expected");
@@ -324,7 +328,10 @@ mod tests {
         }
         // Every star level 1..5 appears somewhere.
         for star in 1..=5 {
-            assert!(histogram[star] > 0, "star {star} never generated: {histogram:?}");
+            assert!(
+                histogram[star] > 0,
+                "star {star} never generated: {histogram:?}"
+            );
         }
     }
 

@@ -5,8 +5,8 @@
 //! wall-clock noise — quality metrics are computed once, timings averaged.
 
 use gf_core::{
-    avg_group_satisfaction, FormationConfig, FormationResult, GroupFormer, PrefIndex,
-    RatingMatrix, Result,
+    avg_group_satisfaction, FormationConfig, FormationResult, GroupFormer, PrefIndex, RatingMatrix,
+    Result,
 };
 use std::time::{Duration, Instant};
 

@@ -22,8 +22,8 @@
 
 use gf_baselines::BaselineFormer;
 use gf_core::{
-    Aggregation, FormationConfig, GreedyFormer, GroupFormer,
-    Grouping, PrefIndex, RatingMatrix, Semantics,
+    Aggregation, FormationConfig, GreedyFormer, GroupFormer, Grouping, PrefIndex, RatingMatrix,
+    Semantics,
 };
 use gf_datasets::SynthConfig;
 use rand::rngs::SmallRng;
@@ -43,7 +43,11 @@ pub enum SampleKind {
 impl SampleKind {
     /// All three sample kinds, in the paper's presentation order.
     pub fn all() -> [SampleKind; 3] {
-        [SampleKind::Similar, SampleKind::Dissimilar, SampleKind::Random]
+        [
+            SampleKind::Similar,
+            SampleKind::Dissimilar,
+            SampleKind::Random,
+        ]
     }
 
     /// Display label.
@@ -240,7 +244,11 @@ impl UserStudy {
         };
         // Extreme pair.
         let mut best_pair = (0u32, 1u32.min(n - 1));
-        let mut best_sim = if maximize { f64::NEG_INFINITY } else { f64::INFINITY };
+        let mut best_sim = if maximize {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
         for a in 0..n {
             for b in (a + 1)..n {
                 let s = self.similarity(a, b);
@@ -253,7 +261,11 @@ impl UserStudy {
         let mut sample = vec![best_pair.0, best_pair.1];
         while sample.len() < size {
             let mut best_user = None;
-            let mut best_total = if maximize { f64::NEG_INFINITY } else { f64::INFINITY };
+            let mut best_total = if maximize {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            };
             for u in 0..n {
                 if sample.contains(&u) {
                     continue;
@@ -276,13 +288,9 @@ impl UserStudy {
     /// Phase 2: runs all six HITs and tallies votes.
     pub fn run(&self) -> StudyOutcome {
         let mut hits = Vec::with_capacity(6);
-        let mut vote_counts: Vec<(Aggregation, usize, usize)> = vec![
-            (Aggregation::Min, 0, 0),
-            (Aggregation::Sum, 0, 0),
-        ];
-        for (agg_slot, aggregation) in [Aggregation::Min, Aggregation::Sum]
-            .into_iter()
-            .enumerate()
+        let mut vote_counts: Vec<(Aggregation, usize, usize)> =
+            vec![(Aggregation::Min, 0, 0), (Aggregation::Sum, 0, 0)];
+        for (agg_slot, aggregation) in [Aggregation::Min, Aggregation::Sum].into_iter().enumerate()
         {
             for kind in SampleKind::all() {
                 let sample = self.select_sample(kind);
@@ -316,8 +324,7 @@ impl UserStudy {
                     let b_r = self.rate(&sub, &base.grouping, persona, &mut rng);
                     // Vote for the method with the higher (noisy) rating;
                     // exact ties break by the noise-free comparison.
-                    if g_r > b_r || ((g_r - b_r).abs() < 1e-12 && grd.objective >= base.objective)
-                    {
+                    if g_r > b_r || ((g_r - b_r).abs() < 1e-12 && grd.objective >= base.objective) {
                         vote_counts[agg_slot].1 += 1;
                     } else {
                         vote_counts[agg_slot].2 += 1;
@@ -387,8 +394,8 @@ impl UserStudy {
                 .sum();
             total / g.members.len().max(1) as f64
         };
-        let overall: f64 = grouping.groups.iter().map(group_quality).sum::<f64>()
-            / grouping.len().max(1) as f64;
+        let overall: f64 =
+            grouping.groups.iter().map(group_quality).sum::<f64>() / grouping.len().max(1) as f64;
         let own = grouping
             .groups
             .iter()

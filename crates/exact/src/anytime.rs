@@ -10,8 +10,8 @@
 //! crate's tests.
 
 use gf_core::{
-    FormationConfig, FormationResult, FxHashMap, Group, GroupFormer, GroupRecommender,
-    Grouping, PrefIndex, RatingMatrix, Result,
+    FormationConfig, FormationResult, FxHashMap, Group, GroupFormer, GroupRecommender, Grouping,
+    PrefIndex, RatingMatrix, Result,
 };
 
 /// Knobs for [`LocalSearch`].
@@ -135,8 +135,7 @@ impl GroupFormer for LocalSearch {
                             continue;
                         }
                         let tgt_with = with(tgt, u);
-                        let delta =
-                            (src_after + cache.score(&tgt_with)) - (src_now + sats[ti]);
+                        let delta = (src_after + cache.score(&tgt_with)) - (src_now + sats[ti]);
                         if delta > EPS && best.is_none_or(|(_, d)| delta > d) {
                             best = Some((Some(ti), delta));
                         }

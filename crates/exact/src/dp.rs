@@ -86,7 +86,7 @@ impl GroupFormer for PartitionDp {
             for mask in 1..size {
                 let mask_u = mask as u64;
                 let low = mask_u & mask_u.wrapping_neg(); // lowest set bit
-                // Enumerate submasks of `rest` and attach `low` to each.
+                                                          // Enumerate submasks of `rest` and attach `low` to each.
                 let rest = mask_u & !low;
                 let mut best = score[mask]; // block = whole set
                 let mut best_block = mask_u;
@@ -119,7 +119,11 @@ impl GroupFormer for PartitionDp {
         let mut mask = full;
         let mut j = ell_cap;
         while mask != 0 {
-            let block = if j >= 1 { choices[j - 1][mask as usize] } else { mask };
+            let block = if j >= 1 {
+                choices[j - 1][mask as usize]
+            } else {
+                mask
+            };
             groups.push(scorer.group(block));
             mask &= !block;
             j = j.saturating_sub(1);

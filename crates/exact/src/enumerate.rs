@@ -15,7 +15,10 @@ pub fn brute_force(
 ) -> Result<FormationResult> {
     cfg.validate(matrix)?;
     let n = matrix.n_users() as usize;
-    assert!(n <= 16, "brute force is a test oracle; n = {n} is too large");
+    assert!(
+        n <= 16,
+        "brute force is a test oracle; n = {n} is too large"
+    );
     let mut scorer = MaskScorer::new(matrix, cfg);
 
     let mut best_obj = f64::NEG_INFINITY;
@@ -104,8 +107,12 @@ mod tests {
         let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 3);
         let r = brute_force(&m, &p, &cfg).unwrap();
         assert_eq!(r.objective, 12.0);
-        let mut groups: Vec<Vec<u32>> =
-            r.grouping.groups.iter().map(|g| g.members.clone()).collect();
+        let mut groups: Vec<Vec<u32>> = r
+            .grouping
+            .groups
+            .iter()
+            .map(|g| g.members.clone())
+            .collect();
         groups.sort();
         assert_eq!(groups, vec![vec![0, 2, 3], vec![1, 5], vec![4]]);
     }

@@ -104,7 +104,10 @@ impl IpModel {
             "\\ Group formation ({} semantics, k = 1, {} users, {} items, {} groups)",
             self.semantics, n, m, l
         );
-        let _ = writeln!(out, "\\ Appendix A of 'From Group Recommendations to Group Formation'");
+        let _ = writeln!(
+            out,
+            "\\ Appendix A of 'From Group Recommendations to Group Formation'"
+        );
         out.push_str("Maximize\n obj:");
         for g in 0..l {
             let _ = write!(out, " {} z_{g}", if g == 0 { "" } else { "+" });
@@ -198,9 +201,7 @@ impl IpModel {
                         .iter()
                         .map(|&u| self.score(u, j))
                         .fold(f64::INFINITY, f64::min),
-                    Semantics::AggregateVoting => {
-                        g.members.iter().map(|&u| self.score(u, j)).sum()
-                    }
+                    Semantics::AggregateVoting => g.members.iter().map(|&u| self.score(u, j)).sum(),
                 };
                 best = best.max(s);
             }
@@ -232,11 +233,7 @@ pub fn model_objective(
 
 /// Sanity helper used by tests: the recommendation engine's objective for
 /// k = 1 must agree with the IP model's objective on the same grouping.
-pub fn engine_objective(
-    matrix: &RatingMatrix,
-    cfg: &FormationConfig,
-    grouping: &Grouping,
-) -> f64 {
+pub fn engine_objective(matrix: &RatingMatrix, cfg: &FormationConfig, grouping: &Grouping) -> f64 {
     let rec = GroupRecommender::new(matrix, cfg.semantics).with_policy(cfg.policy);
     grouping
         .groups
@@ -276,7 +273,10 @@ mod tests {
     fn rejects_k_greater_than_one() {
         let (m, _) = example1();
         let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3);
-        assert!(matches!(IpModel::build(&m, &cfg), Err(GfError::InvalidK { .. })));
+        assert!(matches!(
+            IpModel::build(&m, &cfg),
+            Err(GfError::InvalidK { .. })
+        ));
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! interface (bit `u` = user `u` is a member) with an optional memo table,
 //! so a group's score is computed at most once per solver run.
 
-use gf_core::{
-    Aggregation, FormationConfig, FxHashMap, Group, GroupRecommender, RatingMatrix,
-};
+use gf_core::{Aggregation, FormationConfig, FxHashMap, Group, GroupRecommender, RatingMatrix};
 
 /// Scores user subsets given as `u64` bitmasks (supports up to 64 users —
 /// far beyond what exact solving can reach anyway).

@@ -2,8 +2,8 @@
 //! empirical verification of the paper's theorems.
 
 use gf_core::{
-    Aggregation, FormationConfig, GreedyFormer, GroupFormer, PrefIndex, RatingMatrix,
-    RatingScale, Semantics,
+    Aggregation, FormationConfig, GreedyFormer, GroupFormer, PrefIndex, RatingMatrix, RatingScale,
+    Semantics,
 };
 use gf_exact::{BranchAndBound, LocalSearch, PartitionDp};
 use proptest::prelude::*;

@@ -67,8 +67,7 @@ mod tests {
 
     #[test]
     fn mae_never_exceeds_rmse() {
-        let test: Vec<(u32, u32, f64)> =
-            (0..20).map(|i| (0, i, 1.0 + (i % 5) as f64)).collect();
+        let test: Vec<(u32, u32, f64)> = (0..20).map(|i| (0, i, 1.0 + (i % 5) as f64)).collect();
         let p = Constant(3.0);
         assert!(mae(&p, &test) <= rmse(&p, &test) + 1e-12);
     }

@@ -134,11 +134,9 @@ mod tests {
 
     #[test]
     fn constant_matrix_predicts_the_constant() {
-        let m = RatingMatrix::from_dense(
-            &[&[3.0, 3.0][..], &[3.0, 3.0]],
-            RatingScale::one_to_five(),
-        )
-        .unwrap();
+        let m =
+            RatingMatrix::from_dense(&[&[3.0, 3.0][..], &[3.0, 3.0]], RatingScale::one_to_five())
+                .unwrap();
         let b = BiasModel::fit(&m, 5.0);
         assert!((b.predict(0, 1) - 3.0).abs() < 1e-9);
         assert!(b.user_bias(0).abs() < 1e-9);

@@ -65,8 +65,12 @@ impl MatrixFactorization {
             mu,
             user_bias: vec![0.0; n],
             item_bias: vec![0.0; m],
-            p: (0..n * f).map(|_| (rng.gen::<f64>() - 0.5) * init).collect(),
-            q: (0..m * f).map(|_| (rng.gen::<f64>() - 0.5) * init).collect(),
+            p: (0..n * f)
+                .map(|_| (rng.gen::<f64>() - 0.5) * init)
+                .collect(),
+            q: (0..m * f)
+                .map(|_| (rng.gen::<f64>() - 0.5) * init)
+                .collect(),
             f,
         };
 

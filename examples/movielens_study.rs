@@ -37,7 +37,10 @@ fn load_or_synthesize() -> RatingMatrix {
             .with_users(3_000)
             .with_items(600)
             .generate();
-        println!("synthesized MovieLens-shaped corpus ({} ratings)", data.matrix.nnz());
+        println!(
+            "synthesized MovieLens-shaped corpus ({} ratings)",
+            data.matrix.nnz()
+        );
         data.matrix
     }
 }
@@ -52,7 +55,10 @@ fn main() {
     let knn = ItemItemKnn::fit(&slice, 20, 10.0);
     let full = complete_matrix(&slice, &knn, Some(1.0)).expect("complete the slice");
     let prefs = PrefIndex::build(&full);
-    println!("{}", DatasetStats::compute("study-slice (completed)", &full));
+    println!(
+        "{}",
+        DatasetStats::compute("study-slice (completed)", &full)
+    );
 
     let opt_proxy = LocalSearch::with_config(LocalSearchConfig {
         max_rounds: 12,
@@ -61,7 +67,13 @@ fn main() {
 
     let mut table = Table::new(
         "Quality study: 200 users, 100 items, 10 groups, k = 5",
-        &["config", "algorithm", "objective", "avg satisfaction", "groups"],
+        &[
+            "config",
+            "algorithm",
+            "objective",
+            "avg satisfaction",
+            "groups",
+        ],
     );
     for sem in [Semantics::LeastMisery, Semantics::AggregateVoting] {
         for agg in [Aggregation::Min, Aggregation::Max, Aggregation::Sum] {

@@ -22,7 +22,10 @@ fn main() {
         .with_seed(2026)
         .generate();
     let prefs = PrefIndex::build(&data.matrix);
-    println!("{}", DatasetStats::compute("travel-preferences", &data.matrix));
+    println!(
+        "{}",
+        DatasetStats::compute("travel-preferences", &data.matrix)
+    );
 
     // 25 groups, 7 POIs per plan, least-misery semantics with Sum
     // aggregation: a plan is judged by the total enjoyment of its POIs for
@@ -62,20 +65,12 @@ fn main() {
             .iter()
             .map(|&(poi, score)| format!("POI#{poi} ({score:.0})"))
             .collect();
-        println!(
-            "  {} travelers -> plan: {}",
-            group.len(),
-            plan.join(" -> ")
-        );
+        println!("  {} travelers -> plan: {}", group.len(), plan.join(" -> "));
     }
 
     // Per-traveler satisfaction with the plans (NDCG in [0, 1]).
-    let sats = groupform::core::metrics::per_user_satisfaction(
-        &data.matrix,
-        &prefs,
-        &grd.grouping,
-        cfg.k,
-    );
+    let sats =
+        groupform::core::metrics::per_user_satisfaction(&data.matrix, &prefs, &grd.grouping, cfg.k);
     let mean: f64 = sats.iter().map(|&(_, s)| s).sum::<f64>() / sats.len() as f64;
     let fully = sats.iter().filter(|&&(_, s)| s >= 0.999).count();
     println!(

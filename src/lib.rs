@@ -52,6 +52,30 @@
 //! }
 //! ```
 //!
+//! On instances small enough for the exact set-partition DP, the greedy
+//! objective is sandwiched by the paper's Theorem-2 absolute-error bound:
+//!
+//! ```
+//! use groupform::prelude::*;
+//!
+//! let data = SynthConfig::tiny(10, 6).generate();
+//! let prefs = PrefIndex::build(&data.matrix);
+//! let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3);
+//!
+//! let grd = GreedyFormer::new().form(&data.matrix, &prefs, &cfg).unwrap();
+//! let opt = PartitionDp::new().form(&data.matrix, &prefs, &cfg).unwrap();
+//!
+//! // GRD never beats the optimum, and under least misery with split-aware
+//! // selection it trails it by at most the Theorem-2 bound.
+//! assert!(grd.objective <= opt.objective + 1e-9);
+//! let bound = cfg.error_bound(&data.matrix).unwrap();
+//! let split_aware = GreedyFormer::new()
+//!     .with_split_aware_selection(true)
+//!     .form(&data.matrix, &prefs, &cfg)
+//!     .unwrap();
+//! assert!(opt.objective - split_aware.objective <= bound + 1e-9);
+//! ```
+//!
 //! See `examples/` for runnable end-to-end scenarios (travel planning,
 //! music segmentation, a full quality study against exact optima) and
 //! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
@@ -72,9 +96,9 @@ pub use gf_recsys as recsys;
 pub mod prelude {
     pub use gf_baselines::{BaselineFormer, ClusterStrategy};
     pub use gf_core::{
-        Aggregation, FormationConfig, FormationResult, GfError, GreedyFormer, Group,
-        GroupFormer, GroupRecommender, Grouping, MissingPolicy, PrefIndex, RatingMatrix,
-        RatingScale, Semantics, WeightScheme,
+        Aggregation, FormationConfig, FormationResult, GfError, GreedyFormer, Group, GroupFormer,
+        GroupRecommender, Grouping, MissingPolicy, PrefIndex, RatingMatrix, RatingScale, Semantics,
+        WeightScheme,
     };
     pub use gf_datasets::{Dataset, DatasetStats, SynthConfig};
     pub use gf_exact::{BranchAndBound, LocalSearch, PartitionDp};
@@ -90,7 +114,9 @@ mod tests {
         let data = SynthConfig::tiny(12, 6).generate();
         let prefs = PrefIndex::build(&data.matrix);
         let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3);
-        let grd = GreedyFormer::new().form(&data.matrix, &prefs, &cfg).unwrap();
+        let grd = GreedyFormer::new()
+            .form(&data.matrix, &prefs, &cfg)
+            .unwrap();
         let opt = PartitionDp::new().form(&data.matrix, &prefs, &cfg).unwrap();
         assert!(grd.objective <= opt.objective + 1e-9);
     }

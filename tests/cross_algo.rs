@@ -41,7 +41,12 @@ fn every_former_produces_valid_groupings() {
                     .validate(m.n_users(), cfg.ell)
                     .unwrap_or_else(|e| panic!("{}: {e}", former.name(&cfg)));
                 let recomputed = groupform::core::recompute_objective(
-                    &m, &r.grouping, sem, agg, cfg.policy, cfg.k,
+                    &m,
+                    &r.grouping,
+                    sem,
+                    agg,
+                    cfg.policy,
+                    cfg.k,
                 );
                 assert!(
                     (recomputed - r.objective).abs() < 1e-9,
@@ -76,10 +81,16 @@ fn quality_ordering_grd_vs_baseline_vs_proxy() {
     let (m, p) = structured();
     let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 3, 10);
     let grd = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
-    let base = BaselineFormer::new().with_max_iter(50).form(&m, &p, &cfg).unwrap();
+    let base = BaselineFormer::new()
+        .with_max_iter(50)
+        .form(&m, &p, &cfg)
+        .unwrap();
     let ls = LocalSearch::new().form(&m, &p, &cfg).unwrap();
     assert!(grd.objective >= base.objective, "GRD lost to the baseline");
-    assert!(ls.objective >= grd.objective - 1e-9, "LS below its own seed");
+    assert!(
+        ls.objective >= grd.objective - 1e-9,
+        "LS below its own seed"
+    );
 }
 
 #[test]
@@ -113,10 +124,19 @@ fn missing_policies_affect_sparse_but_not_dense_inputs() {
     let dense = SynthConfig::tiny(20, 8).generate();
     let p = PrefIndex::build(&dense.matrix);
     let mut objectives = Vec::new();
-    for policy in [MissingPolicy::Min, MissingPolicy::UserMean, MissingPolicy::Skip] {
+    for policy in [
+        MissingPolicy::Min,
+        MissingPolicy::UserMean,
+        MissingPolicy::Skip,
+    ] {
         let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 3, 4)
             .with_policy(policy);
-        objectives.push(GreedyFormer::new().form(&dense.matrix, &p, &cfg).unwrap().objective);
+        objectives.push(
+            GreedyFormer::new()
+                .form(&dense.matrix, &p, &cfg)
+                .unwrap()
+                .objective,
+        );
     }
     assert!((objectives[0] - objectives[1]).abs() < 1e-9);
     assert!((objectives[0] - objectives[2]).abs() < 1e-9);

@@ -40,7 +40,10 @@ fn theorem2_holds_across_two_hundred_instances() {
             // Distinct keys: the paper's theorem applies to paper mode.
             let gap = opt.objective - grd.objective;
             assert!(gap >= -1e-9, "greedy beat OPT on trial {trial}");
-            assert!(gap <= bound + 1e-9, "trial {trial}: gap {gap} exceeds r_max");
+            assert!(
+                gap <= bound + 1e-9,
+                "trial {trial}: gap {gap} exceeds r_max"
+            );
             worst_gap = worst_gap.max(gap);
             distinct_trials += 1;
         }
@@ -54,7 +57,10 @@ fn theorem2_holds_across_two_hundred_instances() {
             "trial {trial}: split-aware gap exceeds r_max"
         );
     }
-    assert!(distinct_trials >= 50, "too few distinct-key trials to be meaningful");
+    assert!(
+        distinct_trials >= 50,
+        "too few distinct-key trials to be meaningful"
+    );
     // The bound is r_max = 5; the observed worst case should be within it
     // (and nonzero somewhere, or the test is vacuous).
     assert!(worst_gap > 0.0, "never observed any greedy suboptimality");
@@ -73,7 +79,10 @@ fn theorem3_holds_across_instances() {
         let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
         let bound = cfg.error_bound(&m).unwrap();
         if grd.n_buckets == m.n_users() as usize {
-            assert!(opt.objective - grd.objective <= bound + 1e-9, "trial {trial}");
+            assert!(
+                opt.objective - grd.objective <= bound + 1e-9,
+                "trial {trial}"
+            );
         }
         let fixed = GreedyFormer::new()
             .with_split_aware_selection(true)
@@ -188,7 +197,12 @@ fn x3c_reduction_instance() {
     let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 2);
     let opt = PartitionDp::new().form(&m, &p, &cfg).unwrap();
     assert_eq!(opt.objective, 2.0);
-    let mut groups: Vec<Vec<u32>> = opt.grouping.groups.iter().map(|g| g.members.clone()).collect();
+    let mut groups: Vec<Vec<u32>> = opt
+        .grouping
+        .groups
+        .iter()
+        .map(|g| g.members.clone())
+        .collect();
     groups.sort();
     assert_eq!(groups, vec![vec![0, 1, 2], vec![3, 4, 5]]);
 }

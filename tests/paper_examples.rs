@@ -59,7 +59,12 @@ fn example5() -> (RatingMatrix, PrefIndex) {
 }
 
 fn members_sorted(r: &FormationResult) -> Vec<Vec<u32>> {
-    let mut g: Vec<Vec<u32>> = r.grouping.groups.iter().map(|g| g.members.clone()).collect();
+    let mut g: Vec<Vec<u32>> = r
+        .grouping
+        .groups
+        .iter()
+        .map(|g| g.members.clone())
+        .collect();
     g.sort();
     g
 }
@@ -72,10 +77,7 @@ fn section4_grd_lm_min_k1_trace() {
     let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 3);
     let r = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
     assert_eq!(r.objective, 11.0);
-    assert_eq!(
-        members_sorted(&r),
-        vec![vec![0, 4], vec![1, 5], vec![2, 3]]
-    );
+    assert_eq!(members_sorted(&r), vec![vec![0, 4], vec![1, 5], vec![2, 3]]);
 }
 
 #[test]
@@ -86,10 +88,7 @@ fn section4_grd_lm_min_k2_trace() {
     let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3);
     let r = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
     assert_eq!(r.objective, 7.0);
-    assert_eq!(
-        members_sorted(&r),
-        vec![vec![0], vec![1], vec![2, 3, 4, 5]]
-    );
+    assert_eq!(members_sorted(&r), vec![vec![0], vec![1], vec![2, 3, 4, 5]]);
 }
 
 #[test]
@@ -100,10 +99,7 @@ fn section4_grd_lm_sum_k2_trace() {
     let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, 2, 3);
     let r = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
     assert_eq!(r.objective, 17.0);
-    assert_eq!(
-        members_sorted(&r),
-        vec![vec![0, 4, 5], vec![1], vec![2, 3]]
-    );
+    assert_eq!(members_sorted(&r), vec![vec![0, 4, 5], vec![1], vec![2, 3]]);
 }
 
 #[test]
@@ -120,10 +116,7 @@ fn appendix_a_example1_optimum() {
         assert_eq!(r.objective, 12.0, "{}", solver.name(&cfg));
     }
     let r = PartitionDp::new().form(&m, &p, &cfg).unwrap();
-    assert_eq!(
-        members_sorted(&r),
-        vec![vec![0, 2, 3], vec![1, 5], vec![4]]
-    );
+    assert_eq!(members_sorted(&r), vec![vec![0, 2, 3], vec![1, 5], vec![4]]);
 }
 
 #[test]
@@ -186,12 +179,7 @@ fn example4_av_counterintuitive_merge() {
     // Example 4: grouping u1 with {u2,u3} scores 13 + 2 = 15, beating the
     // common-top-2 grouping's 14 — AV can prefer personally-worse groups.
     let m = RatingMatrix::from_dense(
-        &[
-            &[5.0, 4.0][..],
-            &[4.0, 5.0],
-            &[4.0, 5.0],
-            &[3.0, 2.0],
-        ],
+        &[&[5.0, 4.0][..], &[4.0, 5.0], &[4.0, 5.0], &[3.0, 2.0]],
         RatingScale::one_to_five(),
     )
     .unwrap();

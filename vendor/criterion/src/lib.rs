@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Wall-clock benchmarking with the criterion 0.5 call surface this
+//! workspace uses: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Bencher::iter`], `criterion_group!`, `criterion_main!` and
+//! [`black_box`]. Each benchmark is warmed up, then timed over
+//! `sample_size` samples; the median per-iteration time is printed to
+//! stdout. No plotting, no statistical regression analysis.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+/// Target measuring time per benchmark across all samples.
+const TARGET_TIME: Duration = Duration::from_millis(600);
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Times a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().label, self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times a function under `{group}/{id}`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Times a function receiving a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` back to back.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrates iterations per sample, collects samples, prints a summary.
+fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: find an iteration count that takes ~1/sample_size of
+    // the target time, starting from a single warm-up iteration.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let per_sample = TARGET_TIME / sample_size as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        bencher.iters = iters;
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{label:<50} median {} mean {} ({sample_size} samples x {iters} iters)",
+        fmt_time(median),
+        fmt_time(mean),
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:>8.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:>8.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:>8.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:>8.2} s ")
+    }
+}
+
+/// Groups benchmark functions into one callable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("alg", 42).to_string(), "alg/42");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

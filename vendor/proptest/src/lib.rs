@@ -1,0 +1,111 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Random property testing without shrinking: each `proptest!` test runs
+//! its body over `ProptestConfig::cases` inputs drawn from the given
+//! strategies. A failing case prints its case number, seed and generated
+//! input before propagating the panic; set `PROPTEST_SEED` to reproduce a
+//! run (generation is deterministic per seed).
+//!
+//! Implemented surface: the [`Strategy`] trait with `prop_map`,
+//! `prop_flat_map` and `prop_shuffle`; range, tuple, [`Just`] and
+//! [`collection::vec`] strategies; [`any`]`::<T>()`; the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!` and `prop_assume!` macros; and
+//! [`ProptestConfig::with_cases`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// The names `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::test_runner::run(
+                    &config,
+                    stringify!($name),
+                    ($($strat,)+),
+                    |($($arg,)+)| $body,
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Unlike real proptest this does not redraw a replacement input; the case
+/// simply counts as passed, which is sound (if weaker) for every property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -1,0 +1,77 @@
+//! The case loop behind the `proptest!` macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Configuration accepted via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Derives the stream seed. `PROPTEST_SEED` (decimal or `0x…` hex), when
+/// set, is used verbatim — so feeding back the seed printed by a failure
+/// replays the exact stream. Otherwise a fixed constant is mixed with the
+/// test name so distinct tests explore distinct streams.
+fn stream_seed(test_name: &str) -> u64 {
+    if let Some(seed) = std::env::var("PROPTEST_SEED").ok().and_then(|s| {
+        let s = s.trim();
+        match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => s.parse::<u64>().ok(),
+        }
+    }) {
+        return seed;
+    }
+    let mut h = 0x5EED_CAFE_F00D_D00Du64;
+    for b in test_name.bytes() {
+        h = h.rotate_left(5) ^ u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `test` over `config.cases` inputs drawn from `strategy`.
+///
+/// On a panic inside `test`, prints the case index, effective seed and the
+/// generated input, then re-raises the panic so the libtest harness records
+/// the failure.
+pub fn run<S, F>(config: &ProptestConfig, test_name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    let seed = stream_seed(test_name);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest stub: test `{test_name}` failed at case {case}/{} \
+                 (seed {seed:#x})\n  input: {shown}",
+                config.cases
+            );
+            resume_unwind(panic);
+        }
+    }
+}
