@@ -45,7 +45,8 @@ impl DistanceMatrix {
     }
 
     /// Builds the pairwise normalized Kendall-Tau distance matrix with
-    /// `n_threads` scoped worker threads.
+    /// `n_threads` scoped worker threads (`0` = auto, see
+    /// [`gf_core::resolve_threads`]).
     ///
     /// Θ(n²·m log m) — only feasible for quality-experiment sizes; the
     /// scalable baseline path uses [`crate::kmeans`] instead.
@@ -56,12 +57,22 @@ impl DistanceMatrix {
         n_threads: usize,
     ) -> Self {
         let n = matrix.n_users() as usize;
+        if n < 2 {
+            // No pairs to measure. Also guards the condensed-size formula:
+            // `n * (n - 1) / 2` would underflow `usize` at n = 0.
+            return DistanceMatrix {
+                n,
+                data: Vec::new(),
+            };
+        }
         // Precompute all full rankings once: n * m memory.
         let rankings: Vec<Vec<u32>> = (0..matrix.n_users())
             .map(|u| kendall::full_ranking(matrix, prefs, policy, u))
             .collect();
         let mut data = vec![0.0f64; n * (n - 1) / 2];
-        let threads = n_threads.max(1).min(n.max(1));
+        // One unit of work per condensed row; the workspace-wide knob
+        // convention (0 = auto) is resolved in exactly one place.
+        let threads = gf_core::resolve_threads(n_threads, n - 1);
 
         // Partition the rows i in 0..n-1 round-robin across threads; each
         // thread writes disjoint row slices of the condensed vector.
@@ -98,6 +109,12 @@ impl DistanceMatrix {
     /// Builds a matrix from an arbitrary symmetric distance closure
     /// (single-threaded; used by tests and small experiments).
     pub fn from_fn(n: usize, mut dist: impl FnMut(u32, u32) -> f64) -> Self {
+        if n < 2 {
+            return DistanceMatrix {
+                n,
+                data: Vec::new(),
+            };
+        }
         let mut data = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
@@ -158,6 +175,57 @@ mod tests {
                         d.get(a, b)
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn single_user_matrix_is_empty_not_panicking() {
+        // Regression: the condensed allocation `n * (n - 1) / 2` used to
+        // evaluate `n - 1` before the n < 2 guard existed; with n = 1
+        // rankings were built for nothing, and a hypothetical n = 0 (which
+        // MatrixBuilder rejects, hence no direct constructor here) would
+        // underflow usize. `from_fn(0, …)` covers the degenerate shape.
+        let m = RatingMatrix::from_dense(&[&[3.0, 1.0][..]], RatingScale::one_to_five()).unwrap();
+        let prefs = PrefIndex::build(&m);
+        for threads in [0usize, 1, 7] {
+            let d = DistanceMatrix::kendall_tau(&m, &prefs, MissingPolicy::Min, threads);
+            assert_eq!(d.len(), 1);
+            assert!(!d.is_empty());
+            assert_eq!(d.get(0, 0), 0.0);
+        }
+        let zero = DistanceMatrix::from_fn(0, |_, _| unreachable!());
+        assert!(zero.is_empty());
+        assert_eq!(zero.len(), 0);
+    }
+
+    #[test]
+    fn two_user_matrix_has_one_entry() {
+        let m =
+            RatingMatrix::from_dense(&[&[5.0, 1.0][..], &[1.0, 5.0]], RatingScale::one_to_five())
+                .unwrap();
+        let prefs = PrefIndex::build(&m);
+        for threads in [1usize, 2, 7] {
+            let d = DistanceMatrix::kendall_tau(&m, &prefs, MissingPolicy::Min, threads);
+            assert_eq!(d.len(), 2);
+            assert_eq!(d.get(0, 1), 1.0); // fully reversed rankings
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree_on_edge_sizes() {
+        // threads ∈ {1, 2, 7} must agree bit-for-bit for n ∈ {1, 2, 17}.
+        for n in [1u32, 2, 17] {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|u| (0..4).map(|i| 1.0 + ((u + i * 3) % 5) as f64).collect())
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let m = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
+            let prefs = PrefIndex::build(&m);
+            let one = DistanceMatrix::kendall_tau(&m, &prefs, MissingPolicy::Min, 1);
+            for threads in [2usize, 7] {
+                let t = DistanceMatrix::kendall_tau(&m, &prefs, MissingPolicy::Min, threads);
+                assert_eq!(t.data, one.data, "n={n} threads={threads}");
             }
         }
     }

@@ -41,6 +41,7 @@ pub struct BaselineFormer {
     /// Iteration cap; the paper sets 100.
     max_iter: usize,
     seed: u64,
+    /// Raw thread knob (0 = auto); resolved by `gf_core::resolve_threads`.
     n_threads: usize,
 }
 
@@ -51,13 +52,14 @@ impl Default for BaselineFormer {
 }
 
 impl BaselineFormer {
-    /// A baseline with the paper's defaults (auto strategy, 100 iterations).
+    /// A baseline with the paper's defaults (auto strategy, 100 iterations,
+    /// auto worker threads).
     pub fn new() -> Self {
         BaselineFormer {
             strategy: ClusterStrategy::default(),
             max_iter: 100,
             seed: 0xba5e_0001,
-            n_threads: 4,
+            n_threads: 0,
         }
     }
 
@@ -79,9 +81,12 @@ impl BaselineFormer {
         self
     }
 
-    /// Worker threads for the pairwise distance computation.
+    /// Worker threads for the pairwise distance computation. `0` = auto
+    /// (`available_parallelism`); the knob is stored raw and resolved in
+    /// one place, [`gf_core::resolve_threads`], when the work size is
+    /// known — never clamped here.
     pub fn with_threads(mut self, n_threads: usize) -> Self {
-        self.n_threads = n_threads.max(1);
+        self.n_threads = n_threads;
         self
     }
 

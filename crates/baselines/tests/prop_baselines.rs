@@ -77,19 +77,22 @@ proptest! {
     }
 
     /// The distance matrix is symmetric with a zero diagonal, and parallel
-    /// construction agrees with single-threaded construction.
+    /// construction agrees bit-for-bit with single-threaded construction
+    /// across thread counts {2, 7} and auto (0), down to n = 1.
     #[test]
-    fn distance_matrix_symmetric(n in 2u32..12, m in 2u32..6) {
+    fn distance_matrix_symmetric(n in 1u32..18, m in 2u32..6) {
         let d = SynthConfig::tiny(n, m).generate();
         let prefs = PrefIndex::build(&d.matrix);
         let one = DistanceMatrix::kendall_tau(&d.matrix, &prefs, Default::default(), 1);
-        let four = DistanceMatrix::kendall_tau(&d.matrix, &prefs, Default::default(), 4);
-        for a in 0..n {
-            prop_assert_eq!(one.get(a, a), 0.0);
-            for b in 0..n {
-                prop_assert_eq!(one.get(a, b), one.get(b, a));
-                prop_assert_eq!(one.get(a, b), four.get(a, b));
-                prop_assert!((0.0..=1.0).contains(&one.get(a, b)));
+        for threads in [2usize, 7, 0] {
+            let t = DistanceMatrix::kendall_tau(&d.matrix, &prefs, Default::default(), threads);
+            for a in 0..n {
+                prop_assert_eq!(one.get(a, a), 0.0);
+                for b in 0..n {
+                    prop_assert_eq!(one.get(a, b), one.get(b, a));
+                    prop_assert_eq!(one.get(a, b), t.get(a, b), "threads={}", threads);
+                    prop_assert!((0.0..=1.0).contains(&one.get(a, b)));
+                }
             }
         }
     }

@@ -24,7 +24,7 @@ use gf_core::{FormationConfig, GroupFormer, MissingPolicy, PrefIndex, RatingMatr
 use gf_datasets::{sample, SynthConfig};
 use gf_eval::experiment::{run_timed, RunRecord};
 use gf_exact::{LocalSearch, LocalSearchConfig};
-use gf_recsys::{complete_matrix, BiasModel};
+use gf_recsys::{complete_matrix_threaded, BiasModel};
 
 /// Benchmark scale regime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +83,8 @@ pub fn quality_instance(
     let slice = sample::experimental_slice(&corpus.matrix, n_users, n_items, seed ^ 0x51)
         .expect("slice within corpus bounds");
     let bias = BiasModel::fit(&slice, 25.0);
-    let full = complete_matrix(&slice, &bias, Some(1.0)).expect("completion");
+    // Auto-threaded completion: bit-for-bit identical to sequential.
+    let full = complete_matrix_threaded(&slice, &bias, Some(1.0), 0).expect("completion");
     let prefs = PrefIndex::build(&full);
     Instance {
         name: format!("{}-{}x{}", corpus.name, n_users, n_items),
@@ -117,6 +118,14 @@ pub fn scalability_instance(
 /// The GRD greedy algorithm for a config.
 pub fn grd() -> Box<dyn GroupFormer> {
     Box::new(gf_core::GreedyFormer::new())
+}
+
+/// The sharded/parallel greedy: partitions the population into one shard
+/// per worker thread (resolved from `FormationConfig::n_threads`, `0` =
+/// auto) and runs a full GRD per shard concurrently. This is the path that
+/// makes the `GF_BENCH_SCALE=paper` fig4/fig6 sweeps CI-friendly.
+pub fn grd_sharded() -> Box<dyn GroupFormer> {
+    Box::new(gf_core::ShardedFormer::new())
 }
 
 /// The paper's clustering baseline, with an iteration cap suitable for
@@ -253,5 +262,14 @@ mod tests {
             let rec = run(former.as_ref(), &inst, &cfg, 1);
             assert!(rec.objective > 0.0, "{}", rec.algo);
         }
+    }
+
+    #[test]
+    fn sharded_lineup_runs_end_to_end() {
+        let inst = scalability_instance(SynthConfig::yahoo_music(), 200, 60, 4);
+        let cfg =
+            FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 3, 8).with_threads(0);
+        let rec = run(grd_sharded().as_ref(), &inst, &cfg, 1);
+        assert!(rec.objective > 0.0, "{}", rec.algo);
     }
 }

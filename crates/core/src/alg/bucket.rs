@@ -151,6 +151,40 @@ pub fn key_for(
     }
 }
 
+/// Hashes one user into the bucket map.
+#[allow(clippy::too_many_arguments)] // private helper mirroring build_buckets' signature plus (map, u)
+fn insert_user(
+    map: &mut FxHashMap<BucketKey, Bucket>,
+    matrix: &RatingMatrix,
+    prefs: &PrefIndex,
+    semantics: Semantics,
+    aggregation: Aggregation,
+    policy: MissingPolicy,
+    k: usize,
+    u: u32,
+) {
+    let (items, scores) = personal_top_k(matrix, prefs, policy, u, k);
+    let key = key_for(semantics, aggregation, &items, &scores);
+    match map.entry(key) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            let b = e.get_mut();
+            b.users.push(u);
+            for (slot, &s) in scores.iter().enumerate() {
+                b.pos_min[slot] = b.pos_min[slot].min(s);
+                b.pos_sum[slot] += s;
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(Bucket {
+                items: items.into(),
+                users: vec![u],
+                pos_min: scores.clone(),
+                pos_sum: scores,
+            });
+        }
+    }
+}
+
 /// Runs Step 1: hashes every user into buckets. Returns the buckets in
 /// arbitrary order (callers sort or heapify with [`bucket_order`]).
 pub fn build_buckets(
@@ -163,28 +197,126 @@ pub fn build_buckets(
 ) -> Vec<Bucket> {
     let mut map: FxHashMap<BucketKey, Bucket> = FxHashMap::default();
     for u in 0..matrix.n_users() {
-        let (items, scores) = personal_top_k(matrix, prefs, policy, u, k);
-        let key = key_for(semantics, aggregation, &items, &scores);
-        match map.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                let b = e.get_mut();
-                b.users.push(u);
-                for (slot, &s) in scores.iter().enumerate() {
-                    b.pos_min[slot] = b.pos_min[slot].min(s);
-                    b.pos_sum[slot] += s;
+        insert_user(
+            &mut map,
+            matrix,
+            prefs,
+            semantics,
+            aggregation,
+            policy,
+            k,
+            u,
+        );
+    }
+    map.into_values().collect()
+}
+
+/// Runs Step 1 with `n_threads` scoped worker threads (`0` = auto, see
+/// [`crate::resolve_threads`]): each worker builds a private bucket map over
+/// a contiguous range of user ids, and the per-shard maps are merged in
+/// shard order.
+///
+/// The merge is exact: member lists concatenate back into ascending user
+/// order (shards are contiguous and ascending), per-position minima compose
+/// associatively, and per-position sums accumulate shard partials in shard
+/// order. Sums are therefore bit-for-bit identical to [`build_buckets`]
+/// whenever member scores sit on a rating grid (integers or half-stars —
+/// any dyadic step, where f64 addition is exact at these magnitudes); the
+/// one exception is [`MissingPolicy::UserMean`] padding of sparse users,
+/// whose imputed means may be non-dyadic and can perturb `pos_sum` by a
+/// final-bit rounding across a shard boundary. `pos_min`, membership and
+/// bucket keys are identical unconditionally.
+pub fn build_buckets_threaded(
+    matrix: &RatingMatrix,
+    prefs: &PrefIndex,
+    semantics: Semantics,
+    aggregation: Aggregation,
+    policy: MissingPolicy,
+    k: usize,
+    n_threads: usize,
+) -> Vec<Bucket> {
+    let n = matrix.n_users() as usize;
+    let threads = crate::resolve_threads(n_threads, n);
+    if threads <= 1 {
+        return build_buckets(matrix, prefs, semantics, aggregation, policy, k);
+    }
+    let shard_maps: Vec<FxHashMap<BucketKey, Bucket>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = crate::threads::even_ranges(n, threads)
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move || {
+                    let mut map: FxHashMap<BucketKey, Bucket> = FxHashMap::default();
+                    for u in range {
+                        insert_user(
+                            &mut map,
+                            matrix,
+                            prefs,
+                            semantics,
+                            aggregation,
+                            policy,
+                            k,
+                            u as u32,
+                        );
+                    }
+                    map
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bucket worker panicked"))
+            .collect()
+    });
+    let mut merged: FxHashMap<BucketKey, Bucket> = FxHashMap::default();
+    for map in shard_maps {
+        for (key, shard_bucket) in map {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let b = e.get_mut();
+                    b.users.extend_from_slice(&shard_bucket.users);
+                    for (slot, (&mn, &sm)) in shard_bucket
+                        .pos_min
+                        .iter()
+                        .zip(shard_bucket.pos_sum.iter())
+                        .enumerate()
+                    {
+                        b.pos_min[slot] = b.pos_min[slot].min(mn);
+                        b.pos_sum[slot] += sm;
+                    }
                 }
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(Bucket {
-                    items: items.into(),
-                    users: vec![u],
-                    pos_min: scores.clone(),
-                    pos_sum: scores,
-                });
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(shard_bucket);
+                }
             }
         }
     }
-    map.into_values().collect()
+    merged.into_values().collect()
+}
+
+/// `(items, users, pos_min bits, pos_sum bits)` — one bucket in the
+/// projection of [`canonical_buckets`].
+#[doc(hidden)]
+pub type CanonicalBucket = (Vec<u32>, Vec<u32>, Vec<u64>, Vec<u64>);
+
+/// Test support: a canonical, order-independent view of a bucket set with
+/// scores projected to their exact bit patterns, so the unit and property
+/// suites can assert threaded == sequential building bit-for-bit without
+/// each keeping its own copy of this projection.
+#[doc(hidden)]
+pub fn canonical_buckets(buckets: Vec<Bucket>) -> Vec<CanonicalBucket> {
+    let mut out: Vec<_> = buckets
+        .into_iter()
+        .map(|b| {
+            (
+                b.items.to_vec(),
+                b.users,
+                b.pos_min.iter().map(|s| s.to_bits()).collect::<Vec<u64>>(),
+                b.pos_sum.iter().map(|s| s.to_bits()).collect::<Vec<u64>>(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
 }
 
 /// The deterministic ordering used to pick buckets in Step 2: higher
@@ -414,6 +546,90 @@ mod tests {
             &scores,
         );
         assert!(k_av.score_bits.is_empty());
+    }
+
+    use super::canonical_buckets as canonical;
+
+    #[test]
+    fn threaded_matches_sequential_bit_for_bit() {
+        // n = 0 is unconstructible (MatrixBuilder rejects empty matrices),
+        // so the edge grid starts at a single user.
+        use crate::scale::RatingScale;
+        for n in [1u32, 2, 17] {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|u| {
+                    (0..5)
+                        .map(|i| 1.0 + ((u as usize * 7 + i * 3) % 5) as f64)
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let m = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
+            let p = PrefIndex::build(&m);
+            for sem in Semantics::all() {
+                for agg in Aggregation::paper_set() {
+                    for k in [1usize, 3] {
+                        let seq = build_buckets(&m, &p, sem, agg, MissingPolicy::Min, k);
+                        for threads in [1usize, 2, 7] {
+                            let par = build_buckets_threaded(
+                                &m,
+                                &p,
+                                sem,
+                                agg,
+                                MissingPolicy::Min,
+                                k,
+                                threads,
+                            );
+                            assert_eq!(
+                                canonical(seq.clone()),
+                                canonical(par),
+                                "n={n} {sem} {agg} k={k} threads={threads}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_handles_sparse_users_and_all_policies() {
+        let m = RatingMatrix::from_triples(
+            17,
+            6,
+            (0..17u32)
+                .filter(|&u| u % 3 != 2)
+                .map(|u| (u, u % 6, 1.0 + (u % 5) as f64)),
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let p = PrefIndex::build(&m);
+        for policy in [
+            MissingPolicy::Min,
+            MissingPolicy::Skip,
+            MissingPolicy::UserMean,
+        ] {
+            let seq = build_buckets(&m, &p, Semantics::LeastMisery, Aggregation::Sum, policy, 2);
+            for threads in [2usize, 7] {
+                let par = build_buckets_threaded(
+                    &m,
+                    &p,
+                    Semantics::LeastMisery,
+                    Aggregation::Sum,
+                    policy,
+                    2,
+                    threads,
+                );
+                // Membership, keys and minima are identical for every
+                // policy; with integer ratings the imputed scores here are
+                // dyadic too, so sums are bit-for-bit as well.
+                assert_eq!(
+                    canonical(seq.clone()),
+                    canonical(par),
+                    "{policy:?} x{threads}"
+                );
+            }
+        }
     }
 
     #[test]

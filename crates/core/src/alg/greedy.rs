@@ -132,14 +132,16 @@ impl GroupFormer for GreedyFormer {
         cfg: &FormationConfig,
     ) -> Result<FormationResult> {
         cfg.validate(matrix)?;
-        // Step 1: intermediate groups.
-        let buckets = bucket::build_buckets(
+        // Step 1: intermediate groups (threaded when cfg.n_threads asks
+        // for it; resolves to the sequential path at one worker).
+        let buckets = bucket::build_buckets_threaded(
             matrix,
             prefs,
             cfg.semantics,
             cfg.aggregation,
             cfg.policy,
             cfg.k,
+            cfg.n_threads,
         );
         let n_buckets = buckets.len();
         let mut heap: BinaryHeap<HeapEntry> = buckets

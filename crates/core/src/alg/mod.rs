@@ -16,13 +16,38 @@
 //! by the [`FormationConfig`]. Under least misery, `GRD-LM-MIN` and
 //! `GRD-LM-SUM` carry the paper's absolute-error guarantees (Theorems 2–3):
 //! at most `r_max` and `k * r_max` below the optimum respectively.
+//!
+//! ## Parallelism
+//!
+//! Two independent knobs, both following the workspace-wide convention of
+//! [`crate::resolve_threads`] (`0` = auto via `available_parallelism`,
+//! anything else literal, always clamped to the amount of work):
+//!
+//! * [`FormationConfig::with_threads`] threads Step 1 (bucket building)
+//!   inside [`GreedyFormer`]: scoped workers build per-shard bucket maps
+//!   over contiguous user ranges and merge them in shard order. Results
+//!   are **identical to the single-threaded path** — membership, keys and
+//!   per-position minima unconditionally; per-position sums bit-for-bit
+//!   whenever scores sit on a rating grid (see
+//!   [`bucket::build_buckets_threaded`] for the one `UserMean` caveat).
+//! * [`ShardedFormer`] partitions the *population* into contiguous user
+//!   shards, runs a full [`GreedyFormer`] per shard in parallel and merges
+//!   the per-shard groupings with a bounded repair pass. This changes the
+//!   algorithm (groups never span shards), trading a bounded amount of
+//!   objective for near-linear scaling; see [`shard`] for the error bound.
+//!
+//! Everything is deterministic for a fixed configuration: shard boundaries
+//! are a pure function of `(n_users, thread count)` and every merge runs in
+//! shard order.
 
 pub mod bucket;
 mod greedy;
 pub mod overlap;
+pub mod shard;
 
 pub use greedy::GreedyFormer;
 pub use overlap::{OverlapConfig, OverlappingFormer, OverlappingGrouping};
+pub use shard::ShardedFormer;
 
 use crate::aggregate::Aggregation;
 use crate::error::{GfError, Result};
@@ -46,10 +71,16 @@ pub struct FormationConfig {
     pub ell: usize,
     /// Score for unrated `(member, item)` pairs.
     pub policy: MissingPolicy,
+    /// Worker threads for the parallel hot paths (Step-1 bucket building;
+    /// the shard count of [`ShardedFormer`] in auto mode). `0` = auto
+    /// (`available_parallelism`); the default is `1` (single-threaded).
+    /// See [`crate::resolve_threads`].
+    pub n_threads: usize,
 }
 
 impl FormationConfig {
-    /// A configuration with the default [`MissingPolicy::Min`].
+    /// A configuration with the default [`MissingPolicy::Min`] and
+    /// single-threaded execution.
     pub fn new(semantics: Semantics, aggregation: Aggregation, k: usize, ell: usize) -> Self {
         FormationConfig {
             semantics,
@@ -57,12 +88,21 @@ impl FormationConfig {
             k,
             ell,
             policy: MissingPolicy::Min,
+            n_threads: 1,
         }
     }
 
     /// Overrides the missing-rating policy.
     pub fn with_policy(mut self, policy: MissingPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Overrides the worker-thread knob: `0` = auto
+    /// (`available_parallelism`), any other value literal, always clamped
+    /// to the available work at the point of use.
+    pub fn with_threads(mut self, n_threads: usize) -> Self {
+        self.n_threads = n_threads;
         self
     }
 

@@ -1,0 +1,393 @@
+//! Sharded group formation for paper-scale populations.
+//!
+//! The paper's scalability experiments (Figures 4 and 6) run greedy
+//! formation over 100k–200k users. [`ShardedFormer`] makes those sweeps
+//! parallel: it partitions the population into `s` contiguous user shards,
+//! runs a full [`GreedyFormer`] per shard (each shard gets a proportional
+//! slice of the group budget `ell`), translates the per-shard groupings
+//! back to global user ids, and finishes with a **bounded repair pass**
+//! that merges the lowest-satisfaction groups whenever the allocation
+//! overshot the budget (only possible when `ell < s`, where every shard
+//! still needs at least one group).
+//!
+//! The shard count is an algorithmic knob — it shapes the partition and
+//! the budget split — while concurrency is bounded separately by
+//! `FormationConfig::n_threads` worker threads (`0` = auto), so a large
+//! shard count never translates into a large OS thread count.
+//!
+//! ## What sharding changes
+//!
+//! Groups never span shards, so the result can differ from the unsharded
+//! greedy: users with identical preference keys that land in different
+//! shards are not bundled. Everything else is preserved — the output is a
+//! valid partition into at most `ell` groups, and each shard's run carries
+//! the paper's guarantees on its own sub-instance.
+//!
+//! ## Error bound
+//!
+//! Under least misery, each shard's greedy trails the optimal formation of
+//! *that shard* under its allocated budget by at most `r_max` (Min
+//! aggregation, Theorem 2 with split-aware selection) or `k·r_max` (Sum,
+//! Theorem 3). Summing over shards: the sharded objective trails the best
+//! **shard-respecting** partition under the same per-shard budgets by at
+//! most `s·r_max` (respectively `s·k·r_max`). Each repair merge can
+//! additionally lose at most the satisfaction of the two groups it merges
+//! (satisfactions are non-negative on non-negative rating scales), and at
+//! most `max(0, s - ell)` merges ever run.
+//!
+//! ## Determinism
+//!
+//! Shard boundaries are a pure function of `(n_users, shard count)`; each
+//! shard's greedy is deterministic; shards are merged in ascending shard
+//! order and repair breaks ties by group index. Two runs with the same
+//! configuration produce identical groupings.
+
+use super::{FormationConfig, FormationResult, GreedyFormer, GroupFormer};
+use crate::error::Result;
+use crate::grouping::{Group, Grouping};
+use crate::grouprec::GroupRecommender;
+use crate::matrix::RatingMatrix;
+use crate::prefs::PrefIndex;
+use crate::threads::{even_ranges, resolve_threads};
+
+/// Runs a [`GreedyFormer`] per user-shard in parallel and merges the
+/// per-shard groupings. See the [module docs](self) for semantics, error
+/// bound and determinism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardedFormer {
+    inner: GreedyFormer,
+    /// Number of shards; `0` = auto (one per worker thread resolved from
+    /// `FormationConfig::n_threads`).
+    n_shards: usize,
+}
+
+impl ShardedFormer {
+    /// A sharded former with auto shard count and a paper-faithful
+    /// [`GreedyFormer`] per shard.
+    pub fn new() -> Self {
+        ShardedFormer {
+            inner: GreedyFormer::new(),
+            n_shards: 0,
+        }
+    }
+
+    /// Overrides the shard count (`0` = auto: one shard per worker thread,
+    /// resolved from `FormationConfig::n_threads` via
+    /// [`crate::resolve_threads`]). Always clamped to the population size.
+    pub fn with_shards(mut self, n_shards: usize) -> Self {
+        self.n_shards = n_shards;
+        self
+    }
+
+    /// Overrides the per-shard greedy (e.g. to enable split-aware
+    /// selection, which restores the per-shard Theorem-2/3 bounds).
+    pub fn with_inner(mut self, inner: GreedyFormer) -> Self {
+        self.inner = inner;
+        self
+    }
+
+    /// The shard count used for a population of `n` users.
+    fn shards_for(&self, cfg: &FormationConfig, n: usize) -> usize {
+        let requested = if self.n_shards == 0 {
+            resolve_threads(cfg.n_threads, n)
+        } else {
+            self.n_shards
+        };
+        requested.clamp(1, n.max(1))
+    }
+}
+
+/// Splits the group budget proportionally to shard sizes: every shard gets
+/// at least one group (a shard's users must go somewhere) and at most
+/// `len` (a shard cannot host more non-empty groups than users); leftover
+/// budget goes to the largest shards first. The total can exceed `ell`
+/// only when `ell < s` — the repair pass trims that case.
+fn allocate_budgets(ell: usize, sizes: &[usize], n: usize) -> Vec<usize> {
+    let mut budgets: Vec<usize> = sizes
+        .iter()
+        .map(|&len| ((ell * len) / n.max(1)).clamp(1, len.max(1)))
+        .collect();
+    let mut total: usize = budgets.iter().sum();
+    if total < ell {
+        // Largest shards first, ties by shard index for determinism.
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        order.sort_by_key(|&s| (usize::MAX - sizes[s], s));
+        'outer: loop {
+            let mut gave = false;
+            for &s in &order {
+                if total == ell {
+                    break 'outer;
+                }
+                if budgets[s] < sizes[s] {
+                    budgets[s] += 1;
+                    total += 1;
+                    gave = true;
+                }
+            }
+            if !gave {
+                break; // every shard saturated: Σ sizes < ell, fine
+            }
+        }
+    }
+    budgets
+}
+
+/// Merges groups down to `ell` by repeatedly combining the two
+/// lowest-satisfaction groups and rescoring the union with the full
+/// recommendation engine. At most `groups.len() - ell` merges run.
+fn repair_to_budget(matrix: &RatingMatrix, cfg: &FormationConfig, groups: &mut Vec<Group>) {
+    let rec = GroupRecommender::new(matrix, cfg.semantics).with_policy(cfg.policy);
+    while groups.len() > cfg.ell.max(1) {
+        // Two lowest satisfactions; ties broken by group index.
+        let (mut lo, mut second) = (0usize, 1usize);
+        if groups[second].satisfaction < groups[lo].satisfaction {
+            std::mem::swap(&mut lo, &mut second);
+        }
+        for gi in 2..groups.len() {
+            let s = groups[gi].satisfaction;
+            if s < groups[lo].satisfaction {
+                second = lo;
+                lo = gi;
+            } else if s < groups[second].satisfaction {
+                second = gi;
+            }
+        }
+        let (a, b) = (lo.min(second), lo.max(second));
+        let absorbed = groups.swap_remove(b);
+        let target = &mut groups[a];
+        target.members.extend_from_slice(&absorbed.members);
+        target.members.sort_unstable();
+        let top_k = rec.top_k(&target.members, cfg.k);
+        let scores: Vec<f64> = top_k.iter().map(|&(_, s)| s).collect();
+        target.satisfaction = cfg.aggregation.apply(&scores);
+        target.top_k = top_k;
+    }
+}
+
+impl GroupFormer for ShardedFormer {
+    fn name(&self, cfg: &FormationConfig) -> String {
+        format!("SHARD-{}", cfg.grd_name())
+    }
+
+    fn form(
+        &self,
+        matrix: &RatingMatrix,
+        prefs: &PrefIndex,
+        cfg: &FormationConfig,
+    ) -> Result<FormationResult> {
+        cfg.validate(matrix)?;
+        let n = matrix.n_users() as usize;
+        let shards = self.shards_for(cfg, n);
+        if shards <= 1 {
+            return self.inner.form(matrix, prefs, cfg);
+        }
+
+        let ranges = even_ranges(n, shards);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let budgets = allocate_budgets(cfg.ell, &sizes, n);
+        let all_items: Vec<u32> = (0..matrix.n_items()).collect();
+
+        // Shard jobs run on a bounded worker pool — the shard count is an
+        // *algorithmic* knob (budget granularity, partition shape), the
+        // worker count an *execution* one (`cfg.n_threads`, `0` = auto),
+        // so `with_shards(5000)` never spawns 5000 OS threads. Worker `w`
+        // takes shards w, w + workers, … round-robin. Each job slices the
+        // matrix to the shard's users (all items kept, so item ids are
+        // global), rebuilds the preference index on the slice and runs the
+        // inner greedy with the shard's budget. Shard-local user id `lu`
+        // maps back to global id `range.start + lu` because `submatrix`
+        // re-indexes densely in the order given.
+        let workers = resolve_threads(cfg.n_threads, shards);
+        let mut shard_results: Vec<Option<Result<FormationResult>>> =
+            (0..shards).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let ranges = &ranges;
+                    let budgets = &budgets;
+                    let all_items = &all_items;
+                    let inner = self.inner;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut s = w;
+                        while s < shards {
+                            let users: Vec<u32> = ranges[s].clone().map(|u| u as u32).collect();
+                            let result = matrix.submatrix(&users, all_items).and_then(|sub| {
+                                let sub_prefs = PrefIndex::build(&sub);
+                                let mut sub_cfg = *cfg;
+                                sub_cfg.ell = budgets[s];
+                                sub_cfg.n_threads = 1; // shards are the parallelism
+                                inner.form(&sub, &sub_prefs, &sub_cfg)
+                            });
+                            out.push((s, result));
+                            s += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (s, r) in h.join().expect("shard worker panicked") {
+                    shard_results[s] = Some(r);
+                }
+            }
+        });
+
+        let mut groups: Vec<Group> = Vec::new();
+        let mut n_buckets = 0usize;
+        for (range, result) in ranges.iter().zip(shard_results) {
+            let shard = result.expect("every shard processed exactly once")?;
+            n_buckets += shard.n_buckets;
+            let base = range.start as u32;
+            for mut g in shard.grouping.groups {
+                for u in &mut g.members {
+                    *u += base;
+                }
+                groups.push(g);
+            }
+        }
+        repair_to_budget(matrix, cfg, &mut groups);
+
+        let grouping = Grouping::new(groups);
+        debug_assert!(grouping.validate(matrix.n_users(), cfg.ell).is_ok());
+        let objective = grouping.objective();
+        let _ = prefs; // global index unused: shards rebuild on their slice
+        Ok(FormationResult {
+            grouping,
+            objective,
+            n_buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregation;
+    use crate::metrics::recompute_objective;
+    use crate::scale::RatingScale;
+    use crate::semantics::Semantics;
+
+    fn synthetic(n: u32, m: u32) -> (RatingMatrix, PrefIndex) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|u| {
+                (0..m)
+                    .map(|i| {
+                        1.0 + ((u as usize * 13 + i as usize * 5 + u as usize * i as usize) % 5)
+                            as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let matrix = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
+        let prefs = PrefIndex::build(&matrix);
+        (matrix, prefs)
+    }
+
+    #[test]
+    fn one_shard_is_exactly_the_greedy() {
+        let (m, p) = synthetic(17, 6);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 4);
+        let plain = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+        let sharded = ShardedFormer::new()
+            .with_shards(1)
+            .form(&m, &p, &cfg)
+            .unwrap();
+        assert_eq!(plain.grouping, sharded.grouping);
+        assert_eq!(plain.n_buckets, sharded.n_buckets);
+    }
+
+    #[test]
+    fn sharded_output_is_a_valid_partition() {
+        let (m, p) = synthetic(23, 7);
+        for sem in Semantics::all() {
+            for agg in Aggregation::paper_set() {
+                for shards in [2usize, 3, 7] {
+                    for ell in [1usize, 4, 9] {
+                        let cfg = FormationConfig::new(sem, agg, 2, ell);
+                        let r = ShardedFormer::new()
+                            .with_shards(shards)
+                            .form(&m, &p, &cfg)
+                            .unwrap();
+                        r.grouping.validate(m.n_users(), ell).unwrap();
+                        let recomputed =
+                            recompute_objective(&m, &r.grouping, sem, agg, cfg.policy, cfg.k);
+                        assert!(
+                            (recomputed - r.objective).abs() < 1e-9,
+                            "{sem} {agg} s={shards} ell={ell}: {} vs {recomputed}",
+                            r.objective
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_pass_trims_when_budget_below_shards() {
+        // 6 shards but only ell = 2 groups allowed: every shard forms at
+        // least one group, so repair must merge at least 4 away.
+        let (m, p) = synthetic(18, 5);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 2);
+        let r = ShardedFormer::new()
+            .with_shards(6)
+            .form(&m, &p, &cfg)
+            .unwrap();
+        assert!(r.grouping.len() <= 2);
+        r.grouping.validate(18, 2).unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_fixed_configuration() {
+        let (m, p) = synthetic(29, 6);
+        let cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 3, 5);
+        let former = ShardedFormer::new().with_shards(4);
+        let a = former.form(&m, &p, &cfg).unwrap();
+        let b = former.form(&m, &p, &cfg).unwrap();
+        assert_eq!(a.grouping, b.grouping);
+    }
+
+    #[test]
+    fn auto_mode_resolves_from_config_threads() {
+        let (m, p) = synthetic(12, 4);
+        // n_threads = 1 (default): auto sharding degrades to plain greedy.
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 3);
+        let plain = GreedyFormer::new().form(&m, &p, &cfg).unwrap();
+        let sharded = ShardedFormer::new().form(&m, &p, &cfg).unwrap();
+        assert_eq!(plain.grouping, sharded.grouping);
+        // Explicit multi-threaded config: still a valid partition.
+        let cfg = cfg.with_threads(3);
+        let r = ShardedFormer::new().form(&m, &p, &cfg).unwrap();
+        r.grouping.validate(12, 3).unwrap();
+    }
+
+    #[test]
+    fn more_shards_than_users_is_clamped() {
+        let (m, p) = synthetic(3, 4);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 1, 3);
+        let r = ShardedFormer::new()
+            .with_shards(64)
+            .form(&m, &p, &cfg)
+            .unwrap();
+        r.grouping.validate(3, 3).unwrap();
+    }
+
+    #[test]
+    fn budget_allocation_is_proportional_and_covering() {
+        assert_eq!(allocate_budgets(10, &[50, 50], 100), vec![5, 5]);
+        assert_eq!(allocate_budgets(10, &[80, 20], 100), vec![8, 2]);
+        // Every shard gets at least one group even when ell < shards.
+        assert_eq!(allocate_budgets(2, &[5, 5, 5, 5], 20), vec![1, 1, 1, 1]);
+        // Leftover goes to the largest shard first.
+        assert_eq!(allocate_budgets(4, &[7, 5, 5], 17), vec![2, 1, 1]);
+        // Budgets never exceed shard sizes; undistributable budget is dropped.
+        assert_eq!(allocate_budgets(9, &[2, 2], 4), vec![2, 2]);
+    }
+
+    #[test]
+    fn sharded_name() {
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 5, 10);
+        assert_eq!(ShardedFormer::new().name(&cfg), "SHARD-GRD-LM-MIN");
+    }
+}

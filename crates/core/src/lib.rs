@@ -69,11 +69,12 @@ pub mod ndcg;
 pub mod prefs;
 pub mod scale;
 pub mod semantics;
+pub mod threads;
 pub mod userweight;
 pub mod weights;
 
 pub use aggregate::Aggregation;
-pub use alg::{FormationConfig, FormationResult, GreedyFormer, GroupFormer};
+pub use alg::{FormationConfig, FormationResult, GreedyFormer, GroupFormer, ShardedFormer};
 pub use error::{GfError, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use grouping::{Group, Grouping};
@@ -85,5 +86,6 @@ pub use ndcg::{dcg, ndcg, user_satisfaction};
 pub use prefs::PrefIndex;
 pub use scale::RatingScale;
 pub use semantics::Semantics;
+pub use threads::resolve_threads;
 pub use userweight::WeightedRecommender;
 pub use weights::WeightScheme;

@@ -66,6 +66,56 @@ impl RatingMatrix {
         b.build()
     }
 
+    /// Builds a fully dense matrix from a row-major `n_users x n_items`
+    /// score buffer, consuming the buffer as the score storage — no
+    /// intermediate triples, no per-row sort. Every score is validated
+    /// against `scale` exactly as [`MatrixBuilder::push`] would.
+    ///
+    /// This is the fast path for producers that already materialize dense
+    /// rows (e.g. threaded matrix completion): versus routing `n * m`
+    /// cells through a builder it skips the 16-byte-per-cell triple buffer
+    /// and the counting sort.
+    pub fn from_dense_buffer(
+        n_users: u32,
+        n_items: u32,
+        scores: Vec<f64>,
+        scale: RatingScale,
+    ) -> Result<Self> {
+        if n_users == 0 || n_items == 0 {
+            return Err(GfError::EmptyMatrix);
+        }
+        let (n, m) = (n_users as usize, n_items as usize);
+        if scores.len() != n * m {
+            return Err(GfError::InvalidGrouping(format!(
+                "dense buffer holds {} cells but expected {n} x {m}",
+                scores.len()
+            )));
+        }
+        for (idx, &s) in scores.iter().enumerate() {
+            if !s.is_finite() {
+                return Err(GfError::NonFiniteScore {
+                    user: (idx / m) as u32,
+                    item: (idx % m) as u32,
+                });
+            }
+            if !scale.contains(s) {
+                return Err(GfError::ScaleViolation {
+                    user: (idx / m) as u32,
+                    item: (idx % m) as u32,
+                    score: s,
+                });
+            }
+        }
+        Ok(RatingMatrix {
+            n_users,
+            n_items,
+            scale,
+            offsets: (0..=n).map(|u| u * m).collect(),
+            items: (0..n).flat_map(|_| 0..n_items).collect(),
+            scores,
+        })
+    }
+
     /// Number of users `n`.
     #[inline]
     pub fn n_users(&self) -> u32 {
@@ -436,6 +486,43 @@ mod tests {
         assert_eq!(m.get(0, 1), Some(4.0));
         assert_eq!(m.get(4, 0), Some(3.0));
         assert_eq!(m.density(), 1.0);
+    }
+
+    #[test]
+    fn from_dense_buffer_matches_from_dense() {
+        let rows: [&[f64]; 3] = [&[1.0, 4.0, 3.0], &[2.0, 3.0, 5.0], &[2.0, 5.0, 1.0]];
+        let via_builder = RatingMatrix::from_dense(&rows, RatingScale::one_to_five()).unwrap();
+        let buf: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let direct =
+            RatingMatrix::from_dense_buffer(3, 3, buf, RatingScale::one_to_five()).unwrap();
+        assert_eq!(via_builder, direct);
+        assert_eq!(direct.density(), 1.0);
+    }
+
+    #[test]
+    fn from_dense_buffer_validates() {
+        let scale = RatingScale::one_to_five();
+        assert!(matches!(
+            RatingMatrix::from_dense_buffer(0, 2, vec![], scale),
+            Err(GfError::EmptyMatrix)
+        ));
+        assert!(matches!(
+            RatingMatrix::from_dense_buffer(2, 2, vec![1.0; 3], scale),
+            Err(GfError::InvalidGrouping(_))
+        ));
+        assert_eq!(
+            RatingMatrix::from_dense_buffer(2, 2, vec![1.0, 2.0, 9.0, 3.0], scale).unwrap_err(),
+            GfError::ScaleViolation {
+                user: 1,
+                item: 0,
+                score: 9.0
+            }
+        );
+        assert_eq!(
+            RatingMatrix::from_dense_buffer(2, 2, vec![1.0, f64::NAN, 2.0, 3.0], scale)
+                .unwrap_err(),
+            GfError::NonFiniteScore { user: 0, item: 1 }
+        );
     }
 
     #[test]

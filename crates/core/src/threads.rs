@@ -1,0 +1,88 @@
+//! Thread-count resolution shared by every parallel hot path.
+//!
+//! Every thread knob in the workspace (`FormationConfig::with_threads`,
+//! `BaselineFormer::with_threads`, `complete_matrix_threaded`, …) follows
+//! one convention, implemented once here:
+//!
+//! * `0` means **auto**: use [`std::thread::available_parallelism`]
+//!   (falling back to 1 if the platform cannot report it);
+//! * any other value is taken literally;
+//! * the result is always clamped to `1..=max_useful`, where `max_useful`
+//!   is the number of independent work units (rows, users, shards) — there
+//!   is never a point in spawning more workers than work.
+
+use std::ops::Range;
+
+/// Resolves a thread-count knob into an actual worker count.
+///
+/// `requested == 0` selects auto mode (`available_parallelism`); the result
+/// is clamped into `1..=max_useful.max(1)`.
+///
+/// ```
+/// use gf_core::resolve_threads;
+/// assert_eq!(resolve_threads(4, 100), 4);
+/// assert_eq!(resolve_threads(4, 2), 2); // never more workers than work
+/// assert_eq!(resolve_threads(7, 0), 1); // always at least one
+/// assert!(resolve_threads(0, 1_000) >= 1); // auto
+/// ```
+pub fn resolve_threads(requested: usize, max_useful: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    t.clamp(1, max_useful.max(1))
+}
+
+/// Splits `0..n` into `parts` contiguous ranges whose lengths differ by at
+/// most one, in ascending order. With `parts > n` the trailing ranges are
+/// empty; callers that cannot tolerate empty ranges should clamp `parts`
+/// via [`resolve_threads`] first.
+pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    (0..parts)
+        .map(|t| (n * t / parts)..(n * (t + 1) / parts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_counts_are_clamped_to_work() {
+        assert_eq!(resolve_threads(1, 10), 1);
+        assert_eq!(resolve_threads(16, 3), 3);
+        assert_eq!(resolve_threads(16, 0), 1);
+        assert_eq!(resolve_threads(2, 1), 1);
+    }
+
+    #[test]
+    fn zero_is_auto_and_at_least_one() {
+        let t = resolve_threads(0, usize::MAX);
+        assert!(t >= 1);
+        assert_eq!(resolve_threads(0, 1), 1);
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once_in_order() {
+        for n in [0usize, 1, 2, 7, 17, 100] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let ranges = even_ranges(n, parts);
+                assert_eq!(ranges.len(), parts);
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                let (min, max) = ranges.iter().fold((usize::MAX, 0), |(lo, hi), r| {
+                    (lo.min(r.len()), hi.max(r.len()))
+                });
+                assert!(max - min <= 1, "n={n} parts={parts}: {min}..{max}");
+            }
+        }
+    }
+}

@@ -1,10 +1,12 @@
 //! Property-based tests for the core data model, the group recommendation
 //! engine and the greedy formation algorithms.
 
-use gf_core::alg::bucket::{build_buckets, personal_top_k};
+use gf_core::alg::bucket::{
+    build_buckets, build_buckets_threaded, canonical_buckets, personal_top_k,
+};
 use gf_core::{
     Aggregation, FormationConfig, GreedyFormer, GroupFormer, GroupRecommender, MissingPolicy,
-    PrefIndex, RatingMatrix, RatingScale, Semantics,
+    PrefIndex, RatingMatrix, RatingScale, Semantics, ShardedFormer,
 };
 use proptest::prelude::*;
 
@@ -208,6 +210,77 @@ proptest! {
         let a = GreedyFormer::new().form(&m, &prefs, &cfg).unwrap();
         let b = GreedyFormer::new().form(&m, &prefs, &cfg).unwrap();
         prop_assert_eq!(a.grouping, b.grouping);
+    }
+
+    /// Threaded Step-1 bucket building is bit-for-bit identical to the
+    /// sequential path across thread counts, for every semantics and
+    /// aggregation (ratings are integers, so shard-merged sums are exact).
+    #[test]
+    fn threaded_buckets_match_sequential(
+        inst in instance(17, 8),
+        k in 1usize..4,
+        sem_lm in any::<bool>(),
+        agg_ix in 0usize..3,
+    ) {
+        let m = matrix_of(&inst);
+        let prefs = PrefIndex::build(&m);
+        let sem = if sem_lm { Semantics::LeastMisery } else { Semantics::AggregateVoting };
+        let agg = Aggregation::paper_set()[agg_ix];
+        let seq = canonical_buckets(build_buckets(&m, &prefs, sem, agg, MissingPolicy::Min, k));
+        for threads in [1usize, 2, 7] {
+            let par = canonical_buckets(build_buckets_threaded(
+                &m, &prefs, sem, agg, MissingPolicy::Min, k, threads));
+            prop_assert_eq!(&seq, &par, "threads={}", threads);
+        }
+    }
+
+    /// A greedy run with a threaded config produces exactly the same
+    /// grouping as the single-threaded default.
+    #[test]
+    fn threaded_greedy_matches_sequential(
+        inst in instance(17, 6),
+        k in 1usize..4,
+        ell in 1usize..6,
+        agg_ix in 0usize..3,
+    ) {
+        let m = matrix_of(&inst);
+        let prefs = PrefIndex::build(&m);
+        let agg = Aggregation::paper_set()[agg_ix];
+        let cfg = FormationConfig::new(Semantics::LeastMisery, agg, k, ell);
+        let seq = GreedyFormer::new().form(&m, &prefs, &cfg).unwrap();
+        for threads in [2usize, 7] {
+            let par = GreedyFormer::new()
+                .form(&m, &prefs, &cfg.with_threads(threads))
+                .unwrap();
+            prop_assert_eq!(&seq.grouping, &par.grouping, "threads={}", threads);
+        }
+    }
+
+    /// Sharded formation always yields a valid partition into at most
+    /// `ell` groups whose stored objective matches a recomputation, for
+    /// shard counts below, at and above the group budget.
+    #[test]
+    fn sharded_former_is_valid_and_consistent(
+        inst in instance(17, 6),
+        k in 1usize..3,
+        ell in 1usize..5,
+        shards_ix in 0usize..3,
+        sem_lm in any::<bool>(),
+    ) {
+        let m = matrix_of(&inst);
+        let prefs = PrefIndex::build(&m);
+        let sem = if sem_lm { Semantics::LeastMisery } else { Semantics::AggregateVoting };
+        let shards = [1usize, 2, 7][shards_ix];
+        let cfg = FormationConfig::new(sem, Aggregation::Min, k, ell);
+        let r = ShardedFormer::new().with_shards(shards).form(&m, &prefs, &cfg).unwrap();
+        r.grouping.validate(m.n_users(), ell).unwrap();
+        let recomputed = gf_core::recompute_objective(&m, &r.grouping, sem,
+            Aggregation::Min, cfg.policy, k);
+        prop_assert!((recomputed - r.objective).abs() < 1e-9,
+            "shards={shards}: stored {} vs recomputed {recomputed}", r.objective);
+        // Determinism across repeated runs.
+        let again = ShardedFormer::new().with_shards(shards).form(&m, &prefs, &cfg).unwrap();
+        prop_assert_eq!(r.grouping, again.grouping);
     }
 
     /// The matrix builder round-trips triples regardless of insertion order.

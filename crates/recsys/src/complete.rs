@@ -12,40 +12,106 @@
 //! instead.
 
 use crate::predictor::RatingPredictor;
-use gf_core::{MatrixBuilder, RatingMatrix, Result};
+use gf_core::{resolve_threads, threads::even_ranges, MatrixBuilder, RatingMatrix, Result};
+
+/// One completed cell: the known rating if present, otherwise the
+/// prediction clamped (or quantized) into the scale. `pos` is the cursor
+/// into the user's sorted rated-item list.
+#[inline]
+fn completed_cell(
+    matrix: &RatingMatrix,
+    predictor: &impl RatingPredictor,
+    quantize_step: Option<f64>,
+    u: u32,
+    i: u32,
+    pos: &mut usize,
+) -> f64 {
+    let items = matrix.user_items(u);
+    if *pos < items.len() && items[*pos] == i {
+        let s = matrix.user_scores(u)[*pos];
+        *pos += 1;
+        return s;
+    }
+    let p = predictor.predict(u, i);
+    match quantize_step {
+        Some(step) => matrix.scale().quantize(p, step),
+        None => matrix.scale().clamp(p),
+    }
+}
 
 /// Produces a dense matrix over the same shape: known ratings kept,
 /// missing cells predicted. `quantize_step` optionally snaps predictions to
 /// the rating grid (e.g. `Some(1.0)` for whole stars).
+///
+/// Single-threaded, streaming straight into the builder; see
+/// [`complete_matrix_threaded`] for the parallel path (the two produce
+/// bit-for-bit identical matrices).
 pub fn complete_matrix(
     matrix: &RatingMatrix,
     predictor: &impl RatingPredictor,
     quantize_step: Option<f64>,
 ) -> Result<RatingMatrix> {
-    let scale = matrix.scale();
     let m = matrix.n_items();
-    let mut b = MatrixBuilder::new(matrix.n_users(), m, scale);
+    let mut b = MatrixBuilder::new(matrix.n_users(), m, matrix.scale());
     b.reserve(matrix.n_users() as usize * m as usize);
     for u in 0..matrix.n_users() {
-        let items = matrix.user_items(u);
-        let scores = matrix.user_scores(u);
         let mut pos = 0usize;
         for i in 0..m {
-            let s = if pos < items.len() && items[pos] == i {
-                let s = scores[pos];
-                pos += 1;
-                s
-            } else {
-                let p = predictor.predict(u, i);
-                match quantize_step {
-                    Some(step) => scale.quantize(p, step),
-                    None => scale.clamp(p),
-                }
-            };
-            b.push(u, i, s)?;
+            b.push(
+                u,
+                i,
+                completed_cell(matrix, predictor, quantize_step, u, i, &mut pos),
+            )?;
         }
     }
     b.build()
+}
+
+/// [`complete_matrix`] with `n_threads` scoped worker threads (`0` = auto,
+/// see [`gf_core::resolve_threads`]): the dense output buffer is split into
+/// disjoint contiguous user-row slices and each worker fills its own rows.
+/// At one resolved worker this delegates to the streaming sequential path.
+///
+/// Every cell is a pure function of `(u, i)` — known ratings are copied,
+/// missing cells predicted and clamped/quantized independently — so the
+/// result is bit-for-bit identical across all thread counts.
+pub fn complete_matrix_threaded(
+    matrix: &RatingMatrix,
+    predictor: &(impl RatingPredictor + Sync),
+    quantize_step: Option<f64>,
+    n_threads: usize,
+) -> Result<RatingMatrix> {
+    let n = matrix.n_users() as usize;
+    let m = matrix.n_items() as usize;
+    let threads = resolve_threads(n_threads, n);
+    if threads <= 1 {
+        return complete_matrix(matrix, predictor, quantize_step);
+    }
+
+    // Disjoint contiguous user-row slices of the output buffer, same
+    // scoped-thread partitioning as the Kendall-Tau distance matrix. The
+    // buffer then becomes the matrix's score storage directly
+    // (`from_dense_buffer`) — no second pass through a builder.
+    let mut buf = vec![0.0f64; n * m];
+    std::thread::scope(|scope| {
+        let mut rest = buf.as_mut_slice();
+        for range in even_ranges(n, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * m);
+            rest = tail;
+            scope.spawn(move || {
+                for (off, row) in chunk.chunks_mut(m.max(1)).enumerate() {
+                    let u = (range.start + off) as u32;
+                    let mut pos = 0usize;
+                    for (i, cell) in row.iter_mut().enumerate() {
+                        *cell =
+                            completed_cell(matrix, predictor, quantize_step, u, i as u32, &mut pos);
+                    }
+                }
+            });
+        }
+    });
+
+    RatingMatrix::from_dense_buffer(matrix.n_users(), matrix.n_items(), buf, matrix.scale())
 }
 
 #[cfg(test)]
@@ -94,6 +160,40 @@ mod tests {
                 assert_eq!(s, s.round());
             }
         }
+    }
+
+    #[test]
+    fn threaded_completion_is_bit_for_bit_identical() {
+        // n = 0 is unconstructible (builders reject empty matrices); cover
+        // the remaining edge grid n ∈ {1, 2, 17} × threads ∈ {1, 2, 7}.
+        for n in [1u32, 2, 17] {
+            let m = RatingMatrix::from_triples(
+                n,
+                6,
+                (0..n).map(|u| (u, u % 6, 1.0 + (u % 5) as f64)),
+                RatingScale::one_to_five(),
+            )
+            .unwrap();
+            let bias = BiasModel::fit(&m, 5.0);
+            for step in [None, Some(1.0)] {
+                let seq = complete_matrix(&m, &bias, step).unwrap();
+                for threads in [1usize, 2, 7] {
+                    let par = complete_matrix_threaded(&m, &bias, step, threads).unwrap();
+                    // RatingMatrix equality compares every score with f64
+                    // `==`, i.e. bit-for-bit on these values.
+                    assert_eq!(seq, par, "n={n} step={step:?} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_thread_mode_matches_sequential() {
+        let m = sparse();
+        let bias = BiasModel::fit(&m, 5.0);
+        let seq = complete_matrix(&m, &bias, Some(1.0)).unwrap();
+        let auto = complete_matrix_threaded(&m, &bias, Some(1.0), 0).unwrap();
+        assert_eq!(seq, auto);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod mf;
 pub mod predictor;
 pub mod slopeone;
 
-pub use complete::complete_matrix;
+pub use complete::{complete_matrix, complete_matrix_threaded};
 pub use eval::{mae, rmse};
 pub use knn::ItemItemKnn;
 pub use means::BiasModel;

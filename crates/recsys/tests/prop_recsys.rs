@@ -4,8 +4,8 @@
 
 use gf_core::{RatingMatrix, RatingScale};
 use gf_recsys::{
-    complete_matrix, mae, rmse, BiasModel, ItemItemKnn, MatrixFactorization, MfConfig,
-    RatingPredictor, SlopeOne,
+    complete_matrix, complete_matrix_threaded, mae, rmse, BiasModel, ItemItemKnn,
+    MatrixFactorization, MfConfig, RatingPredictor, SlopeOne,
 };
 use proptest::prelude::*;
 
@@ -99,6 +99,37 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Threaded completion is bit-for-bit identical to the sequential path
+    /// across thread counts {1, 2, 7} and auto mode, with arbitrary
+    /// predictors and with/without quantization.
+    #[test]
+    fn threaded_completion_matches_sequential(
+        inst in sparse_instance(),
+        quantize in any::<bool>(),
+        use_knn in any::<bool>(),
+    ) {
+        let m = matrix_of(&inst);
+        let step = if quantize { Some(1.0) } else { None };
+        let seq = if use_knn {
+            let knn = ItemItemKnn::fit(&m, 5, 1.0);
+            let seq = complete_matrix(&m, &knn, step).unwrap();
+            for threads in [1usize, 2, 7, 0] {
+                let par = complete_matrix_threaded(&m, &knn, step, threads).unwrap();
+                prop_assert_eq!(&seq, &par, "knn threads={}", threads);
+            }
+            seq
+        } else {
+            let bias = BiasModel::fit(&m, 10.0);
+            let seq = complete_matrix(&m, &bias, step).unwrap();
+            for threads in [1usize, 2, 7, 0] {
+                let par = complete_matrix_threaded(&m, &bias, step, threads).unwrap();
+                prop_assert_eq!(&seq, &par, "bias threads={}", threads);
+            }
+            seq
+        };
+        prop_assert_eq!(seq.density(), 1.0);
     }
 
     /// MAE <= RMSE always; both are zero on a perfect predictor.

@@ -96,13 +96,15 @@ pub use gf_recsys as recsys;
 pub mod prelude {
     pub use gf_baselines::{BaselineFormer, ClusterStrategy};
     pub use gf_core::{
-        Aggregation, FormationConfig, FormationResult, GfError, GreedyFormer, Group, GroupFormer,
-        GroupRecommender, Grouping, MissingPolicy, PrefIndex, RatingMatrix, RatingScale, Semantics,
-        WeightScheme,
+        resolve_threads, Aggregation, FormationConfig, FormationResult, GfError, GreedyFormer,
+        Group, GroupFormer, GroupRecommender, Grouping, MissingPolicy, PrefIndex, RatingMatrix,
+        RatingScale, Semantics, ShardedFormer, WeightScheme,
     };
     pub use gf_datasets::{Dataset, DatasetStats, SynthConfig};
     pub use gf_exact::{BranchAndBound, LocalSearch, PartitionDp};
-    pub use gf_recsys::{complete_matrix, BiasModel, ItemItemKnn, MatrixFactorization};
+    pub use gf_recsys::{
+        complete_matrix, complete_matrix_threaded, BiasModel, ItemItemKnn, MatrixFactorization,
+    };
 }
 
 #[cfg(test)]
