@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the gf-serve binary: launch it against the
+# checked-in 20-user MovieLens fixture, drive every endpoint over real
+# HTTP with curl, and fail on any non-expected status or malformed JSON.
+# Run from the repository root; expects target/release/gf-serve to exist
+# and `curl` + `jq` on PATH (both present on ubuntu-latest).
+set -euo pipefail
+
+BIN=target/release/gf-serve
+FIXTURE=crates/datasets/tests/fixtures/ratings_20users.dat
+PORT="${GF_SMOKE_PORT:-7878}"
+BASE="http://127.0.0.1:${PORT}"
+LOG=$(mktemp)
+
+"$BIN" --port "$PORT" --data "$FIXTURE" --ell 4 --k 3 >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; cat "$LOG"' EXIT
+
+# Wait for the listening line (the binary prints it once ready).
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$LOG" && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died during startup"; exit 1; }
+  sleep 0.1
+done
+grep -q "listening on" "$LOG" || { echo "server never became ready"; exit 1; }
+
+# request METHOD PATH EXPECTED_STATUS [BODY] -> prints response body,
+# fails on status mismatch or non-JSON payload.
+request() {
+  local method=$1 path=$2 expected=$3 body=${4:-}
+  local out status
+  if [ -n "$body" ]; then
+    out=$(curl -sS -w '\n%{http_code}' -X "$method" -d "$body" "$BASE$path")
+  else
+    out=$(curl -sS -w '\n%{http_code}' -X "$method" "$BASE$path")
+  fi
+  status=${out##*$'\n'}
+  out=${out%$'\n'*}
+  if [ "$status" != "$expected" ]; then
+    echo "FAIL: $method $path returned $status (expected $expected): $out" >&2
+    exit 1
+  fi
+  jq -e . >/dev/null <<<"$out" || { echo "FAIL: $method $path returned malformed JSON: $out" >&2; exit 1; }
+  echo "$out"
+}
+
+echo "== /health =="
+health=$(request GET /health 200)
+jq -e '.status == "ok" and .users == 20' <<<"$health" >/dev/null
+
+echo "== /form (re-form under AV-SUM) =="
+formed=$(request POST /form 200 '{"semantics":"av","aggregation":"sum","ell":4}')
+jq -e '.algorithm == "GRD-AV-SUM" and .groups <= 4 and .objective > 0' <<<"$formed" >/dev/null
+
+echo "== /group/3 =="
+group=$(request GET /group/3 200)
+jq -e '.user == 3 and (.members | index(3) != null) and (.top_k | length) <= 3' <<<"$group" >/dev/null
+
+echo "== /recommend =="
+gi=$(jq -r '.group' <<<"$group")
+request GET "/recommend/$gi" 200 | jq -e '.top_k | length >= 1' >/dev/null
+
+echo "== /rate (incremental update reaches a fresh snapshot) =="
+# Baseline must be read *after* /form (which already bumped the version),
+# immediately before the rate — otherwise this loop exits vacuously.
+version=$(request GET /health 200 | jq -r '.version')
+request POST /rate 202 '{"user":3,"item":1,"rating":5}' | jq -e '.accepted == true' >/dev/null
+new_version=$version
+for _ in $(seq 1 100); do
+  new_version=$(request GET /health 200 | jq -r '.version')
+  [ "$new_version" -gt "$version" ] && break
+  sleep 0.1
+done
+[ "$new_version" -gt "$version" ] || { echo "FAIL: /rate never produced a new snapshot"; exit 1; }
+# The new snapshot must actually carry the applied rating.
+request GET /stats 200 | jq -e '.rates_applied >= 1' >/dev/null
+
+echo "== /stats =="
+request GET /stats 200 | jq -e '.rates_applied >= 1 and .form_runs >= 1' >/dev/null
+
+echo "== error paths stay JSON =="
+request GET /group/9999 404 | jq -e '.error' >/dev/null
+request POST /rate 400 '{"user":0,"item":0,"rating":99}' | jq -e '.error' >/dev/null
+request GET /nope 404 | jq -e '.error' >/dev/null
+
+echo "serve smoke: all checks passed"

@@ -5,7 +5,7 @@
 //! provide" (Section 7). Each user's ranking is made a total order the same
 //! way everywhere in this workspace: score descending, ties broken by
 //! ascending item id, with unrated items imputed by the
-//! [`MissingPolicy`](gf_core::MissingPolicy).
+//! [`MissingPolicy`].
 //!
 //! Between two total orders the distance is the number of discordant pairs,
 //! counted in O(m log m) by merge-sort inversion counting (a naive O(m²)

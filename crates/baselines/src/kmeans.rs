@@ -5,14 +5,38 @@
 //! `||x - c||² = ||x||² - 2⟨x, c⟩ + ||c||²`, so an assignment pass costs
 //! O(Σ_u d_u · ℓ) instead of O(n · m · ℓ). Seeding is k-means++ on a
 //! sampled candidate set. Deterministic in the seed.
+//!
+//! The `O(nnz · ℓ)` **assignment pass** — the slowest part of the
+//! fig4(c)/fig6(c) sweeps at large ℓ — runs on scoped worker threads over
+//! disjoint user ranges ([`kmeans_threaded`], knob convention of
+//! [`gf_core::resolve_threads`]). Each user's assignment is a pure
+//! function of the centroids, so the threaded pass is **bit-for-bit
+//! identical** to the sequential one regardless of the thread count
+//! (property-tested in `tests/prop_baselines.rs`); seeding and the
+//! centroid update stay sequential (both are O(nnz) and carry the
+//! RNG/accumulation order).
 
 use crate::kmedoids::Clustering;
-use gf_core::RatingMatrix;
+use gf_core::{resolve_threads, RatingMatrix};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Runs k-means over the users of `matrix`, aiming for `k` clusters.
+/// Single-threaded; see [`kmeans_threaded`] for the parallel variant.
 pub fn kmeans(matrix: &RatingMatrix, k: usize, max_iter: usize, seed: u64) -> Clustering {
+    kmeans_threaded(matrix, k, max_iter, seed, 1)
+}
+
+/// [`kmeans`] with the assignment pass parallelized over `n_threads`
+/// scoped workers (`0` = auto via `available_parallelism`, always clamped
+/// to the population size). Identical output for every thread count.
+pub fn kmeans_threaded(
+    matrix: &RatingMatrix,
+    k: usize,
+    max_iter: usize,
+    seed: u64,
+    n_threads: usize,
+) -> Clustering {
     let n = matrix.n_users() as usize;
     let m = matrix.n_items() as usize;
     assert!(k >= 1, "need at least one cluster");
@@ -84,28 +108,39 @@ pub fn kmeans(matrix: &RatingMatrix, k: usize, max_iter: usize, seed: u64) -> Cl
         centroid_sq.push(c_sq);
     }
 
+    let workers = resolve_threads(n_threads, n);
     let mut assignment = vec![0u32; n];
     let mut iterations = 0usize;
     for _ in 0..max_iter.max(1) {
         iterations += 1;
-        // Assignment.
-        let mut changed = false;
-        #[allow(clippy::needless_range_loop)] // `u` is a user id fed to closures
-        for u in 0..n {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let d = dist_sq_to(u as u32, centroid, centroid_sq[c]);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
+        // Assignment: every user's nearest centroid is a pure function of
+        // the centroids, so the pass splits into disjoint user ranges —
+        // workers write non-overlapping slices of `assignment` and the
+        // result is identical to the sequential loop.
+        let changed = if workers <= 1 {
+            assign_range(&mut assignment, 0, &dist_sq_to, &centroids, &centroid_sq)
+        } else {
+            let ranges = gf_core::threads::even_ranges(n, workers);
+            let mut changed = false;
+            std::thread::scope(|scope| {
+                let mut rest: &mut [u32] = &mut assignment;
+                let mut handles = Vec::with_capacity(workers);
+                for r in &ranges {
+                    let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(r.len());
+                    rest = tail;
+                    let (dist_sq_to, centroids, centroid_sq) =
+                        (&dist_sq_to, &centroids, &centroid_sq);
+                    let start = r.start;
+                    handles.push(scope.spawn(move || {
+                        assign_range(chunk, start, dist_sq_to, centroids, centroid_sq)
+                    }));
                 }
-            }
-            if assignment[u] != best as u32 {
-                assignment[u] = best as u32;
-                changed = true;
-            }
-        }
+                for h in handles {
+                    changed |= h.join().expect("assignment worker panicked");
+                }
+            });
+            changed
+        };
         if !changed && iterations > 1 {
             break;
         }
@@ -138,6 +173,35 @@ pub fn kmeans(matrix: &RatingMatrix, k: usize, max_iter: usize, seed: u64) -> Cl
         assignment,
         iterations,
     }
+}
+
+/// Assigns each user in `chunk` (global ids `start..start + chunk.len()`)
+/// to its nearest centroid; returns whether any assignment changed.
+fn assign_range<F: Fn(u32, &[f64], f64) -> f64>(
+    chunk: &mut [u32],
+    start: usize,
+    dist_sq_to: &F,
+    centroids: &[Vec<f64>],
+    centroid_sq: &[f64],
+) -> bool {
+    let mut changed = false;
+    for (off, slot) in chunk.iter_mut().enumerate() {
+        let u = (start + off) as u32;
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = dist_sq_to(u, centroid, centroid_sq[c]);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        if *slot != best as u32 {
+            *slot = best as u32;
+            changed = true;
+        }
+    }
+    changed
 }
 
 #[cfg(test)]
@@ -208,6 +272,20 @@ mod tests {
         let m = blocky();
         let c = kmeans(&m, 100, 10, 4);
         assert!(c.groups().len() <= 10);
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let d = SynthConfig::yahoo_music()
+            .with_users(150)
+            .with_items(40)
+            .generate();
+        let sequential = kmeans(&d.matrix, 7, 25, 11);
+        for threads in [2usize, 3, 7, 0] {
+            let threaded = kmeans_threaded(&d.matrix, 7, 25, 11, threads);
+            assert_eq!(sequential.assignment, threaded.assignment, "t={threads}");
+            assert_eq!(sequential.iterations, threaded.iterations, "t={threads}");
+        }
     }
 
     #[test]

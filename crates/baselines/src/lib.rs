@@ -1,7 +1,7 @@
 //! # gf-baselines — semantics-agnostic baseline group formation
 //!
 //! The paper's baselines (`Baseline-LM`, `Baseline-AV`, Section 7,
-//! adapted from Ntoutsi et al. [22]) form groups by *similarity clustering*
+//! adapted from Ntoutsi et al. \[22\]) form groups by *similarity clustering*
 //! that ignores the group recommendation semantics:
 //!
 //! 1. measure the Kendall-Tau distance between every pair of users, over

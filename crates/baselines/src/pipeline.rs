@@ -6,7 +6,7 @@
 //! (using Min/Max/Sum aggregation) based on LM or AV semantics."
 
 use crate::distance::DistanceMatrix;
-use crate::kmeans::kmeans;
+use crate::kmeans::kmeans_threaded;
 use crate::kmedoids::{kmedoids, Clustering};
 use gf_core::{
     FormationConfig, FormationResult, Group, GroupFormer, GroupRecommender, Grouping, PrefIndex,
@@ -34,7 +34,7 @@ impl Default for ClusterStrategy {
     }
 }
 
-/// The paper's baseline group former (adapted from Ntoutsi et al. [22]).
+/// The paper's baseline group former (adapted from Ntoutsi et al. \[22\]).
 #[derive(Debug, Clone, Copy)]
 pub struct BaselineFormer {
     strategy: ClusterStrategy,
@@ -81,7 +81,8 @@ impl BaselineFormer {
         self
     }
 
-    /// Worker threads for the pairwise distance computation. `0` = auto
+    /// Worker threads for the parallel passes (the Kendall-Tau pairwise
+    /// distance matrix and the k-means assignment loop). `0` = auto
     /// (`available_parallelism`); the knob is stored raw and resolved in
     /// one place, [`gf_core::resolve_threads`], when the work size is
     /// known — never clamped here.
@@ -105,7 +106,7 @@ impl BaselineFormer {
             let dist = DistanceMatrix::kendall_tau(matrix, prefs, cfg.policy, self.n_threads);
             kmedoids(&dist, cfg.ell, self.max_iter, self.seed)
         } else {
-            kmeans(matrix, cfg.ell, self.max_iter, self.seed)
+            kmeans_threaded(matrix, cfg.ell, self.max_iter, self.seed, self.n_threads)
         }
     }
 }

@@ -5,7 +5,7 @@ use gf_baselines::distance::DistanceMatrix;
 use gf_baselines::kendall::{
     count_inversions, count_inversions_naive, kendall_tau, kendall_tau_normalized,
 };
-use gf_baselines::kmeans::kmeans;
+use gf_baselines::kmeans::{kmeans, kmeans_threaded};
 use gf_baselines::kmedoids::kmedoids;
 use gf_baselines::{BaselineFormer, ClusterStrategy, RandomFormer};
 use gf_core::{Aggregation, FormationConfig, GroupFormer, PrefIndex, Semantics};
@@ -74,6 +74,29 @@ proptest! {
         prop_assert!(md.groups().len() <= k.min(n as usize));
         let total: usize = md.groups().iter().map(Vec::len).sum();
         prop_assert_eq!(total, n as usize);
+    }
+
+    /// The threaded k-means assignment pass is bit-for-bit identical to
+    /// the sequential one across thread counts {2, 7} and auto (0), for
+    /// any population size, cluster count and seed — each user's nearest
+    /// centroid is a pure function of the centroids, so splitting the
+    /// pass over workers must not change anything.
+    #[test]
+    fn kmeans_threaded_matches_sequential(
+        n in 1u32..30,
+        m in 2u32..8,
+        k in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        let d = SynthConfig::tiny(n, m).generate();
+        let sequential = kmeans(&d.matrix, k, 15, seed);
+        for threads in [2usize, 7, 0] {
+            let threaded = kmeans_threaded(&d.matrix, k, 15, seed, threads);
+            prop_assert_eq!(&sequential.assignment, &threaded.assignment,
+                "threads={}", threads);
+            prop_assert_eq!(sequential.iterations, threaded.iterations,
+                "threads={}", threads);
+        }
     }
 
     /// The distance matrix is symmetric with a zero diagonal, and parallel

@@ -236,6 +236,52 @@ impl RatingMatrix {
         }
     }
 
+    /// Inserts or replaces a single rating in place, validating exactly as
+    /// [`MatrixBuilder::push`] would.
+    ///
+    /// Replacing an existing rating is O(log d) (binary search + one
+    /// store); inserting a new one shifts the CSR tail, O(nnz) worst case.
+    /// This is the patch hook the serving layer (`gf-serve`) uses to apply
+    /// `POST /rate` updates without rebuilding the matrix; after an upsert
+    /// the affected user's preference list must be re-sorted via
+    /// [`crate::PrefIndex::patch_user`].
+    pub fn upsert(&mut self, user: u32, item: u32, score: f64) -> Result<Upsert> {
+        if user >= self.n_users {
+            return Err(GfError::UserOutOfRange {
+                user,
+                n_users: self.n_users,
+            });
+        }
+        if item >= self.n_items {
+            return Err(GfError::ItemOutOfRange {
+                item,
+                n_items: self.n_items,
+            });
+        }
+        if !score.is_finite() {
+            return Err(GfError::NonFiniteScore { user, item });
+        }
+        if !self.scale.contains(score) {
+            return Err(GfError::ScaleViolation { user, item, score });
+        }
+        let u = user as usize;
+        let (lo, hi) = (self.offsets[u], self.offsets[u + 1]);
+        match self.items[lo..hi].binary_search(&item) {
+            Ok(pos) => {
+                let previous = std::mem::replace(&mut self.scores[lo + pos], score);
+                Ok(Upsert::Updated { previous })
+            }
+            Err(pos) => {
+                self.items.insert(lo + pos, item);
+                self.scores.insert(lo + pos, score);
+                for o in &mut self.offsets[u + 1..] {
+                    *o += 1;
+                }
+                Ok(Upsert::Inserted)
+            }
+        }
+    }
+
     /// Restricts the matrix to `users x items` sub-populations, re-indexing
     /// both densely in the order given. Duplicate selections are rejected.
     ///
@@ -281,6 +327,18 @@ impl RatingMatrix {
         }
         b.build()
     }
+}
+
+/// What a [`RatingMatrix::upsert`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Upsert {
+    /// The `(user, item)` pair was already rated; the score was replaced.
+    Updated {
+        /// The score that was overwritten.
+        previous: f64,
+    },
+    /// The pair was new; a rating was inserted.
+    Inserted,
 }
 
 /// Item-major (transposed) view of a [`RatingMatrix`].
@@ -628,6 +686,67 @@ mod tests {
         assert_eq!(t.item_scores(1), &[2.0, 4.0]);
         assert_eq!(t.degree(2), 0);
         assert_eq!(t.item_mean(2), None);
+    }
+
+    #[test]
+    fn upsert_replaces_in_place() {
+        let mut m = example1();
+        assert_eq!(
+            m.upsert(0, 1, 2.0).unwrap(),
+            Upsert::Updated { previous: 4.0 }
+        );
+        assert_eq!(m.get(0, 1), Some(2.0));
+        assert_eq!(m.nnz(), 18);
+    }
+
+    #[test]
+    fn upsert_inserts_and_matches_cold_rebuild() {
+        let mut m = RatingMatrix::from_triples(
+            3,
+            4,
+            vec![(0, 0, 2.0), (0, 3, 4.0), (2, 1, 5.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        assert_eq!(m.upsert(0, 2, 3.0).unwrap(), Upsert::Inserted);
+        assert_eq!(m.upsert(1, 0, 1.0).unwrap(), Upsert::Inserted);
+        let cold = RatingMatrix::from_triples(
+            3,
+            4,
+            vec![
+                (0, 0, 2.0),
+                (0, 2, 3.0),
+                (0, 3, 4.0),
+                (1, 0, 1.0),
+                (2, 1, 5.0),
+            ],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        assert_eq!(m, cold);
+    }
+
+    #[test]
+    fn upsert_validates_like_push() {
+        let mut m = example1();
+        assert!(matches!(
+            m.upsert(99, 0, 3.0),
+            Err(GfError::UserOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.upsert(0, 99, 3.0),
+            Err(GfError::ItemOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.upsert(0, 0, 9.0),
+            Err(GfError::ScaleViolation { .. })
+        ));
+        assert!(matches!(
+            m.upsert(0, 0, f64::NAN),
+            Err(GfError::NonFiniteScore { .. })
+        ));
+        // Failed upserts leave the matrix untouched.
+        assert_eq!(m, example1());
     }
 
     #[test]

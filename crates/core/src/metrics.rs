@@ -77,7 +77,7 @@ pub fn avg_group_satisfaction(
 
 /// Per-user satisfaction of each member with their group's recommended
 /// list, as the fraction of the user's ideal top-`k` value achieved
-/// (an NDCG-style measure in `[0, 1]`; see [`crate::ndcg`]).
+/// (an NDCG-style measure in `[0, 1]`; see [`mod@crate::ndcg`]).
 ///
 /// Returns `(user, satisfaction)` pairs for every assigned user.
 pub fn per_user_satisfaction(

@@ -91,6 +91,36 @@ impl PrefIndex {
         self.ranked_scores(u).get(k - 1).copied()
     }
 
+    /// Re-sorts user `u`'s preference list from the matrix's current row,
+    /// leaving every other user's list untouched.
+    ///
+    /// This is the incremental counterpart of [`PrefIndex::build`] for use
+    /// after [`RatingMatrix::upsert`]: O(d log d) for the affected row,
+    /// plus an O(n) offset shift (and an O(nnz) splice) only when the
+    /// row's degree changed. The result is exactly what a full `build` of
+    /// the patched matrix would produce — the serving layer's
+    /// incremental-vs-cold equivalence test enforces this.
+    pub fn patch_user(&mut self, matrix: &RatingMatrix, u: u32) {
+        debug_assert_eq!(self.n_users(), matrix.n_users());
+        let mut row: Vec<(u32, f64)> = matrix.user_ratings(u).collect();
+        row.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let u = u as usize;
+        let (lo, hi) = (self.offsets[u], self.offsets[u + 1]);
+        if row.len() == hi - lo {
+            for (slot, (i, s)) in row.into_iter().enumerate() {
+                self.items[lo + slot] = i;
+                self.scores[lo + slot] = s;
+            }
+            return;
+        }
+        let delta = row.len() as i64 - (hi - lo) as i64;
+        self.items.splice(lo..hi, row.iter().map(|&(i, _)| i));
+        self.scores.splice(lo..hi, row.iter().map(|&(_, s)| s));
+        for o in &mut self.offsets[u + 1..] {
+            *o = (*o as i64 + delta) as usize;
+        }
+    }
+
     /// The rank (0-based position) of `item` in `u`'s preference list, or
     /// `None` if `u` did not rate it. O(d) scan — used by evaluation code,
     /// not by the formation hot path.
@@ -176,6 +206,35 @@ mod tests {
         .unwrap();
         let p = PrefIndex::build(&sparse);
         assert_eq!(p.rank_of(0, 0), None);
+    }
+
+    #[test]
+    fn patch_user_matches_cold_build() {
+        let mut matrix = example1();
+        let mut prefs = PrefIndex::build(&matrix);
+        // Same-degree patch: replace an existing rating.
+        matrix.upsert(1, 0, 4.0).unwrap();
+        prefs.patch_user(&matrix, 1);
+        // Degree-growing patch on a sparse matrix.
+        let mut sparse = crate::matrix::RatingMatrix::from_triples(
+            3,
+            4,
+            vec![(0, 1, 2.0), (2, 0, 5.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let mut sparse_prefs = PrefIndex::build(&sparse);
+        sparse.upsert(0, 3, 4.0).unwrap();
+        sparse.upsert(1, 2, 1.0).unwrap();
+        sparse_prefs.patch_user(&sparse, 0);
+        sparse_prefs.patch_user(&sparse, 1);
+        for (m, p) in [(&matrix, &prefs), (&sparse, &sparse_prefs)] {
+            let cold = PrefIndex::build(m);
+            for u in 0..m.n_users() {
+                assert_eq!(p.ranked_items(u), cold.ranked_items(u), "user {u}");
+                assert_eq!(p.ranked_scores(u), cold.ranked_scores(u), "user {u}");
+            }
+        }
     }
 
     #[test]

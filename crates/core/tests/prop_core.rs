@@ -298,6 +298,41 @@ proptest! {
         prop_assert_eq!(m, m2);
     }
 
+    /// A stream of incremental upserts + per-user preference patches lands
+    /// on exactly the matrix and index a cold rebuild of the final ratings
+    /// produces — the invariant the serving layer's `/rate` path rests on.
+    #[test]
+    fn upsert_and_patch_match_cold_rebuild(
+        inst in instance(8, 8),
+        updates in proptest::collection::vec((0u32..8, 0u32..8, 1u8..=5), 1..12),
+    ) {
+        let mut m = matrix_of(&inst);
+        let mut prefs = PrefIndex::build(&m);
+        for &(u, i, r) in &updates {
+            let (u, i) = (u % inst.n, i % inst.m);
+            m.upsert(u, i, r as f64).unwrap();
+            prefs.patch_user(&m, u);
+        }
+        // Cold rebuild from the final triple set.
+        let mut finals: std::collections::HashMap<(u32, u32), f64> =
+            inst.triples.iter().map(|&(u, i, s)| ((u, i), s)).collect();
+        for &(u, i, r) in &updates {
+            finals.insert((u % inst.n, i % inst.m), r as f64);
+        }
+        let cold = RatingMatrix::from_triples(
+            inst.n,
+            inst.m,
+            finals.iter().map(|(&(u, i), &s)| (u, i, s)),
+            RatingScale::one_to_five(),
+        ).unwrap();
+        prop_assert_eq!(&m, &cold);
+        let cold_prefs = PrefIndex::build(&cold);
+        for u in 0..m.n_users() {
+            prop_assert_eq!(prefs.ranked_items(u), cold_prefs.ranked_items(u));
+            prop_assert_eq!(prefs.ranked_scores(u), cold_prefs.ranked_scores(u));
+        }
+    }
+
     /// Transpose preserves every rating.
     #[test]
     fn transpose_preserves_ratings(inst in instance(8, 8)) {

@@ -14,7 +14,7 @@
 //!   (their own aggregation value over their personal top-`k`) to whichever
 //!   group they join.
 //!
-//! Exact on every instance (validated against [`PartitionDp`] and brute
+//! Exact on every instance (validated against [`PartitionDp`](crate::PartitionDp) and brute
 //! force); typically much faster, handling ~20–24 users depending on
 //! structure.
 

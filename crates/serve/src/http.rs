@@ -1,0 +1,668 @@
+//! A minimal HTTP/1.1 server on `std::net` — request/response codec,
+//! routing and the thread-per-connection accept loop.
+//!
+//! The environment is offline, so the codec is hand-rolled the same way
+//! the `vendor/` stubs stand in for crates: just enough HTTP/1.1 for
+//! `curl`, load generators and browsers — request line, headers,
+//! `Content-Length` bodies, keep-alive with explicit lengths on every
+//! response. No chunked encoding, no TLS, no HTTP/2.
+//!
+//! ## Endpoints
+//!
+//! | method & path | body | answer |
+//! |---------------|------|--------|
+//! | `GET /health` | — | liveness + snapshot version/shape |
+//! | `GET /stats` | — | serving counters |
+//! | `GET /group/{user}` | — | the user's group, members and top-`k` list |
+//! | `GET /recommend/{group}` | — | the group's recommended top-`k` list |
+//! | `POST /form` | optional config overrides | runs (or joins) a batched formation |
+//! | `POST /rate` | `{"user":u,"item":i,"rating":r}` | enqueues an incremental update (202) |
+
+use crate::json::{obj, Json};
+use crate::state::{ServeState, Snapshot};
+use gf_core::{Aggregation, FormationConfig, GfError, Semantics};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Caps keeping one slow or hostile connection from hurting the rest.
+const MAX_LINE: usize = 8 * 1024;
+const MAX_HEADERS: usize = 64;
+const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, upper-case (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// Raw request body (empty when no `Content-Length`).
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Reads one request off the stream; `Ok(None)` on a cleanly closed
+/// connection, `Err` on malformed or oversized input.
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<HttpRequest>> {
+    let mut line = String::new();
+    if read_crlf_line(reader, &mut line)? == 0 {
+        return Ok(None); // EOF between requests: clean close
+    }
+    let (method, target, version) = {
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => {
+                (m.to_uppercase(), t.to_string(), v.to_string())
+            }
+            _ => return Err(bad_input("malformed request line")),
+        }
+    };
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        line.clear();
+        if read_crlf_line(reader, &mut line)? == 0 {
+            // EOF mid-headers: a truncated request must be dropped, not
+            // dispatched as if the blank end-of-headers line arrived.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        let header = line.trim_end();
+        if header.is_empty() {
+            let path = target.split('?').next().unwrap_or(&target).to_string();
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            let body =
+                String::from_utf8(body).map_err(|_| bad_input("request body is not utf-8"))?;
+            return Ok(Some(HttpRequest {
+                method,
+                path,
+                body,
+                keep_alive,
+            }));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad_input("malformed header"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n <= MAX_BODY)
+                .ok_or_else(|| bad_input("bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    Err(bad_input("too many headers"))
+}
+
+/// Reads one `\r\n`-terminated line; returns 0 at EOF before any byte.
+fn read_crlf_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> std::io::Result<usize> {
+    line.clear();
+    let n = reader.take(MAX_LINE as u64 + 1).read_line(line)?;
+    if n > MAX_LINE {
+        return Err(bad_input("line too long"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(n)
+}
+
+fn bad_input(message: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.to_string())
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let payload = body.to_string();
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        status_text(status),
+        payload.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+fn error_body(message: impl std::fmt::Display) -> Json {
+    obj([("error", Json::from(message.to_string()))])
+}
+
+fn gf_error_status(err: &GfError) -> u16 {
+    match err {
+        GfError::UserOutOfRange { .. } | GfError::ItemOutOfRange { .. } => 404,
+        _ => 400,
+    }
+}
+
+/// Routes one request to `(status, JSON body)`. Pure apart from the state
+/// it queries/mutates — exercised directly by unit tests, no socket
+/// required.
+pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => {
+            let snap = state.snapshot();
+            (
+                200,
+                obj([
+                    ("status", Json::from("ok")),
+                    ("version", Json::from(snap.version)),
+                    ("users", Json::from(snap.matrix.n_users())),
+                    ("items", Json::from(snap.matrix.n_items())),
+                    ("groups", Json::from(snap.formation.grouping.len())),
+                    ("objective", Json::from(snap.formation.objective)),
+                    ("pending", Json::from(state.pending_len())),
+                ]),
+            )
+        }
+        ("GET", "/stats") => {
+            let s = &state.stats;
+            (
+                200,
+                obj([
+                    (
+                        "rates_accepted",
+                        Json::from(s.rates_accepted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "rates_applied",
+                        Json::from(s.rates_applied.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "refresh_passes",
+                        Json::from(s.refresh_passes.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "form_requests",
+                        Json::from(s.form_requests.load(Ordering::Relaxed)),
+                    ),
+                    ("form_runs", Json::from(s.form_runs.load(Ordering::Relaxed))),
+                    ("pending", Json::from(state.pending_len())),
+                    ("version", Json::from(state.snapshot().version)),
+                ]),
+            )
+        }
+        ("GET", path) if path.starts_with("/group/") => match path["/group/".len()..].parse() {
+            Ok(user) => group_of(state, user),
+            Err(_) => (400, error_body("user id must be a non-negative integer")),
+        },
+        ("GET", path) if path.starts_with("/recommend/") => {
+            match path["/recommend/".len()..].parse() {
+                Ok(group) => recommend(state, group),
+                Err(_) => (400, error_body("group id must be a non-negative integer")),
+            }
+        }
+        ("POST", "/form") => form(state, &req.body),
+        ("POST", "/rate") => rate(state, &req.body),
+        ("GET" | "POST", _) => (404, error_body(format!("no such endpoint: {}", req.path))),
+        _ => (
+            405,
+            error_body(format!("method {} not allowed", req.method)),
+        ),
+    }
+}
+
+fn top_k_json(top_k: &[(u32, f64)]) -> Json {
+    Json::Arr(
+        top_k
+            .iter()
+            .map(|&(item, score)| obj([("item", Json::from(item)), ("score", Json::from(score))]))
+            .collect(),
+    )
+}
+
+fn group_body(snap: &Snapshot, gi: usize) -> Json {
+    let g = &snap.formation.grouping.groups[gi];
+    obj([
+        ("group", Json::from(gi)),
+        ("size", Json::from(g.len())),
+        (
+            "members",
+            Json::Arr(g.members.iter().map(|&u| Json::from(u)).collect()),
+        ),
+        ("top_k", top_k_json(&g.top_k)),
+        ("satisfaction", Json::from(g.satisfaction)),
+        ("version", Json::from(snap.version)),
+    ])
+}
+
+fn group_of(state: &ServeState, user: u32) -> (u16, Json) {
+    let snap = state.snapshot();
+    match snap.assignment.get(user as usize).copied().flatten() {
+        Some(gi) => {
+            let mut body = group_body(&snap, gi);
+            if let Json::Obj(fields) = &mut body {
+                fields.insert(0, ("user".to_string(), Json::from(user)));
+            }
+            (200, body)
+        }
+        None => (404, error_body(format!("user {user} is not assigned"))),
+    }
+}
+
+fn recommend(state: &ServeState, group: usize) -> (u16, Json) {
+    let snap = state.snapshot();
+    if group >= snap.formation.grouping.len() {
+        return (404, error_body(format!("no group {group}")));
+    }
+    (200, group_body(&snap, group))
+}
+
+/// Parses a semantics name as used by `/form` bodies and the CLI.
+pub fn parse_semantics(text: &str) -> Option<Semantics> {
+    match text.to_ascii_lowercase().as_str() {
+        "lm" | "least-misery" | "leastmisery" => Some(Semantics::LeastMisery),
+        "av" | "aggregate-voting" | "aggregatevoting" => Some(Semantics::AggregateVoting),
+        _ => None,
+    }
+}
+
+/// Parses an aggregation name as used by `/form` bodies and the CLI.
+pub fn parse_aggregation(text: &str) -> Option<Aggregation> {
+    match text.to_ascii_lowercase().as_str() {
+        "min" => Some(Aggregation::Min),
+        "max" => Some(Aggregation::Max),
+        "sum" => Some(Aggregation::Sum),
+        _ => None,
+    }
+}
+
+/// Applies `/form` body overrides on top of the currently-serving
+/// configuration; unknown names and non-positive sizes are errors.
+fn form_config(state: &ServeState, body: &str) -> Result<FormationConfig, String> {
+    let mut cfg = state.snapshot().config;
+    if body.trim().is_empty() {
+        return Ok(cfg);
+    }
+    let parsed = Json::parse(body).map_err(|e| e.to_string())?;
+    if let Some(v) = parsed.get("semantics") {
+        cfg.semantics = v
+            .as_str()
+            .and_then(parse_semantics)
+            .ok_or("semantics must be \"lm\" or \"av\"")?;
+    }
+    if let Some(v) = parsed.get("aggregation") {
+        cfg.aggregation = v
+            .as_str()
+            .and_then(parse_aggregation)
+            .ok_or("aggregation must be \"min\", \"max\" or \"sum\"")?;
+    }
+    if let Some(v) = parsed.get("k") {
+        cfg.k = v.as_u64().filter(|&k| k >= 1).ok_or("k must be >= 1")? as usize;
+    }
+    if let Some(v) = parsed.get("ell") {
+        cfg.ell = v.as_u64().filter(|&l| l >= 1).ok_or("ell must be >= 1")? as usize;
+    }
+    Ok(cfg)
+}
+
+fn form(state: &ServeState, body: &str) -> (u16, Json) {
+    let cfg = match form_config(state, body) {
+        Ok(cfg) => cfg,
+        Err(message) => return (400, error_body(message)),
+    };
+    match state.form(cfg) {
+        Ok(outcome) => (
+            200,
+            obj([
+                ("version", Json::from(outcome.snapshot.version)),
+                (
+                    "groups",
+                    Json::from(outcome.snapshot.formation.grouping.len()),
+                ),
+                (
+                    "objective",
+                    Json::from(outcome.snapshot.formation.objective),
+                ),
+                ("algorithm", Json::from(outcome.snapshot.config.grd_name())),
+                ("batch_size", Json::from(outcome.batch_size)),
+                ("coalesced", Json::from(!outcome.leader)),
+            ]),
+        ),
+        Err(err) => (gf_error_status(&err), error_body(err)),
+    }
+}
+
+fn rate(state: &ServeState, body: &str) -> (u16, Json) {
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(e)),
+    };
+    let (Some(user), Some(item), Some(rating)) = (
+        parsed.get("user").and_then(Json::as_u64),
+        parsed.get("item").and_then(Json::as_u64),
+        parsed.get("rating").and_then(Json::as_f64),
+    ) else {
+        return (
+            400,
+            error_body("body must be {\"user\":u,\"item\":i,\"rating\":r}"),
+        );
+    };
+    if user > u32::MAX as u64 || item > u32::MAX as u64 {
+        return (400, error_body("user/item out of u32 range"));
+    }
+    match state.rate(user as u32, item as u32, rating) {
+        Ok(pending) => (
+            202,
+            obj([
+                ("accepted", Json::from(true)),
+                ("pending", Json::from(pending)),
+                ("version", Json::from(state.snapshot().version)),
+            ]),
+        ),
+        Err(err) => (gf_error_status(&err), error_body(err)),
+    }
+}
+
+/// The serving process: a TCP listener, the shared state, and the
+/// background refresh worker.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+}
+
+/// Handle to a server running on background threads (used by tests and
+/// embedders; the binary calls [`Server::run`] instead).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    refresh_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving state (for white-box assertions in tests).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains the refresh worker and joins both threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a wake-up connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.state.shutdown();
+        if let Some(t) = self.refresh_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 to let the OS pick a free port).
+    pub fn bind(addr: impl ToSocketAddrs, state: Arc<ServeState>) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the current thread forever, spawning the
+    /// background refresh worker and one handler thread per connection.
+    pub fn run(self) -> std::io::Result<()> {
+        {
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || state.run_refresh_worker());
+        }
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || handle_connection(stream, &state));
+                }
+                Err(err) => eprintln!("gf-serve: accept error: {err}"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs accept loop and refresh worker on background threads,
+    /// returning a handle to stop them. Used by tests and benches.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let refresh_thread = {
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || state.run_refresh_worker())
+        };
+        let accept_thread = {
+            let state = Arc::clone(&self.state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in self.listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let state = Arc::clone(&state);
+                        std::thread::spawn(move || handle_connection(stream, &state));
+                    }
+                }
+            })
+        };
+        Ok(ServerHandle {
+            addr,
+            state: self.state,
+            stop,
+            accept_thread: Some(accept_thread),
+            refresh_thread: Some(refresh_thread),
+        })
+    }
+}
+
+/// Serves one connection: requests are handled in order until the client
+/// closes or asks to. Malformed input gets a 400 and a close.
+fn handle_connection(stream: TcpStream, state: &ServeState) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(req)) => {
+                let (status, body) = route(state, &req);
+                let keep = req.keep_alive && status < 500;
+                if write_response(&mut stream, status, &body, keep).is_err() || !keep {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(err) if err.kind() == std::io::ErrorKind::InvalidData => {
+                let _ = write_response(&mut stream, 400, &error_body(err), false);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ServeConfig;
+    use gf_core::{RatingMatrix, RatingScale};
+    use std::time::Duration;
+
+    fn test_state() -> Arc<ServeState> {
+        let rows: Vec<Vec<f64>> = (0..9)
+            .map(|u| {
+                (0..5)
+                    .map(|i| 1.0 + ((u * 3 + i * 2 + u * i) % 5) as f64)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let matrix = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
+        let cfg = ServeConfig::new(FormationConfig::new(
+            Semantics::LeastMisery,
+            Aggregation::Min,
+            2,
+            3,
+        ))
+        .with_batch_window(Duration::ZERO);
+        ServeState::new(matrix, cfg).unwrap()
+    }
+
+    fn get(state: &ServeState, path: &str) -> (u16, Json) {
+        route(
+            state,
+            &HttpRequest {
+                method: "GET".into(),
+                path: path.into(),
+                body: String::new(),
+                keep_alive: true,
+            },
+        )
+    }
+
+    fn post(state: &ServeState, path: &str, body: &str) -> (u16, Json) {
+        route(
+            state,
+            &HttpRequest {
+                method: "POST".into(),
+                path: path.into(),
+                body: body.into(),
+                keep_alive: true,
+            },
+        )
+    }
+
+    #[test]
+    fn health_reports_shape() {
+        let s = test_state();
+        let (status, body) = get(&s, "/health");
+        assert_eq!(status, 200);
+        assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(body.get("users").and_then(Json::as_u64), Some(9));
+        assert_eq!(body.get("version").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn group_lookup_round_trips_assignment() {
+        let s = test_state();
+        for u in 0..9u32 {
+            let (status, body) = get(&s, &format!("/group/{u}"));
+            assert_eq!(status, 200, "user {u}");
+            let gi = body.get("group").and_then(Json::as_u64).unwrap() as usize;
+            let members = body.get("members").and_then(Json::as_arr).unwrap();
+            assert!(members.iter().any(|m| m.as_u64() == Some(u as u64)));
+            let (rs, rbody) = get(&s, &format!("/recommend/{gi}"));
+            assert_eq!(rs, 200);
+            assert_eq!(rbody.get("top_k"), body.get("top_k"));
+        }
+    }
+
+    #[test]
+    fn unknown_user_group_and_path_are_404() {
+        let s = test_state();
+        assert_eq!(get(&s, "/group/99").0, 404);
+        assert_eq!(get(&s, "/recommend/99").0, 404);
+        assert_eq!(get(&s, "/nope").0, 404);
+        assert_eq!(get(&s, "/group/abc").0, 400);
+    }
+
+    #[test]
+    fn wrong_method_is_405() {
+        let s = test_state();
+        let (status, _) = route(
+            &s,
+            &HttpRequest {
+                method: "DELETE".into(),
+                path: "/health".into(),
+                body: String::new(),
+                keep_alive: true,
+            },
+        );
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn rate_endpoint_accepts_and_rejects() {
+        let s = test_state();
+        let (status, body) = post(&s, "/rate", r#"{"user":1,"item":2,"rating":5}"#);
+        assert_eq!(status, 202);
+        assert_eq!(body.get("pending").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            post(&s, "/rate", r#"{"user":99,"item":0,"rating":5}"#).0,
+            404
+        );
+        assert_eq!(
+            post(&s, "/rate", r#"{"user":0,"item":0,"rating":99}"#).0,
+            400
+        );
+        assert_eq!(post(&s, "/rate", "not json").0, 400);
+        assert_eq!(post(&s, "/rate", r#"{"user":0}"#).0, 400);
+    }
+
+    #[test]
+    fn form_endpoint_overrides_config() {
+        let s = test_state();
+        let (status, body) = post(
+            &s,
+            "/form",
+            r#"{"semantics":"av","aggregation":"sum","ell":2}"#,
+        );
+        assert_eq!(status, 200);
+        assert_eq!(
+            body.get("algorithm").and_then(Json::as_str),
+            Some("GRD-AV-SUM")
+        );
+        assert!(body.get("groups").and_then(Json::as_u64).unwrap() <= 2);
+        assert_eq!(post(&s, "/form", r#"{"semantics":"bogus"}"#).0, 400);
+        assert_eq!(post(&s, "/form", r#"{"k":0}"#).0, 400);
+        // Empty body re-forms under the current config.
+        assert_eq!(post(&s, "/form", "").0, 200);
+    }
+
+    #[test]
+    fn name_parsers() {
+        assert_eq!(parse_semantics("LM"), Some(Semantics::LeastMisery));
+        assert_eq!(
+            parse_semantics("aggregate-voting"),
+            Some(Semantics::AggregateVoting)
+        );
+        assert_eq!(parse_semantics("x"), None);
+        assert_eq!(parse_aggregation("Sum"), Some(Aggregation::Sum));
+        assert_eq!(parse_aggregation("median"), None);
+    }
+}

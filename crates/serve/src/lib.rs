@@ -1,0 +1,77 @@
+//! # gf-serve — a batched, incrementally-updating group-formation server
+//!
+//! The paper's end goal is *serving*: groups are formed so that
+//! precomputed group recommendations can be handed to users as they
+//! arrive (Roy, Lakshmanan, Liu — SIGMOD 2015, §1/§6). This crate is that
+//! online component, sitting on the parallel formation backend
+//! ([`gf_core::ShardedFormer`]):
+//!
+//! * **Snapshot serving** — queries (`GET /group/{user}`,
+//!   `GET /recommend/{group}`, `GET /health`) read an immutable,
+//!   `Arc`-shared [`Snapshot`] and are lock-free after one brief
+//!   read-lock to clone the `Arc`.
+//! * **Request batching** — concurrent `POST /form` requests with the
+//!   same configuration arriving within a small window coalesce into a
+//!   single `ShardedFormer` run ([`batch`]).
+//! * **Incremental updates** — `POST /rate` enqueues a rating; a bounded
+//!   background pass patches the matrix ([`gf_core::RatingMatrix::upsert`])
+//!   and only the affected users' preference lists
+//!   ([`gf_core::PrefIndex::patch_user`]), re-forms, and atomically swaps
+//!   the snapshot. The incremental path converges to exactly what a cold
+//!   rebuild over the same ratings produces — property-tested in
+//!   `tests/serve_props.rs`.
+//! * **No new dependencies** — the HTTP/1.1 codec ([`http`]) and the JSON
+//!   codec ([`json`]) are hand-rolled on `std::net`, the same offline
+//!   philosophy as the `vendor/` stubs.
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use gf_core::{Aggregation, FormationConfig, RatingMatrix, RatingScale, Semantics};
+//! use gf_serve::{ServeConfig, ServeState};
+//!
+//! let matrix = RatingMatrix::from_dense(
+//!     &[
+//!         &[1.0, 4.0, 3.0][..],
+//!         &[2.0, 3.0, 5.0],
+//!         &[2.0, 5.0, 1.0],
+//!         &[3.0, 1.0, 1.0],
+//!     ],
+//!     RatingScale::one_to_five(),
+//! )
+//! .unwrap();
+//! let cfg = ServeConfig::new(FormationConfig::new(
+//!     Semantics::LeastMisery,
+//!     Aggregation::Min,
+//!     2,
+//!     2,
+//! ));
+//! let state = ServeState::new(matrix, cfg).unwrap();
+//!
+//! // A rating arrives; queries keep seeing the old snapshot until the
+//! // background pass (here: a synchronous flush) installs the next one.
+//! state.rate(0, 2, 5.0).unwrap();
+//! assert_eq!(state.snapshot().version, 1);
+//! state.flush().unwrap();
+//! let snap = state.snapshot();
+//! assert_eq!(snap.version, 2);
+//! assert_eq!(snap.matrix.get(0, 2), Some(5.0));
+//! # assert!(snap.assignment.iter().all(Option::is_some));
+//! ```
+//!
+//! To serve over TCP, wrap the state in an [`http::Server`] (or run the
+//! `gf-serve` binary, which loads a dataset and does exactly that).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod http;
+pub mod json;
+pub mod state;
+
+pub use batch::BatchOutcome;
+pub use http::{parse_aggregation, parse_semantics, HttpRequest, Server, ServerHandle};
+pub use json::Json;
+pub use state::{ServeConfig, ServeState, Snapshot};

@@ -1,0 +1,179 @@
+//! The `gf-serve` binary: load a rating dataset, form groups, serve.
+//!
+//! ```text
+//! gf-serve [--addr HOST] [--port P] \
+//!          [--data FILE [--format dat|csv|tsv|netflix] [--scale one5|zero5|half]] \
+//!          [--synth USERSxITEMS] \
+//!          [--semantics lm|av] [--aggregation min|max|sum] [--k K] [--ell L] \
+//!          [--threads N] [--batch-window-ms MS]
+//! ```
+//!
+//! With `--data`, the file format defaults from the extension (`.dat` →
+//! MovieLens dat, `.csv` → MovieLens csv, anything else → TSV) and the
+//! rating scale defaults to `half` (0.5–5.0 half stars, which contains
+//! the 1–5 integer grid). Without `--data`, a Yahoo!-Music-shaped
+//! synthetic corpus of `--synth` size (default `1000x200`) is generated.
+//!
+//! On startup the server prints one line —
+//! `gf-serve: listening on http://ADDR (users=N items=M groups=G)` — that
+//! scripts (and the CI smoke job) wait for before issuing requests.
+
+use gf_core::{Aggregation, FormationConfig, RatingMatrix, RatingScale, Semantics};
+use gf_datasets::io::{read_movielens_csv, read_movielens_dat, read_netflix, read_tsv};
+use gf_datasets::SynthConfig;
+use gf_serve::{parse_aggregation, parse_semantics, ServeConfig, ServeState, Server};
+use std::io::BufReader;
+use std::process::exit;
+use std::time::Duration;
+
+struct Options {
+    addr: String,
+    port: u16,
+    data: Option<String>,
+    format: Option<String>,
+    scale: RatingScale,
+    synth: (u32, u32),
+    semantics: Semantics,
+    aggregation: Aggregation,
+    k: usize,
+    ell: usize,
+    threads: usize,
+    batch_window: Duration,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1".into(),
+            port: 7878,
+            data: None,
+            format: None,
+            scale: RatingScale::half_star(),
+            synth: (1000, 200),
+            semantics: Semantics::LeastMisery,
+            aggregation: Aggregation::Min,
+            k: 5,
+            ell: 10,
+            threads: 0,
+            batch_window: Duration::from_millis(5),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gf-serve [--addr HOST] [--port P] [--data FILE] [--format dat|csv|tsv|netflix] \
+         [--scale one5|zero5|half] [--synth UxI] [--semantics lm|av] \
+         [--aggregation min|max|sum] [--k K] [--ell L] [--threads N] [--batch-window-ms MS]"
+    );
+    exit(2)
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("gf-serve: {message}");
+    exit(1)
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            usage();
+        }
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--addr" => opts.addr = value,
+            "--port" => opts.port = value.parse().unwrap_or_else(|_| usage()),
+            "--data" => opts.data = Some(value),
+            "--format" => opts.format = Some(value),
+            "--scale" => {
+                opts.scale = match value.as_str() {
+                    "one5" => RatingScale::one_to_five(),
+                    "zero5" => RatingScale::zero_to_five(),
+                    "half" => RatingScale::half_star(),
+                    _ => usage(),
+                }
+            }
+            "--synth" => {
+                let (u, i) = value.split_once('x').unwrap_or_else(|| usage());
+                opts.synth = (
+                    u.parse().unwrap_or_else(|_| usage()),
+                    i.parse().unwrap_or_else(|_| usage()),
+                );
+            }
+            "--semantics" => {
+                opts.semantics = parse_semantics(&value).unwrap_or_else(|| usage());
+            }
+            "--aggregation" => {
+                opts.aggregation = parse_aggregation(&value).unwrap_or_else(|| usage());
+            }
+            "--k" => opts.k = value.parse().unwrap_or_else(|_| usage()),
+            "--ell" => opts.ell = value.parse().unwrap_or_else(|_| usage()),
+            "--threads" => opts.threads = value.parse().unwrap_or_else(|_| usage()),
+            "--batch-window-ms" => {
+                opts.batch_window = Duration::from_millis(value.parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn load_matrix(opts: &Options) -> RatingMatrix {
+    let Some(path) = &opts.data else {
+        let (users, items) = opts.synth;
+        eprintln!("gf-serve: no --data given; generating a {users}x{items} synthetic corpus");
+        return SynthConfig::yahoo_music()
+            .with_users(users)
+            .with_items(items)
+            .generate()
+            .matrix;
+    };
+    let format = opts.format.clone().unwrap_or_else(|| {
+        match std::path::Path::new(path)
+            .extension()
+            .and_then(|e| e.to_str())
+        {
+            Some("dat") => "dat".into(),
+            Some("csv") => "csv".into(),
+            _ => "tsv".into(),
+        }
+    });
+    let file = std::fs::File::open(path).unwrap_or_else(|e| fail(format!("open {path}: {e}")));
+    let reader = BufReader::new(file);
+    let loaded = match format.as_str() {
+        "dat" => read_movielens_dat(reader, opts.scale),
+        "csv" => read_movielens_csv(reader, opts.scale),
+        "netflix" => read_netflix(reader, opts.scale),
+        "tsv" => read_tsv(reader, opts.scale),
+        other => fail(format!("unknown format {other:?}")),
+    };
+    loaded
+        .unwrap_or_else(|e| fail(format!("load {path}: {e}")))
+        .matrix
+}
+
+fn main() {
+    let opts = parse_options();
+    let matrix = load_matrix(&opts);
+    let ell = opts.ell.min(matrix.n_users() as usize).max(1);
+    let formation = FormationConfig::new(opts.semantics, opts.aggregation, opts.k, ell)
+        .with_threads(opts.threads);
+    let cfg = ServeConfig::new(formation).with_batch_window(opts.batch_window);
+    let (n_users, n_items) = (matrix.n_users(), matrix.n_items());
+    let state =
+        ServeState::new(matrix, cfg).unwrap_or_else(|e| fail(format!("initial formation: {e}")));
+    let groups = state.snapshot().formation.grouping.len();
+    let server = Server::bind((opts.addr.as_str(), opts.port), state)
+        .unwrap_or_else(|e| fail(format!("bind {}:{}: {e}", opts.addr, opts.port)));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| fail(format!("local addr: {e}")));
+    println!(
+        "gf-serve: listening on http://{addr} (users={n_users} items={n_items} groups={groups})"
+    );
+    if let Err(e) = server.run() {
+        fail(format!("serve loop: {e}"));
+    }
+}

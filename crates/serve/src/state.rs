@@ -1,0 +1,448 @@
+//! Shared serving state: immutable snapshots, incremental rating updates
+//! and the bounded background re-formation pass.
+//!
+//! ## Consistency model
+//!
+//! All queries (`/group`, `/recommend`, `/health`) read one [`Snapshot`] —
+//! an immutable, `Arc`-shared bundle of the rating matrix, the preference
+//! index, the current [`FormationResult`] and the user→group assignment.
+//! Readers clone the `Arc` under a briefly-held read lock and then work
+//! lock-free; writers build the next snapshot off to the side and swap it
+//! in with a briefly-held write lock. A query therefore always sees an
+//! internally consistent formation, never a half-applied update.
+//!
+//! Rating updates (`/rate`) are **eventually consistent**: they enqueue
+//! into a pending journal and return immediately; the background
+//! re-formation pass (one bounded batch of updates per pass, see
+//! [`ServeConfig::max_updates_per_pass`]) patches the affected users'
+//! preference lists ([`PrefIndex::patch_user`]), marks those users' greedy
+//! buckets dirty and re-forms. The incremental path is **test-enforced**
+//! to converge to exactly the snapshot a cold rebuild over the same
+//! ratings produces (`tests/serve_props.rs`).
+
+use crate::batch::{BatchOutcome, Batcher};
+use gf_core::{
+    FormationConfig, FormationResult, GfError, GroupFormer, PrefIndex, RatingMatrix, Result,
+    ShardedFormer,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+/// Everything that parameterises a serving instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Formation configuration used for the initial formation and for
+    /// background re-formation (until a `/form` request overrides it).
+    pub formation: FormationConfig,
+    /// How long a `/form` leader waits for concurrent same-configuration
+    /// requests to join its batch before running.
+    pub batch_window: Duration,
+    /// Upper bound on how many rating updates one background re-formation
+    /// pass applies; more pending updates simply take more passes.
+    pub max_updates_per_pass: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: a 5 ms batching window and at most 1024 updates per pass.
+    pub fn new(formation: FormationConfig) -> Self {
+        ServeConfig {
+            formation,
+            batch_window: Duration::from_millis(5),
+            max_updates_per_pass: 1024,
+        }
+    }
+
+    /// Overrides the `/form` batching window.
+    pub fn with_batch_window(mut self, window: Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+
+    /// Overrides the per-pass update bound (clamped to at least 1).
+    pub fn with_max_updates_per_pass(mut self, max: usize) -> Self {
+        self.max_updates_per_pass = max.max(1);
+        self
+    }
+}
+
+/// One immutable, internally consistent view of the serving state.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The rating matrix this formation was computed on.
+    pub matrix: RatingMatrix,
+    /// Preference index built on (or incrementally patched to match)
+    /// `matrix`.
+    pub prefs: PrefIndex,
+    /// The formation configuration the groups were formed under.
+    pub config: FormationConfig,
+    /// The current formation.
+    pub formation: FormationResult,
+    /// `assignment[u]` = index into `formation.grouping.groups`, `None`
+    /// for users the formation did not cover (impossible for valid
+    /// formations, kept as `Option` for defense in depth).
+    pub assignment: Vec<Option<usize>>,
+    /// Monotonic snapshot version; bumped on every install.
+    pub version: u64,
+}
+
+/// Counters exposed by `/stats`; cheap relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Ratings accepted into the pending journal.
+    pub rates_accepted: AtomicU64,
+    /// Ratings applied by background passes.
+    pub rates_applied: AtomicU64,
+    /// Background re-formation passes run.
+    pub refresh_passes: AtomicU64,
+    /// `/form` requests received.
+    pub form_requests: AtomicU64,
+    /// Actual formation runs executed on behalf of `/form` (≤ requests;
+    /// the difference is requests answered from a coalesced batch).
+    pub form_runs: AtomicU64,
+}
+
+struct PendingQueue {
+    updates: Vec<(u32, u32, f64)>,
+    shutdown: bool,
+}
+
+/// The long-lived serving state shared by every connection handler.
+pub struct ServeState {
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// Serializes snapshot *builders* (background passes and `/form`
+    /// runs) so concurrent writers cannot interleave lost updates; held
+    /// across compute + install, never by readers.
+    writer: Mutex<()>,
+    pending: Mutex<PendingQueue>,
+    wakeup: Condvar,
+    batcher: Batcher,
+    max_updates_per_pass: usize,
+    /// Counters for `/stats`.
+    pub stats: Stats,
+}
+
+impl ServeState {
+    /// Builds the initial snapshot (version 1) by running a full formation
+    /// over `matrix` and wraps it in a shareable state.
+    pub fn new(matrix: RatingMatrix, cfg: ServeConfig) -> Result<Arc<ServeState>> {
+        let prefs = PrefIndex::build(&matrix);
+        let snapshot = build_snapshot(matrix, prefs, cfg.formation, 1)?;
+        Ok(Arc::new(ServeState {
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            writer: Mutex::new(()),
+            pending: Mutex::new(PendingQueue {
+                updates: Vec::new(),
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+            batcher: Batcher::new(cfg.batch_window),
+            max_updates_per_pass: cfg.max_updates_per_pass.max(1),
+            stats: Stats::default(),
+        }))
+    }
+
+    /// The current snapshot. Readers hold the lock only long enough to
+    /// clone the `Arc`; everything after is lock-free.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Number of rating updates waiting for the background pass.
+    pub fn pending_len(&self) -> usize {
+        self.pending
+            .lock()
+            .expect("pending lock poisoned")
+            .updates
+            .len()
+    }
+
+    /// Accepts one rating update into the pending journal.
+    ///
+    /// The update is validated against the current snapshot's dimensions
+    /// and scale so malformed requests fail fast; it becomes visible to
+    /// queries only once a background pass installs the next snapshot
+    /// (call [`ServeState::flush`] to force that synchronously).
+    /// Returns the number of updates now pending.
+    pub fn rate(&self, user: u32, item: u32, score: f64) -> Result<usize> {
+        let snap = self.snapshot();
+        let matrix = &snap.matrix;
+        if user >= matrix.n_users() {
+            return Err(GfError::UserOutOfRange {
+                user,
+                n_users: matrix.n_users(),
+            });
+        }
+        if item >= matrix.n_items() {
+            return Err(GfError::ItemOutOfRange {
+                item,
+                n_items: matrix.n_items(),
+            });
+        }
+        if !score.is_finite() {
+            return Err(GfError::NonFiniteScore { user, item });
+        }
+        if !matrix.scale().contains(score) {
+            return Err(GfError::ScaleViolation { user, item, score });
+        }
+        let mut q = self.pending.lock().expect("pending lock poisoned");
+        q.updates.push((user, item, score));
+        let depth = q.updates.len();
+        drop(q);
+        self.stats.rates_accepted.fetch_add(1, Ordering::Relaxed);
+        self.wakeup.notify_one();
+        Ok(depth)
+    }
+
+    /// Runs one bounded background pass: drains up to
+    /// `max_updates_per_pass` pending updates, patches the matrix and the
+    /// affected users' preference lists incrementally, re-forms under the
+    /// current configuration and installs the result. Returns how many
+    /// updates were applied (0 when nothing was pending).
+    pub fn process_pending(&self) -> Result<usize> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let chunk: Vec<(u32, u32, f64)> = {
+            let mut q = self.pending.lock().expect("pending lock poisoned");
+            let take = q.updates.len().min(self.max_updates_per_pass);
+            q.updates.drain(..take).collect()
+        };
+        if chunk.is_empty() {
+            return Ok(0);
+        }
+        let current = self.snapshot();
+        let mut matrix = current.matrix.clone();
+        let mut prefs = current.prefs.clone();
+        // Apply the batch, then re-sort each dirty user's preference list
+        // exactly once — the incremental counterpart of PrefIndex::build.
+        let mut dirty: Vec<u32> = Vec::with_capacity(chunk.len());
+        for &(u, i, s) in &chunk {
+            matrix.upsert(u, i, s)?;
+            dirty.push(u);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        for &u in &dirty {
+            prefs.patch_user(&matrix, u);
+        }
+        let snapshot = build_snapshot(matrix, prefs, current.config, current.version + 1)?;
+        self.install(snapshot);
+        self.stats
+            .rates_applied
+            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        self.stats.refresh_passes.fetch_add(1, Ordering::Relaxed);
+        Ok(chunk.len())
+    }
+
+    /// Synchronously applies *all* pending updates (possibly over several
+    /// bounded passes). After `flush` returns, queries see every rating
+    /// accepted before the call.
+    pub fn flush(&self) -> Result<()> {
+        while self.process_pending()? > 0 {}
+        Ok(())
+    }
+
+    /// Re-forms groups under `cfg` over the current matrix and installs
+    /// the result as the serving snapshot (including `cfg` as the new
+    /// current configuration for background passes).
+    ///
+    /// Concurrent `form` calls with the **same configuration** arriving
+    /// within the batching window are coalesced into a single formation
+    /// run whose snapshot all of them return.
+    pub fn form(&self, cfg: FormationConfig) -> Result<BatchOutcome> {
+        self.stats.form_requests.fetch_add(1, Ordering::Relaxed);
+        self.batcher.submit(cfg, || {
+            self.stats.form_runs.fetch_add(1, Ordering::Relaxed);
+            let _writer = self.writer.lock().expect("writer lock poisoned");
+            let current = self.snapshot();
+            let snapshot = build_snapshot(
+                current.matrix.clone(),
+                current.prefs.clone(),
+                cfg,
+                current.version + 1,
+            )?;
+            let shared = self.install(snapshot);
+            Ok(shared)
+        })
+    }
+
+    /// Parks until rating updates arrive (or shutdown), then runs bounded
+    /// passes. The HTTP server spawns this on a dedicated thread; tests
+    /// can drive [`ServeState::process_pending`] directly instead.
+    pub fn run_refresh_worker(&self) {
+        loop {
+            {
+                let mut q = self.pending.lock().expect("pending lock poisoned");
+                while q.updates.is_empty() && !q.shutdown {
+                    q = self.wakeup.wait(q).expect("pending lock poisoned");
+                }
+                if q.shutdown && q.updates.is_empty() {
+                    return;
+                }
+            }
+            // A failure here means a validated update stopped applying —
+            // only possible through a serve-layer bug; surface loudly.
+            self.process_pending().expect("background pass failed");
+        }
+    }
+
+    /// Asks the refresh worker to exit once the journal drains.
+    pub fn shutdown(&self) {
+        self.pending.lock().expect("pending lock poisoned").shutdown = true;
+        self.wakeup.notify_all();
+    }
+
+    fn install(&self, snapshot: Snapshot) -> Arc<Snapshot> {
+        let shared = Arc::new(snapshot);
+        let mut slot = self.snapshot.write().expect("snapshot lock poisoned");
+        *slot = Arc::clone(&shared);
+        shared
+    }
+}
+
+/// Runs a formation over `matrix` and bundles the result. Always goes
+/// through [`ShardedFormer`], which degrades to the plain greedy whenever
+/// `cfg.n_threads` resolves to one worker.
+fn build_snapshot(
+    matrix: RatingMatrix,
+    prefs: PrefIndex,
+    cfg: FormationConfig,
+    version: u64,
+) -> Result<Snapshot> {
+    let formation = ShardedFormer::new().form(&matrix, &prefs, &cfg)?;
+    let assignment = formation.grouping.assignment(matrix.n_users());
+    Ok(Snapshot {
+        matrix,
+        prefs,
+        config: cfg,
+        formation,
+        assignment,
+        version,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_core::{Aggregation, RatingScale, Semantics};
+
+    fn matrix(n: u32, m: u32) -> RatingMatrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|u| {
+                (0..m)
+                    .map(|i| 1.0 + ((u * 7 + i * 3 + u * i) % 5) as f64)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap()
+    }
+
+    fn state(n: u32, m: u32, ell: usize) -> Arc<ServeState> {
+        let cfg = ServeConfig::new(FormationConfig::new(
+            Semantics::LeastMisery,
+            Aggregation::Min,
+            2,
+            ell,
+        ))
+        .with_batch_window(Duration::ZERO);
+        ServeState::new(matrix(n, m), cfg).unwrap()
+    }
+
+    #[test]
+    fn initial_snapshot_covers_every_user() {
+        let s = state(12, 5, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.version, 1);
+        assert!(snap.assignment.iter().all(Option::is_some));
+        snap.formation.grouping.validate(12, 3).unwrap();
+    }
+
+    #[test]
+    fn rate_validates_before_enqueue() {
+        let s = state(4, 4, 2);
+        assert!(matches!(
+            s.rate(99, 0, 3.0),
+            Err(GfError::UserOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.rate(0, 99, 3.0),
+            Err(GfError::ItemOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.rate(0, 0, 9.0),
+            Err(GfError::ScaleViolation { .. })
+        ));
+        assert!(matches!(
+            s.rate(0, 0, f64::NAN),
+            Err(GfError::NonFiniteScore { .. })
+        ));
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn rate_is_deferred_until_flush() {
+        let s = state(6, 4, 2);
+        let before = s.snapshot();
+        assert_eq!(s.rate(0, 1, 5.0).unwrap(), 1);
+        assert_eq!(s.pending_len(), 1);
+        // Queries still see the old snapshot.
+        assert_eq!(s.snapshot().version, before.version);
+        s.flush().unwrap();
+        let after = s.snapshot();
+        assert_eq!(after.version, before.version + 1);
+        assert_eq!(after.matrix.get(0, 1), Some(5.0));
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn bounded_passes_split_large_batches() {
+        let cfg = ServeConfig::new(FormationConfig::new(
+            Semantics::AggregateVoting,
+            Aggregation::Sum,
+            2,
+            2,
+        ))
+        .with_max_updates_per_pass(2);
+        let s = ServeState::new(matrix(5, 5), cfg).unwrap();
+        for i in 0..5 {
+            s.rate(i % 5, i % 5, 4.0).unwrap();
+        }
+        assert_eq!(s.process_pending().unwrap(), 2);
+        assert_eq!(s.pending_len(), 3);
+        s.flush().unwrap();
+        assert_eq!(s.pending_len(), 0);
+        assert_eq!(s.stats.rates_applied.load(Ordering::Relaxed), 5);
+        assert!(s.stats.refresh_passes.load(Ordering::Relaxed) >= 3);
+    }
+
+    #[test]
+    fn form_installs_new_config() {
+        let s = state(10, 6, 2);
+        let new_cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 3, 4);
+        let outcome = s.form(new_cfg).unwrap();
+        assert_eq!(outcome.snapshot.config, new_cfg);
+        assert_eq!(s.snapshot().version, 2);
+        // Background passes now re-form under the new config.
+        s.rate(0, 0, 1.0).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.snapshot().config, new_cfg);
+    }
+
+    #[test]
+    fn worker_drains_and_shuts_down() {
+        let s = state(8, 4, 2);
+        let worker = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || s.run_refresh_worker())
+        };
+        s.rate(3, 2, 5.0).unwrap();
+        // The worker should pick the update up without an explicit flush.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while s.snapshot().matrix.get(3, 2) != Some(5.0) {
+            assert!(std::time::Instant::now() < deadline, "worker never applied");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        s.shutdown();
+        worker.join().unwrap();
+    }
+}

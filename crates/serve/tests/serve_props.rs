@@ -1,0 +1,143 @@
+//! Property tests for the serving state — chiefly the acceptance-criteria
+//! invariant: the incremental `/rate` path (matrix upsert + per-user
+//! preference patch + background re-formation) converges to **exactly**
+//! the snapshot a cold rebuild over the same final ratings produces.
+
+use gf_core::{Aggregation, FormationConfig, PrefIndex, RatingMatrix, RatingScale, Semantics};
+use gf_serve::{ServeConfig, ServeState};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A random sparse rating instance on the 1..5 integer scale, guaranteed
+/// at least one rating (the serve layer rejects empty matrices).
+#[derive(Debug, Clone)]
+struct Instance {
+    n: u32,
+    m: u32,
+    triples: Vec<(u32, u32, f64)>,
+}
+
+fn instance(max_users: u32, max_items: u32) -> impl Strategy<Value = Instance> {
+    (2..=max_users, 2..=max_items)
+        .prop_flat_map(|(n, m)| {
+            let cell = (0..n, 0..m, 1..=5u8, any::<bool>());
+            (
+                Just(n),
+                Just(m),
+                proptest::collection::vec(cell, 1..(n as usize * m as usize).min(48)),
+            )
+        })
+        .prop_map(|(n, m, cells)| {
+            let mut seen = std::collections::HashSet::new();
+            let mut triples = Vec::new();
+            for (u, i, r, keep) in cells {
+                if keep && seen.insert((u, i)) {
+                    triples.push((u, i, r as f64));
+                }
+            }
+            if triples.is_empty() {
+                triples.push((0, 0, 3.0));
+            }
+            Instance { n, m, triples }
+        })
+}
+
+fn matrix_of(inst: &Instance) -> RatingMatrix {
+    RatingMatrix::from_triples(
+        inst.n,
+        inst.m,
+        inst.triples.iter().copied(),
+        RatingScale::one_to_five(),
+    )
+    .unwrap()
+}
+
+fn config(sem_lm: bool, agg_ix: usize, k: usize, ell: usize) -> FormationConfig {
+    let sem = if sem_lm {
+        Semantics::LeastMisery
+    } else {
+        Semantics::AggregateVoting
+    };
+    FormationConfig::new(sem, Aggregation::paper_set()[agg_ix], k, ell)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental `/rate` + background passes == cold rebuild: identical
+    /// matrix, preference lists, grouping, objective and assignment.
+    #[test]
+    fn incremental_matches_cold_rebuild(
+        inst in instance(9, 7),
+        updates in proptest::collection::vec((0u32..9, 0u32..7, 1u8..=5), 1..16),
+        (sem_lm, agg_ix) in (any::<bool>(), 0usize..3),
+        (k, ell) in (1usize..4, 1usize..5),
+        max_per_pass in 1usize..4,
+    ) {
+        let cfg = config(sem_lm, agg_ix, k, ell);
+        let serve_cfg = ServeConfig::new(cfg)
+            .with_batch_window(Duration::ZERO)
+            .with_max_updates_per_pass(max_per_pass);
+        let state = ServeState::new(matrix_of(&inst), serve_cfg).unwrap();
+        for &(u, i, r) in &updates {
+            state.rate(u % inst.n, i % inst.m, r as f64).unwrap();
+        }
+        state.flush().unwrap();
+        let warm = state.snapshot();
+
+        // Cold rebuild over the same final ratings.
+        let mut finals: std::collections::HashMap<(u32, u32), f64> =
+            inst.triples.iter().map(|&(u, i, s)| ((u, i), s)).collect();
+        for &(u, i, r) in &updates {
+            finals.insert((u % inst.n, i % inst.m), r as f64);
+        }
+        let cold_matrix = RatingMatrix::from_triples(
+            inst.n,
+            inst.m,
+            finals.iter().map(|(&(u, i), &s)| (u, i, s)),
+            RatingScale::one_to_five(),
+        ).unwrap();
+        let cold = ServeState::new(cold_matrix.clone(), serve_cfg).unwrap();
+        let cold = cold.snapshot();
+
+        prop_assert_eq!(&warm.matrix, &cold_matrix);
+        let cold_prefs = PrefIndex::build(&cold_matrix);
+        for u in 0..inst.n {
+            prop_assert_eq!(warm.prefs.ranked_items(u), cold_prefs.ranked_items(u));
+            prop_assert_eq!(warm.prefs.ranked_scores(u), cold_prefs.ranked_scores(u));
+        }
+        prop_assert_eq!(&warm.formation, &cold.formation);
+        prop_assert_eq!(&warm.assignment, &cold.assignment);
+        warm.formation.grouping.validate(inst.n, ell).unwrap();
+    }
+
+    /// Every pass is bounded and versions advance by exactly one per
+    /// installed snapshot, ending with an empty journal.
+    #[test]
+    fn passes_are_bounded_and_versions_monotonic(
+        inst in instance(6, 5),
+        updates in proptest::collection::vec((0u32..6, 0u32..5, 1u8..=5), 1..12),
+        max_per_pass in 1usize..3,
+    ) {
+        let cfg = config(true, 0, 2, 2);
+        let state = ServeState::new(
+            matrix_of(&inst),
+            ServeConfig::new(cfg).with_max_updates_per_pass(max_per_pass),
+        ).unwrap();
+        for &(u, i, r) in &updates {
+            state.rate(u % inst.n, i % inst.m, r as f64).unwrap();
+        }
+        let mut version = state.snapshot().version;
+        loop {
+            let applied = state.process_pending().unwrap();
+            if applied == 0 {
+                break;
+            }
+            prop_assert!(applied <= max_per_pass);
+            let now = state.snapshot().version;
+            prop_assert_eq!(now, version + 1);
+            version = now;
+        }
+        prop_assert_eq!(state.pending_len(), 0);
+    }
+}

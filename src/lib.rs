@@ -22,6 +22,7 @@
 //! | [`baselines`] (`gf-baselines`) | Kendall-Tau distances, k-medoids, sparse k-means, the paper's `Baseline-LM` / `Baseline-AV` |
 //! | [`exact`] (`gf-exact`) | exact optima (partition DP, branch & bound), anytime local search, Appendix-A IP model + CPLEX LP export |
 //! | [`eval`] (`gf-eval`) | experiment harness, five-number summaries, tables, the simulated AMT user study |
+//! | [`serve`] (`gf-serve`) | the online component: batched HTTP serving with snapshot queries and incremental `/rate` updates |
 //!
 //! ## Quickstart
 //!
@@ -91,6 +92,7 @@ pub use gf_datasets as datasets;
 pub use gf_eval as eval;
 pub use gf_exact as exact;
 pub use gf_recsys as recsys;
+pub use gf_serve as serve;
 
 /// The names most programs need, in one import.
 pub mod prelude {
@@ -105,6 +107,7 @@ pub mod prelude {
     pub use gf_recsys::{
         complete_matrix, complete_matrix_threaded, BiasModel, ItemItemKnn, MatrixFactorization,
     };
+    pub use gf_serve::{ServeConfig, ServeState};
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// A length specification for [`vec`]: an exact `usize` or a range.
+/// A length specification for [`vec()`]: an exact `usize` or a range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
@@ -51,7 +51,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
