@@ -56,6 +56,12 @@ echo "== /group/3 =="
 group=$(request GET /group/3 200)
 jq -e '.user == 3 and (.members | index(3) != null) and (.top_k | length) <= 3' <<<"$group" >/dev/null
 
+echo "== /group/3 pagination =="
+paged=$(request GET "/group/3?limit=1&offset=0" 200)
+full_size=$(jq -r '.members | length' <<<"$group")
+jq -e '(.members | length) <= 1 and .members_total == '"$full_size" <<<"$paged" >/dev/null
+request GET "/group/3?limit=bogus" 400 | jq -e '.error' >/dev/null
+
 echo "== /recommend =="
 gi=$(jq -r '.group' <<<"$group")
 request GET "/recommend/$gi" 200 | jq -e '.top_k | length >= 1' >/dev/null
@@ -76,7 +82,13 @@ done
 request GET /stats 200 | jq -e '.rates_applied >= 1' >/dev/null
 
 echo "== /stats =="
-request GET /stats 200 | jq -e '.rates_applied >= 1 and .form_runs >= 1' >/dev/null
+# The path counters increment before `refresh_passes` (and before the
+# snapshot install the earlier version-wait observed), so these checks
+# cannot flake on a mid-pass read.
+request GET /stats 200 | jq -e '.rates_applied >= 1 and .form_runs >= 1
+  and .refresh_incremental >= 1 and .refresh_cold == 0
+  and (.refresh_incremental + .refresh_cold) >= .refresh_passes
+  and .refresh_mode == "auto"' >/dev/null
 
 echo "== error paths stay JSON =="
 request GET /group/9999 404 | jq -e '.error' >/dev/null

@@ -30,6 +30,7 @@ fn get(state: &ServeState, path: String) -> u16 {
         &HttpRequest {
             method: "GET".into(),
             path,
+            query: String::new(),
             body: String::new(),
             keep_alive: true,
         },

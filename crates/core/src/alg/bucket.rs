@@ -51,6 +51,20 @@ pub struct Bucket {
 }
 
 impl Bucket {
+    /// Folds one member's personal score vector into the per-position
+    /// aggregates. This is **the** accumulation every bucket builder
+    /// shares — sequential and threaded Step 1, split-aware rebuilds, and
+    /// the incremental former's touched-bucket recomputation — so the
+    /// "bit-for-bit equal to `build_buckets`" contracts all hang off a
+    /// single fold (min is order-independent; sums must run in the same
+    /// member order to be bit-identical off-grid).
+    pub(crate) fn accumulate_scores(&mut self, scores: &[f64]) {
+        for (slot, &s) in scores.iter().enumerate() {
+            self.pos_min[slot] = self.pos_min[slot].min(s);
+            self.pos_sum[slot] += s;
+        }
+    }
+
     /// The group's per-item score vector under `semantics` for the shared
     /// top-`k` sequence (non-increasing by construction).
     pub fn score_vector(&self, semantics: Semantics) -> &[f64] {
@@ -169,10 +183,7 @@ fn insert_user(
         std::collections::hash_map::Entry::Occupied(mut e) => {
             let b = e.get_mut();
             b.users.push(u);
-            for (slot, &s) in scores.iter().enumerate() {
-                b.pos_min[slot] = b.pos_min[slot].min(s);
-                b.pos_sum[slot] += s;
-            }
+            b.accumulate_scores(&scores);
         }
         std::collections::hash_map::Entry::Vacant(e) => {
             e.insert(Bucket {

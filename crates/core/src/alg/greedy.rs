@@ -166,22 +166,21 @@ impl GroupFormer for GreedyFormer {
         }
 
         // Step 3: merge everything left into the final group and score it
-        // with the full recommendation engine.
+        // with the full recommendation engine (the shared repair-pass
+        // rescoring used by ShardedFormer and IncrementalFormer too).
         let mut remaining: Vec<u32> = heap
             .into_iter()
             .flat_map(|e| e.bucket.users.into_iter())
             .collect();
         remaining.sort_unstable();
         if !remaining.is_empty() {
-            let rec = GroupRecommender::new(matrix, cfg.semantics).with_policy(cfg.policy);
-            let top_k = rec.top_k(&remaining, cfg.k);
-            let scores: Vec<f64> = top_k.iter().map(|&(_, s)| s).collect();
-            let satisfaction = cfg.aggregation.apply(&scores);
-            groups.push(Group {
+            let mut tail = Group {
                 members: remaining,
-                top_k,
-                satisfaction,
-            });
+                top_k: Vec::new(),
+                satisfaction: 0.0,
+            };
+            super::shard::rescore_group(matrix, cfg, &mut tail);
+            groups.push(tail);
         }
 
         if self.split_surplus && groups.len() < cfg.ell {
@@ -227,20 +226,19 @@ fn split_bucket(
     let len = b.pos_min.len();
     b.pos_min = vec![f64::INFINITY; len];
     b.pos_sum = vec![0.0; len];
-    for &u in &b.users {
+    for idx in 0..b.users.len() {
+        let u = b.users[idx];
         let (_, scores) = bucket::personal_top_k(matrix, prefs, cfg.policy, u, cfg.k);
-        for (slot, &s) in scores.iter().enumerate() {
-            b.pos_min[slot] = b.pos_min[slot].min(s);
-            b.pos_sum[slot] += s;
-        }
+        b.accumulate_scores(&scores);
     }
     (single, b)
 }
 
 /// Converts a popped bucket into an output group. The bucket's shared item
 /// sequence *is* the group's recommended top-`k` list, with per-item group
-/// scores given by the bucket's score vector (see [`bucket`] docs).
-fn bucket_to_group(bucket: Bucket, cfg: &FormationConfig) -> Group {
+/// scores given by the bucket's score vector (see [`bucket`] docs). Shared
+/// with [`super::incremental`], which emits spliced buckets the same way.
+pub(crate) fn bucket_to_group(bucket: Bucket, cfg: &FormationConfig) -> Group {
     let satisfaction = bucket.satisfaction(cfg.semantics, cfg.aggregation);
     let vector = bucket.score_vector(cfg.semantics).to_vec();
     let mut members = bucket.users;

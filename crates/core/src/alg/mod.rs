@@ -42,10 +42,12 @@
 
 pub mod bucket;
 mod greedy;
+pub mod incremental;
 pub mod overlap;
 pub mod shard;
 
 pub use greedy::GreedyFormer;
+pub use incremental::{IncrementalFormer, RatingDelta};
 pub use overlap::{OverlapConfig, OverlappingFormer, OverlappingGrouping};
 pub use shard::ShardedFormer;
 
@@ -56,6 +58,45 @@ use crate::grouprec::MissingPolicy;
 use crate::matrix::RatingMatrix;
 use crate::prefs::PrefIndex;
 use crate::semantics::Semantics;
+
+/// How a serving layer refreshes its standing formation when rating
+/// updates arrive. Threaded through [`FormationConfig`] so benches and the
+/// `gf-serve` binary can sweep the refresh strategies against each other;
+/// pure formation runs ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RefreshMode {
+    /// Patch incrementally ([`IncrementalFormer`]) while the dirty set
+    /// stays small — at most `max(64, n/8)` users — and rebuild cold
+    /// beyond that, where re-bucketing everything is no longer slower.
+    #[default]
+    Auto,
+    /// Always rebuild the formation from scratch.
+    Cold,
+    /// Always patch incrementally, whatever the dirty-set size.
+    Incremental,
+}
+
+impl RefreshMode {
+    /// Whether a refresh touching `dirty_users` out of `n_users` should
+    /// take the incremental path under this mode.
+    pub fn use_incremental(self, dirty_users: usize, n_users: usize) -> bool {
+        match self {
+            RefreshMode::Cold => false,
+            RefreshMode::Incremental => true,
+            RefreshMode::Auto => dirty_users <= (n_users / 8).max(64),
+        }
+    }
+
+    /// Lower-case tag used in `/stats` bodies and CLI flags.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RefreshMode::Auto => "auto",
+            RefreshMode::Cold => "cold",
+            RefreshMode::Incremental => "incremental",
+        }
+    }
+}
 
 /// Everything that parameterises a group formation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +117,9 @@ pub struct FormationConfig {
     /// (`available_parallelism`); the default is `1` (single-threaded).
     /// See [`crate::resolve_threads`].
     pub n_threads: usize,
+    /// How serving layers refresh the formation on rating updates
+    /// (ignored by one-shot formation runs). Default [`RefreshMode::Auto`].
+    pub refresh: RefreshMode,
 }
 
 impl FormationConfig {
@@ -89,6 +133,7 @@ impl FormationConfig {
             ell,
             policy: MissingPolicy::Min,
             n_threads: 1,
+            refresh: RefreshMode::Auto,
         }
     }
 
@@ -103,6 +148,12 @@ impl FormationConfig {
     /// to the available work at the point of use.
     pub fn with_threads(mut self, n_threads: usize) -> Self {
         self.n_threads = n_threads;
+        self
+    }
+
+    /// Overrides the serving-layer refresh strategy.
+    pub fn with_refresh(mut self, refresh: RefreshMode) -> Self {
+        self.refresh = refresh;
         self
     }
 

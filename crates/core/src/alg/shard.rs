@@ -132,11 +132,23 @@ fn allocate_budgets(ell: usize, sizes: &[usize], n: usize) -> Vec<usize> {
     budgets
 }
 
+/// Rescores `group` from its member list with the full recommendation
+/// engine under `cfg`: recomputes the top-`k` list and satisfaction. This
+/// is the repair-pass scoring primitive shared by [`repair_to_budget`],
+/// the greedy's final merged group and the incremental former's tail
+/// splice ([`super::incremental`]).
+pub(crate) fn rescore_group(matrix: &RatingMatrix, cfg: &FormationConfig, group: &mut Group) {
+    let rec = GroupRecommender::new(matrix, cfg.semantics).with_policy(cfg.policy);
+    let top_k = rec.top_k(&group.members, cfg.k);
+    let scores: Vec<f64> = top_k.iter().map(|&(_, s)| s).collect();
+    group.satisfaction = cfg.aggregation.apply(&scores);
+    group.top_k = top_k;
+}
+
 /// Merges groups down to `ell` by repeatedly combining the two
 /// lowest-satisfaction groups and rescoring the union with the full
 /// recommendation engine. At most `groups.len() - ell` merges run.
 fn repair_to_budget(matrix: &RatingMatrix, cfg: &FormationConfig, groups: &mut Vec<Group>) {
-    let rec = GroupRecommender::new(matrix, cfg.semantics).with_policy(cfg.policy);
     while groups.len() > cfg.ell.max(1) {
         // Two lowest satisfactions; ties broken by group index.
         let (mut lo, mut second) = (0usize, 1usize);
@@ -157,10 +169,7 @@ fn repair_to_budget(matrix: &RatingMatrix, cfg: &FormationConfig, groups: &mut V
         let target = &mut groups[a];
         target.members.extend_from_slice(&absorbed.members);
         target.members.sort_unstable();
-        let top_k = rec.top_k(&target.members, cfg.k);
-        let scores: Vec<f64> = top_k.iter().map(|&(_, s)| s).collect();
-        target.satisfaction = cfg.aggregation.apply(&scores);
-        target.top_k = top_k;
+        rescore_group(matrix, cfg, target);
     }
 }
 

@@ -66,6 +66,9 @@ pub enum GfError {
     },
     /// A grouping failed validation (overlap, missing user, too many groups).
     InvalidGrouping(String),
+    /// An incremental former was asked to refresh against a matrix it was
+    /// not built for (population mismatch or missing dirty notifications).
+    StaleIncrementalState(String),
 }
 
 impl fmt::Display for GfError {
@@ -96,6 +99,9 @@ impl fmt::Display for GfError {
                 write!(f, "invalid rating scale [{min}, {max}]")
             }
             GfError::InvalidGrouping(msg) => write!(f, "invalid grouping: {msg}"),
+            GfError::StaleIncrementalState(msg) => {
+                write!(f, "stale incremental formation state: {msg}")
+            }
         }
     }
 }

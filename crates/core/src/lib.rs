@@ -74,7 +74,10 @@ pub mod userweight;
 pub mod weights;
 
 pub use aggregate::Aggregation;
-pub use alg::{FormationConfig, FormationResult, GreedyFormer, GroupFormer, ShardedFormer};
+pub use alg::{
+    FormationConfig, FormationResult, GreedyFormer, GroupFormer, IncrementalFormer, RatingDelta,
+    RefreshMode, ShardedFormer,
+};
 pub use error::{GfError, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use grouping::{Group, Grouping};

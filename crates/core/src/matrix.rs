@@ -282,6 +282,159 @@ impl RatingMatrix {
         }
     }
 
+    /// Applies a batch of rating updates in one pass over the CSR storage.
+    ///
+    /// Equivalent to calling [`RatingMatrix::upsert`] once per update in
+    /// order (later updates to the same cell win, and each outcome reports
+    /// the value it replaced — including one written earlier in the same
+    /// batch), but degree-growing rows are rebuilt with a single splice:
+    /// O(nnz + b log b) total instead of O(b · nnz) element moves for a
+    /// batch of `b` inserts. Every update is validated before anything
+    /// mutates, so on `Err` the matrix is unchanged. Returns per-update
+    /// outcomes aligned with `updates`.
+    pub fn upsert_batch(&mut self, updates: &[(u32, u32, f64)]) -> Result<Vec<Upsert>> {
+        let (written, outcomes, inserts) = self.resolve_updates(updates)?;
+        if inserts == 0 {
+            // Pure overwrites: patch scores in place, no storage reshaping.
+            for (&(user, item), &score) in &written {
+                let u = user as usize;
+                let (lo, hi) = (self.offsets[u], self.offsets[u + 1]);
+                let pos = self.items[lo..hi]
+                    .binary_search(&item)
+                    .expect("overwrite target exists");
+                self.scores[lo + pos] = score;
+            }
+            return Ok(outcomes);
+        }
+        *self = self.rebuilt_with(&written, inserts);
+        Ok(outcomes)
+    }
+
+    /// Builds the matrix that [`RatingMatrix::upsert_batch`] would leave
+    /// behind, without mutating `self`: one pass over the storage, no
+    /// intermediate clone. This is the serving layer's snapshot-succession
+    /// primitive — the old matrix stays live for concurrent readers while
+    /// the successor is assembled.
+    pub fn with_upserts(&self, updates: &[(u32, u32, f64)]) -> Result<(RatingMatrix, Vec<Upsert>)> {
+        let (written, outcomes, inserts) = self.resolve_updates(updates)?;
+        Ok((self.rebuilt_with(&written, inserts), outcomes))
+    }
+
+    /// Validates `updates` and resolves them sequentially into final cell
+    /// values plus per-update outcomes: a later update of a cell written
+    /// earlier in the batch replaces the earlier value, not the stored one
+    /// — exactly the per-call [`RatingMatrix::upsert`] semantics. Nothing
+    /// is mutated; on `Err` the caller's matrix is untouched.
+    #[allow(clippy::type_complexity)] // private helper: (final cells, outcomes, insert count)
+    fn resolve_updates(
+        &self,
+        updates: &[(u32, u32, f64)],
+    ) -> Result<(
+        crate::fxhash::FxHashMap<(u32, u32), f64>,
+        Vec<Upsert>,
+        usize,
+    )> {
+        for &(user, item, score) in updates {
+            if user >= self.n_users {
+                return Err(GfError::UserOutOfRange {
+                    user,
+                    n_users: self.n_users,
+                });
+            }
+            if item >= self.n_items {
+                return Err(GfError::ItemOutOfRange {
+                    item,
+                    n_items: self.n_items,
+                });
+            }
+            if !score.is_finite() {
+                return Err(GfError::NonFiniteScore { user, item });
+            }
+            if !self.scale.contains(score) {
+                return Err(GfError::ScaleViolation { user, item, score });
+            }
+        }
+        let mut written: crate::fxhash::FxHashMap<(u32, u32), f64> =
+            crate::fxhash::FxHashMap::default();
+        let mut outcomes = Vec::with_capacity(updates.len());
+        let mut inserts = 0usize;
+        for &(user, item, score) in updates {
+            let outcome = match written.get(&(user, item)) {
+                Some(&previous) => Upsert::Updated { previous },
+                None => match self.get(user, item) {
+                    Some(previous) => Upsert::Updated { previous },
+                    None => {
+                        inserts += 1;
+                        Upsert::Inserted
+                    }
+                },
+            };
+            written.insert((user, item), score);
+            outcomes.push(outcome);
+        }
+        Ok((written, outcomes, inserts))
+    }
+
+    /// Assembles the successor matrix in one pass, merging each dirty row
+    /// with its final cell values; clean rows are copied verbatim.
+    fn rebuilt_with(
+        &self,
+        written: &crate::fxhash::FxHashMap<(u32, u32), f64>,
+        inserts: usize,
+    ) -> RatingMatrix {
+        let mut per_user: crate::fxhash::FxHashMap<u32, Vec<(u32, f64)>> =
+            crate::fxhash::FxHashMap::default();
+        for (&(user, item), &score) in written {
+            per_user.entry(user).or_default().push((item, score));
+        }
+        let mut items = Vec::with_capacity(self.items.len() + inserts);
+        let mut scores = Vec::with_capacity(self.scores.len() + inserts);
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        offsets.push(0usize);
+        for u in 0..self.n_users {
+            let (lo, hi) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+            match per_user.get_mut(&u) {
+                None => {
+                    items.extend_from_slice(&self.items[lo..hi]);
+                    scores.extend_from_slice(&self.scores[lo..hi]);
+                }
+                Some(cells) => {
+                    cells.sort_unstable_by_key(|&(i, _)| i);
+                    let mut ci = 0usize;
+                    for pos in lo..hi {
+                        let old_item = self.items[pos];
+                        while ci < cells.len() && cells[ci].0 < old_item {
+                            items.push(cells[ci].0);
+                            scores.push(cells[ci].1);
+                            ci += 1;
+                        }
+                        if ci < cells.len() && cells[ci].0 == old_item {
+                            items.push(old_item);
+                            scores.push(cells[ci].1);
+                            ci += 1;
+                        } else {
+                            items.push(old_item);
+                            scores.push(self.scores[pos]);
+                        }
+                    }
+                    for &(i, s) in &cells[ci..] {
+                        items.push(i);
+                        scores.push(s);
+                    }
+                }
+            }
+            offsets.push(items.len());
+        }
+        RatingMatrix {
+            n_users: self.n_users,
+            n_items: self.n_items,
+            scale: self.scale,
+            offsets,
+            items,
+            scores,
+        }
+    }
+
     /// Restricts the matrix to `users x items` sub-populations, re-indexing
     /// both densely in the order given. Duplicate selections are rejected.
     ///
@@ -747,6 +900,69 @@ mod tests {
         ));
         // Failed upserts leave the matrix untouched.
         assert_eq!(m, example1());
+    }
+
+    #[test]
+    fn upsert_batch_matches_sequential_upserts() {
+        let base = RatingMatrix::from_triples(
+            4,
+            5,
+            vec![(0, 0, 2.0), (0, 3, 4.0), (2, 1, 5.0), (3, 4, 1.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        // Mix of overwrites, inserts, a same-cell double write and a
+        // previously empty row.
+        let updates = [
+            (0u32, 3u32, 5.0),
+            (1, 2, 3.0),
+            (0, 1, 2.0),
+            (1, 2, 4.0),
+            (3, 0, 2.0),
+            (2, 1, 1.0),
+        ];
+        let mut batched = base.clone();
+        let outcomes = batched.upsert_batch(&updates).unwrap();
+        let mut sequential = base.clone();
+        let expected: Vec<Upsert> = updates
+            .iter()
+            .map(|&(u, i, s)| sequential.upsert(u, i, s).unwrap())
+            .collect();
+        assert_eq!(outcomes, expected);
+        assert_eq!(batched, sequential);
+        // The double write reports the first batch write as its previous.
+        assert_eq!(outcomes[3], Upsert::Updated { previous: 3.0 });
+    }
+
+    #[test]
+    fn upsert_batch_pure_overwrites_avoid_rebuild() {
+        let mut m = example1();
+        let outcomes = m.upsert_batch(&[(0, 1, 1.0), (1, 0, 5.0)]).unwrap();
+        assert_eq!(
+            outcomes,
+            vec![
+                Upsert::Updated { previous: 4.0 },
+                Upsert::Updated { previous: 2.0 }
+            ]
+        );
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(5.0));
+        assert_eq!(m.nnz(), example1().nnz());
+    }
+
+    #[test]
+    fn upsert_batch_validates_before_mutating() {
+        let mut m = example1();
+        assert!(matches!(
+            m.upsert_batch(&[(0, 0, 3.0), (99, 0, 3.0)]),
+            Err(GfError::UserOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.upsert_batch(&[(0, 0, 3.0), (0, 0, 9.0)]),
+            Err(GfError::ScaleViolation { .. })
+        ));
+        assert_eq!(m, example1());
+        assert_eq!(m.upsert_batch(&[]).unwrap(), vec![]);
     }
 
     #[test]

@@ -121,6 +121,74 @@ impl PrefIndex {
         }
     }
 
+    /// Re-sorts several users' preference lists from the matrix in one
+    /// pass: the batched counterpart of [`PrefIndex::patch_user`].
+    ///
+    /// When no row's degree changed, each row is patched in place; when
+    /// degrees changed, the flat storage is rebuilt with a single O(nnz)
+    /// pass instead of one O(nnz) splice per degree-changing user. The
+    /// result is exactly what a full [`PrefIndex::build`] of the patched
+    /// matrix would produce. Duplicate user ids are fine.
+    pub fn patch_users(&mut self, matrix: &RatingMatrix, users: &[u32]) {
+        debug_assert_eq!(self.n_users(), matrix.n_users());
+        let mut dirty: Vec<u32> = users.to_vec();
+        dirty.sort_unstable();
+        dirty.dedup();
+        let degrees_stable = dirty.iter().all(|&u| matrix.degree(u) == self.degree(u));
+        if degrees_stable {
+            for &u in &dirty {
+                self.patch_user(matrix, u);
+            }
+            return;
+        }
+        *self = self.rebuilt_with(matrix, &dirty);
+    }
+
+    /// Builds the index that [`PrefIndex::patch_users`] would leave
+    /// behind, without mutating `self`: one pass over the storage, no
+    /// intermediate clone — the snapshot-succession twin of
+    /// [`RatingMatrix::with_upserts`]. Duplicate user ids are fine.
+    pub fn patched(&self, matrix: &RatingMatrix, users: &[u32]) -> PrefIndex {
+        debug_assert_eq!(self.n_users(), matrix.n_users());
+        let mut dirty: Vec<u32> = users.to_vec();
+        dirty.sort_unstable();
+        dirty.dedup();
+        self.rebuilt_with(matrix, &dirty)
+    }
+
+    /// One-pass successor build: dirty rows re-sorted from the matrix,
+    /// clean rows copied verbatim. `dirty` must be sorted and deduped.
+    fn rebuilt_with(&self, matrix: &RatingMatrix, dirty: &[u32]) -> PrefIndex {
+        let mut is_dirty = vec![false; self.offsets.len() - 1];
+        for &u in dirty {
+            is_dirty[u as usize] = true;
+        }
+        let mut items = Vec::with_capacity(matrix.nnz());
+        let mut scores = Vec::with_capacity(matrix.nnz());
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        offsets.push(0usize);
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        for u in 0..matrix.n_users() {
+            if is_dirty[u as usize] {
+                row.clear();
+                row.extend(matrix.user_ratings(u));
+                row.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                items.extend(row.iter().map(|&(i, _)| i));
+                scores.extend(row.iter().map(|&(_, s)| s));
+            } else {
+                let (lo, hi) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+                items.extend_from_slice(&self.items[lo..hi]);
+                scores.extend_from_slice(&self.scores[lo..hi]);
+            }
+            offsets.push(items.len());
+        }
+        PrefIndex {
+            offsets,
+            items,
+            scores,
+        }
+    }
+
     /// The rank (0-based position) of `item` in `u`'s preference list, or
     /// `None` if `u` did not rate it. O(d) scan — used by evaluation code,
     /// not by the formation hot path.
@@ -229,6 +297,36 @@ mod tests {
         sparse_prefs.patch_user(&sparse, 0);
         sparse_prefs.patch_user(&sparse, 1);
         for (m, p) in [(&matrix, &prefs), (&sparse, &sparse_prefs)] {
+            let cold = PrefIndex::build(m);
+            for u in 0..m.n_users() {
+                assert_eq!(p.ranked_items(u), cold.ranked_items(u), "user {u}");
+                assert_eq!(p.ranked_scores(u), cold.ranked_scores(u), "user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn patch_users_matches_cold_build() {
+        // Degree-stable batch.
+        let mut stable = example1();
+        let mut stable_prefs = PrefIndex::build(&stable);
+        stable.upsert(1, 0, 4.0).unwrap();
+        stable.upsert(4, 2, 5.0).unwrap();
+        stable_prefs.patch_users(&stable, &[1, 4, 4]);
+        // Degree-growing batch on a sparse matrix (one brand-new row).
+        let mut sparse = crate::matrix::RatingMatrix::from_triples(
+            4,
+            5,
+            vec![(0, 1, 2.0), (2, 0, 5.0), (2, 3, 1.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let mut sparse_prefs = PrefIndex::build(&sparse);
+        sparse.upsert(0, 3, 4.0).unwrap();
+        sparse.upsert(3, 2, 2.0).unwrap();
+        sparse.upsert(2, 0, 3.0).unwrap();
+        sparse_prefs.patch_users(&sparse, &[0, 3, 2]);
+        for (m, p) in [(&stable, &stable_prefs), (&sparse, &sparse_prefs)] {
             let cold = PrefIndex::build(m);
             for u in 0..m.n_users() {
                 assert_eq!(p.ranked_items(u), cold.ranked_items(u), "user {u}");

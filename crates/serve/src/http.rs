@@ -12,9 +12,9 @@
 //! | method & path | body | answer |
 //! |---------------|------|--------|
 //! | `GET /health` | — | liveness + snapshot version/shape |
-//! | `GET /stats` | — | serving counters |
-//! | `GET /group/{user}` | — | the user's group, members and top-`k` list |
-//! | `GET /recommend/{group}` | — | the group's recommended top-`k` list |
+//! | `GET /stats` | — | serving counters (incl. incremental vs cold refreshes) |
+//! | `GET /group/{user}?limit=&offset=` | — | the user's group, paged members and top-`k` list |
+//! | `GET /recommend/{group}?limit=&offset=` | — | the group's recommended top-`k` list |
 //! | `POST /form` | optional config overrides | runs (or joins) a batched formation |
 //! | `POST /rate` | `{"user":u,"item":i,"rating":r}` | enqueues an incremental update (202) |
 
@@ -38,6 +38,8 @@ pub struct HttpRequest {
     pub method: String,
     /// Request target path, query string stripped.
     pub path: String,
+    /// Raw query string (without the `?`; empty when absent).
+    pub query: String,
     /// Raw request body (empty when no `Content-Length`).
     pub body: String,
     /// Whether the client asked to keep the connection open.
@@ -74,7 +76,10 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Htt
         }
         let header = line.trim_end();
         if header.is_empty() {
-            let path = target.split('?').next().unwrap_or(&target).to_string();
+            let (path, query) = match target.split_once('?') {
+                Some((p, q)) => (p.to_string(), q.to_string()),
+                None => (target.clone(), String::new()),
+            };
             let mut body = vec![0u8; content_length];
             reader.read_exact(&mut body)?;
             let body =
@@ -82,6 +87,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Htt
             return Ok(Some(HttpRequest {
                 method,
                 path,
+                query,
                 body,
                 keep_alive,
             }));
@@ -182,6 +188,7 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
         }
         ("GET", "/stats") => {
             let s = &state.stats;
+            let snap = state.snapshot();
             (
                 200,
                 obj([
@@ -198,23 +205,36 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
                         Json::from(s.refresh_passes.load(Ordering::Relaxed)),
                     ),
                     (
+                        "refresh_incremental",
+                        Json::from(s.refresh_incremental.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "refresh_cold",
+                        Json::from(s.refresh_cold.load(Ordering::Relaxed)),
+                    ),
+                    ("refresh_mode", Json::from(snap.config.refresh.tag())),
+                    (
                         "form_requests",
                         Json::from(s.form_requests.load(Ordering::Relaxed)),
                     ),
                     ("form_runs", Json::from(s.form_runs.load(Ordering::Relaxed))),
                     ("pending", Json::from(state.pending_len())),
-                    ("version", Json::from(state.snapshot().version)),
+                    ("version", Json::from(snap.version)),
                 ]),
             )
         }
-        ("GET", path) if path.starts_with("/group/") => match path["/group/".len()..].parse() {
-            Ok(user) => group_of(state, user),
-            Err(_) => (400, error_body("user id must be a non-negative integer")),
-        },
+        ("GET", path) if path.starts_with("/group/") => {
+            match (path["/group/".len()..].parse(), parse_page(&req.query)) {
+                (Ok(user), Ok(page)) => group_of(state, user, page),
+                (Err(_), _) => (400, error_body("user id must be a non-negative integer")),
+                (_, Err(message)) => (400, error_body(message)),
+            }
+        }
         ("GET", path) if path.starts_with("/recommend/") => {
-            match path["/recommend/".len()..].parse() {
-                Ok(group) => recommend(state, group),
-                Err(_) => (400, error_body("group id must be a non-negative integer")),
+            match (path["/recommend/".len()..].parse(), parse_page(&req.query)) {
+                (Ok(group), Ok(page)) => recommend(state, group, page),
+                (Err(_), _) => (400, error_body("group id must be a non-negative integer")),
+                (_, Err(message)) => (400, error_body(message)),
             }
         }
         ("POST", "/form") => form(state, &req.body),
@@ -236,14 +256,56 @@ fn top_k_json(top_k: &[(u32, f64)]) -> Json {
     )
 }
 
-fn group_body(snap: &Snapshot, gi: usize) -> Json {
+/// Default cap on rendered member lists: at serving scale the biggest
+/// group dominates response size (and the ~157 µs 50k-user lookup), so
+/// clients page through `?limit=`/`?offset=` instead; `members_total`
+/// always carries the full size.
+pub const DEFAULT_MEMBER_LIMIT: usize = 256;
+
+/// A `?limit=&offset=` window over a group's member list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Page {
+    offset: usize,
+    limit: usize,
+}
+
+/// Parses `limit`/`offset` from a raw query string; unknown parameters
+/// are ignored, malformed values are errors.
+fn parse_page(query: &str) -> std::result::Result<Page, String> {
+    let mut page = Page {
+        offset: 0,
+        limit: DEFAULT_MEMBER_LIMIT,
+    };
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match name {
+            "limit" => {
+                page.limit = value
+                    .parse()
+                    .map_err(|_| "limit must be a non-negative integer".to_string())?;
+            }
+            "offset" => {
+                page.offset = value
+                    .parse()
+                    .map_err(|_| "offset must be a non-negative integer".to_string())?;
+            }
+            _ => {}
+        }
+    }
+    Ok(page)
+}
+
+fn group_body(snap: &Snapshot, gi: usize, page: Page) -> Json {
     let g = &snap.formation.grouping.groups[gi];
+    let lo = page.offset.min(g.members.len());
+    let hi = lo.saturating_add(page.limit).min(g.members.len());
     obj([
         ("group", Json::from(gi)),
-        ("size", Json::from(g.len())),
+        ("members_total", Json::from(g.len())),
+        ("members_offset", Json::from(lo)),
         (
             "members",
-            Json::Arr(g.members.iter().map(|&u| Json::from(u)).collect()),
+            Json::Arr(g.members[lo..hi].iter().map(|&u| Json::from(u)).collect()),
         ),
         ("top_k", top_k_json(&g.top_k)),
         ("satisfaction", Json::from(g.satisfaction)),
@@ -251,11 +313,11 @@ fn group_body(snap: &Snapshot, gi: usize) -> Json {
     ])
 }
 
-fn group_of(state: &ServeState, user: u32) -> (u16, Json) {
+fn group_of(state: &ServeState, user: u32, page: Page) -> (u16, Json) {
     let snap = state.snapshot();
     match snap.assignment.get(user as usize).copied().flatten() {
         Some(gi) => {
-            let mut body = group_body(&snap, gi);
+            let mut body = group_body(&snap, gi, page);
             if let Json::Obj(fields) = &mut body {
                 fields.insert(0, ("user".to_string(), Json::from(user)));
             }
@@ -265,12 +327,12 @@ fn group_of(state: &ServeState, user: u32) -> (u16, Json) {
     }
 }
 
-fn recommend(state: &ServeState, group: usize) -> (u16, Json) {
+fn recommend(state: &ServeState, group: usize, page: Page) -> (u16, Json) {
     let snap = state.snapshot();
     if group >= snap.formation.grouping.len() {
         return (404, error_body(format!("no group {group}")));
     }
-    (200, group_body(&snap, group))
+    (200, group_body(&snap, group, page))
 }
 
 /// Parses a semantics name as used by `/form` bodies and the CLI.
@@ -549,6 +611,7 @@ mod tests {
             &HttpRequest {
                 method: "GET".into(),
                 path: path.into(),
+                query: String::new(),
                 body: String::new(),
                 keep_alive: true,
             },
@@ -561,6 +624,7 @@ mod tests {
             &HttpRequest {
                 method: "POST".into(),
                 path: path.into(),
+                query: String::new(),
                 body: body.into(),
                 keep_alive: true,
             },
@@ -592,6 +656,99 @@ mod tests {
         }
     }
 
+    fn get_query(state: &ServeState, path: &str, query: &str) -> (u16, Json) {
+        route(
+            state,
+            &HttpRequest {
+                method: "GET".into(),
+                path: path.into(),
+                query: query.into(),
+                body: String::new(),
+                keep_alive: true,
+            },
+        )
+    }
+
+    #[test]
+    fn group_members_are_paged() {
+        // ell = 1 merges all 9 users into one group.
+        let rows: Vec<Vec<f64>> = (0..9).map(|u| vec![1.0 + (u % 5) as f64; 3]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let matrix = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
+        let cfg = ServeConfig::new(FormationConfig::new(
+            Semantics::LeastMisery,
+            Aggregation::Min,
+            2,
+            1,
+        ));
+        let s = ServeState::new(matrix, cfg).unwrap();
+        let (status, body) = get_query(&s, "/group/0", "limit=3&offset=4");
+        assert_eq!(status, 200);
+        assert_eq!(body.get("members_total").and_then(Json::as_u64), Some(9));
+        assert_eq!(body.get("members_offset").and_then(Json::as_u64), Some(4));
+        let members: Vec<u64> = body
+            .get("members")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect();
+        assert_eq!(members, vec![4, 5, 6]);
+        // Out-of-range offsets clamp to an empty page, never an error.
+        let (status, body) = get_query(&s, "/group/0", "offset=99");
+        assert_eq!(status, 200);
+        assert!(body
+            .get("members")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+        // Same window on the group endpoint.
+        let (status, body) = get_query(&s, "/recommend/0", "limit=1");
+        assert_eq!(status, 200);
+        assert_eq!(
+            body.get("members").and_then(Json::as_arr).map(<[_]>::len),
+            Some(1)
+        );
+        // Malformed paging parameters are a 400, unknown ones are ignored.
+        assert_eq!(get_query(&s, "/group/0", "limit=abc").0, 400);
+        assert_eq!(get_query(&s, "/group/0", "offset=-1").0, 400);
+        assert_eq!(get_query(&s, "/group/0", "foo=1").0, 200);
+    }
+
+    #[test]
+    fn default_member_cap_truncates_large_groups() {
+        assert_eq!(parse_page("").unwrap().limit, DEFAULT_MEMBER_LIMIT);
+        assert_eq!(
+            parse_page("limit=10&offset=3").unwrap(),
+            Page {
+                offset: 3,
+                limit: 10
+            }
+        );
+        assert!(parse_page("limit=").is_err());
+    }
+
+    #[test]
+    fn stats_reports_refresh_paths() {
+        let s = test_state();
+        assert_eq!(
+            post(&s, "/rate", r#"{"user":1,"item":2,"rating":5}"#).0,
+            202
+        );
+        s.flush().unwrap();
+        let (status, body) = get(&s, "/stats");
+        assert_eq!(status, 200);
+        assert_eq!(
+            body.get("refresh_incremental").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(body.get("refresh_cold").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            body.get("refresh_mode").and_then(Json::as_str),
+            Some("auto")
+        );
+    }
+
     #[test]
     fn unknown_user_group_and_path_are_404() {
         let s = test_state();
@@ -609,6 +766,7 @@ mod tests {
             &HttpRequest {
                 method: "DELETE".into(),
                 path: "/health".into(),
+                query: String::new(),
                 body: String::new(),
                 keep_alive: true,
             },

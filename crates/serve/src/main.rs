@@ -5,7 +5,7 @@
 //!          [--data FILE [--format dat|csv|tsv|netflix] [--scale one5|zero5|half]] \
 //!          [--synth USERSxITEMS] \
 //!          [--semantics lm|av] [--aggregation min|max|sum] [--k K] [--ell L] \
-//!          [--threads N] [--batch-window-ms MS]
+//!          [--threads N] [--batch-window-ms MS] [--refresh auto|cold|incremental]
 //! ```
 //!
 //! With `--data`, the file format defaults from the extension (`.dat` →
@@ -18,7 +18,7 @@
 //! `gf-serve: listening on http://ADDR (users=N items=M groups=G)` — that
 //! scripts (and the CI smoke job) wait for before issuing requests.
 
-use gf_core::{Aggregation, FormationConfig, RatingMatrix, RatingScale, Semantics};
+use gf_core::{Aggregation, FormationConfig, RatingMatrix, RatingScale, RefreshMode, Semantics};
 use gf_datasets::io::{read_movielens_csv, read_movielens_dat, read_netflix, read_tsv};
 use gf_datasets::SynthConfig;
 use gf_serve::{parse_aggregation, parse_semantics, ServeConfig, ServeState, Server};
@@ -39,6 +39,7 @@ struct Options {
     ell: usize,
     threads: usize,
     batch_window: Duration,
+    refresh: RefreshMode,
 }
 
 impl Default for Options {
@@ -56,6 +57,7 @@ impl Default for Options {
             ell: 10,
             threads: 0,
             batch_window: Duration::from_millis(5),
+            refresh: RefreshMode::Auto,
         }
     }
 }
@@ -64,7 +66,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gf-serve [--addr HOST] [--port P] [--data FILE] [--format dat|csv|tsv|netflix] \
          [--scale one5|zero5|half] [--synth UxI] [--semantics lm|av] \
-         [--aggregation min|max|sum] [--k K] [--ell L] [--threads N] [--batch-window-ms MS]"
+         [--aggregation min|max|sum] [--k K] [--ell L] [--threads N] [--batch-window-ms MS] \
+         [--refresh auto|cold|incremental]"
     );
     exit(2)
 }
@@ -114,6 +117,14 @@ fn parse_options() -> Options {
             "--batch-window-ms" => {
                 opts.batch_window = Duration::from_millis(value.parse().unwrap_or_else(|_| usage()))
             }
+            "--refresh" => {
+                opts.refresh = match value.as_str() {
+                    "auto" => RefreshMode::Auto,
+                    "cold" => RefreshMode::Cold,
+                    "incremental" => RefreshMode::Incremental,
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
     }
@@ -159,7 +170,8 @@ fn main() {
     let matrix = load_matrix(&opts);
     let ell = opts.ell.min(matrix.n_users() as usize).max(1);
     let formation = FormationConfig::new(opts.semantics, opts.aggregation, opts.k, ell)
-        .with_threads(opts.threads);
+        .with_threads(opts.threads)
+        .with_refresh(opts.refresh);
     let cfg = ServeConfig::new(formation).with_batch_window(opts.batch_window);
     let (n_users, n_items) = (matrix.n_users(), matrix.n_items());
     let state =

@@ -14,16 +14,32 @@
 //! Rating updates (`/rate`) are **eventually consistent**: they enqueue
 //! into a pending journal and return immediately; the background
 //! re-formation pass (one bounded batch of updates per pass, see
-//! [`ServeConfig::max_updates_per_pass`]) patches the affected users'
-//! preference lists ([`PrefIndex::patch_user`]), marks those users' greedy
-//! buckets dirty and re-forms. The incremental path is **test-enforced**
-//! to converge to exactly the snapshot a cold rebuild over the same
-//! ratings produces (`tests/serve_props.rs`).
+//! [`ServeConfig::max_updates_per_pass`]) patches the matrix
+//! ([`RatingMatrix::upsert_batch`]) and the affected users' preference
+//! lists ([`PrefIndex::patch_users`]) and then re-forms one of two ways,
+//! chosen per pass by [`gf_core::RefreshMode`] from the dirty-set size:
+//!
+//! * **incremental** — a standing [`gf_core::IncrementalFormer`] moves
+//!   only the dirty users between their greedy buckets and splices the
+//!   result back into the grouping, making refresh cost proportional to
+//!   the update batch;
+//! * **cold** — a full re-formation over the whole population (also the
+//!   fallback whenever the standing former's lineage broke, e.g. after a
+//!   `/form` or a cold pass).
+//!
+//! Both paths are **test-enforced** to converge to exactly the snapshot a
+//! cold rebuild over the same ratings produces (`tests/serve_props.rs`);
+//! `/stats` reports which path each pass took. So that the two paths
+//! agree on grouping *shape* under any thread count, every snapshot an
+//! `Auto`/`Incremental` instance installs comes from the plain greedy
+//! (Step-1 threaded); the population-sharded former serves
+//! [`RefreshMode::Cold`](gf_core::RefreshMode) instances, where the
+//! incremental path never runs.
 
 use crate::batch::{BatchOutcome, Batcher};
 use gf_core::{
-    FormationConfig, FormationResult, GfError, GroupFormer, PrefIndex, RatingMatrix, Result,
-    ShardedFormer,
+    FormationConfig, FormationResult, GfError, GroupFormer, IncrementalFormer, PrefIndex,
+    RatingDelta, RatingMatrix, Result, ShardedFormer,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -67,13 +83,21 @@ impl ServeConfig {
 }
 
 /// One immutable, internally consistent view of the serving state.
+///
+/// The matrix and preference index are `Arc`-shared because snapshot
+/// succession never mutates them: a background pass *builds* the patched
+/// successors ([`RatingMatrix::with_upserts`], [`PrefIndex::patched`])
+/// while the old structures stay live for concurrent readers, and a
+/// `/form` (which changes only the formation) shares them wholesale.
+/// Cloning ~O(nnz) rating storage per refresh used to dominate the
+/// 50k-user refresh pass; the `Arc` succession removes it entirely.
 #[derive(Debug)]
 pub struct Snapshot {
     /// The rating matrix this formation was computed on.
-    pub matrix: RatingMatrix,
+    pub matrix: Arc<RatingMatrix>,
     /// Preference index built on (or incrementally patched to match)
     /// `matrix`.
-    pub prefs: PrefIndex,
+    pub prefs: Arc<PrefIndex>,
     /// The formation configuration the groups were formed under.
     pub config: FormationConfig,
     /// The current formation.
@@ -100,6 +124,19 @@ pub struct Stats {
     /// Actual formation runs executed on behalf of `/form` (≤ requests;
     /// the difference is requests answered from a coalesced batch).
     pub form_runs: AtomicU64,
+    /// Background passes that patched the standing formation through the
+    /// incremental former (dirty-bucket path).
+    pub refresh_incremental: AtomicU64,
+    /// Background passes that re-formed the whole population from scratch.
+    pub refresh_cold: AtomicU64,
+}
+
+/// The standing incremental former plus the snapshot version its bucket
+/// state is synced to; any snapshot it did not produce breaks the lineage
+/// and forces a re-initialization on the next incremental-eligible pass.
+struct FormerSlot {
+    former: IncrementalFormer,
+    synced_version: u64,
 }
 
 struct PendingQueue {
@@ -118,6 +155,9 @@ pub struct ServeState {
     wakeup: Condvar,
     batcher: Batcher,
     max_updates_per_pass: usize,
+    /// Standing incremental former (built lazily on the first
+    /// incremental-eligible pass; only ever touched under `writer`).
+    former: Mutex<Option<FormerSlot>>,
     /// Counters for `/stats`.
     pub stats: Stats,
 }
@@ -127,7 +167,7 @@ impl ServeState {
     /// over `matrix` and wraps it in a shareable state.
     pub fn new(matrix: RatingMatrix, cfg: ServeConfig) -> Result<Arc<ServeState>> {
         let prefs = PrefIndex::build(&matrix);
-        let snapshot = build_snapshot(matrix, prefs, cfg.formation, 1)?;
+        let snapshot = build_snapshot(Arc::new(matrix), Arc::new(prefs), cfg.formation, 1)?;
         Ok(Arc::new(ServeState {
             snapshot: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(()),
@@ -138,6 +178,7 @@ impl ServeState {
             wakeup: Condvar::new(),
             batcher: Batcher::new(cfg.batch_window),
             max_updates_per_pass: cfg.max_updates_per_pass.max(1),
+            former: Mutex::new(None),
             stats: Stats::default(),
         }))
     }
@@ -196,9 +237,11 @@ impl ServeState {
 
     /// Runs one bounded background pass: drains up to
     /// `max_updates_per_pass` pending updates, patches the matrix and the
-    /// affected users' preference lists incrementally, re-forms under the
-    /// current configuration and installs the result. Returns how many
-    /// updates were applied (0 when nothing was pending).
+    /// affected users' preference lists in one batch each, re-forms under
+    /// the current configuration — incrementally (dirty buckets only) or
+    /// cold, per [`gf_core::RefreshMode`] and the dirty-set size — and
+    /// installs the result. Returns how many updates were applied (0 when
+    /// nothing was pending).
     pub fn process_pending(&self) -> Result<usize> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         let chunk: Vec<(u32, u32, f64)> = {
@@ -210,22 +253,66 @@ impl ServeState {
             return Ok(0);
         }
         let current = self.snapshot();
-        let mut matrix = current.matrix.clone();
-        let mut prefs = current.prefs.clone();
-        // Apply the batch, then re-sort each dirty user's preference list
-        // exactly once — the incremental counterpart of PrefIndex::build.
-        let mut dirty: Vec<u32> = Vec::with_capacity(chunk.len());
-        for &(u, i, s) in &chunk {
-            matrix.upsert(u, i, s)?;
-            dirty.push(u);
-        }
+        // Build the patched successors in one storage pass each (no
+        // intermediate clone — the old matrix/prefs stay live for
+        // concurrent readers), re-sorting each dirty user's preference
+        // list exactly once: the incremental counterpart of a cold
+        // `PrefIndex::build`.
+        let (matrix, outcomes) = current.matrix.with_upserts(&chunk)?;
+        let matrix = Arc::new(matrix);
+        let deltas: Vec<RatingDelta> = chunk
+            .iter()
+            .zip(outcomes)
+            .map(|(&(u, i, s), o)| RatingDelta::from_upsert(u, i, s, o))
+            .collect();
+        let mut dirty: Vec<u32> = chunk.iter().map(|&(u, _, _)| u).collect();
         dirty.sort_unstable();
         dirty.dedup();
-        for &u in &dirty {
-            prefs.patch_user(&matrix, u);
-        }
-        let snapshot = build_snapshot(matrix, prefs, current.config, current.version + 1)?;
+        let prefs = Arc::new(current.prefs.patched(&matrix, &dirty));
+
+        let incremental = current
+            .config
+            .refresh
+            .use_incremental(dirty.len(), matrix.n_users() as usize);
+        let next_version = current.version + 1;
+        let snapshot = if incremental {
+            let mut slot = self.former.lock().expect("former lock poisoned");
+            let reusable = slot.as_ref().is_some_and(|s| {
+                s.synced_version == current.version && s.former.config() == &current.config
+            });
+            if reusable {
+                let slot = slot.as_mut().expect("checked above");
+                slot.former.refresh(&matrix, &prefs, &deltas)?;
+                slot.synced_version = next_version;
+            } else {
+                // (Re-)initialize the standing former on the already
+                // patched matrix; subsequent passes patch it in place.
+                *slot = Some(FormerSlot {
+                    former: IncrementalFormer::new(&matrix, &prefs, current.config)?,
+                    synced_version: next_version,
+                });
+            }
+            let formation = slot
+                .as_ref()
+                .expect("former installed above")
+                .former
+                .result()
+                .clone();
+            self.stats
+                .refresh_incremental
+                .fetch_add(1, Ordering::Relaxed);
+            snapshot_with_formation(matrix, prefs, current.config, formation, next_version)
+        } else {
+            // A cold pass leaves the standing former behind the matrix;
+            // drop it so the next incremental pass re-initializes.
+            *self.former.lock().expect("former lock poisoned") = None;
+            self.stats.refresh_cold.fetch_add(1, Ordering::Relaxed);
+            build_snapshot(matrix, prefs, current.config, next_version)?
+        };
         self.install(snapshot);
+        // Counter order matters for observers: `refresh_passes` last, so
+        // `refresh_incremental + refresh_cold >= refresh_passes` holds in
+        // every interleaving a `/stats` read can see.
         self.stats
             .rates_applied
             .fetch_add(chunk.len() as u64, Ordering::Relaxed);
@@ -254,9 +341,10 @@ impl ServeState {
             self.stats.form_runs.fetch_add(1, Ordering::Relaxed);
             let _writer = self.writer.lock().expect("writer lock poisoned");
             let current = self.snapshot();
+            // The ratings are unchanged: the new snapshot shares them.
             let snapshot = build_snapshot(
-                current.matrix.clone(),
-                current.prefs.clone(),
+                Arc::clone(&current.matrix),
+                Arc::clone(&current.prefs),
                 cfg,
                 current.version + 1,
             )?;
@@ -299,25 +387,53 @@ impl ServeState {
     }
 }
 
-/// Runs a formation over `matrix` and bundles the result. Always goes
-/// through [`ShardedFormer`], which degrades to the plain greedy whenever
-/// `cfg.n_threads` resolves to one worker.
+/// Runs a formation over `matrix` and bundles the result.
+///
+/// The engine follows the refresh mode so that every snapshot a serving
+/// instance installs has the same grouping shape: under
+/// [`RefreshMode::Cold`](gf_core::RefreshMode) — where the incremental
+/// path never runs — this is the population-sharded [`ShardedFormer`];
+/// under `Auto`/`Incremental` it is the plain [`GreedyFormer`] (Step-1
+/// bucket building still threaded per `cfg.n_threads`), the exact
+/// formation the [`IncrementalFormer`] maintains. Without this split, a
+/// multi-worker configuration would flip users between a sharded and an
+/// unsharded grouping depending on which path the last pass took.
 fn build_snapshot(
-    matrix: RatingMatrix,
-    prefs: PrefIndex,
+    matrix: Arc<RatingMatrix>,
+    prefs: Arc<PrefIndex>,
     cfg: FormationConfig,
     version: u64,
 ) -> Result<Snapshot> {
-    let formation = ShardedFormer::new().form(&matrix, &prefs, &cfg)?;
+    let formation = match cfg.refresh {
+        gf_core::RefreshMode::Cold => ShardedFormer::new().form(&matrix, &prefs, &cfg)?,
+        gf_core::RefreshMode::Auto | gf_core::RefreshMode::Incremental => {
+            gf_core::GreedyFormer::new().form(&matrix, &prefs, &cfg)?
+        }
+    };
+    Ok(snapshot_with_formation(
+        matrix, prefs, cfg, formation, version,
+    ))
+}
+
+/// Bundles an already-computed formation into a snapshot — the single
+/// place the user→group assignment is derived and the `Snapshot` struct
+/// is assembled, shared by the cold and incremental refresh paths.
+fn snapshot_with_formation(
+    matrix: Arc<RatingMatrix>,
+    prefs: Arc<PrefIndex>,
+    config: FormationConfig,
+    formation: FormationResult,
+    version: u64,
+) -> Snapshot {
     let assignment = formation.grouping.assignment(matrix.n_users());
-    Ok(Snapshot {
+    Snapshot {
         matrix,
         prefs,
-        config: cfg,
+        config,
         formation,
         assignment,
         version,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -426,6 +542,61 @@ mod tests {
         s.rate(0, 0, 1.0).unwrap();
         s.flush().unwrap();
         assert_eq!(s.snapshot().config, new_cfg);
+    }
+
+    #[test]
+    fn auto_mode_takes_incremental_path_for_small_batches() {
+        let s = state(10, 5, 3);
+        s.rate(1, 1, 5.0).unwrap();
+        s.flush().unwrap();
+        s.rate(2, 0, 4.0).unwrap();
+        s.rate(7, 3, 1.0).unwrap();
+        s.flush().unwrap();
+        // 10 users, auto threshold max(64, n/8): every pass is incremental.
+        assert_eq!(s.stats.refresh_incremental.load(Ordering::Relaxed), 2);
+        assert_eq!(s.stats.refresh_cold.load(Ordering::Relaxed), 0);
+        // And the snapshots match a cold rebuild over the same ratings.
+        let snap = s.snapshot();
+        let cold = ServeState::new(
+            snap.matrix.as_ref().clone(),
+            ServeConfig::new(snap.config).with_batch_window(Duration::ZERO),
+        )
+        .unwrap();
+        assert_eq!(snap.formation, cold.snapshot().formation);
+    }
+
+    #[test]
+    fn cold_mode_never_touches_the_former() {
+        let cfg = ServeConfig::new(
+            FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3)
+                .with_refresh(gf_core::RefreshMode::Cold),
+        )
+        .with_batch_window(Duration::ZERO);
+        let s = ServeState::new(matrix(9, 5), cfg).unwrap();
+        s.rate(0, 0, 5.0).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.stats.refresh_incremental.load(Ordering::Relaxed), 0);
+        assert_eq!(s.stats.refresh_cold.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn form_breaks_former_lineage_but_refreshes_stay_correct() {
+        let s = state(12, 6, 3);
+        s.rate(0, 0, 5.0).unwrap();
+        s.flush().unwrap(); // former initialized + synced
+        let new_cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 2, 4);
+        s.form(new_cfg).unwrap(); // snapshot the former did not produce
+        s.rate(3, 3, 2.0).unwrap();
+        s.flush().unwrap(); // must re-init under the new config
+        assert_eq!(s.stats.refresh_incremental.load(Ordering::Relaxed), 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.config, new_cfg);
+        let cold = ServeState::new(
+            snap.matrix.as_ref().clone(),
+            ServeConfig::new(new_cfg).with_batch_window(Duration::ZERO),
+        )
+        .unwrap();
+        assert_eq!(snap.formation, cold.snapshot().formation);
     }
 
     #[test]

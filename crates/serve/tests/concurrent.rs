@@ -27,6 +27,7 @@ fn get(state: &ServeState, path: &str) -> (u16, Json) {
         &HttpRequest {
             method: "GET".into(),
             path: path.into(),
+            query: String::new(),
             body: String::new(),
             keep_alive: true,
         },

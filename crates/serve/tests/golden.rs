@@ -1,0 +1,119 @@
+//! Golden-file regression tests for the serve JSON codecs: a scripted,
+//! fully deterministic serving session renders `/health`, `/rate`,
+//! `/stats`, `/group` (plain and paged) and `/recommend` bodies, and each
+//! byte-compares against a committed fixture. Codec drift — a renamed
+//! field, a reordered object, a number formatting change — fails loudly
+//! here instead of silently changing the wire format.
+//!
+//! To regenerate after an *intentional* format change:
+//! `GF_UPDATE_GOLDEN=1 cargo test -p gf-serve --test golden` and commit
+//! the rewritten `tests/golden/*.json`.
+
+use gf_core::{Aggregation, FormationConfig, RatingMatrix, RatingScale, Semantics};
+use gf_serve::http::route;
+use gf_serve::{HttpRequest, Json, ServeConfig, ServeState};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares a rendered body against its committed fixture (or rewrites
+/// the fixture under `GF_UPDATE_GOLDEN=1`).
+fn assert_golden(name: &str, status: u16, expected_status: u16, body: &Json) {
+    assert_eq!(status, expected_status, "{name}: unexpected status");
+    let rendered = body.to_string();
+    let path = fixture_path(name);
+    if std::env::var("GF_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{rendered}\n")).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{name}: missing fixture {} ({e})", path.display()));
+    assert_eq!(
+        rendered,
+        committed.trim_end(),
+        "{name}: wire format drifted from the committed fixture \
+         (GF_UPDATE_GOLDEN=1 regenerates after intentional changes)"
+    );
+    // The fixture itself must stay parseable — guards against committing
+    // a broken regeneration.
+    Json::parse(committed.trim_end()).unwrap_or_else(|e| panic!("{name}: fixture invalid: {e}"));
+}
+
+fn request(state: &ServeState, method: &str, path: &str, query: &str, body: &str) -> (u16, Json) {
+    route(
+        state,
+        &HttpRequest {
+            method: method.into(),
+            path: path.into(),
+            query: query.into(),
+            body: body.into(),
+            keep_alive: true,
+        },
+    )
+}
+
+/// The scripted session: Example-1 ratings (Table 1 of the paper), one
+/// accepted update, one synchronous flush. Every response below is a pure
+/// function of this script.
+fn scripted_state() -> Arc<ServeState> {
+    let matrix = RatingMatrix::from_dense(
+        &[
+            &[1.0, 4.0, 3.0][..],
+            &[2.0, 3.0, 5.0],
+            &[2.0, 5.0, 1.0],
+            &[2.0, 5.0, 1.0],
+            &[3.0, 1.0, 1.0],
+            &[1.0, 2.0, 5.0],
+        ],
+        RatingScale::one_to_five(),
+    )
+    .unwrap();
+    let cfg = ServeConfig::new(FormationConfig::new(
+        Semantics::LeastMisery,
+        Aggregation::Min,
+        2,
+        3,
+    ))
+    .with_batch_window(Duration::ZERO);
+    ServeState::new(matrix, cfg).unwrap()
+}
+
+#[test]
+fn serve_json_bodies_match_committed_fixtures() {
+    let state = scripted_state();
+
+    let (status, body) = request(&state, "GET", "/health", "", "");
+    assert_golden("health.json", status, 200, &body);
+
+    let (status, body) = request(
+        &state,
+        "POST",
+        "/rate",
+        "",
+        r#"{"user":1,"item":0,"rating":5}"#,
+    );
+    assert_golden("rate.json", status, 202, &body);
+    state.flush().unwrap();
+
+    let (status, body) = request(&state, "GET", "/stats", "", "");
+    assert_golden("stats.json", status, 200, &body);
+
+    let (status, body) = request(&state, "GET", "/group/3", "", "");
+    assert_golden("group.json", status, 200, &body);
+
+    let (status, body) = request(&state, "GET", "/group/3", "limit=1&offset=1", "");
+    assert_golden("group_paged.json", status, 200, &body);
+
+    let (status, body) = request(&state, "GET", "/recommend/0", "", "");
+    assert_golden("recommend.json", status, 200, &body);
+
+    let (status, body) = request(&state, "GET", "/group/99", "", "");
+    assert_golden("error_unknown_user.json", status, 404, &body);
+}

@@ -91,6 +91,21 @@ fn full_request_cycle_over_tcp() {
         .iter()
         .any(|m| m.as_u64() == Some(7)));
 
+    // Pagination survives the wire: the query string reaches the router.
+    let (status, body) = get(addr, "/group/7?limit=1&offset=0");
+    assert_eq!(status, 200);
+    let paged = Json::parse(&body).unwrap();
+    assert_eq!(
+        paged.get("members").and_then(Json::as_arr).map(<[_]>::len),
+        Some(1)
+    );
+    assert_eq!(
+        paged.get("members_total").and_then(Json::as_u64),
+        group.get("members_total").and_then(Json::as_u64)
+    );
+    let (status, _) = get(addr, "/group/7?limit=bogus");
+    assert_eq!(status, 400);
+
     let (status, body) = post(addr, "/rate", r#"{"user":7,"item":2,"rating":5}"#);
     assert_eq!(status, 202);
     assert_eq!(

@@ -1,0 +1,261 @@
+//! Socket-level keep-alive load generator: N persistent connections
+//! streaming interleaved `POST /rate` and `GET /group/{u}` (plus paged
+//! and `/stats` reads) against a real [`Server`] — the accept loop,
+//! thread-per-connection handlers and background refresh worker the
+//! `gf-serve` binary runs — while refreshes swap snapshots underneath.
+//!
+//! Asserted invariants:
+//!
+//! * no connection or codec errors: every response parses, with the
+//!   expected status and schema;
+//! * snapshot versions observed on one connection are monotone
+//!   non-decreasing (each response carries the serving version);
+//! * nothing is lost: after a final flush, `rates_applied` equals the
+//!   number of accepted `/rate` requests.
+//!
+//! The default profile is CI-sized (a few hundred requests); set
+//! `GF_LOAD_SCALE=8` (any positive integer) to multiply both the
+//! connection count and the per-connection request count locally.
+
+use gf_core::{Aggregation, FormationConfig, RatingMatrix, RatingScale, Semantics};
+use gf_serve::{Json, ServeConfig, ServeState, Server, ServerHandle};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const N_USERS: u32 = 120;
+const N_ITEMS: u32 = 24;
+
+fn load_scale() -> usize {
+    std::env::var("GF_LOAD_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
+fn start_server() -> ServerHandle {
+    let rows: Vec<Vec<f64>> = (0..N_USERS)
+        .map(|u| {
+            (0..N_ITEMS)
+                .map(|i| 1.0 + ((u * 7 + i * 3 + u * i) % 5) as f64)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let matrix = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
+    let cfg = ServeConfig::new(FormationConfig::new(
+        Semantics::LeastMisery,
+        Aggregation::Min,
+        3,
+        8,
+    ))
+    .with_batch_window(Duration::from_millis(1));
+    let state = ServeState::new(matrix, cfg).unwrap();
+    Server::bind("127.0.0.1:0", state).unwrap().spawn().unwrap()
+}
+
+/// One persistent client connection: writes requests and reads
+/// length-delimited responses off the same stream.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one keep-alive request and parses `(status, body)`.
+    fn request(&mut self, method: &str, target: &str, body: &str) -> Result<(u16, Json), String> {
+        let raw = format!(
+            "{method} {target} HTTP/1.1\r\nhost: load\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer
+            .write_all(raw.as_bytes())
+            .map_err(|e| format!("write {method} {target}: {e}"))?;
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .map_err(|e| format!("read status of {method} {target}: {e}"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            self.reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read headers: {e}"))?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(value) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+        let length = content_length.ok_or("response missing content-length")?;
+        let mut payload = vec![0u8; length];
+        self.reader
+            .read_exact(&mut payload)
+            .map_err(|e| format!("read body: {e}"))?;
+        let text = String::from_utf8(payload).map_err(|e| format!("non-utf8 body: {e}"))?;
+        let json = Json::parse(&text).map_err(|e| format!("malformed JSON {text:?}: {e}"))?;
+        Ok((status, json))
+    }
+}
+
+/// What one connection observed; joined and asserted on the main thread.
+struct ConnReport {
+    requests: usize,
+    rates_accepted: usize,
+    versions_seen: usize,
+}
+
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    n_requests: usize,
+) -> Result<ConnReport, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut last_version = 0u64;
+    let mut report = ConnReport {
+        requests: 0,
+        rates_accepted: 0,
+        versions_seen: 0,
+    };
+    let mut observe_version = |body: &Json, report: &mut ConnReport| -> Result<(), String> {
+        let version = body
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("response carries no version: {body}"))?;
+        if version < last_version {
+            return Err(format!(
+                "snapshot version regressed on one connection: {last_version} -> {version}"
+            ));
+        }
+        last_version = version;
+        report.versions_seen += 1;
+        Ok(())
+    };
+    for r in 0..n_requests {
+        match r % 4 {
+            // Half the stream: rating updates.
+            0 | 2 => {
+                let user = rng.gen_range(0..N_USERS);
+                let item = rng.gen_range(0..N_ITEMS);
+                let rating = rng.gen_range(1..=5);
+                let body = format!(r#"{{"user":{user},"item":{item},"rating":{rating}}}"#);
+                let (status, json) = client.request("POST", "/rate", &body)?;
+                if status != 202 {
+                    return Err(format!("/rate returned {status}: {json}"));
+                }
+                if json.get("accepted") != Some(&Json::Bool(true)) {
+                    return Err(format!("/rate not accepted: {json}"));
+                }
+                observe_version(&json, &mut report)?;
+                report.rates_accepted += 1;
+            }
+            // Group lookups, sometimes paged.
+            1 => {
+                let user = rng.gen_range(0..N_USERS);
+                let target = if rng.gen_bool(0.3) {
+                    format!("/group/{user}?limit=2&offset=1")
+                } else {
+                    format!("/group/{user}")
+                };
+                let (status, json) = client.request("GET", &target, "")?;
+                if status != 200 {
+                    return Err(format!("{target} returned {status}: {json}"));
+                }
+                let total = json
+                    .get("members_total")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{target}: no members_total: {json}"))?;
+                let rendered = json
+                    .get("members")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("{target}: no members: {json}"))?
+                    .len() as u64;
+                if rendered > total {
+                    return Err(format!("{target}: rendered {rendered} of {total}"));
+                }
+                observe_version(&json, &mut report)?;
+            }
+            // Stats round out the read mix.
+            _ => {
+                let (status, json) = client.request("GET", "/stats", "")?;
+                if status != 200 {
+                    return Err(format!("/stats returned {status}: {json}"));
+                }
+                observe_version(&json, &mut report)?;
+            }
+        }
+        report.requests += 1;
+    }
+    Ok(report)
+}
+
+#[test]
+fn keep_alive_load_generator() {
+    let scale = load_scale();
+    let n_connections = 8 * scale;
+    let n_requests = 40 * scale;
+    let server = start_server();
+    let addr = server.addr();
+
+    let workers: Vec<_> = (0..n_connections)
+        .map(|c| std::thread::spawn(move || drive_connection(addr, 0x10AD + c as u64, n_requests)))
+        .collect();
+    let mut total_requests = 0usize;
+    let mut total_rates = 0usize;
+    for (c, worker) in workers.into_iter().enumerate() {
+        let report = worker
+            .join()
+            .expect("connection thread panicked")
+            .unwrap_or_else(|e| panic!("connection {c}: {e}"));
+        assert_eq!(report.requests, n_requests, "connection {c} fell short");
+        assert_eq!(
+            report.versions_seen, n_requests,
+            "connection {c} saw versionless responses"
+        );
+        total_requests += report.requests;
+        total_rates += report.rates_accepted;
+    }
+    assert_eq!(total_requests, n_connections * n_requests);
+
+    // Nothing lost: drain the journal and reconcile the counters.
+    server.state().flush().unwrap();
+    let stats = &server.state().stats;
+    assert_eq!(
+        stats.rates_accepted.load(Ordering::Relaxed),
+        total_rates as u64
+    );
+    assert_eq!(
+        stats.rates_applied.load(Ordering::Relaxed),
+        total_rates as u64
+    );
+    assert_eq!(server.state().pending_len(), 0);
+    // The refresh worker really ran while the load was in flight, and the
+    // post-load snapshot is internally consistent.
+    assert!(stats.refresh_passes.load(Ordering::Relaxed) >= 1);
+    let snap = server.state().snapshot();
+    assert!(snap.version > 1);
+    snap.formation.grouping.validate(N_USERS, 8).unwrap();
+    server.stop();
+}

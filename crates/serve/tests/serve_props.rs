@@ -100,7 +100,7 @@ proptest! {
         let cold = ServeState::new(cold_matrix.clone(), serve_cfg).unwrap();
         let cold = cold.snapshot();
 
-        prop_assert_eq!(&warm.matrix, &cold_matrix);
+        prop_assert_eq!(warm.matrix.as_ref(), &cold_matrix);
         let cold_prefs = PrefIndex::build(&cold_matrix);
         for u in 0..inst.n {
             prop_assert_eq!(warm.prefs.ranked_items(u), cold_prefs.ranked_items(u));
