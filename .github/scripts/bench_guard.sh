@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Bench-regression guard for the serving hot path: parses the quick-scale
+# `incremental_refresh` bench output and fails if the 64-update
+# incremental refresh regressed past FACTOR x the baseline recorded in
+# EXPERIMENTS.md. Runner-noise-aware on purpose: CI runners are noisy and
+# differently-sized from the machine that recorded the baseline, so a
+# regression must show in BOTH views before the job fails —
+#
+#   1. absolute: the incremental median exceeds FACTOR x its recorded
+#      baseline median, AND
+#   2. normalized: the same-run incremental/cold ratio exceeds FACTOR x
+#      the recorded incremental/cold ratio (a uniformly slower runner
+#      inflates cold identically, leaving this ratio untouched; an
+#      accidental O(nnz) rebuild on the incremental path drags the ratio
+#      toward 1 and trips it).
+#
+# This catches algorithmic regressions, not percent-level drift.
+#
+# usage: bench_guard.sh <bench-output-file> [baseline-file]
+set -euo pipefail
+
+BENCH_OUT=${1:?usage: bench_guard.sh <bench-output-file> [baseline-file]}
+BASELINE_FILE=${2:-EXPERIMENTS.md}
+INC_KEY="incremental-refresh-2000x200/refresh_64_incremental"
+COLD_KEY="incremental-refresh-2000x200/refresh_64_cold"
+FACTOR=2
+
+# Prints "<value> <unit>" from the *last* `median` line carrying the key —
+# EXPERIMENTS.md appends a section per PR, and the most recent recording
+# is the baseline.
+extract() {
+  awk -v key="$2" 'index($0, key) && $2 == "median" { v = $3; u = $4 }
+    END { if (v != "") print v, u }' "$1"
+}
+
+# Converts "<value> <unit>" to integer nanoseconds.
+to_ns() {
+  awk -v v="$1" -v u="$2" 'BEGIN {
+    f = -1;
+    if (u == "ns") f = 1;
+    else if (u == "µs" || u == "us") f = 1000;
+    else if (u == "ms") f = 1000000;
+    else if (u == "s") f = 1000000000;
+    if (f < 0) exit 2;
+    printf "%.0f", v * f;
+  }'
+}
+
+need() { # file key -> "<ns>" or die with guidance
+  local file=$1 key=$2 v u
+  read -r v u < <(extract "$file" "$key") || true
+  if [ -z "${v:-}" ]; then
+    echo "bench_guard: no '$key' median in $file" >&2
+    echo "bench_guard: did the quick-scale bench labels change? Update the keys here and the EXPERIMENTS.md baseline together." >&2
+    exit 1
+  fi
+  to_ns "$v" "$u"
+}
+
+MEASURED_INC=$(need "$BENCH_OUT" "$INC_KEY")
+MEASURED_COLD=$(need "$BENCH_OUT" "$COLD_KEY")
+BASELINE_INC=$(need "$BASELINE_FILE" "$INC_KEY")
+BASELINE_COLD=$(need "$BASELINE_FILE" "$COLD_KEY")
+
+ABS_LIMIT=$((BASELINE_INC * FACTOR))
+echo "bench_guard: incremental measured ${MEASURED_INC} ns (baseline ${BASELINE_INC} ns, absolute limit ${FACTOR}x = ${ABS_LIMIT} ns)"
+if [ "$MEASURED_INC" -le "$ABS_LIMIT" ]; then
+  echo "bench_guard: OK — within the absolute limit"
+  exit 0
+fi
+
+# Past the absolute limit: only fail if the same-run cold normalization
+# agrees this is the incremental path regressing, not a slow runner.
+RATIO_BAD=$(awk -v mi="$MEASURED_INC" -v mc="$MEASURED_COLD" \
+  -v bi="$BASELINE_INC" -v bc="$BASELINE_COLD" -v factor="$FACTOR" \
+  'BEGIN { print (mi / mc > factor * bi / bc) ? 1 : 0 }')
+echo "bench_guard: past the absolute limit; normalized check: measured inc/cold = $(awk -v a="$MEASURED_INC" -v b="$MEASURED_COLD" 'BEGIN{printf "%.3f", a/b}') vs baseline $(awk -v a="$BASELINE_INC" -v b="$BASELINE_COLD" 'BEGIN{printf "%.3f", a/b}') (limit ${FACTOR}x)"
+if [ "$RATIO_BAD" -eq 1 ]; then
+  echo "bench_guard: FAIL — the incremental refresh regressed past ${FACTOR}x in both absolute time and cold-normalized ratio" >&2
+  exit 1
+fi
+echo "bench_guard: OK — cold inflated alongside incremental (slow/noisy runner), not an incremental-path regression"

@@ -95,4 +95,58 @@ request GET /group/9999 404 | jq -e '.error' >/dev/null
 request POST /rate 400 '{"user":0,"item":0,"rating":99}' | jq -e '.error' >/dev/null
 request GET /nope 404 | jq -e '.error' >/dev/null
 
+# ---------------------------------------------------------------------------
+# Growth smoke: a second instance under --grow admits a never-seen user on a
+# never-seen item over real sockets — no restart — and serves their group
+# once the background refresh lands.
+# ---------------------------------------------------------------------------
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+
+GROW_PORT=$((PORT + 1))
+BASE="http://127.0.0.1:${GROW_PORT}"
+GROW_LOG=$(mktemp)
+"$BIN" --port "$GROW_PORT" --synth 30x10 --ell 3 --k 2 --grow --max-users 200 --max-items 100 \
+  >"$GROW_LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; cat "$LOG" "$GROW_LOG"' EXIT
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$GROW_LOG" && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "grow server died during startup"; exit 1; }
+  sleep 0.1
+done
+grep -q "listening on" "$GROW_LOG" || { echo "grow server never became ready"; exit 1; }
+
+echo "== growth: baseline shape =="
+request GET /stats 200 | jq -e '.n_users == 30 and .n_items == 10
+  and .users_admitted == 0 and .items_admitted == 0' >/dev/null
+# The never-seen user is unknown until the admission applies.
+request GET /group/42 404 | jq -e '.error' >/dev/null
+
+echo "== growth: admit user 42 on item 25 via /rate =="
+version=$(request GET /health 200 | jq -r '.version')
+request POST /rate 202 '{"user":42,"item":25,"rating":4}' | jq -e '.accepted == true' >/dev/null
+new_version=$version
+for _ in $(seq 1 100); do
+  new_version=$(request GET /health 200 | jq -r '.version')
+  [ "$new_version" -gt "$version" ] && break
+  sleep 0.1
+done
+[ "$new_version" -gt "$version" ] || { echo "FAIL: admission never produced a new snapshot"; exit 1; }
+
+echo "== growth: /group/42 resolves after refresh =="
+request GET /group/42 200 | jq -e '.user == 42 and (.members | index(42) != null)' >/dev/null
+# A gap row admitted alongside (users 30..41 exist now, ratingless) serves too.
+request GET /group/35 200 | jq -e '.members_total >= 1' >/dev/null
+
+echo "== growth: /stats counters advanced =="
+request GET /stats 200 | jq -e '.n_users == 43 and .n_items == 26
+  and .users_admitted == 13 and .items_admitted == 16
+  and .rates_applied >= 1' >/dev/null
+
+echo "== growth: cap exhaustion is a clean 409 =="
+request POST /rate 409 '{"user":9999,"item":0,"rating":3}' | jq -e '.error' >/dev/null
+request GET /stats 200 | jq -e '.n_users == 43' >/dev/null
+
 echo "serve smoke: all checks passed"

@@ -11,6 +11,9 @@
 //! * `refresh_64_cold` — one bounded pass, full re-formation.
 //! * `refresh_64_incremental` — one bounded pass through the standing
 //!   former (steady state; the one-off former init is priced separately).
+//! * `refresh_64_admissions` — the same bounded pass where all 64 updates
+//!   **admit never-seen users** (`GrowthPolicy::Grow`): what a population
+//!   onboarding wave costs vs the same-size dirty-only batch above.
 //! * `former_init` — building the standing former from scratch (what the
 //!   first incremental pass after a cold one pays).
 //! * `former_refresh_64` — the core-level refresh alone: bucket moves +
@@ -22,7 +25,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gf_bench::Scale;
 use gf_core::{
-    Aggregation, FormationConfig, IncrementalFormer, PrefIndex, RatingDelta, RefreshMode, Semantics,
+    Aggregation, FormationConfig, GrowthPolicy, IncrementalFormer, PrefIndex, RatingDelta,
+    RefreshMode, Semantics,
 };
 use gf_datasets::SynthConfig;
 use gf_serve::{ServeConfig, ServeState};
@@ -84,6 +88,32 @@ fn incremental_refresh_benches(c: &mut Criterion) {
                 for _ in 0..BATCH {
                     let (u, i, s) = next_update();
                     state.rate(u, i, s).unwrap();
+                }
+                state.flush().unwrap();
+            })
+        });
+    }
+
+    // Admission batches: every update in the pass names a never-seen
+    // user (on an existing item), so the refresh pays bucket admission +
+    // tail splicing for the whole batch — the population-growth analogue
+    // of `refresh_64_incremental` for EXPERIMENTS.md to compare.
+    {
+        let state = serve_state(
+            &corpus.matrix,
+            formation.with_growth(GrowthPolicy::unbounded()),
+            RefreshMode::Incremental,
+        );
+        let (u, i, s) = next_update();
+        state.rate(u, i, s).unwrap();
+        state.flush().unwrap();
+        let mut next_user = n_users;
+        g.bench_function("refresh_64_admissions", |b| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    let (_, i, s) = next_update();
+                    state.rate(next_user, i, s).unwrap();
+                    next_user += 1;
                 }
                 state.flush().unwrap();
             })

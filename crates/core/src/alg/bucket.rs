@@ -278,6 +278,13 @@ pub fn build_buckets_threaded(
             .map(|h| h.join().expect("bucket worker panicked"))
             .collect()
     });
+    merge_shard_maps(shard_maps).into_values().collect()
+}
+
+/// Merges per-shard bucket maps in shard order — the one exact merge both
+/// threaded Step-1 builders share (see [`build_buckets_threaded`] for the
+/// bit-for-bit contract it upholds).
+fn merge_shard_maps(shard_maps: Vec<FxHashMap<BucketKey, Bucket>>) -> FxHashMap<BucketKey, Bucket> {
     let mut merged: FxHashMap<BucketKey, Bucket> = FxHashMap::default();
     for map in shard_maps {
         for (key, shard_bucket) in map {
@@ -301,7 +308,72 @@ pub fn build_buckets_threaded(
             }
         }
     }
-    merged.into_values().collect()
+    merged
+}
+
+/// Step-1 build that also records every user's bucket key — what a
+/// standing [`IncrementalFormer`](super::IncrementalFormer) needs to keep
+/// its bucket state patchable. Threaded exactly like
+/// [`build_buckets_threaded`] (same sharding, same merge, same bit-for-bit
+/// caveats); the sequential path (`threads <= 1`) inserts users in
+/// ascending id order, matching [`build_buckets`] unconditionally.
+pub fn build_bucket_map_threaded(
+    matrix: &RatingMatrix,
+    prefs: &PrefIndex,
+    semantics: Semantics,
+    aggregation: Aggregation,
+    policy: MissingPolicy,
+    k: usize,
+    n_threads: usize,
+) -> (FxHashMap<BucketKey, Bucket>, Vec<BucketKey>) {
+    let n = matrix.n_users() as usize;
+    let threads = crate::resolve_threads(n_threads, n);
+    let build_range = |range: std::ops::Range<usize>| {
+        let mut map: FxHashMap<BucketKey, Bucket> = FxHashMap::default();
+        let mut keys: Vec<BucketKey> = Vec::with_capacity(range.len());
+        for u in range {
+            let (items, scores) = personal_top_k(matrix, prefs, policy, u as u32, k);
+            let key = key_for(semantics, aggregation, &items, &scores);
+            keys.push(key.clone());
+            match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let b = e.get_mut();
+                    b.users.push(u as u32);
+                    b.accumulate_scores(&scores);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Bucket {
+                        items: items.into(),
+                        users: vec![u as u32],
+                        pos_min: scores.clone(),
+                        pos_sum: scores,
+                    });
+                }
+            }
+        }
+        (map, keys)
+    };
+    if threads <= 1 {
+        return build_range(0..n);
+    }
+    let build_range = &build_range;
+    let shards: Vec<(FxHashMap<BucketKey, Bucket>, Vec<BucketKey>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = crate::threads::even_ranges(n, threads)
+            .into_iter()
+            .map(|range| scope.spawn(move || build_range(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bucket worker panicked"))
+            .collect()
+    });
+    let mut maps = Vec::with_capacity(shards.len());
+    let mut user_keys: Vec<BucketKey> = Vec::with_capacity(n);
+    for (map, keys) in shards {
+        maps.push(map);
+        user_keys.extend(keys);
+    }
+    (merge_shard_maps(maps), user_keys)
 }
 
 /// `(items, users, pos_min bits, pos_sum bits)` — one bucket in the

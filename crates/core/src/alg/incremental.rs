@@ -144,6 +144,16 @@ impl TailAgg {
         }
     }
 
+    /// Extends the per-item aggregates for newly admitted items (which no
+    /// tail member has rated yet, so every new slot starts empty).
+    fn grow_items(&mut self, n_items: usize) {
+        self.count.resize(n_items, 0);
+        self.sum.resize(n_items, 0.0);
+        self.min.resize(n_items, f64::INFINITY);
+        self.min_count.resize(n_items, 0);
+        self.stale.resize(n_items, false);
+    }
+
     fn add(&mut self, item: u32, score: f64) {
         let i = item as usize;
         self.count[i] += 1;
@@ -278,31 +288,24 @@ impl IncrementalFormer {
     /// Builds the standing formation with one cold pass (equivalent to
     /// [`GreedyFormer::new`](super::GreedyFormer::new) under `cfg`) and the incremental state that
     /// keeps it patchable.
+    ///
+    /// Step 1 runs on `cfg.n_threads` workers via
+    /// [`bucket::build_bucket_map_threaded`] — the sharded bucket build
+    /// plus a merge that also records per-user bucket keys — cutting the
+    /// lineage-break (re-initialization) penalty on multi-core hosts. The
+    /// default `n_threads = 1` keeps the sequential path.
     pub fn new(matrix: &RatingMatrix, prefs: &PrefIndex, cfg: FormationConfig) -> Result<Self> {
         cfg.validate(matrix)?;
         let n = matrix.n_users() as usize;
-        let mut buckets: FxHashMap<BucketKey, Bucket> = FxHashMap::default();
-        let mut user_keys: Vec<BucketKey> = Vec::with_capacity(n);
-        for u in 0..matrix.n_users() {
-            let (items, scores) = bucket::personal_top_k(matrix, prefs, cfg.policy, u, cfg.k);
-            let key = bucket::key_for(cfg.semantics, cfg.aggregation, &items, &scores);
-            user_keys.push(key.clone());
-            match buckets.entry(key) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    let b = e.get_mut();
-                    b.users.push(u);
-                    b.accumulate_scores(&scores);
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(Bucket {
-                        items: items.into(),
-                        users: vec![u],
-                        pos_min: scores.clone(),
-                        pos_sum: scores,
-                    });
-                }
-            }
-        }
+        let (buckets, user_keys) = bucket::build_bucket_map_threaded(
+            matrix,
+            prefs,
+            cfg.semantics,
+            cfg.aggregation,
+            cfg.policy,
+            cfg.k,
+            cfg.n_threads,
+        );
         let agg_tail = matches!(cfg.policy, MissingPolicy::Min)
             .then(|| TailAgg::new(matrix.n_items() as usize, matrix.scale().min()));
         let mut former = IncrementalFormer {
@@ -397,15 +400,27 @@ impl IncrementalFormer {
     /// last refresh — a user mutated behind the former's back corrupts the
     /// bucket state. An empty batch is valid and lets a capped repair pass
     /// catch up on deferred swaps.
+    ///
+    /// The matrix may have **grown** since the last refresh (see
+    /// [`crate::GrowthPolicy`]): every never-seen user is admitted as a
+    /// dirty user with no old bucket — including the empty gap rows a
+    /// sparse admission creates — and a brand-new item becomes a fresh
+    /// column of the tail aggregates (it only enters touched buckets'
+    /// top-`k` sequences through the dirty users that rated it). The one
+    /// case where item growth can silently change *untouched* users'
+    /// preference prefixes is `k > old_m` (their padded top-`k` gets
+    /// longer); the refresh detects it and rebuilds the bucket state from
+    /// scratch, which is still exactly the cold state. Shrinking is an
+    /// error.
     pub fn refresh(
         &mut self,
         matrix: &RatingMatrix,
         prefs: &PrefIndex,
         updates: &[RatingDelta],
     ) -> Result<&FormationResult> {
-        if matrix.n_users() as usize != self.user_keys.len() || matrix.n_items() != self.n_items {
+        if (matrix.n_users() as usize) < self.user_keys.len() || matrix.n_items() < self.n_items {
             return Err(GfError::StaleIncrementalState(format!(
-                "former built for {}x{} but matrix is {}x{}",
+                "former built for {}x{} but matrix shrank to {}x{}",
                 self.user_keys.len(),
                 self.n_items,
                 matrix.n_users(),
@@ -427,6 +442,55 @@ impl IncrementalFormer {
             }
         }
 
+        // 0. Population growth. New items first: if the truncation length
+        //    `k.min(m)` changed, every sparse user's padded top-k just got
+        //    longer — no untouched bucket survives that, so rebuild the
+        //    Step-1 state cold (exact by construction) and keep going with
+        //    the usual selection machinery below via a fresh former.
+        let old_n = self.user_keys.len() as u32;
+        if matrix.n_items() != self.n_items {
+            if self.cfg.k.min(self.n_items as usize) != self.cfg.k.min(matrix.n_items() as usize) {
+                let max_swaps = self.max_swaps;
+                *self = IncrementalFormer::new(matrix, prefs, self.cfg)?.with_max_swaps(max_swaps);
+                return Ok(&self.result);
+            }
+            if let Some(agg) = &mut self.agg_tail {
+                agg.grow_items(matrix.n_items() as usize);
+            }
+            self.n_items = matrix.n_items();
+        }
+        //    New users: a never-seen user is a dirty user with no old
+        //    bucket. Hash it into its bucket now (scores recomputed with
+        //    the other touched buckets below) and start it outside the
+        //    tail; the selection step splices it wherever it belongs.
+        let mut admitted_keys: Vec<BucketKey> = Vec::new();
+        for u in old_n..matrix.n_users() {
+            let (items, scores) =
+                bucket::personal_top_k(matrix, prefs, self.cfg.policy, u, self.cfg.k);
+            let key = bucket::key_for(self.cfg.semantics, self.cfg.aggregation, &items, &scores);
+            match self.buckets.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let b = e.get_mut();
+                    let pos = b
+                        .users
+                        .binary_search(&u)
+                        .expect_err("admitted user cannot already be bucketed");
+                    b.users.insert(pos, u);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Bucket {
+                        items: items.into(),
+                        users: vec![u],
+                        pos_min: Vec::new(),
+                        pos_sum: Vec::new(),
+                    });
+                }
+            }
+            admitted_keys.push(key.clone());
+            self.user_keys.push(key);
+            self.in_tail.push(false);
+        }
+
         // 1. Migrate the per-item tail aggregates of users already in the
         //    tail; users outside contribute nothing yet.
         if let Some(agg) = &mut self.agg_tail {
@@ -441,11 +505,22 @@ impl IncrementalFormer {
         }
 
         // 2. Move every dirty user from its old bucket to its new one.
+        //    Admitted users ride along in `dirty` so the selection step
+        //    accounts for them, but step 0 already placed them (and their
+        //    matrix rows are final), so the move loop skips them — a
+        //    sparse admission can create thousands of gap rows, and
+        //    re-removing/re-inserting each from the shared empty-signature
+        //    bucket would be quadratic busywork.
         let mut dirty: Vec<u32> = updates.iter().map(|d| d.user).collect();
+        dirty.extend(old_n..matrix.n_users());
         dirty.sort_unstable();
         dirty.dedup();
         let mut touched: FxHashSet<BucketKey> = FxHashSet::default();
+        touched.extend(admitted_keys);
         for &u in &dirty {
+            if u >= old_n {
+                continue; // admitted in step 0, already in its bucket
+            }
             let old_key = self.user_keys[u as usize].clone();
             let emptied = {
                 let b = self
@@ -888,6 +963,102 @@ mod tests {
         }
         assert_eq!(former.selection_lag(), 0.0);
         assert_eq!(former.result(), &cold);
+    }
+
+    fn apply_grown(
+        matrix: &mut RatingMatrix,
+        prefs: &mut PrefIndex,
+        updates: &[(u32, u32, f64)],
+        growth: crate::matrix::GrowthPolicy,
+    ) -> Vec<RatingDelta> {
+        let outcomes = matrix.upsert_batch_under(updates, growth).unwrap();
+        let users: Vec<u32> = updates.iter().map(|&(u, _, _)| u).collect();
+        prefs.patch_users(matrix, &users);
+        updates
+            .iter()
+            .zip(outcomes)
+            .map(|(&(u, i, s), o)| RatingDelta::from_upsert(u, i, s, o))
+            .collect()
+    }
+
+    #[test]
+    fn refresh_admits_new_users_and_items_exactly() {
+        let (mut m, mut p) = example1();
+        let growth = crate::matrix::GrowthPolicy::unbounded();
+        for sem in Semantics::all() {
+            let cfg = FormationConfig::new(sem, Aggregation::Min, 2, 3);
+            let (mut m2, mut p2) = (m.clone(), p.clone());
+            let mut former = IncrementalFormer::new(&m2, &p2, cfg).unwrap();
+            // Batch 1: a brand-new user rating an existing item.
+            let deltas = apply_grown(&mut m2, &mut p2, &[(6, 1, 5.0)], growth);
+            former.refresh(&m2, &p2, &deltas).unwrap();
+            assert_matches_cold(&former, &m2, &p2, &cfg);
+            // Batch 2: a never-seen user on a never-seen item, plus a gap
+            // row (user 8 skips 7 -> 7 is admitted with no ratings), mixed
+            // with an old user's update.
+            let deltas = apply_grown(&mut m2, &mut p2, &[(8, 4, 4.0), (0, 0, 2.0)], growth);
+            former.refresh(&m2, &p2, &deltas).unwrap();
+            assert_eq!(m2.n_users(), 9);
+            assert_eq!(m2.n_items(), 5);
+            assert_matches_cold(&former, &m2, &p2, &cfg);
+            // Batch 3: the gap user starts rating.
+            let deltas = apply_grown(&mut m2, &mut p2, &[(7, 2, 3.0), (7, 4, 1.0)], growth);
+            former.refresh(&m2, &p2, &deltas).unwrap();
+            assert_matches_cold(&former, &m2, &p2, &cfg);
+        }
+        // Keep the outer fixtures untouched warnings away.
+        let _ = apply(&mut m, &mut p, &[]);
+    }
+
+    #[test]
+    fn item_growth_past_k_rebuilds_and_stays_exact() {
+        // k = 4 > m = 2: admitting item 2 lengthens every user's padded
+        // top-k, which must trigger the cold re-bucket path.
+        let (mut m, mut p) = dense(&[&[1.0, 4.0], &[2.0, 3.0], &[2.0, 5.0]]);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, 4, 2);
+        let mut former = IncrementalFormer::new(&m, &p, cfg).unwrap();
+        let growth = crate::matrix::GrowthPolicy::unbounded();
+        let deltas = apply_grown(&mut m, &mut p, &[(1, 2, 5.0)], growth);
+        former.refresh(&m, &p, &deltas).unwrap();
+        assert_eq!(m.n_items(), 3);
+        assert_matches_cold(&former, &m, &p, &cfg);
+        // And a follow-up ordinary refresh keeps working on the rebuilt state.
+        let deltas = apply_grown(&mut m, &mut p, &[(0, 2, 1.0), (3, 0, 4.0)], growth);
+        former.refresh(&m, &p, &deltas).unwrap();
+        assert_matches_cold(&former, &m, &p, &cfg);
+    }
+
+    #[test]
+    fn threaded_init_matches_sequential_bit_for_bit() {
+        // Integer grid: the sharded Step-1 sums are exact, so the standing
+        // state (buckets, keys, emitted result) is identical across thread
+        // counts.
+        let rows: Vec<Vec<f64>> = (0..17)
+            .map(|u: u32| {
+                (0..5)
+                    .map(|i: u32| 1.0 + ((u * 7 + i * 3 + u * i) % 5) as f64)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
+        let p = PrefIndex::build(&m);
+        for sem in Semantics::all() {
+            let base = FormationConfig::new(sem, Aggregation::Min, 2, 4);
+            let seq = IncrementalFormer::new(&m, &p, base).unwrap();
+            for threads in [2usize, 7] {
+                let cfg = base.with_threads(threads);
+                let par = IncrementalFormer::new(&m, &p, cfg).unwrap();
+                assert_eq!(par.canonical_buckets(), seq.canonical_buckets());
+                assert_eq!(par.result(), seq.result());
+                // And both keep refreshing exactly.
+                let (mut m2, mut p2) = (m.clone(), p.clone());
+                let mut par = par;
+                let deltas = apply(&mut m2, &mut p2, &[(3, 1, 5.0), (12, 0, 1.0)]);
+                par.refresh(&m2, &p2, &deltas).unwrap();
+                assert_matches_cold(&par, &m2, &p2, &cfg);
+            }
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ use crate::aggregate::Aggregation;
 use crate::error::{GfError, Result};
 use crate::grouping::Grouping;
 use crate::grouprec::MissingPolicy;
-use crate::matrix::RatingMatrix;
+use crate::matrix::{GrowthPolicy, RatingMatrix};
 use crate::prefs::PrefIndex;
 use crate::semantics::Semantics;
 
@@ -120,6 +120,10 @@ pub struct FormationConfig {
     /// How serving layers refresh the formation on rating updates
     /// (ignored by one-shot formation runs). Default [`RefreshMode::Auto`].
     pub refresh: RefreshMode,
+    /// Whether the user/item universe may grow at serve time (ignored by
+    /// one-shot formation runs over a fixed matrix). Default
+    /// [`GrowthPolicy::Fixed`].
+    pub growth: GrowthPolicy,
 }
 
 impl FormationConfig {
@@ -134,6 +138,7 @@ impl FormationConfig {
             policy: MissingPolicy::Min,
             n_threads: 1,
             refresh: RefreshMode::Auto,
+            growth: GrowthPolicy::Fixed,
         }
     }
 
@@ -154,6 +159,12 @@ impl FormationConfig {
     /// Overrides the serving-layer refresh strategy.
     pub fn with_refresh(mut self, refresh: RefreshMode) -> Self {
         self.refresh = refresh;
+        self
+    }
+
+    /// Overrides the serving-layer population-growth policy.
+    pub fn with_growth(mut self, growth: GrowthPolicy) -> Self {
+        self.growth = growth;
         self
     }
 

@@ -69,6 +69,16 @@ pub enum GfError {
     /// An incremental former was asked to refresh against a matrix it was
     /// not built for (population mismatch or missing dirty notifications).
     StaleIncrementalState(String),
+    /// Admitting a new user or item would exceed a
+    /// [`GrowthPolicy::Grow`](crate::GrowthPolicy) cap.
+    GrowthExhausted {
+        /// `"user"` or `"item"` — the axis whose cap is exhausted.
+        axis: &'static str,
+        /// The id whose admission was requested.
+        id: u32,
+        /// The cap that refused it.
+        max: u32,
+    },
 }
 
 impl fmt::Display for GfError {
@@ -101,6 +111,12 @@ impl fmt::Display for GfError {
             GfError::InvalidGrouping(msg) => write!(f, "invalid grouping: {msg}"),
             GfError::StaleIncrementalState(msg) => {
                 write!(f, "stale incremental formation state: {msg}")
+            }
+            GfError::GrowthExhausted { axis, id, max } => {
+                write!(
+                    f,
+                    "cannot admit {axis} {id}: growth cap of {max} {axis}s exhausted"
+                )
             }
         }
     }

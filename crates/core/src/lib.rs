@@ -83,7 +83,7 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use grouping::{Group, Grouping};
 pub use grouprec::{GroupRecommender, MissingPolicy};
 pub use ids::{ItemId, UserId};
-pub use matrix::{MatrixBuilder, RatingMatrix};
+pub use matrix::{GrowthPolicy, MatrixBuilder, RatingMatrix};
 pub use metrics::{avg_group_satisfaction, objective_value, recompute_objective};
 pub use ndcg::{dcg, ndcg, user_satisfaction};
 pub use prefs::PrefIndex;

@@ -10,6 +10,91 @@
 use crate::error::{GfError, Result};
 use crate::scale::RatingScale;
 
+/// Whether the user/item universe may grow when an update names an id
+/// beyond the current dimensions.
+///
+/// Every growing entry point ([`RatingMatrix::upsert_batch_under`],
+/// [`RatingMatrix::with_upserts_under`], [`MatrixBuilder::with_growth`])
+/// takes the policy explicitly; the policy-free methods keep today's
+/// strict bounds-checking, so existing callers are unaffected. Growing a
+/// matrix by an out-of-range id `x` admits *every* id up to `x` — the new
+/// rows between the old edge and `x` simply hold no ratings yet, exactly
+/// as a cold build over the union universe would shape them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum GrowthPolicy {
+    /// Reject ids beyond the current dimensions (the historical behavior).
+    #[default]
+    Fixed,
+    /// Admit new ids, extending `n_users`/`n_items` up to the caps; an id
+    /// at or beyond its cap is a [`GfError::GrowthExhausted`] error.
+    Grow {
+        /// Hard cap on `n_users` after growth.
+        max_users: u32,
+        /// Hard cap on `n_items` after growth.
+        max_items: u32,
+    },
+}
+
+impl GrowthPolicy {
+    /// A [`GrowthPolicy::Grow`] with both caps at `u32::MAX`.
+    pub fn unbounded() -> Self {
+        GrowthPolicy::Grow {
+            max_users: u32::MAX,
+            max_items: u32::MAX,
+        }
+    }
+
+    /// Whether this policy admits any new ids at all.
+    pub fn allows_growth(self) -> bool {
+        matches!(self, GrowthPolicy::Grow { .. })
+    }
+
+    /// Validates admitting `user` given `n_users` current users: `Ok` with
+    /// the (possibly unchanged) user count a matrix containing `user` must
+    /// have, or the policy's refusal.
+    pub fn admit_user(self, user: u32, n_users: u32) -> Result<u32> {
+        if user < n_users {
+            return Ok(n_users);
+        }
+        match self {
+            GrowthPolicy::Fixed => Err(GfError::UserOutOfRange { user, n_users }),
+            GrowthPolicy::Grow { max_users, .. } => {
+                if user >= max_users {
+                    Err(GfError::GrowthExhausted {
+                        axis: "user",
+                        id: user,
+                        max: max_users,
+                    })
+                } else {
+                    Ok(user + 1)
+                }
+            }
+        }
+    }
+
+    /// The item-axis counterpart of [`GrowthPolicy::admit_user`].
+    pub fn admit_item(self, item: u32, n_items: u32) -> Result<u32> {
+        if item < n_items {
+            return Ok(n_items);
+        }
+        match self {
+            GrowthPolicy::Fixed => Err(GfError::ItemOutOfRange { item, n_items }),
+            GrowthPolicy::Grow { max_items, .. } => {
+                if item >= max_items {
+                    Err(GfError::GrowthExhausted {
+                        axis: "item",
+                        id: item,
+                        max: max_items,
+                    })
+                } else {
+                    Ok(item + 1)
+                }
+            }
+        }
+    }
+}
+
 /// A sparse, immutable user–item rating matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RatingMatrix {
@@ -293,8 +378,24 @@ impl RatingMatrix {
     /// mutates, so on `Err` the matrix is unchanged. Returns per-update
     /// outcomes aligned with `updates`.
     pub fn upsert_batch(&mut self, updates: &[(u32, u32, f64)]) -> Result<Vec<Upsert>> {
-        let (written, outcomes, inserts) = self.resolve_updates(updates)?;
-        if inserts == 0 {
+        self.upsert_batch_under(updates, GrowthPolicy::Fixed)
+    }
+
+    /// [`RatingMatrix::upsert_batch`] under an explicit [`GrowthPolicy`]:
+    /// with [`GrowthPolicy::Grow`], updates naming users/items beyond the
+    /// current dimensions extend `n_users`/`n_items` (appending empty CSR
+    /// rows up to the named id) instead of erroring, as long as the caps
+    /// allow it. Same-batch semantics carry over unchanged: rating a
+    /// brand-new user's cell twice in one batch reports `Inserted` then
+    /// `Updated` with the first write as its previous value.
+    pub fn upsert_batch_under(
+        &mut self,
+        updates: &[(u32, u32, f64)],
+        growth: GrowthPolicy,
+    ) -> Result<Vec<Upsert>> {
+        let (written, outcomes, inserts, n_users, n_items) =
+            self.resolve_updates(updates, growth)?;
+        if inserts == 0 && n_users == self.n_users && n_items == self.n_items {
             // Pure overwrites: patch scores in place, no storage reshaping.
             for (&(user, item), &score) in &written {
                 let u = user as usize;
@@ -306,7 +407,7 @@ impl RatingMatrix {
             }
             return Ok(outcomes);
         }
-        *self = self.rebuilt_with(&written, inserts);
+        *self = self.rebuilt_with(&written, inserts, n_users, n_items);
         Ok(outcomes)
     }
 
@@ -316,37 +417,49 @@ impl RatingMatrix {
     /// primitive — the old matrix stays live for concurrent readers while
     /// the successor is assembled.
     pub fn with_upserts(&self, updates: &[(u32, u32, f64)]) -> Result<(RatingMatrix, Vec<Upsert>)> {
-        let (written, outcomes, inserts) = self.resolve_updates(updates)?;
-        Ok((self.rebuilt_with(&written, inserts), outcomes))
+        self.with_upserts_under(updates, GrowthPolicy::Fixed)
+    }
+
+    /// [`RatingMatrix::with_upserts`] under an explicit [`GrowthPolicy`]:
+    /// the successor's dimensions grow to cover every admitted id (still
+    /// one pass over the storage — appending empty rows costs O(new rows),
+    /// not O(nnz), on top of the usual successor build).
+    pub fn with_upserts_under(
+        &self,
+        updates: &[(u32, u32, f64)],
+        growth: GrowthPolicy,
+    ) -> Result<(RatingMatrix, Vec<Upsert>)> {
+        let (written, outcomes, inserts, n_users, n_items) =
+            self.resolve_updates(updates, growth)?;
+        Ok((
+            self.rebuilt_with(&written, inserts, n_users, n_items),
+            outcomes,
+        ))
     }
 
     /// Validates `updates` and resolves them sequentially into final cell
     /// values plus per-update outcomes: a later update of a cell written
     /// earlier in the batch replaces the earlier value, not the stored one
-    /// — exactly the per-call [`RatingMatrix::upsert`] semantics. Nothing
-    /// is mutated; on `Err` the caller's matrix is untouched.
-    #[allow(clippy::type_complexity)] // private helper: (final cells, outcomes, insert count)
+    /// — exactly the per-call [`RatingMatrix::upsert`] semantics. Also
+    /// resolves the grown dimensions the batch requires under `growth`.
+    /// Nothing is mutated; on `Err` the caller's matrix is untouched.
+    #[allow(clippy::type_complexity)] // private helper: (final cells, outcomes, insert count, grown dims)
     fn resolve_updates(
         &self,
         updates: &[(u32, u32, f64)],
+        growth: GrowthPolicy,
     ) -> Result<(
         crate::fxhash::FxHashMap<(u32, u32), f64>,
         Vec<Upsert>,
         usize,
+        u32,
+        u32,
     )> {
+        let mut n_users = self.n_users;
+        let mut n_items = self.n_items;
         for &(user, item, score) in updates {
-            if user >= self.n_users {
-                return Err(GfError::UserOutOfRange {
-                    user,
-                    n_users: self.n_users,
-                });
-            }
-            if item >= self.n_items {
-                return Err(GfError::ItemOutOfRange {
-                    item,
-                    n_items: self.n_items,
-                });
-            }
+            n_users = growth.admit_user(user, n_users)?;
+            n_items = growth.admit_item(item, n_items)?;
             if !score.is_finite() {
                 return Err(GfError::NonFiniteScore { user, item });
             }
@@ -359,9 +472,12 @@ impl RatingMatrix {
         let mut outcomes = Vec::with_capacity(updates.len());
         let mut inserts = 0usize;
         for &(user, item, score) in updates {
+            let stored = (user < self.n_users)
+                .then(|| self.get(user, item))
+                .flatten();
             let outcome = match written.get(&(user, item)) {
                 Some(&previous) => Upsert::Updated { previous },
-                None => match self.get(user, item) {
+                None => match stored {
                     Some(previous) => Upsert::Updated { previous },
                     None => {
                         inserts += 1;
@@ -372,15 +488,18 @@ impl RatingMatrix {
             written.insert((user, item), score);
             outcomes.push(outcome);
         }
-        Ok((written, outcomes, inserts))
+        Ok((written, outcomes, inserts, n_users, n_items))
     }
 
     /// Assembles the successor matrix in one pass, merging each dirty row
-    /// with its final cell values; clean rows are copied verbatim.
+    /// with its final cell values; clean rows are copied verbatim and rows
+    /// beyond the old edge start empty (then receive their cells).
     fn rebuilt_with(
         &self,
         written: &crate::fxhash::FxHashMap<(u32, u32), f64>,
         inserts: usize,
+        n_users: u32,
+        n_items: u32,
     ) -> RatingMatrix {
         let mut per_user: crate::fxhash::FxHashMap<u32, Vec<(u32, f64)>> =
             crate::fxhash::FxHashMap::default();
@@ -389,10 +508,14 @@ impl RatingMatrix {
         }
         let mut items = Vec::with_capacity(self.items.len() + inserts);
         let mut scores = Vec::with_capacity(self.scores.len() + inserts);
-        let mut offsets = Vec::with_capacity(self.offsets.len());
+        let mut offsets = Vec::with_capacity(n_users as usize + 1);
         offsets.push(0usize);
-        for u in 0..self.n_users {
-            let (lo, hi) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+        for u in 0..n_users {
+            let (lo, hi) = if u < self.n_users {
+                (self.offsets[u as usize], self.offsets[u as usize + 1])
+            } else {
+                (0, 0) // brand-new row: no stored ratings to merge
+            };
             match per_user.get_mut(&u) {
                 None => {
                     items.extend_from_slice(&self.items[lo..hi]);
@@ -426,8 +549,8 @@ impl RatingMatrix {
             offsets.push(items.len());
         }
         RatingMatrix {
-            n_users: self.n_users,
-            n_items: self.n_items,
+            n_users,
+            n_items,
             scale: self.scale,
             offsets,
             items,
@@ -551,6 +674,7 @@ pub struct MatrixBuilder {
     n_users: u32,
     n_items: u32,
     scale: RatingScale,
+    growth: GrowthPolicy,
     triples: Vec<(u32, u32, f64)>,
 }
 
@@ -561,8 +685,28 @@ impl MatrixBuilder {
             n_users,
             n_items,
             scale,
+            growth: GrowthPolicy::Fixed,
             triples: Vec::new(),
         }
+    }
+
+    /// Lets [`MatrixBuilder::push`] grow the declared dimensions instead
+    /// of rejecting out-of-range ids, up to the policy's caps. The initial
+    /// dimensions become a floor: the built matrix is at least
+    /// `n_users x n_items` even if no pushed rating reaches the edge.
+    pub fn with_growth(mut self, growth: GrowthPolicy) -> Self {
+        self.growth = growth;
+        self
+    }
+
+    /// The current (possibly grown) user-axis size.
+    pub fn n_users(&self) -> u32 {
+        self.n_users
+    }
+
+    /// The current (possibly grown) item-axis size.
+    pub fn n_items(&self) -> u32 {
+        self.n_items
     }
 
     /// Reserves capacity for `additional` more ratings.
@@ -570,26 +714,22 @@ impl MatrixBuilder {
         self.triples.reserve(additional);
     }
 
-    /// Adds one rating, validating the indices and the score eagerly.
+    /// Adds one rating, validating the indices and the score eagerly
+    /// (growing the dimensions instead where [`MatrixBuilder::with_growth`]
+    /// allows it).
     pub fn push(&mut self, user: u32, item: u32, score: f64) -> Result<()> {
-        if user >= self.n_users {
-            return Err(GfError::UserOutOfRange {
-                user,
-                n_users: self.n_users,
-            });
-        }
-        if item >= self.n_items {
-            return Err(GfError::ItemOutOfRange {
-                item,
-                n_items: self.n_items,
-            });
-        }
+        // Validate everything before committing either axis: a rejected
+        // rating must not leave grown dimensions behind.
+        let n_users = self.growth.admit_user(user, self.n_users)?;
+        let n_items = self.growth.admit_item(item, self.n_items)?;
         if !score.is_finite() {
             return Err(GfError::NonFiniteScore { user, item });
         }
         if !self.scale.contains(score) {
             return Err(GfError::ScaleViolation { user, item, score });
         }
+        self.n_users = n_users;
+        self.n_items = n_items;
         self.triples.push((user, item, score));
         Ok(())
     }
@@ -963,6 +1103,147 @@ mod tests {
         ));
         assert_eq!(m, example1());
         assert_eq!(m.upsert_batch(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn upsert_batch_under_grows_to_cold_union_build() {
+        let base = RatingMatrix::from_triples(
+            3,
+            2,
+            vec![(0, 0, 2.0), (2, 1, 5.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let growth = GrowthPolicy::unbounded();
+        // Admit user 5 (creating empty rows 3, 4) and item 3 (items 2 as a
+        // gap column), mixing in an overwrite of an existing cell.
+        let updates = [(5u32, 3u32, 4.0), (0, 0, 3.0), (4, 1, 1.0)];
+        let mut grown = base.clone();
+        let outcomes = grown.upsert_batch_under(&updates, growth).unwrap();
+        assert_eq!(
+            outcomes,
+            vec![
+                Upsert::Inserted,
+                Upsert::Updated { previous: 2.0 },
+                Upsert::Inserted
+            ]
+        );
+        let (pure, pure_outcomes) = base.with_upserts_under(&updates, growth).unwrap();
+        assert_eq!(pure_outcomes, outcomes);
+        assert_eq!(pure, grown);
+        let cold = RatingMatrix::from_triples(
+            6,
+            4,
+            vec![(0, 0, 3.0), (2, 1, 5.0), (4, 1, 1.0), (5, 3, 4.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        assert_eq!(grown, cold);
+        assert_eq!(grown.degree(3), 0); // gap row admitted empty
+    }
+
+    #[test]
+    fn same_batch_create_then_rate_again() {
+        let base = RatingMatrix::from_triples(2, 2, vec![(0, 0, 2.0)], RatingScale::one_to_five())
+            .unwrap();
+        let mut m = base.clone();
+        // A brand-new user's cell written twice in one batch: the second
+        // write reports the first as its previous value, and the final
+        // matrix carries the last write.
+        let outcomes = m
+            .upsert_batch_under(
+                &[(4, 3, 2.0), (4, 3, 5.0)],
+                GrowthPolicy::Grow {
+                    max_users: 8,
+                    max_items: 8,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            outcomes,
+            vec![Upsert::Inserted, Upsert::Updated { previous: 2.0 }]
+        );
+        assert_eq!(m.get(4, 3), Some(5.0));
+        assert_eq!(m.n_users(), 5);
+        assert_eq!(m.n_items(), 4);
+    }
+
+    #[test]
+    fn growth_caps_are_enforced_and_atomic() {
+        let base = RatingMatrix::from_triples(2, 2, vec![(0, 0, 2.0)], RatingScale::one_to_five())
+            .unwrap();
+        let growth = GrowthPolicy::Grow {
+            max_users: 4,
+            max_items: 3,
+        };
+        let mut m = base.clone();
+        assert_eq!(
+            m.upsert_batch_under(&[(1, 1, 3.0), (4, 0, 3.0)], growth)
+                .unwrap_err(),
+            GfError::GrowthExhausted {
+                axis: "user",
+                id: 4,
+                max: 4
+            }
+        );
+        assert_eq!(
+            m.upsert_batch_under(&[(0, 3, 3.0)], growth).unwrap_err(),
+            GfError::GrowthExhausted {
+                axis: "item",
+                id: 3,
+                max: 3
+            }
+        );
+        // Failed batches leave the matrix untouched, even mid-growth.
+        assert_eq!(m, base);
+        // Fixed policy keeps the historical errors.
+        assert!(matches!(
+            m.upsert_batch_under(&[(5, 0, 3.0)], GrowthPolicy::Fixed),
+            Err(GfError::UserOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_grows_under_policy() {
+        let mut b =
+            MatrixBuilder::new(2, 2, RatingScale::one_to_five()).with_growth(GrowthPolicy::Grow {
+                max_users: 10,
+                max_items: 10,
+            });
+        b.push(0, 0, 2.0).unwrap();
+        b.push(7, 4, 5.0).unwrap();
+        assert_eq!((b.n_users(), b.n_items()), (8, 5));
+        assert!(matches!(
+            b.push(10, 0, 3.0),
+            Err(GfError::GrowthExhausted { axis: "user", .. })
+        ));
+        let m = b.build().unwrap();
+        assert_eq!((m.n_users(), m.n_items()), (8, 5));
+        assert_eq!(m.get(7, 4), Some(5.0));
+        assert_eq!(m.degree(3), 0);
+    }
+
+    #[test]
+    fn builder_push_is_atomic_under_growth() {
+        let mut b =
+            MatrixBuilder::new(2, 2, RatingScale::one_to_five()).with_growth(GrowthPolicy::Grow {
+                max_users: 100,
+                max_items: 3,
+            });
+        // A rejected score must not leave grown dimensions behind.
+        assert!(matches!(
+            b.push(50, 0, f64::NAN),
+            Err(GfError::NonFiniteScore { .. })
+        ));
+        assert_eq!((b.n_users(), b.n_items()), (2, 2));
+        // Neither must a push that fails on the *other* axis.
+        assert!(matches!(
+            b.push(60, 99, 3.0),
+            Err(GfError::GrowthExhausted { axis: "item", .. })
+        ));
+        assert_eq!((b.n_users(), b.n_items()), (2, 2));
+        b.push(0, 0, 3.0).unwrap();
+        assert_eq!(b.build().unwrap().n_users(), 2);
     }
 
     #[test]

@@ -129,12 +129,17 @@ impl PrefIndex {
     /// pass instead of one O(nnz) splice per degree-changing user. The
     /// result is exactly what a full [`PrefIndex::build`] of the patched
     /// matrix would produce. Duplicate user ids are fine.
+    ///
+    /// The matrix may have **grown** (see
+    /// [`crate::GrowthPolicy`]): rows the index has never seen are
+    /// appended — implicitly dirty, whether or not `users` names them.
     pub fn patch_users(&mut self, matrix: &RatingMatrix, users: &[u32]) {
-        debug_assert_eq!(self.n_users(), matrix.n_users());
+        debug_assert!(matrix.n_users() >= self.n_users());
         let mut dirty: Vec<u32> = users.to_vec();
         dirty.sort_unstable();
         dirty.dedup();
-        let degrees_stable = dirty.iter().all(|&u| matrix.degree(u) == self.degree(u));
+        let degrees_stable = matrix.n_users() == self.n_users()
+            && dirty.iter().all(|&u| matrix.degree(u) == self.degree(u));
         if degrees_stable {
             for &u in &dirty {
                 self.patch_user(matrix, u);
@@ -147,9 +152,10 @@ impl PrefIndex {
     /// Builds the index that [`PrefIndex::patch_users`] would leave
     /// behind, without mutating `self`: one pass over the storage, no
     /// intermediate clone — the snapshot-succession twin of
-    /// [`RatingMatrix::with_upserts`]. Duplicate user ids are fine.
+    /// [`RatingMatrix::with_upserts`]. Duplicate user ids are fine, and a
+    /// grown matrix appends the new rows exactly as `patch_users` would.
     pub fn patched(&self, matrix: &RatingMatrix, users: &[u32]) -> PrefIndex {
-        debug_assert_eq!(self.n_users(), matrix.n_users());
+        debug_assert!(matrix.n_users() >= self.n_users());
         let mut dirty: Vec<u32> = users.to_vec();
         dirty.sort_unstable();
         dirty.dedup();
@@ -157,11 +163,15 @@ impl PrefIndex {
     }
 
     /// One-pass successor build: dirty rows re-sorted from the matrix,
-    /// clean rows copied verbatim. `dirty` must be sorted and deduped.
+    /// clean rows copied verbatim, rows beyond the index's old edge (a
+    /// grown matrix) treated as dirty. `dirty` must be sorted and deduped.
     fn rebuilt_with(&self, matrix: &RatingMatrix, dirty: &[u32]) -> PrefIndex {
-        let mut is_dirty = vec![false; self.offsets.len() - 1];
+        let mut is_dirty = vec![false; matrix.n_users() as usize];
         for &u in dirty {
             is_dirty[u as usize] = true;
+        }
+        for slot in &mut is_dirty[(self.offsets.len() - 1)..] {
+            *slot = true;
         }
         let mut items = Vec::with_capacity(matrix.nnz());
         let mut scores = Vec::with_capacity(matrix.nnz());
@@ -333,6 +343,38 @@ mod tests {
                 assert_eq!(p.ranked_scores(u), cold.ranked_scores(u), "user {u}");
             }
         }
+    }
+
+    #[test]
+    fn patched_appends_rows_for_grown_matrices() {
+        use crate::matrix::GrowthPolicy;
+        let mut matrix = crate::matrix::RatingMatrix::from_triples(
+            3,
+            3,
+            vec![(0, 1, 2.0), (2, 0, 5.0)],
+            RatingScale::one_to_five(),
+        )
+        .unwrap();
+        let mut prefs = PrefIndex::build(&matrix);
+        // Admit users 3..=5 (4 stays an empty gap row) and item 4.
+        let updates = [(5u32, 4u32, 4.0), (3, 0, 1.0), (0, 1, 3.0)];
+        let outcomes = matrix
+            .upsert_batch_under(&updates, GrowthPolicy::unbounded())
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        let users: Vec<u32> = updates.iter().map(|&(u, _, _)| u).collect();
+        let pure = prefs.patched(&matrix, &users);
+        prefs.patch_users(&matrix, &users);
+        let cold = PrefIndex::build(&matrix);
+        assert_eq!(cold.n_users(), 6);
+        for p in [&prefs, &pure] {
+            assert_eq!(p.n_users(), 6);
+            for u in 0..matrix.n_users() {
+                assert_eq!(p.ranked_items(u), cold.ranked_items(u), "user {u}");
+                assert_eq!(p.ranked_scores(u), cold.ranked_scores(u), "user {u}");
+            }
+        }
+        assert_eq!(prefs.degree(4), 0);
     }
 
     #[test]

@@ -31,20 +31,92 @@ pub struct Loaded {
     pub item_ids: Vec<u64>,
 }
 
-/// Internal accumulating re-indexer.
-#[derive(Default)]
-struct Reindexer {
+/// A growable raw-id → dense-index remapper.
+///
+/// The loaders use one per axis to densify arbitrary raw ids in
+/// first-appearance order — and because it **tolerates growth**, the same
+/// remapper keeps working after load time: a serving deployment under
+/// [`gf_core::GrowthPolicy::Grow`] can hold on to the loader's remapper
+/// and keep interning the raw ids of users and items admitted at serve
+/// time, so `raw id -> dense row` stays a total mapping as the population
+/// grows (dense ids are append-only and never reshuffled, matching how
+/// `RatingMatrix` growth appends rows).
+#[derive(Debug, Clone, Default)]
+pub struct IdRemapper {
     map: gf_core::FxHashMap<u64, u32>,
     ids: Vec<u64>,
 }
 
-impl Reindexer {
-    fn intern(&mut self, raw: u64) -> u32 {
+impl IdRemapper {
+    /// An empty remapper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A remapper pre-seeded with `ids` in dense order — e.g. the
+    /// `user_ids`/`item_ids` of a [`Loaded`] dataset, to continue
+    /// interning at serve time exactly where the loader stopped.
+    pub fn from_ids(ids: Vec<u64>) -> Self {
+        let map = ids
+            .iter()
+            .enumerate()
+            .map(|(dense, &raw)| (raw, dense as u32))
+            .collect();
+        IdRemapper { map, ids }
+    }
+
+    /// The dense index of `raw`, interning it at the next free index if
+    /// never seen.
+    pub fn intern(&mut self, raw: u64) -> u32 {
         *self.map.entry(raw).or_insert_with(|| {
             let dense = self.ids.len() as u32;
             self.ids.push(raw);
             dense
         })
+    }
+
+    /// [`IdRemapper::intern`] against a cap (a
+    /// [`gf_core::GrowthPolicy::Grow`] `max_users`/`max_items`): a raw id
+    /// that is already mapped always resolves; a new one is admitted only
+    /// while the mapping holds fewer than `cap` ids, `None` otherwise.
+    pub fn intern_capped(&mut self, raw: u64, cap: u32) -> Option<u32> {
+        if let Some(&dense) = self.map.get(&raw) {
+            return Some(dense);
+        }
+        if self.ids.len() as u64 >= u64::from(cap) {
+            return None;
+        }
+        Some(self.intern(raw))
+    }
+
+    /// The dense index of `raw`, if already interned.
+    pub fn get(&self, raw: u64) -> Option<u32> {
+        self.map.get(&raw).copied()
+    }
+
+    /// The raw id at `dense`, if assigned.
+    pub fn raw(&self, dense: u32) -> Option<u64> {
+        self.ids.get(dense as usize).copied()
+    }
+
+    /// Number of ids interned so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The raw ids in dense order (what [`Loaded`] publishes).
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Consumes the remapper into its dense-ordered raw-id table.
+    pub fn into_ids(self) -> Vec<u64> {
+        self.ids
     }
 }
 
@@ -68,8 +140,8 @@ fn read_with<R: BufRead>(
     skip_header: bool,
     mut split: impl FnMut(&str) -> Option<Parsed>,
 ) -> Result<Loaded> {
-    let mut users = Reindexer::default();
-    let mut items = Reindexer::default();
+    let mut users = IdRemapper::new();
+    let mut items = IdRemapper::new();
     let mut triples: Vec<(u32, u32, f64)> = Vec::new();
     let mut line_no = 0usize;
     for line in reader.lines() {
@@ -93,15 +165,15 @@ fn read_with<R: BufRead>(
     if triples.is_empty() {
         return Err(GfError::EmptyMatrix);
     }
-    let mut b = MatrixBuilder::new(users.ids.len() as u32, items.ids.len() as u32, scale);
+    let mut b = MatrixBuilder::new(users.len() as u32, items.len() as u32, scale);
     b.reserve(triples.len());
     for (u, i, r) in triples {
         b.push(u, i, r)?;
     }
     Ok(Loaded {
         matrix: b.build()?,
-        user_ids: users.ids,
-        item_ids: items.ids,
+        user_ids: users.into_ids(),
+        item_ids: items.into_ids(),
     })
 }
 
@@ -249,6 +321,26 @@ mod tests {
         let data = "1\t1\t4\nnot-a-record\n";
         let err = read_tsv(Cursor::new(data), RatingScale::one_to_five()).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn id_remapper_grows_past_load_time() {
+        let data = "1::10::5::978300760\n7::10::4::978301968\n";
+        let loaded = read_movielens_dat(Cursor::new(data), RatingScale::one_to_five()).unwrap();
+        // A serving deployment resumes interning where the loader stopped.
+        let mut users = IdRemapper::from_ids(loaded.user_ids.clone());
+        assert_eq!(users.len(), 2);
+        assert_eq!(users.get(7), Some(1)); // existing ids keep their rows
+        assert_eq!(users.intern(42), 2); // a serve-time admission appends
+        assert_eq!(users.intern(42), 2); // idempotently
+        assert_eq!(users.raw(2), Some(42));
+        assert_eq!(users.ids(), &[1, 7, 42]);
+        // Capped interning mirrors GrowthPolicy::Grow: known ids always
+        // resolve, new ones only while the cap has room.
+        assert_eq!(users.intern_capped(1, 3), Some(0));
+        assert_eq!(users.intern_capped(99, 3), None);
+        assert_eq!(users.intern_capped(99, 4), Some(3));
+        assert_eq!(users.len(), 4);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod stats;
 pub mod synth;
 pub mod zipf;
 
+pub use io::IdRemapper;
 pub use stats::DatasetStats;
 pub use synth::{Dataset, SynthConfig};
 pub use zipf::Zipf;

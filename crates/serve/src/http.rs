@@ -16,7 +16,7 @@
 //! | `GET /group/{user}?limit=&offset=` | — | the user's group, paged members and top-`k` list |
 //! | `GET /recommend/{group}?limit=&offset=` | — | the group's recommended top-`k` list |
 //! | `POST /form` | optional config overrides | runs (or joins) a batched formation |
-//! | `POST /rate` | `{"user":u,"item":i,"rating":r}` | enqueues an incremental update (202) |
+//! | `POST /rate` | `{"user":u,"item":i,"rating":r}` | enqueues an incremental update (202); under [`gf_core::GrowthPolicy::Grow`] a never-seen user/item is admitted (409 once a cap is exhausted) |
 
 use crate::json::{obj, Json};
 use crate::state::{ServeState, Snapshot};
@@ -133,6 +133,7 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         _ => "Internal Server Error",
     }
 }
@@ -162,6 +163,10 @@ fn error_body(message: impl std::fmt::Display) -> Json {
 fn gf_error_status(err: &GfError) -> u16 {
     match err {
         GfError::UserOutOfRange { .. } | GfError::ItemOutOfRange { .. } => 404,
+        // A growth cap refusing an admission is neither a malformed
+        // request (400) nor an unknown id the client should retry (404):
+        // the universe is full until the operator raises the cap.
+        GfError::GrowthExhausted { .. } => 409,
         _ => 400,
     }
 }
@@ -213,6 +218,16 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
                         Json::from(s.refresh_cold.load(Ordering::Relaxed)),
                     ),
                     ("refresh_mode", Json::from(snap.config.refresh.tag())),
+                    ("n_users", Json::from(snap.matrix.n_users())),
+                    ("n_items", Json::from(snap.matrix.n_items())),
+                    (
+                        "users_admitted",
+                        Json::from(s.users_admitted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "items_admitted",
+                        Json::from(s.items_admitted.load(Ordering::Relaxed)),
+                    ),
                     (
                         "form_requests",
                         Json::from(s.form_requests.load(Ordering::Relaxed)),

@@ -20,6 +20,13 @@
 //!   the snapshot. The incremental path converges to exactly what a cold
 //!   rebuild over the same ratings produces — property-tested in
 //!   `tests/serve_props.rs`.
+//! * **Population growth** — under
+//!   [`gf_core::GrowthPolicy::Grow`] a `POST /rate` naming a never-seen
+//!   user or item *admits* it (up to the caps): the journal entry carries
+//!   the grown id, the background pass extends matrix, preference index
+//!   and standing formation, and `GET /group/{new_user}` resolves after
+//!   the refresh — no restart. `/stats` reports
+//!   `users_admitted`/`items_admitted`.
 //! * **No new dependencies** — the HTTP/1.1 codec ([`http`]) and the JSON
 //!   codec ([`json`]) are hand-rolled on `std::net`, the same offline
 //!   philosophy as the `vendor/` stubs.

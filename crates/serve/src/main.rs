@@ -5,7 +5,8 @@
 //!          [--data FILE [--format dat|csv|tsv|netflix] [--scale one5|zero5|half]] \
 //!          [--synth USERSxITEMS] \
 //!          [--semantics lm|av] [--aggregation min|max|sum] [--k K] [--ell L] \
-//!          [--threads N] [--batch-window-ms MS] [--refresh auto|cold|incremental]
+//!          [--threads N] [--batch-window-ms MS] [--refresh auto|cold|incremental] \
+//!          [--grow] [--max-users N] [--max-items N] [--max-swaps N]
 //! ```
 //!
 //! With `--data`, the file format defaults from the extension (`.dat` →
@@ -14,11 +15,20 @@
 //! the 1–5 integer grid). Without `--data`, a Yahoo!-Music-shaped
 //! synthetic corpus of `--synth` size (default `1000x200`) is generated.
 //!
+//! `--grow` lets `/rate` admit never-seen users and items without a
+//! restart ([`gf_core::GrowthPolicy::Grow`]); `--max-users`/`--max-items`
+//! cap the growth (and each implies `--grow`; default: unbounded).
+//! `--max-swaps` caps the incremental repair budget per refresh
+//! (bounded worst-case refresh latency; the server converges once
+//! updates quiesce).
+//!
 //! On startup the server prints one line —
 //! `gf-serve: listening on http://ADDR (users=N items=M groups=G)` — that
 //! scripts (and the CI smoke job) wait for before issuing requests.
 
-use gf_core::{Aggregation, FormationConfig, RatingMatrix, RatingScale, RefreshMode, Semantics};
+use gf_core::{
+    Aggregation, FormationConfig, GrowthPolicy, RatingMatrix, RatingScale, RefreshMode, Semantics,
+};
 use gf_datasets::io::{read_movielens_csv, read_movielens_dat, read_netflix, read_tsv};
 use gf_datasets::SynthConfig;
 use gf_serve::{parse_aggregation, parse_semantics, ServeConfig, ServeState, Server};
@@ -40,6 +50,10 @@ struct Options {
     threads: usize,
     batch_window: Duration,
     refresh: RefreshMode,
+    grow: bool,
+    max_users: Option<u32>,
+    max_items: Option<u32>,
+    max_swaps: Option<usize>,
 }
 
 impl Default for Options {
@@ -58,6 +72,10 @@ impl Default for Options {
             threads: 0,
             batch_window: Duration::from_millis(5),
             refresh: RefreshMode::Auto,
+            grow: false,
+            max_users: None,
+            max_items: None,
+            max_swaps: None,
         }
     }
 }
@@ -67,7 +85,8 @@ fn usage() -> ! {
         "usage: gf-serve [--addr HOST] [--port P] [--data FILE] [--format dat|csv|tsv|netflix] \
          [--scale one5|zero5|half] [--synth UxI] [--semantics lm|av] \
          [--aggregation min|max|sum] [--k K] [--ell L] [--threads N] [--batch-window-ms MS] \
-         [--refresh auto|cold|incremental]"
+         [--refresh auto|cold|incremental] [--grow] [--max-users N] [--max-items N] \
+         [--max-swaps N]"
     );
     exit(2)
 }
@@ -83,6 +102,10 @@ fn parse_options() -> Options {
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" {
             usage();
+        }
+        if flag == "--grow" {
+            opts.grow = true;
+            continue;
         }
         let Some(value) = args.next() else { usage() };
         match flag.as_str() {
@@ -125,6 +148,9 @@ fn parse_options() -> Options {
                     _ => usage(),
                 }
             }
+            "--max-users" => opts.max_users = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--max-items" => opts.max_items = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--max-swaps" => opts.max_swaps = Some(value.parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
@@ -169,10 +195,22 @@ fn main() {
     let opts = parse_options();
     let matrix = load_matrix(&opts);
     let ell = opts.ell.min(matrix.n_users() as usize).max(1);
+    let growth = if opts.grow || opts.max_users.is_some() || opts.max_items.is_some() {
+        GrowthPolicy::Grow {
+            max_users: opts.max_users.unwrap_or(u32::MAX),
+            max_items: opts.max_items.unwrap_or(u32::MAX),
+        }
+    } else {
+        GrowthPolicy::Fixed
+    };
     let formation = FormationConfig::new(opts.semantics, opts.aggregation, opts.k, ell)
         .with_threads(opts.threads)
-        .with_refresh(opts.refresh);
-    let cfg = ServeConfig::new(formation).with_batch_window(opts.batch_window);
+        .with_refresh(opts.refresh)
+        .with_growth(growth);
+    let mut cfg = ServeConfig::new(formation).with_batch_window(opts.batch_window);
+    if let Some(max_swaps) = opts.max_swaps {
+        cfg = cfg.with_max_swaps(max_swaps);
+    }
     let (n_users, n_items) = (matrix.n_users(), matrix.n_items());
     let state =
         ServeState::new(matrix, cfg).unwrap_or_else(|e| fail(format!("initial formation: {e}")));

@@ -57,15 +57,25 @@ pub struct ServeConfig {
     /// Upper bound on how many rating updates one background re-formation
     /// pass applies; more pending updates simply take more passes.
     pub max_updates_per_pass: usize,
+    /// Repair-pass budget for the standing incremental former
+    /// ([`IncrementalFormer::with_max_swaps`]): `None` (the default) keeps
+    /// the unbounded, exactly-cold repair; `Some(n)` caps how many buckets
+    /// one refresh may admit, bounding worst-case refresh latency at the
+    /// documented quality bound. A capped server still converges once
+    /// updates quiesce — the background worker runs catch-up passes over
+    /// an empty journal until the deferred admissions drain.
+    pub max_swaps: Option<usize>,
 }
 
 impl ServeConfig {
-    /// Defaults: a 5 ms batching window and at most 1024 updates per pass.
+    /// Defaults: a 5 ms batching window, at most 1024 updates per pass and
+    /// an unbounded repair budget.
     pub fn new(formation: FormationConfig) -> Self {
         ServeConfig {
             formation,
             batch_window: Duration::from_millis(5),
             max_updates_per_pass: 1024,
+            max_swaps: None,
         }
     }
 
@@ -78,6 +88,13 @@ impl ServeConfig {
     /// Overrides the per-pass update bound (clamped to at least 1).
     pub fn with_max_updates_per_pass(mut self, max: usize) -> Self {
         self.max_updates_per_pass = max.max(1);
+        self
+    }
+
+    /// Caps the incremental former's per-refresh repair budget (see
+    /// [`ServeConfig::max_swaps`]).
+    pub fn with_max_swaps(mut self, max_swaps: usize) -> Self {
+        self.max_swaps = Some(max_swaps);
         self
     }
 }
@@ -129,6 +146,11 @@ pub struct Stats {
     pub refresh_incremental: AtomicU64,
     /// Background passes that re-formed the whole population from scratch.
     pub refresh_cold: AtomicU64,
+    /// Users admitted at serve time under [`gf_core::GrowthPolicy::Grow`] (includes
+    /// the empty gap rows a sparse admission creates).
+    pub users_admitted: AtomicU64,
+    /// Items admitted at serve time under [`gf_core::GrowthPolicy::Grow`].
+    pub items_admitted: AtomicU64,
 }
 
 /// The standing incremental former plus the snapshot version its bucket
@@ -155,6 +177,8 @@ pub struct ServeState {
     wakeup: Condvar,
     batcher: Batcher,
     max_updates_per_pass: usize,
+    /// Repair budget applied to every (re-)initialized standing former.
+    max_swaps: Option<usize>,
     /// Standing incremental former (built lazily on the first
     /// incremental-eligible pass; only ever touched under `writer`).
     former: Mutex<Option<FormerSlot>>,
@@ -178,6 +202,7 @@ impl ServeState {
             wakeup: Condvar::new(),
             batcher: Batcher::new(cfg.batch_window),
             max_updates_per_pass: cfg.max_updates_per_pass.max(1),
+            max_swaps: cfg.max_swaps,
             former: Mutex::new(None),
             stats: Stats::default(),
         }))
@@ -200,26 +225,21 @@ impl ServeState {
 
     /// Accepts one rating update into the pending journal.
     ///
-    /// The update is validated against the current snapshot's dimensions
-    /// and scale so malformed requests fail fast; it becomes visible to
-    /// queries only once a background pass installs the next snapshot
-    /// (call [`ServeState::flush`] to force that synchronously).
-    /// Returns the number of updates now pending.
+    /// The update is validated against the current snapshot's dimensions,
+    /// growth policy and scale so malformed requests fail fast; it becomes
+    /// visible to queries only once a background pass installs the next
+    /// snapshot (call [`ServeState::flush`] to force that synchronously).
+    /// Under [`gf_core::GrowthPolicy::Grow`], a never-seen user or item within the
+    /// caps is **admitted**: the journal entry carries the grown id and
+    /// the applying pass extends the matrix, preference index and standing
+    /// formation to cover it — no restart. Returns the number of updates
+    /// now pending.
     pub fn rate(&self, user: u32, item: u32, score: f64) -> Result<usize> {
         let snap = self.snapshot();
         let matrix = &snap.matrix;
-        if user >= matrix.n_users() {
-            return Err(GfError::UserOutOfRange {
-                user,
-                n_users: matrix.n_users(),
-            });
-        }
-        if item >= matrix.n_items() {
-            return Err(GfError::ItemOutOfRange {
-                item,
-                n_items: matrix.n_items(),
-            });
-        }
+        let growth = snap.config.growth;
+        growth.admit_user(user, matrix.n_users())?;
+        growth.admit_item(item, matrix.n_items())?;
         if !score.is_finite() {
             return Err(GfError::NonFiniteScore { user, item });
         }
@@ -257,9 +277,16 @@ impl ServeState {
         // intermediate clone — the old matrix/prefs stay live for
         // concurrent readers), re-sorting each dirty user's preference
         // list exactly once: the incremental counterpart of a cold
-        // `PrefIndex::build`.
-        let (matrix, outcomes) = current.matrix.with_upserts(&chunk)?;
+        // `PrefIndex::build`. Journal entries validated under
+        // `GrowthPolicy::Grow` may carry grown ids; the successor build
+        // admits them here (appending rows is O(new rows), not O(nnz), on
+        // top of the usual one-pass splice).
+        let (matrix, outcomes) = current
+            .matrix
+            .with_upserts_under(&chunk, current.config.growth)?;
         let matrix = Arc::new(matrix);
+        let admitted_users = u64::from(matrix.n_users() - current.matrix.n_users());
+        let admitted_items = u64::from(matrix.n_items() - current.matrix.n_items());
         let deltas: Vec<RatingDelta> = chunk
             .iter()
             .zip(outcomes)
@@ -287,8 +314,12 @@ impl ServeState {
             } else {
                 // (Re-)initialize the standing former on the already
                 // patched matrix; subsequent passes patch it in place.
+                let mut former = IncrementalFormer::new(&matrix, &prefs, current.config)?;
+                if let Some(max_swaps) = self.max_swaps {
+                    former = former.with_max_swaps(max_swaps);
+                }
                 *slot = Some(FormerSlot {
-                    former: IncrementalFormer::new(&matrix, &prefs, current.config)?,
+                    former,
                     synced_version: next_version,
                 });
             }
@@ -312,7 +343,19 @@ impl ServeState {
         self.install(snapshot);
         // Counter order matters for observers: `refresh_passes` last, so
         // `refresh_incremental + refresh_cold >= refresh_passes` holds in
-        // every interleaving a `/stats` read can see.
+        // every interleaving a `/stats` read can see. Admission counters
+        // increment after the install for the same reason: once visible,
+        // the snapshot's `n_users`/`n_items` already cover them.
+        if admitted_users > 0 {
+            self.stats
+                .users_admitted
+                .fetch_add(admitted_users, Ordering::Relaxed);
+        }
+        if admitted_items > 0 {
+            self.stats
+                .items_admitted
+                .fetch_add(admitted_items, Ordering::Relaxed);
+        }
         self.stats
             .rates_applied
             .fetch_add(chunk.len() as u64, Ordering::Relaxed);
@@ -320,11 +363,69 @@ impl ServeState {
         Ok(chunk.len())
     }
 
+    /// One catch-up pass for a capped repair budget
+    /// ([`ServeConfig::with_max_swaps`]): when the journal is empty but
+    /// the standing former's last refresh had to defer bucket admissions
+    /// ([`IncrementalFormer::selection_lag`] > 0), an empty refresh admits
+    /// the next budget's worth and installs the improved snapshot.
+    /// Returns whether a pass ran (callers loop until `false`). With an
+    /// unbounded budget (the default) the lag is always 0 and this is a
+    /// no-op.
+    pub fn catch_up(&self) -> Result<bool> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        if !self
+            .pending
+            .lock()
+            .expect("pending lock poisoned")
+            .updates
+            .is_empty()
+        {
+            return Ok(false); // real updates take priority; they catch up too
+        }
+        let current = self.snapshot();
+        let mut slot = self.former.lock().expect("former lock poisoned");
+        let Some(s) = slot.as_mut() else {
+            return Ok(false);
+        };
+        if s.synced_version != current.version
+            || s.former.config() != &current.config
+            || s.former.selection_lag() <= 0.0
+        {
+            return Ok(false);
+        }
+        let lag_before = s.former.selection_lag();
+        s.former.refresh(&current.matrix, &current.prefs, &[])?;
+        if s.former.selection_lag() >= lag_before {
+            // A zero budget (or a tie) makes no progress; installing the
+            // identical formation forever would spin. Keep the bounded
+            // snapshot — the quality bound still holds.
+            return Ok(false);
+        }
+        let next_version = current.version + 1;
+        s.synced_version = next_version;
+        let formation = s.former.result().clone();
+        drop(slot);
+        self.stats
+            .refresh_incremental
+            .fetch_add(1, Ordering::Relaxed);
+        self.install(snapshot_with_formation(
+            Arc::clone(&current.matrix),
+            Arc::clone(&current.prefs),
+            current.config,
+            formation,
+            next_version,
+        ));
+        self.stats.refresh_passes.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
     /// Synchronously applies *all* pending updates (possibly over several
-    /// bounded passes). After `flush` returns, queries see every rating
-    /// accepted before the call.
+    /// bounded passes), then drains any capped-repair catch-up. After
+    /// `flush` returns, queries see every rating accepted before the call
+    /// and a capped former has converged as far as its budget allows.
     pub fn flush(&self) -> Result<()> {
         while self.process_pending()? > 0 {}
+        while self.catch_up()? {}
         Ok(())
     }
 
@@ -370,6 +471,12 @@ impl ServeState {
             // A failure here means a validated update stopped applying —
             // only possible through a serve-layer bug; surface loudly.
             self.process_pending().expect("background pass failed");
+            // Once the journal drains, let a capped repair budget converge
+            // before parking again (no-op under the default unbounded
+            // budget).
+            if self.pending_len() == 0 {
+                while self.catch_up().expect("catch-up pass failed") {}
+            }
         }
     }
 
@@ -557,6 +664,34 @@ mod tests {
         assert_eq!(s.stats.refresh_cold.load(Ordering::Relaxed), 0);
         // And the snapshots match a cold rebuild over the same ratings.
         let snap = s.snapshot();
+        let cold = ServeState::new(
+            snap.matrix.as_ref().clone(),
+            ServeConfig::new(snap.config).with_batch_window(Duration::ZERO),
+        )
+        .unwrap();
+        assert_eq!(snap.formation, cold.snapshot().formation);
+    }
+
+    #[test]
+    fn growth_rides_the_incremental_path() {
+        let cfg = ServeConfig::new(
+            FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3)
+                .with_growth(gf_core::GrowthPolicy::unbounded()),
+        )
+        .with_batch_window(Duration::ZERO);
+        let s = ServeState::new(matrix(10, 5), cfg).unwrap();
+        s.rate(0, 0, 5.0).unwrap();
+        s.flush().unwrap(); // standing former initialized
+        s.rate(13, 6, 4.0).unwrap(); // admission lands on the warm former
+        s.flush().unwrap();
+        assert_eq!(s.stats.refresh_incremental.load(Ordering::Relaxed), 2);
+        assert_eq!(s.stats.users_admitted.load(Ordering::Relaxed), 4);
+        assert_eq!(s.stats.items_admitted.load(Ordering::Relaxed), 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.matrix.n_users(), 14);
+        assert_eq!(snap.assignment.len(), 14);
+        assert!(snap.assignment.iter().all(Option::is_some));
+        // Equal to a cold boot over the grown universe.
         let cold = ServeState::new(
             snap.matrix.as_ref().clone(),
             ServeConfig::new(snap.config).with_batch_window(Duration::ZERO),

@@ -9,7 +9,7 @@
 //! `GF_UPDATE_GOLDEN=1 cargo test -p gf-serve --test golden` and commit
 //! the rewritten `tests/golden/*.json`.
 
-use gf_core::{Aggregation, FormationConfig, RatingMatrix, RatingScale, Semantics};
+use gf_core::{Aggregation, FormationConfig, GrowthPolicy, RatingMatrix, RatingScale, Semantics};
 use gf_serve::http::route;
 use gf_serve::{HttpRequest, Json, ServeConfig, ServeState};
 use std::path::PathBuf;
@@ -116,4 +116,70 @@ fn serve_json_bodies_match_committed_fixtures() {
 
     let (status, body) = request(&state, "GET", "/group/99", "", "");
     assert_golden("error_unknown_user.json", status, 404, &body);
+}
+
+/// The growth-scripted session: the same Example-1 ratings serving under
+/// `GrowthPolicy::Grow { max_users: 8, max_items: 4 }`, one admission
+/// (never-seen user 7 rating never-seen item 3 — user 6 stays a gap row),
+/// one flush. Pins the admission-era `/stats` counters and the clean
+/// exhaustion errors at the caps.
+#[test]
+fn growth_json_bodies_match_committed_fixtures() {
+    let matrix = RatingMatrix::from_dense(
+        &[
+            &[1.0, 4.0, 3.0][..],
+            &[2.0, 3.0, 5.0],
+            &[2.0, 5.0, 1.0],
+            &[2.0, 5.0, 1.0],
+            &[3.0, 1.0, 1.0],
+            &[1.0, 2.0, 5.0],
+        ],
+        RatingScale::one_to_five(),
+    )
+    .unwrap();
+    let cfg = ServeConfig::new(
+        FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3).with_growth(
+            GrowthPolicy::Grow {
+                max_users: 8,
+                max_items: 4,
+            },
+        ),
+    )
+    .with_batch_window(Duration::ZERO);
+    let state = ServeState::new(matrix, cfg).unwrap();
+
+    let (status, body) = request(
+        &state,
+        "POST",
+        "/rate",
+        "",
+        r#"{"user":7,"item":3,"rating":5}"#,
+    );
+    assert_golden("rate_admission.json", status, 202, &body);
+    state.flush().unwrap();
+
+    let (status, body) = request(&state, "GET", "/stats", "", "");
+    assert_golden("stats_grown.json", status, 200, &body);
+
+    let (status, body) = request(&state, "GET", "/group/7", "", "");
+    assert_golden("group_admitted.json", status, 200, &body);
+
+    // Exhaustion on both axes: clean 409s, nothing enqueued.
+    let (status, body) = request(
+        &state,
+        "POST",
+        "/rate",
+        "",
+        r#"{"user":8,"item":0,"rating":5}"#,
+    );
+    assert_golden("error_users_exhausted.json", status, 409, &body);
+    let (status, body) = request(
+        &state,
+        "POST",
+        "/rate",
+        "",
+        r#"{"user":0,"item":4,"rating":5}"#,
+    );
+    assert_golden("error_items_exhausted.json", status, 409, &body);
+    assert_eq!(state.pending_len(), 0);
 }

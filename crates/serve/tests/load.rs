@@ -17,7 +17,7 @@
 //! `GF_LOAD_SCALE=8` (any positive integer) to multiply both the
 //! connection count and the per-connection request count locally.
 
-use gf_core::{Aggregation, FormationConfig, RatingMatrix, RatingScale, Semantics};
+use gf_core::{Aggregation, FormationConfig, GrowthPolicy, RatingMatrix, RatingScale, Semantics};
 use gf_serve::{Json, ServeConfig, ServeState, Server, ServerHandle};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -37,7 +37,7 @@ fn load_scale() -> usize {
         .unwrap_or(1)
 }
 
-fn start_server() -> ServerHandle {
+fn start_server_with(growth: GrowthPolicy) -> ServerHandle {
     let rows: Vec<Vec<f64>> = (0..N_USERS)
         .map(|u| {
             (0..N_ITEMS)
@@ -47,15 +47,16 @@ fn start_server() -> ServerHandle {
         .collect();
     let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
     let matrix = RatingMatrix::from_dense(&refs, RatingScale::one_to_five()).unwrap();
-    let cfg = ServeConfig::new(FormationConfig::new(
-        Semantics::LeastMisery,
-        Aggregation::Min,
-        3,
-        8,
-    ))
+    let cfg = ServeConfig::new(
+        FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 3, 8).with_growth(growth),
+    )
     .with_batch_window(Duration::from_millis(1));
     let state = ServeState::new(matrix, cfg).unwrap();
     Server::bind("127.0.0.1:0", state).unwrap().spawn().unwrap()
+}
+
+fn start_server() -> ServerHandle {
+    start_server_with(GrowthPolicy::Fixed)
 }
 
 /// One persistent client connection: writes requests and reads
@@ -209,6 +210,152 @@ fn drive_connection(
         report.requests += 1;
     }
     Ok(report)
+}
+
+/// One admission-heavy connection: interleaves rates on existing users
+/// with rates that admit users from a per-connection disjoint id range
+/// (so connections never race on who admits an id first), reading
+/// `/group` on both populations along the way.
+fn drive_admissions(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    n_requests: usize,
+    new_lo: u32,
+    new_hi: u32,
+) -> Result<ConnReport, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut last_version = 0u64;
+    let mut admitted: Vec<u32> = Vec::new();
+    let mut report = ConnReport {
+        requests: 0,
+        rates_accepted: 0,
+        versions_seen: 0,
+    };
+    for r in 0..n_requests {
+        let (target_user, item): (u32, u32) = match r % 3 {
+            // A third of the stream admits (or re-rates) a user from this
+            // connection's own never-seen range, sometimes on a
+            // never-seen item.
+            0 => {
+                let user = rng.gen_range(new_lo..new_hi);
+                admitted.push(user);
+                let item = if rng.gen_bool(0.5) {
+                    N_ITEMS + rng.gen_range(0..8)
+                } else {
+                    rng.gen_range(0..N_ITEMS)
+                };
+                (user, item)
+            }
+            1 => (rng.gen_range(0..N_USERS), rng.gen_range(0..N_ITEMS)),
+            // Read back someone this connection already admitted (or an
+            // original user while nothing is admitted yet).
+            _ => {
+                let user = admitted
+                    .get(rng.gen_range(0..admitted.len().max(1)))
+                    .copied()
+                    .unwrap_or_else(|| rng.gen_range(0..N_USERS));
+                let (status, json) = client.request("GET", &format!("/group/{user}"), "")?;
+                // An admitted user may still be journal-pending: 404 until
+                // the background pass lands, 200 with membership after.
+                if status == 200 {
+                    let version = json
+                        .get("version")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("no version: {json}"))?;
+                    if version < last_version {
+                        return Err(format!("version regressed: {last_version} -> {version}"));
+                    }
+                    last_version = version;
+                } else if status != 404 {
+                    return Err(format!("/group/{user} returned {status}: {json}"));
+                }
+                report.versions_seen += 1;
+                report.requests += 1;
+                continue;
+            }
+        };
+        let rating = rng.gen_range(1..=5);
+        let body = format!(r#"{{"user":{target_user},"item":{item},"rating":{rating}}}"#);
+        let (status, json) = client.request("POST", "/rate", &body)?;
+        if status != 202 {
+            return Err(format!("/rate {body} returned {status}: {json}"));
+        }
+        let version = json
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("no version: {json}"))?;
+        if version < last_version {
+            return Err(format!("version regressed: {last_version} -> {version}"));
+        }
+        last_version = version;
+        report.versions_seen += 1;
+        report.rates_accepted += 1;
+        report.requests += 1;
+    }
+    Ok(report)
+}
+
+/// Growth under load: admissions interleaved with ordinary rates across
+/// persistent connections — zero lost updates, per-connection monotone
+/// versions, and every admitted user served from the final snapshot.
+#[test]
+fn admission_load_generator() {
+    let scale = load_scale();
+    let n_connections = 6 * scale;
+    let n_requests = 30 * scale;
+    let per_conn_ids = 16u32;
+    let server = start_server_with(GrowthPolicy::unbounded());
+    let addr = server.addr();
+
+    let workers: Vec<_> = (0..n_connections)
+        .map(|c| {
+            let lo = N_USERS + c as u32 * per_conn_ids;
+            let hi = lo + per_conn_ids;
+            std::thread::spawn(move || {
+                drive_admissions(addr, 0xAD417 + c as u64, n_requests, lo, hi)
+            })
+        })
+        .collect();
+    let mut total_rates = 0usize;
+    for (c, worker) in workers.into_iter().enumerate() {
+        let report = worker
+            .join()
+            .expect("connection thread panicked")
+            .unwrap_or_else(|e| panic!("connection {c}: {e}"));
+        assert_eq!(report.requests, n_requests, "connection {c} fell short");
+        total_rates += report.rates_accepted;
+    }
+
+    server.state().flush().unwrap();
+    let stats = &server.state().stats;
+    assert_eq!(
+        stats.rates_accepted.load(Ordering::Relaxed),
+        total_rates as u64
+    );
+    assert_eq!(
+        stats.rates_applied.load(Ordering::Relaxed),
+        total_rates as u64
+    );
+    assert_eq!(server.state().pending_len(), 0);
+    let snap = server.state().snapshot();
+    assert!(snap.matrix.n_users() > N_USERS, "no admission ever landed");
+    assert_eq!(
+        stats.users_admitted.load(Ordering::Relaxed),
+        u64::from(snap.matrix.n_users() - N_USERS)
+    );
+    assert_eq!(
+        stats.items_admitted.load(Ordering::Relaxed),
+        u64::from(snap.matrix.n_items() - N_ITEMS)
+    );
+    // Every user — original or admitted — resolves from the final
+    // snapshot, and the grouping is internally consistent.
+    snap.formation
+        .grouping
+        .validate(snap.matrix.n_users(), 8)
+        .unwrap();
+    assert!(snap.assignment.iter().all(Option::is_some));
+    server.stop();
 }
 
 #[test]
