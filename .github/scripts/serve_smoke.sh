@@ -149,4 +149,64 @@ echo "== growth: cap exhaustion is a clean 409 =="
 request POST /rate 409 '{"user":9999,"item":0,"rating":3}' | jq -e '.error' >/dev/null
 request GET /stats 200 | jq -e '.n_users == 43' >/dev/null
 
+# ---------------------------------------------------------------------------
+# Persist smoke: a durable (--data-dir) instance is rated, SIGKILLed
+# mid-flight and rebooted on the same directory; the warm restart must
+# replay every acknowledged rating and land on the identical /digest.
+# ---------------------------------------------------------------------------
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+
+PERSIST_PORT=$((PORT + 2))
+BASE="http://127.0.0.1:${PERSIST_PORT}"
+DATA_DIR=$(mktemp -d)
+PERSIST_LOG=$(mktemp)
+# A huge checkpoint interval keeps recovery on the boot-checkpoint + full
+# WAL-replay path, so the replayed count below is deterministic. The log
+# is truncated per boot so readiness greps never match a previous boot.
+start_persist_server() {
+  "$BIN" --port "$PERSIST_PORT" --synth 30x10 --ell 3 --k 2 \
+    --grow --max-users 200 --max-items 100 \
+    --data-dir "$DATA_DIR" --wal-sync always --checkpoint-interval-ms 3600000 \
+    >"$PERSIST_LOG" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$PERSIST_LOG" && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "persist server died during startup"; cat "$PERSIST_LOG"; exit 1; }
+    sleep 0.1
+  done
+  grep -q "listening on" "$PERSIST_LOG" || { echo "persist server never became ready"; exit 1; }
+}
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$DATA_DIR"; cat "$LOG" "$GROW_LOG" "$PERSIST_LOG"' EXIT
+
+echo "== persist: cold start writes the initial checkpoint =="
+start_persist_server
+grep -q "recovery: cold start" "$PERSIST_LOG" || { echo "FAIL: no cold-start recovery line"; exit 1; }
+
+echo "== persist: journal three ratings (one admission) =="
+request POST /rate 202 '{"user":3,"item":1,"rating":5}' | jq -e '.accepted == true' >/dev/null
+request POST /rate 202 '{"user":7,"item":2,"rating":2}' | jq -e '.accepted == true' >/dev/null
+request POST /rate 202 '{"user":50,"item":20,"rating":4}' | jq -e '.accepted == true' >/dev/null
+for _ in $(seq 1 100); do
+  applied=$(request GET /stats 200 | jq -r '.rates_applied')
+  [ "$applied" -eq 3 ] && break
+  sleep 0.1
+done
+[ "$applied" -eq 3 ] || { echo "FAIL: ratings never applied"; exit 1; }
+request GET /stats 200 | jq -e '.wal_records == 3 and .wal_seq == 3' >/dev/null
+digest_before=$(request GET /digest 200 | jq -r '.digest')
+version_before=$(request GET /digest 200 | jq -r '.version')
+
+echo "== persist: kill -9, warm restart recovers every acked rating =="
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+start_persist_server
+grep -q "recovery: checkpoint version 1 + 3 wal records replayed" "$PERSIST_LOG" \
+  || { echo "FAIL: warm-restart recovery line missing/wrong"; exit 1; }
+request GET /stats 200 | jq -e '.recovery_replayed == 3 and .recovery_dropped_bytes == 0
+  and .rates_applied == 3 and .users_admitted >= 1' >/dev/null
+request GET /digest 200 | jq -e '.digest == "'"$digest_before"'"
+  and .version == '"$version_before" >/dev/null
+request GET /group/50 200 | jq -e '.user == 50 and (.members | index(50) != null)' >/dev/null
+
 echo "serve smoke: all checks passed"

@@ -258,6 +258,38 @@ impl TailAgg {
     }
 }
 
+/// A serializable projection of one Step-1 bucket, with scores carried as
+/// exact `f64` bit patterns so a checkpoint round trip is lossless.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormerBucket {
+    /// The shared top-`k` item sequence of the bucket's members.
+    pub items: Vec<u32>,
+    /// The bucket key's score bit patterns (the members' shared
+    /// per-position scores, per the grouping semantics).
+    pub key_score_bits: Vec<u64>,
+    /// Member user ids, strictly ascending.
+    pub users: Vec<u32>,
+    /// Per-position minimum score bits across members.
+    pub pos_min_bits: Vec<u64>,
+    /// Per-position score-sum bits across members.
+    pub pos_sum_bits: Vec<u64>,
+}
+
+/// A serializable snapshot of an [`IncrementalFormer`]'s standing state:
+/// the exact Step-1 bucket multiset (canonically ordered) plus the Step-2
+/// selection in emission order. Produced by
+/// [`IncrementalFormer::export_state`], consumed by
+/// [`IncrementalFormer::import_state`]; the `gf-persist` crate gives it a
+/// byte-level encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormerState {
+    /// All standing buckets, sorted by (items, key score bits).
+    pub buckets: Vec<FormerBucket>,
+    /// Indices into `buckets` of the selected (own-group) buckets, in
+    /// emission order.
+    pub selected: Vec<u32>,
+}
+
 /// A standing greedy formation that absorbs rating updates by patching
 /// only the dirty users' buckets and splicing the result back into the
 /// grouping with a bounded repair pass. See the [module docs](self) for
@@ -390,6 +422,159 @@ impl IncrementalFormer {
     #[doc(hidden)]
     pub fn canonical_buckets(&self) -> Vec<bucket::CanonicalBucket> {
         bucket::canonical_buckets(self.buckets.values().cloned().collect())
+    }
+
+    /// Projects the standing Step-1/2 state into a serializable
+    /// [`FormerState`] — buckets in canonical (key-sorted) order, the
+    /// Step-2 selection as indices into that order — for the `gf-persist`
+    /// checkpoint writer. [`IncrementalFormer::import_state`] is the
+    /// inverse; the round trip preserves the emitted grouping bit for
+    /// bit.
+    pub fn export_state(&self) -> FormerState {
+        let mut order: Vec<&BucketKey> = self.buckets.keys().collect();
+        order.sort_unstable_by(|a, b| {
+            a.items
+                .cmp(&b.items)
+                .then_with(|| a.score_bits.cmp(&b.score_bits))
+        });
+        let index_of: FxHashMap<&BucketKey, u32> = order
+            .iter()
+            .enumerate()
+            .map(|(idx, key)| (*key, idx as u32))
+            .collect();
+        let buckets = order
+            .iter()
+            .map(|key| {
+                let b = &self.buckets[*key];
+                FormerBucket {
+                    items: key.items.to_vec(),
+                    key_score_bits: key.score_bits.to_vec(),
+                    users: b.users.clone(),
+                    pos_min_bits: b.pos_min.iter().map(|s| s.to_bits()).collect(),
+                    pos_sum_bits: b.pos_sum.iter().map(|s| s.to_bits()).collect(),
+                }
+            })
+            .collect();
+        let selected = self.selected.iter().map(|key| index_of[key]).collect();
+        FormerState { buckets, selected }
+    }
+
+    /// Reconstructs a standing former from an exported [`FormerState`]
+    /// against the matrix/prefs pair it was exported under.
+    ///
+    /// Derived state (per-user bucket keys, tail membership, tail
+    /// aggregates, the emitted grouping, the selection lag) is rebuilt
+    /// from the matrix rather than trusted — the tail aggregates
+    /// re-accumulate in ascending user order, the exact order
+    /// [`IncrementalFormer::new`] uses, so on a dyadic rating grid the
+    /// restored former continues bit-for-bit from where the exported one
+    /// stopped. Structural invariants (sorted unique membership, full
+    /// user coverage, well-formed selection) are validated; a state that
+    /// fails them yields [`GfError::Persist`].
+    pub fn import_state(
+        matrix: &RatingMatrix,
+        cfg: FormationConfig,
+        state: &FormerState,
+    ) -> Result<Self> {
+        cfg.validate(matrix)?;
+        let corrupt = |msg: String| GfError::Persist(format!("invalid former state: {msg}"));
+        let n = matrix.n_users() as usize;
+        let mut buckets: FxHashMap<BucketKey, Bucket> = FxHashMap::default();
+        let mut keys: Vec<BucketKey> = Vec::with_capacity(state.buckets.len());
+        let mut user_keys: Vec<Option<BucketKey>> = vec![None; n];
+        for (idx, fb) in state.buckets.iter().enumerate() {
+            if fb.pos_min_bits.len() != fb.items.len() || fb.pos_sum_bits.len() != fb.items.len() {
+                return Err(corrupt(format!(
+                    "bucket {idx} score vectors mismatch items"
+                )));
+            }
+            if fb.users.is_empty() {
+                return Err(corrupt(format!("bucket {idx} has no members")));
+            }
+            let key = BucketKey {
+                items: fb.items.clone().into_boxed_slice(),
+                score_bits: fb.key_score_bits.clone().into_boxed_slice(),
+            };
+            for (pos, &u) in fb.users.iter().enumerate() {
+                if u as usize >= n {
+                    return Err(corrupt(format!("bucket {idx} member {u} out of range")));
+                }
+                if pos > 0 && fb.users[pos - 1] >= u {
+                    return Err(corrupt(format!("bucket {idx} members not sorted unique")));
+                }
+                let slot = &mut user_keys[u as usize];
+                if slot.is_some() {
+                    return Err(corrupt(format!("user {u} appears in two buckets")));
+                }
+                *slot = Some(key.clone());
+            }
+            let bucket = Bucket {
+                items: fb.items.clone().into_boxed_slice(),
+                users: fb.users.clone(),
+                pos_min: fb.pos_min_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+                pos_sum: fb.pos_sum_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+            };
+            if buckets.insert(key.clone(), bucket).is_some() {
+                return Err(corrupt(format!("bucket {idx} repeats an earlier key")));
+            }
+            keys.push(key);
+        }
+        let user_keys: Vec<BucketKey> = user_keys
+            .into_iter()
+            .enumerate()
+            .map(|(u, key)| key.ok_or_else(|| corrupt(format!("user {u} not in any bucket"))))
+            .collect::<Result<_>>()?;
+        let mut selected: Vec<BucketKey> = Vec::with_capacity(state.selected.len());
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        for &idx in &state.selected {
+            if idx as usize >= keys.len() || !seen.insert(idx) {
+                return Err(corrupt(format!("bad selection index {idx}")));
+            }
+            selected.push(keys[idx as usize].clone());
+        }
+        let selected_set: FxHashSet<&BucketKey> = selected.iter().collect();
+        let mut former = IncrementalFormer {
+            cfg,
+            n_items: matrix.n_items(),
+            buckets,
+            user_keys,
+            selected: Vec::new(),
+            in_tail: vec![false; n],
+            tail_len: 0,
+            agg_tail: matches!(cfg.policy, MissingPolicy::Min)
+                .then(|| TailAgg::new(matrix.n_items() as usize, matrix.scale().min())),
+            result: FormationResult {
+                grouping: Grouping::default(),
+                objective: 0.0,
+                n_buckets: 0,
+            },
+            max_swaps: usize::MAX,
+            selection_lag: 0.0,
+        };
+        for u in 0..n {
+            if !selected_set.contains(&former.user_keys[u]) {
+                former.in_tail[u] = true;
+                former.tail_len += 1;
+                if let Some(agg) = &mut former.agg_tail {
+                    for (i, s) in matrix.user_ratings(u as u32) {
+                        agg.add(i, s);
+                    }
+                }
+            }
+        }
+        drop(selected_set);
+        former.selected = selected;
+        let (_, ideal_sum) = former.ideal_selection();
+        let actual_sum: f64 = former
+            .selected
+            .iter()
+            .map(|key| {
+                former.buckets[key].satisfaction(former.cfg.semantics, former.cfg.aggregation)
+            })
+            .sum();
+        former.selection_lag = (ideal_sum - actual_sum).max(0.0);
+        former.emit(matrix);
+        Ok(former)
     }
 
     /// Patches the standing formation after a batch of rating updates.
@@ -1059,6 +1244,61 @@ mod tests {
                 assert_matches_cold(&par, &m2, &p2, &cfg);
             }
         }
+    }
+
+    #[test]
+    fn export_import_round_trip_is_exact_and_keeps_refreshing() {
+        let (mut m, mut p) = example1();
+        for sem in Semantics::all() {
+            let cfg = FormationConfig::new(sem, Aggregation::Min, 2, 3);
+            let mut former = IncrementalFormer::new(&m, &p, cfg).unwrap();
+            let deltas = apply(&mut m, &mut p, &[(0, 0, 5.0), (4, 1, 4.0)]);
+            former.refresh(&m, &p, &deltas).unwrap();
+            let state = former.export_state();
+            let mut restored = IncrementalFormer::import_state(&m, cfg, &state).unwrap();
+            assert_eq!(restored.canonical_buckets(), former.canonical_buckets());
+            assert_eq!(restored.result(), former.result());
+            assert_eq!(restored.selection_lag(), former.selection_lag());
+            // The restored former keeps tracking cold exactly.
+            let deltas = apply(&mut m, &mut p, &[(2, 2, 4.0), (5, 0, 1.0)]);
+            restored.refresh(&m, &p, &deltas).unwrap();
+            former.refresh(&m, &p, &deltas).unwrap();
+            assert_matches_cold(&restored, &m, &p, &cfg);
+            assert_eq!(restored.result(), former.result());
+        }
+    }
+
+    #[test]
+    fn import_rejects_corrupt_states() {
+        let (m, p) = example1();
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 3);
+        let former = IncrementalFormer::new(&m, &p, cfg).unwrap();
+        let good = former.export_state();
+        // A user claimed by two buckets.
+        let mut bad = good.clone();
+        let u = bad.buckets[0].users[0];
+        if let Some(other) = bad.buckets.get_mut(1) {
+            other.users.insert(0, u);
+        }
+        assert!(matches!(
+            IncrementalFormer::import_state(&m, cfg, &bad),
+            Err(GfError::Persist(_))
+        ));
+        // A selection index out of range.
+        let mut bad = good.clone();
+        bad.selected.push(bad.buckets.len() as u32 + 7);
+        assert!(matches!(
+            IncrementalFormer::import_state(&m, cfg, &bad),
+            Err(GfError::Persist(_))
+        ));
+        // A missing user (drop one bucket entirely).
+        let mut bad = good.clone();
+        bad.selected.clear();
+        bad.buckets.pop();
+        assert!(matches!(
+            IncrementalFormer::import_state(&m, cfg, &bad),
+            Err(GfError::Persist(_))
+        ));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod overlap;
 pub mod shard;
 
 pub use greedy::GreedyFormer;
-pub use incremental::{IncrementalFormer, RatingDelta};
+pub use incremental::{FormerBucket, FormerState, IncrementalFormer, RatingDelta};
 pub use overlap::{OverlapConfig, OverlappingFormer, OverlappingGrouping};
 pub use shard::ShardedFormer;
 

@@ -69,6 +69,10 @@ pub enum GfError {
     /// An incremental former was asked to refresh against a matrix it was
     /// not built for (population mismatch or missing dirty notifications).
     StaleIncrementalState(String),
+    /// Durable-state machinery (WAL append, checkpoint write/load,
+    /// restored-state validation) failed; the message carries the
+    /// operation and cause.
+    Persist(String),
     /// Admitting a new user or item would exceed a
     /// [`GrowthPolicy::Grow`](crate::GrowthPolicy) cap.
     GrowthExhausted {
@@ -112,6 +116,7 @@ impl fmt::Display for GfError {
             GfError::StaleIncrementalState(msg) => {
                 write!(f, "stale incremental formation state: {msg}")
             }
+            GfError::Persist(msg) => write!(f, "persistence error: {msg}"),
             GfError::GrowthExhausted { axis, id, max } => {
                 write!(
                     f,

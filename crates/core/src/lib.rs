@@ -75,8 +75,8 @@ pub mod weights;
 
 pub use aggregate::Aggregation;
 pub use alg::{
-    FormationConfig, FormationResult, GreedyFormer, GroupFormer, IncrementalFormer, RatingDelta,
-    RefreshMode, ShardedFormer,
+    FormationConfig, FormationResult, FormerBucket, FormerState, GreedyFormer, GroupFormer,
+    IncrementalFormer, RatingDelta, RefreshMode, ShardedFormer,
 };
 pub use error::{GfError, Result};
 pub use fxhash::{FxHashMap, FxHashSet};

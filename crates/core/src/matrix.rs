@@ -201,6 +201,95 @@ impl RatingMatrix {
         })
     }
 
+    /// Rebuilds a matrix from raw CSR storage — the inverse of
+    /// [`RatingMatrix::csr_parts`], used by the `gf-persist` checkpoint
+    /// loader. Every invariant the builders enforce is re-validated here
+    /// (monotone offsets, strictly increasing item ids per row, finite
+    /// in-scale scores), so a corrupted or hand-edited checkpoint cannot
+    /// smuggle an invalid matrix into a serving process.
+    pub fn from_csr_parts(
+        n_users: u32,
+        n_items: u32,
+        scale: RatingScale,
+        offsets: Vec<usize>,
+        items: Vec<u32>,
+        scores: Vec<f64>,
+    ) -> Result<Self> {
+        if n_users == 0 || n_items == 0 {
+            return Err(GfError::EmptyMatrix);
+        }
+        let corrupt = |msg: String| GfError::Persist(format!("invalid CSR parts: {msg}"));
+        if offsets.len() != n_users as usize + 1 {
+            return Err(corrupt(format!(
+                "{} offsets for {n_users} users",
+                offsets.len()
+            )));
+        }
+        if offsets[0] != 0 {
+            return Err(corrupt(format!("offsets[0] = {}", offsets[0])));
+        }
+        if items.len() != scores.len() {
+            return Err(corrupt(format!(
+                "{} items vs {} scores",
+                items.len(),
+                scores.len()
+            )));
+        }
+        if *offsets.last().expect("non-empty") != items.len() {
+            return Err(corrupt(format!(
+                "last offset {} does not cover {} entries",
+                offsets.last().expect("non-empty"),
+                items.len()
+            )));
+        }
+        for u in 0..n_users as usize {
+            let (lo, hi) = (offsets[u], offsets[u + 1]);
+            if lo > hi {
+                return Err(corrupt(format!("offsets decrease at row {u}")));
+            }
+            let row = items
+                .get(lo..hi)
+                .ok_or_else(|| corrupt(format!("row {u} range {lo}..{hi} out of bounds")))?;
+            for (idx, &i) in row.iter().enumerate() {
+                if i >= n_items {
+                    return Err(GfError::ItemOutOfRange { item: i, n_items });
+                }
+                if idx > 0 && row[idx - 1] >= i {
+                    return Err(corrupt(format!("row {u} item ids not strictly increasing")));
+                }
+                let s = scores[lo + idx];
+                if !s.is_finite() {
+                    return Err(GfError::NonFiniteScore {
+                        user: u as u32,
+                        item: i,
+                    });
+                }
+                if !scale.contains(s) {
+                    return Err(GfError::ScaleViolation {
+                        user: u as u32,
+                        item: i,
+                        score: s,
+                    });
+                }
+            }
+        }
+        Ok(RatingMatrix {
+            n_users,
+            n_items,
+            scale,
+            offsets,
+            items,
+            scores,
+        })
+    }
+
+    /// The raw CSR storage `(offsets, items, scores)` — the exact bytes a
+    /// checkpoint serializes. `offsets[u]..offsets[u+1]` indexes the
+    /// parallel `items`/`scores` slices for user `u`.
+    pub fn csr_parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.offsets, &self.items, &self.scores)
+    }
+
     /// Number of users `n`.
     #[inline]
     pub fn n_users(&self) -> u32 {

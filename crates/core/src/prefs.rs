@@ -9,6 +9,7 @@
 //! Ties are broken by ascending item id, making every preference list — and
 //! therefore every algorithm in this crate — deterministic.
 
+use crate::error::{GfError, Result};
 use crate::matrix::RatingMatrix;
 
 /// All users' preference lists, stored flat in CSR layout.
@@ -47,6 +48,66 @@ impl PrefIndex {
             items,
             scores,
         }
+    }
+
+    /// Rebuilds an index from raw CSR storage — the inverse of
+    /// [`PrefIndex::parts`], used by the `gf-persist` checkpoint loader.
+    /// Re-validates the structural invariants ([`PrefIndex::build`]'s
+    /// postconditions): monotone offsets covering the storage and, within
+    /// each row, finite scores in non-increasing order with score ties
+    /// broken by ascending item id.
+    pub fn from_parts(offsets: Vec<usize>, items: Vec<u32>, scores: Vec<f64>) -> Result<Self> {
+        let corrupt = |msg: String| GfError::Persist(format!("invalid pref parts: {msg}"));
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(corrupt("offsets must start at 0".into()));
+        }
+        if items.len() != scores.len() {
+            return Err(corrupt(format!(
+                "{} items vs {} scores",
+                items.len(),
+                scores.len()
+            )));
+        }
+        if *offsets.last().expect("non-empty") != items.len() {
+            return Err(corrupt(format!(
+                "last offset {} does not cover {} entries",
+                offsets.last().expect("non-empty"),
+                items.len()
+            )));
+        }
+        for u in 0..offsets.len() - 1 {
+            let (lo, hi) = (offsets[u], offsets[u + 1]);
+            if lo > hi || hi > items.len() {
+                return Err(corrupt(format!("bad row range {lo}..{hi} for user {u}")));
+            }
+            for idx in lo..hi {
+                if !scores[idx].is_finite() {
+                    return Err(corrupt(format!("non-finite score in row {u}")));
+                }
+                if idx > lo {
+                    let order = scores[idx - 1]
+                        .total_cmp(&scores[idx])
+                        .then(items[idx].cmp(&items[idx - 1]));
+                    if order == std::cmp::Ordering::Less {
+                        return Err(corrupt(format!("row {u} not in preference order")));
+                    }
+                    if scores[idx - 1] == scores[idx] && items[idx - 1] == items[idx] {
+                        return Err(corrupt(format!("row {u} repeats an item")));
+                    }
+                }
+            }
+        }
+        Ok(PrefIndex {
+            offsets,
+            items,
+            scores,
+        })
+    }
+
+    /// The raw CSR storage `(offsets, items, scores)` — the exact bytes a
+    /// checkpoint serializes.
+    pub fn parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.offsets, &self.items, &self.scores)
     }
 
     /// Number of users indexed.

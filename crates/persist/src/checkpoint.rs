@@ -1,0 +1,780 @@
+//! Binary snapshot checkpoints: one self-contained file holding
+//! everything a warm restart needs.
+//!
+//! A checkpoint is a 32-byte header followed by a CRC-guarded payload of
+//! tagged sections (byte-level layout in `docs/PERSISTENCE.md`):
+//!
+//! ```text
+//! header  = [GFCK][u32 format_version][u64 payload_len][u32 payload_crc][12 reserved bytes]
+//! payload = section*   section = [u32 tag][u32 0][u64 body_len][body][pad to 8]
+//! ```
+//!
+//! Sections carry the snapshot meta/progress counters, the formation
+//! configuration, the rating matrix CSR, the preference-index CSR, the
+//! emitted formation and (when the standing former was in lineage at
+//! checkpoint time) the exported [`FormerState`]. Every array is
+//! length-prefixed fixed-width little-endian and 8-byte aligned — the
+//! layout is mmap-ready, though this workspace reads it through the
+//! bounds-checked [`Reader`] (`forbid(unsafe_code)`
+//! rules out real `mmap`). **Unknown tags are skipped**, so a future
+//! writer can add sections (e.g. the consensus-objective per-grouping
+//! state queued in the ROADMAP) without breaking this reader; bumping
+//! [`CHECKPOINT_FORMAT_VERSION`] is reserved for layout changes an old
+//! reader must *not* attempt.
+//!
+//! Writes are atomic: encode to `checkpoint.tmp`, `fsync`, rename into
+//! `checkpoint-<version>.ckpt`, `fsync` the directory. A reader therefore
+//! never sees a partial checkpoint; a crash mid-write leaves at worst a
+//! stale `.tmp` that the next write overwrites.
+
+use crate::codec::{Reader, Writer};
+use crate::crc32::crc32;
+use crate::error::{PersistError, Result};
+use gf_core::{
+    Aggregation, FormationConfig, FormationResult, FormerBucket, FormerState, GfError, Group,
+    Grouping, GrowthPolicy, MissingPolicy, PrefIndex, RatingMatrix, RatingScale, RefreshMode,
+    Semantics,
+};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Format version written into every checkpoint header.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// Checkpoint header magic.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"GFCK";
+
+/// Bytes of header before the payload.
+pub const CHECKPOINT_HEADER_BYTES: usize = 32;
+
+const TAG_META: u32 = 1;
+const TAG_CONFIG: u32 = 2;
+const TAG_MATRIX: u32 = 3;
+const TAG_PREFS: u32 = 4;
+const TAG_FORMATION: u32 = 5;
+const TAG_FORMER: u32 = 6;
+
+/// Everything one checkpoint captures. The fields mirror the serving
+/// snapshot plus its durable progress frontier.
+#[derive(Debug, Clone)]
+pub struct CheckpointState {
+    /// The snapshot version the state was exported at.
+    pub snapshot_version: u64,
+    /// Highest WAL sequence number whose record is baked into this state;
+    /// recovery replays strictly-greater records, truncation may drop
+    /// segments at or below it.
+    pub wal_seq: u64,
+    /// Total rating updates applied since the process lineage began.
+    pub applied: u64,
+    /// Users admitted at serve time (cumulative).
+    pub users_admitted: u64,
+    /// Items admitted at serve time (cumulative).
+    pub items_admitted: u64,
+    /// The formation configuration the snapshot was formed under.
+    pub config: FormationConfig,
+    /// The rating matrix.
+    pub matrix: RatingMatrix,
+    /// The preference index matching `matrix`.
+    pub prefs: PrefIndex,
+    /// The emitted formation.
+    pub formation: FormationResult,
+    /// The standing incremental former's state, when it was in lineage
+    /// (synced to exactly this snapshot) at export time.
+    pub former: Option<FormerState>,
+}
+
+fn semantics_code(s: Semantics) -> u8 {
+    match s {
+        Semantics::LeastMisery => 0,
+        Semantics::AggregateVoting => 1,
+    }
+}
+
+fn aggregation_code(a: Aggregation) -> Result<u8> {
+    match a {
+        Aggregation::Min => Ok(0),
+        Aggregation::Max => Ok(1),
+        Aggregation::Sum => Ok(2),
+        Aggregation::WeightedSum(_) => Err(PersistError::Corrupt(
+            "WeightedSum aggregation has no checkpoint encoding in format v1".into(),
+        )),
+    }
+}
+
+fn policy_code(p: MissingPolicy) -> u8 {
+    match p {
+        MissingPolicy::Min => 0,
+        MissingPolicy::UserMean => 1,
+        MissingPolicy::Skip => 2,
+    }
+}
+
+fn refresh_code(r: RefreshMode) -> u8 {
+    match r {
+        RefreshMode::Auto => 0,
+        RefreshMode::Cold => 1,
+        RefreshMode::Incremental => 2,
+    }
+}
+
+fn encode_config(cfg: &FormationConfig) -> Result<Vec<u8>> {
+    let mut w = Writer::new();
+    w.u8(semantics_code(cfg.semantics));
+    w.u8(aggregation_code(cfg.aggregation)?);
+    w.u8(policy_code(cfg.policy));
+    w.u8(refresh_code(cfg.refresh));
+    w.usize(cfg.k);
+    w.usize(cfg.ell);
+    w.usize(cfg.n_threads);
+    match cfg.growth {
+        GrowthPolicy::Fixed => {
+            w.u8(0);
+            w.u32(0);
+            w.u32(0);
+        }
+        GrowthPolicy::Grow {
+            max_users,
+            max_items,
+        } => {
+            w.u8(1);
+            w.u32(max_users);
+            w.u32(max_items);
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+fn decode_config(body: &[u8]) -> Result<FormationConfig> {
+    let bad = |what: &str, v: u8| PersistError::Corrupt(format!("unknown {what} code {v}"));
+    let mut r = Reader::new(body);
+    let semantics = match r.u8("semantics")? {
+        0 => Semantics::LeastMisery,
+        1 => Semantics::AggregateVoting,
+        v => return Err(bad("semantics", v)),
+    };
+    let aggregation = match r.u8("aggregation")? {
+        0 => Aggregation::Min,
+        1 => Aggregation::Max,
+        2 => Aggregation::Sum,
+        v => return Err(bad("aggregation", v)),
+    };
+    let policy = match r.u8("policy")? {
+        0 => MissingPolicy::Min,
+        1 => MissingPolicy::UserMean,
+        2 => MissingPolicy::Skip,
+        v => return Err(bad("policy", v)),
+    };
+    let refresh = match r.u8("refresh")? {
+        0 => RefreshMode::Auto,
+        1 => RefreshMode::Cold,
+        2 => RefreshMode::Incremental,
+        v => return Err(bad("refresh", v)),
+    };
+    let k = r.usize("k")?;
+    let ell = r.usize("ell")?;
+    let n_threads = r.usize("n_threads")?;
+    let growth = match r.u8("growth")? {
+        0 => {
+            r.u32("max_users")?;
+            r.u32("max_items")?;
+            GrowthPolicy::Fixed
+        }
+        1 => GrowthPolicy::Grow {
+            max_users: r.u32("max_users")?,
+            max_items: r.u32("max_items")?,
+        },
+        v => return Err(bad("growth", v)),
+    };
+    Ok(FormationConfig::new(semantics, aggregation, k, ell)
+        .with_policy(policy)
+        .with_threads(n_threads)
+        .with_refresh(refresh)
+        .with_growth(growth))
+}
+
+fn encode_matrix(m: &RatingMatrix) -> Vec<u8> {
+    let (offsets, items, scores) = m.csr_parts();
+    let mut w = Writer::new();
+    w.u32(m.n_users());
+    w.u32(m.n_items());
+    w.f64(m.scale().min());
+    w.f64(m.scale().max());
+    w.usize_slice(offsets);
+    w.u32_slice(items);
+    w.f64_slice(scores);
+    w.into_bytes()
+}
+
+fn decode_matrix(body: &[u8]) -> Result<RatingMatrix> {
+    let mut r = Reader::new(body);
+    let n_users = r.u32("n_users")?;
+    let n_items = r.u32("n_items")?;
+    let min = r.f64("scale min")?;
+    let max = r.f64("scale max")?;
+    let scale = RatingScale::new(min, max).map_err(PersistError::from)?;
+    let offsets = r.usize_vec("matrix offsets")?;
+    let items = r.u32_vec("matrix items")?;
+    let scores = r.f64_vec("matrix scores")?;
+    RatingMatrix::from_csr_parts(n_users, n_items, scale, offsets, items, scores)
+        .map_err(PersistError::from)
+}
+
+fn encode_prefs(p: &PrefIndex) -> Vec<u8> {
+    let (offsets, items, scores) = p.parts();
+    let mut w = Writer::new();
+    w.usize_slice(offsets);
+    w.u32_slice(items);
+    w.f64_slice(scores);
+    w.into_bytes()
+}
+
+fn decode_prefs(body: &[u8]) -> Result<PrefIndex> {
+    let mut r = Reader::new(body);
+    let offsets = r.usize_vec("pref offsets")?;
+    let items = r.u32_vec("pref items")?;
+    let scores = r.f64_vec("pref scores")?;
+    PrefIndex::from_parts(offsets, items, scores).map_err(PersistError::from)
+}
+
+fn encode_formation(f: &FormationResult) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.f64(f.objective);
+    w.usize(f.n_buckets);
+    w.usize(f.grouping.groups.len());
+    for g in &f.grouping.groups {
+        w.u32_slice(&g.members);
+        w.usize(g.top_k.len());
+        for &(item, score) in &g.top_k {
+            w.u32(item);
+            w.f64(score);
+        }
+        w.f64(g.satisfaction);
+    }
+    w.into_bytes()
+}
+
+fn decode_formation(body: &[u8]) -> Result<FormationResult> {
+    let mut r = Reader::new(body);
+    let objective = r.f64("objective")?;
+    let n_buckets = r.usize("n_buckets")?;
+    let n_groups = r.usize("n_groups")?;
+    let mut groups = Vec::new();
+    for _ in 0..n_groups {
+        let members = r.u32_vec("group members")?;
+        let top_len = r.usize("top_k length")?;
+        if top_len.checked_mul(12).is_none_or(|b| b > r.remaining()) {
+            return Err(PersistError::Corrupt(format!(
+                "top_k of {top_len} entries exceeds remaining bytes"
+            )));
+        }
+        let mut top_k = Vec::with_capacity(top_len);
+        for _ in 0..top_len {
+            let item = r.u32("top_k item")?;
+            let score = r.f64("top_k score")?;
+            top_k.push((item, score));
+        }
+        let satisfaction = r.f64("satisfaction")?;
+        groups.push(Group {
+            members,
+            top_k,
+            satisfaction,
+        });
+    }
+    Ok(FormationResult {
+        grouping: Grouping::new(groups),
+        objective,
+        n_buckets,
+    })
+}
+
+fn encode_former(s: &FormerState) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(s.buckets.len());
+    for b in &s.buckets {
+        w.u32_slice(&b.items);
+        w.u64_slice(&b.key_score_bits);
+        w.u32_slice(&b.users);
+        w.u64_slice(&b.pos_min_bits);
+        w.u64_slice(&b.pos_sum_bits);
+    }
+    w.u32_slice(&s.selected);
+    w.into_bytes()
+}
+
+fn decode_former(body: &[u8]) -> Result<FormerState> {
+    let mut r = Reader::new(body);
+    let n = r.usize("bucket count")?;
+    let mut buckets = Vec::new();
+    for _ in 0..n {
+        buckets.push(FormerBucket {
+            items: r.u32_vec("bucket items")?,
+            key_score_bits: r.u64_vec("bucket key scores")?,
+            users: r.u32_vec("bucket users")?,
+            pos_min_bits: r.u64_vec("bucket pos_min")?,
+            pos_sum_bits: r.u64_vec("bucket pos_sum")?,
+        });
+    }
+    let selected = r.u32_vec("selected")?;
+    Ok(FormerState { buckets, selected })
+}
+
+fn section(w: &mut Writer, tag: u32, body: &[u8]) {
+    w.u32(tag);
+    w.u32(0);
+    w.usize(body.len());
+    w.bytes(body);
+    w.pad_to(8);
+}
+
+/// Serializes a checkpoint to its on-disk bytes.
+pub fn encode(state: &CheckpointState) -> Result<Vec<u8>> {
+    let mut payload = Writer::new();
+    let mut meta = Writer::new();
+    meta.u64(state.snapshot_version);
+    meta.u64(state.wal_seq);
+    meta.u64(state.applied);
+    meta.u64(state.users_admitted);
+    meta.u64(state.items_admitted);
+    section(&mut payload, TAG_META, &meta.into_bytes());
+    section(&mut payload, TAG_CONFIG, &encode_config(&state.config)?);
+    section(&mut payload, TAG_MATRIX, &encode_matrix(&state.matrix));
+    section(&mut payload, TAG_PREFS, &encode_prefs(&state.prefs));
+    section(
+        &mut payload,
+        TAG_FORMATION,
+        &encode_formation(&state.formation),
+    );
+    if let Some(former) = &state.former {
+        section(&mut payload, TAG_FORMER, &encode_former(former));
+    }
+    let payload = payload.into_bytes();
+    let mut out = Writer::new();
+    out.bytes(&CHECKPOINT_MAGIC);
+    out.u32(CHECKPOINT_FORMAT_VERSION);
+    out.usize(payload.len());
+    out.u32(crc32(&payload));
+    out.bytes(&[0u8; 12]);
+    out.bytes(&payload);
+    Ok(out.into_bytes())
+}
+
+/// Decodes checkpoint bytes, validating the header, the payload CRC and
+/// every restored structure. Unknown section tags are skipped (forward
+/// compatibility); a format version above
+/// [`CHECKPOINT_FORMAT_VERSION`] is rejected with
+/// [`PersistError::UnsupportedVersion`].
+pub fn decode(bytes: &[u8]) -> Result<CheckpointState> {
+    let mut r = Reader::new(bytes);
+    if r.take(4, "magic")? != CHECKPOINT_MAGIC {
+        return Err(PersistError::Corrupt("bad checkpoint magic".into()));
+    }
+    let version = r.u32("format version")?;
+    if version != CHECKPOINT_FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: CHECKPOINT_FORMAT_VERSION,
+        });
+    }
+    let payload_len = r.usize("payload length")?;
+    let crc = r.u32("payload crc")?;
+    r.take(12, "reserved")?;
+    let payload = r.take(payload_len, "payload")?;
+    if crc32(payload) != crc {
+        return Err(PersistError::Corrupt(
+            "checkpoint payload crc mismatch".into(),
+        ));
+    }
+    let mut meta = None;
+    let mut config = None;
+    let mut matrix = None;
+    let mut prefs = None;
+    let mut formation = None;
+    let mut former = None;
+    let mut s = Reader::new(payload);
+    while !s.is_empty() {
+        let tag = s.u32("section tag")?;
+        s.u32("section pad")?;
+        let len = s.usize("section length")?;
+        let body = s.take(len, "section body")?;
+        // Skip the alignment padding the writer added after the body.
+        let pad = (8 - (s.position() % 8)) % 8;
+        s.take(pad, "section padding")?;
+        match tag {
+            TAG_META => {
+                let mut m = Reader::new(body);
+                meta = Some((
+                    m.u64("snapshot_version")?,
+                    m.u64("wal_seq")?,
+                    m.u64("applied")?,
+                    m.u64("users_admitted")?,
+                    m.u64("items_admitted")?,
+                ));
+            }
+            TAG_CONFIG => config = Some(decode_config(body)?),
+            TAG_MATRIX => matrix = Some(decode_matrix(body)?),
+            TAG_PREFS => prefs = Some(decode_prefs(body)?),
+            TAG_FORMATION => formation = Some(decode_formation(body)?),
+            TAG_FORMER => former = Some(decode_former(body)?),
+            _ => {} // future section: skip
+        }
+    }
+    let missing = |what: &str| PersistError::Corrupt(format!("checkpoint lacks a {what} section"));
+    let (snapshot_version, wal_seq, applied, users_admitted, items_admitted) =
+        meta.ok_or_else(|| missing("meta"))?;
+    let config = config.ok_or_else(|| missing("config"))?;
+    let matrix = matrix.ok_or_else(|| missing("matrix"))?;
+    let prefs = prefs.ok_or_else(|| missing("prefs"))?;
+    let formation = formation.ok_or_else(|| missing("formation"))?;
+    // Cross-validate the independent sections against each other.
+    if prefs.n_users() != matrix.n_users() {
+        return Err(PersistError::Corrupt(format!(
+            "prefs cover {} users but the matrix holds {}",
+            prefs.n_users(),
+            matrix.n_users()
+        )));
+    }
+    for u in 0..matrix.n_users() {
+        if prefs.degree(u) != matrix.degree(u) {
+            return Err(PersistError::Corrupt(format!(
+                "user {u}: pref degree {} != matrix degree {}",
+                prefs.degree(u),
+                matrix.degree(u)
+            )));
+        }
+    }
+    formation
+        .grouping
+        .validate(matrix.n_users(), config.ell)
+        .map_err(|e: GfError| PersistError::from(e))?;
+    Ok(CheckpointState {
+        snapshot_version,
+        wal_seq,
+        applied,
+        users_admitted,
+        items_admitted,
+        config,
+        matrix,
+        prefs,
+        formation,
+        former,
+    })
+}
+
+fn checkpoint_path(dir: &Path, version: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{version:020}.ckpt"))
+}
+
+fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(PersistError::io(format!("list {}", dir.display()))(e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(PersistError::io(format!("list {}", dir.display())))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(stem) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|n| n.strip_suffix(".ckpt"))
+        {
+            if let Ok(version) = stem.parse::<u64>() {
+                out.push((version, entry.path()));
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Atomically writes `state` as `checkpoint-<version>.ckpt` in `dir`
+/// (temp file + `fsync` + rename + directory `fsync`), then prunes older
+/// checkpoints down to the two most recent — the newest plus one
+/// fall-back should the newest turn out unreadable. Returns the final
+/// path.
+pub fn write(dir: &Path, state: &CheckpointState) -> Result<PathBuf> {
+    fs::create_dir_all(dir).map_err(PersistError::io(format!("mkdir {}", dir.display())))?;
+    let bytes = encode(state)?;
+    let tmp = dir.join("checkpoint.tmp");
+    let mut f = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(&tmp)
+        .map_err(PersistError::io(format!("create {}", tmp.display())))?;
+    f.write_all(&bytes)
+        .map_err(PersistError::io(format!("write {}", tmp.display())))?;
+    f.sync_all()
+        .map_err(PersistError::io(format!("fsync {}", tmp.display())))?;
+    drop(f);
+    let path = checkpoint_path(dir, state.snapshot_version);
+    fs::rename(&tmp, &path).map_err(PersistError::io(format!("rename into {}", path.display())))?;
+    let d = File::open(dir).map_err(PersistError::io(format!("open dir {}", dir.display())))?;
+    d.sync_all()
+        .map_err(PersistError::io(format!("fsync dir {}", dir.display())))?;
+    let mut all = list_checkpoints(dir)?;
+    while all.len() > 2 {
+        let (_, old) = all.remove(0);
+        fs::remove_file(&old).map_err(PersistError::io(format!("remove {}", old.display())))?;
+    }
+    Ok(path)
+}
+
+/// What [`load_latest`] recovered.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The newest checkpoint that decoded cleanly, with its path.
+    pub loaded: Option<(CheckpointState, PathBuf)>,
+    /// Checkpoints that were present but skipped as unreadable, newest
+    /// first, with the reason.
+    pub skipped: Vec<(PathBuf, String)>,
+}
+
+/// Loads the newest valid checkpoint in `dir`, falling back to older ones
+/// when the newest is corrupt (each skip is reported). A checkpoint with
+/// a *newer format version* is a hard error, not a skip — see
+/// [`PersistError::UnsupportedVersion`].
+pub fn load_latest(dir: &Path) -> Result<LoadOutcome> {
+    let mut outcome = LoadOutcome {
+        loaded: None,
+        skipped: Vec::new(),
+    };
+    for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
+        let bytes =
+            fs::read(&path).map_err(PersistError::io(format!("read {}", path.display())))?;
+        match decode(&bytes) {
+            Ok(state) => {
+                outcome.loaded = Some((state, path));
+                return Ok(outcome);
+            }
+            Err(e @ PersistError::UnsupportedVersion { .. }) => return Err(e),
+            Err(e) => outcome.skipped.push((path, e.to_string())),
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_core::{IncrementalFormer, MatrixBuilder, PrefIndex};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gf-ckpt-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_state(version: u64) -> CheckpointState {
+        let mut b = MatrixBuilder::new(6, 4, RatingScale::one_to_five());
+        for u in 0..6u32 {
+            for i in 0..4u32 {
+                if (u + i) % 3 != 0 {
+                    b.push(u, i, f64::from((u * 7 + i * 3) % 5 + 1)).unwrap();
+                }
+            }
+        }
+        b.push(0, 0, 3.0).unwrap();
+        b.push(3, 0, 2.0).unwrap();
+        let matrix = b.build().unwrap();
+        let prefs = PrefIndex::build(&matrix);
+        let config = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, 2, 1)
+            .with_growth(GrowthPolicy::Grow {
+                max_users: 100,
+                max_items: 50,
+            });
+        let former = IncrementalFormer::new(&matrix, &prefs, config).unwrap();
+        CheckpointState {
+            snapshot_version: version,
+            wal_seq: version * 3,
+            applied: version * 3,
+            users_admitted: 2,
+            items_admitted: 1,
+            config,
+            formation: former.result().clone(),
+            former: Some(former.export_state()),
+            matrix,
+            prefs,
+        }
+    }
+
+    fn assert_states_equal(a: &CheckpointState, b: &CheckpointState) {
+        assert_eq!(a.snapshot_version, b.snapshot_version);
+        assert_eq!(a.wal_seq, b.wal_seq);
+        assert_eq!(a.applied, b.applied);
+        assert_eq!(a.users_admitted, b.users_admitted);
+        assert_eq!(a.items_admitted, b.items_admitted);
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.matrix.csr_parts(), b.matrix.csr_parts());
+        assert_eq!(a.matrix.scale(), b.matrix.scale());
+        assert_eq!(a.prefs.parts(), b.prefs.parts());
+        assert_eq!(a.formation.objective, b.formation.objective);
+        assert_eq!(a.formation.n_buckets, b.formation.n_buckets);
+        let (ga, gb) = (&a.formation.grouping.groups, &b.formation.grouping.groups);
+        assert_eq!(ga.len(), gb.len());
+        for (x, y) in ga.iter().zip(gb) {
+            assert_eq!(x.members, y.members);
+            assert_eq!(x.top_k, y.top_k);
+            assert_eq!(x.satisfaction.to_bits(), y.satisfaction.to_bits());
+        }
+        assert_eq!(a.former, b.former);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_lossless() {
+        let state = sample_state(7);
+        let bytes = encode(&state).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_states_equal(&state, &back);
+        // The restored former state imports into a working former.
+        let restored = IncrementalFormer::import_state(
+            &back.matrix,
+            back.config,
+            back.former.as_ref().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(restored.result().objective, state.formation.objective);
+        // Encoding is deterministic: same state, same bytes.
+        assert_eq!(bytes, encode(&state).unwrap());
+    }
+
+    #[test]
+    fn former_section_is_optional() {
+        let mut state = sample_state(1);
+        state.former = None;
+        let back = decode(&encode(&state).unwrap()).unwrap();
+        assert!(back.former.is_none());
+    }
+
+    #[test]
+    fn weighted_sum_is_rejected_at_encode_time() {
+        let mut state = sample_state(1);
+        state.config = FormationConfig::new(
+            Semantics::AggregateVoting,
+            Aggregation::WeightedSum(gf_core::WeightScheme::Uniform),
+            2,
+            1,
+        );
+        assert!(matches!(encode(&state), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn newer_format_version_is_unsupported_not_corrupt() {
+        let state = sample_state(1);
+        let mut bytes = encode(&state).unwrap();
+        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(PersistError::UnsupportedVersion {
+                found: 2,
+                supported: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn payload_bit_flip_is_corrupt() {
+        let state = sample_state(1);
+        let mut bytes = encode(&state).unwrap();
+        let mid = CHECKPOINT_HEADER_BYTES + (bytes.len() - CHECKPOINT_HEADER_BYTES) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(decode(&bytes), Err(PersistError::Corrupt(_))));
+        // Truncation too.
+        let cut = &bytes[..bytes.len() - 9];
+        assert!(matches!(decode(cut), Err(PersistError::Corrupt(_))));
+        assert!(matches!(decode(&[]), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let state = sample_state(1);
+        let bytes = encode(&state).unwrap();
+        let payload = &bytes[CHECKPOINT_HEADER_BYTES..];
+        // Prepend a section with an unknown tag, then rebuild the header.
+        let mut injected = Writer::new();
+        injected.u32(0xBEEF);
+        injected.u32(0);
+        injected.usize(8);
+        injected.u64(0xDEAD_DEAD_DEAD_DEAD);
+        injected.bytes(payload);
+        let payload = injected.into_bytes();
+        let mut out = Writer::new();
+        out.bytes(&CHECKPOINT_MAGIC);
+        out.u32(CHECKPOINT_FORMAT_VERSION);
+        out.usize(payload.len());
+        out.u32(crc32(&payload));
+        out.bytes(&[0u8; 12]);
+        out.bytes(&payload);
+        let back = decode(&out.into_bytes()).unwrap();
+        assert_states_equal(&state, &back);
+    }
+
+    #[test]
+    fn write_prunes_to_two_and_load_latest_falls_back_past_corruption() {
+        let dir = tmpdir("prune");
+        for v in [3u64, 5, 9] {
+            write(&dir, &sample_state(v)).unwrap();
+        }
+        let names = list_checkpoints(&dir).unwrap();
+        assert_eq!(
+            names.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![5, 9],
+            "older checkpoints pruned down to two"
+        );
+        // Clean load picks the newest.
+        let out = load_latest(&dir).unwrap();
+        assert_eq!(out.loaded.as_ref().unwrap().0.snapshot_version, 9);
+        assert!(out.skipped.is_empty());
+        // Corrupt the newest: load falls back to version 5 and reports it.
+        let newest = checkpoint_path(&dir, 9);
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        let out = load_latest(&dir).unwrap();
+        assert_eq!(out.loaded.as_ref().unwrap().0.snapshot_version, 5);
+        assert_eq!(out.skipped.len(), 1);
+        // Corrupt both: nothing loads, both reported, no error.
+        let older = checkpoint_path(&dir, 5);
+        let mut bytes = fs::read(&older).unwrap();
+        bytes[40] ^= 0x01;
+        fs::write(&older, &bytes).unwrap();
+        let out = load_latest(&dir).unwrap();
+        assert!(out.loaded.is_none());
+        assert_eq!(out.skipped.len(), 2);
+        // A newer-format checkpoint is a hard error, not a skip.
+        let mut bytes = fs::read(&older).unwrap();
+        bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
+        fs::write(checkpoint_path(&dir, 11), &bytes).unwrap();
+        assert!(matches!(
+            load_latest(&dir),
+            Err(PersistError::UnsupportedVersion { found: 9, .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_latest_on_missing_dir_is_empty() {
+        let dir = std::env::temp_dir().join(format!("gf-ckpt-none-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let out = load_latest(&dir).unwrap();
+        assert!(out.loaded.is_none() && out.skipped.is_empty());
+    }
+
+    #[test]
+    fn cross_section_mismatch_is_corrupt() {
+        // Prefs from a *different* matrix shape must be rejected even though
+        // both sections are individually well-formed.
+        let mut state = sample_state(1);
+        let mut b = MatrixBuilder::new(2, 2, RatingScale::one_to_five());
+        b.push(0, 0, 1.0).unwrap();
+        b.push(1, 1, 5.0).unwrap();
+        let small = b.build().unwrap();
+        state.prefs = PrefIndex::build(&small);
+        let bytes = encode(&state).unwrap();
+        assert!(matches!(decode(&bytes), Err(PersistError::Corrupt(_))));
+    }
+}

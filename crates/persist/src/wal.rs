@@ -1,0 +1,631 @@
+//! The write-ahead log: an fsync'd, CRC-guarded journal of accepted
+//! `/rate` batches.
+//!
+//! A WAL is a directory of segment files named `wal-<first_seq>.log`.
+//! Each segment starts with a 16-byte header (`GFWL` magic, format
+//! version, the sequence number of its first record) followed by
+//! length-prefixed records:
+//!
+//! ```text
+//! [u32 payload_len][u32 crc32(payload)][payload]
+//! payload = [u64 seq][u32 count] count x ([u32 user][u32 item][u64 score_bits])
+//! ```
+//!
+//! Sequence numbers are contiguous across segments — record `seq` is the
+//! global append index, starting at 1 — which is what makes checkpoint
+//! truncation sound: a checkpoint that covers `wal_seq` proves every
+//! record `<= wal_seq` is baked into its state, so whole segments below
+//! that frontier can be deleted.
+//!
+//! **Torn tails.** A crash mid-append can leave a half-written record at
+//! the end of the *last* segment. [`scan`] stops at the first byte that
+//! fails the length/CRC/sequence checks; [`Wal::open`] then truncates
+//! that tail in place (reporting how many bytes were dropped) and
+//! appends after the last complete record. The same damage in a
+//! *non-last* segment cannot come from a crash (rotation syncs before a
+//! new segment opens) — that is real corruption, and `open` refuses to
+//! proceed rather than silently drop acknowledged records that later
+//! segments still hold (see `docs/OPERATIONS.md` for the recovery
+//! procedure).
+
+use crate::codec::{Reader, Writer};
+use crate::crc32::crc32;
+use crate::error::{PersistError, Result};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Format version written into every segment header.
+pub const WAL_FORMAT_VERSION: u32 = 1;
+
+/// Segment header magic.
+pub const WAL_MAGIC: [u8; 4] = *b"GFWL";
+
+/// Bytes of segment header before the first record.
+pub const WAL_HEADER_BYTES: usize = 16;
+
+/// Upper bound on one record's payload — far above any real batch
+/// (`max_updates_per_pass` is ~1k), so an insane on-disk length is
+/// recognized as corruption instead of an allocation attempt.
+pub const MAX_RECORD_BYTES: usize = 64 << 20;
+
+/// When appended records are pushed to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// `fsync` after every append — an acknowledged rating survives an
+    /// immediate power cut. The durable default.
+    Always,
+    /// `fsync` at most once per interval — group commit. A crash can lose
+    /// up to one interval of *acknowledged* ratings; the trade-off table
+    /// lives in `docs/OPERATIONS.md`.
+    Interval(Duration),
+}
+
+/// One decoded WAL record: a batch of rating updates under a single
+/// sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Global append index (1-based, contiguous).
+    pub seq: u64,
+    /// The accepted `(user, item, score)` updates, in journal order.
+    pub updates: Vec<(u32, u32, f64)>,
+}
+
+/// Where and why a scan stopped early.
+#[derive(Debug, Clone)]
+pub struct TornTail {
+    /// The segment holding the first undecodable byte.
+    pub segment: PathBuf,
+    /// Offset of that byte within the segment.
+    pub offset: u64,
+    /// `true` when the damage is *not* at the log's end (a later segment
+    /// holds records) — real corruption, not a crash artifact.
+    pub mid_log: bool,
+}
+
+/// The result of reading a WAL directory end to end.
+#[derive(Debug, Clone, Default)]
+pub struct WalScan {
+    /// Every complete record, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// The last complete record's sequence number (0 when none).
+    pub last_seq: u64,
+    /// Bytes past the last complete record that could not be decoded.
+    pub dropped_bytes: u64,
+    /// Details of the stop point, when the log did not end cleanly.
+    pub torn: Option<TornTail>,
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{first_seq:020}.log"))
+}
+
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(PersistError::io(format!("list {}", dir.display()))(e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(PersistError::io(format!("list {}", dir.display())))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(stem) = name
+            .strip_prefix("wal-")
+            .and_then(|n| n.strip_suffix(".log"))
+        {
+            if let Ok(first_seq) = stem.parse::<u64>() {
+                out.push((first_seq, entry.path()));
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+fn encode_record(seq: u64, updates: &[(u32, u32, f64)]) -> Vec<u8> {
+    let mut payload = Writer::new();
+    payload.u64(seq);
+    payload.u32(updates.len() as u32);
+    for &(u, i, s) in updates {
+        payload.u32(u);
+        payload.u32(i);
+        payload.f64(s);
+    }
+    let payload = payload.into_bytes();
+    let mut record = Writer::new();
+    record.u32(payload.len() as u32);
+    record.u32(crc32(&payload));
+    record.bytes(&payload);
+    record.into_bytes()
+}
+
+/// Parses one segment's records starting at `expect_seq`, appending to
+/// `records`. Returns `Ok(bytes_consumed)` on a clean end, or
+/// `Err(offset)` of the first undecodable byte.
+fn parse_segment(
+    bytes: &[u8],
+    expect_first: Option<u64>,
+    records: &mut Vec<WalRecord>,
+) -> std::result::Result<(), u64> {
+    let mut r = Reader::new(bytes);
+    let Ok(magic) = r.take(4, "magic") else {
+        return Err(0);
+    };
+    if magic != WAL_MAGIC {
+        return Err(0);
+    }
+    let Ok(version) = r.u32("version") else {
+        return Err(0);
+    };
+    if version != WAL_FORMAT_VERSION {
+        return Err(0);
+    }
+    let Ok(first_seq) = r.u64("first_seq") else {
+        return Err(0);
+    };
+    if let Some(expect) = expect_first {
+        if first_seq != expect {
+            return Err(WAL_HEADER_BYTES as u64);
+        }
+    }
+    let mut expect_seq = first_seq;
+    loop {
+        let at = r.position() as u64;
+        if r.is_empty() {
+            return Ok(());
+        }
+        let Ok(len) = r.u32("record length") else {
+            return Err(at);
+        };
+        let len = len as usize;
+        if !(12..=MAX_RECORD_BYTES).contains(&len) {
+            return Err(at);
+        }
+        let Ok(crc) = r.u32("record crc") else {
+            return Err(at);
+        };
+        let Ok(payload) = r.take(len, "record payload") else {
+            return Err(at);
+        };
+        if crc32(payload) != crc {
+            return Err(at);
+        }
+        let mut p = Reader::new(payload);
+        let Ok(seq) = p.u64("seq") else {
+            return Err(at);
+        };
+        let Ok(count) = p.u32("count") else {
+            return Err(at);
+        };
+        if seq != expect_seq || p.remaining() != count as usize * 16 {
+            return Err(at);
+        }
+        let mut updates = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let u = p.u32("user").expect("length checked");
+            let i = p.u32("item").expect("length checked");
+            let s = p.f64("score").expect("length checked");
+            updates.push((u, i, s));
+        }
+        records.push(WalRecord { seq, updates });
+        expect_seq += 1;
+    }
+}
+
+/// Reads every record the WAL directory holds, stopping gracefully at the
+/// first undecodable byte. Read-only: nothing on disk changes (the crash
+/// harness uses this to reconstruct a reference run; [`Wal::open`] uses it
+/// and then repairs the tail).
+pub fn scan(dir: &Path) -> Result<WalScan> {
+    let segments = list_segments(dir)?;
+    let mut out = WalScan::default();
+    for (idx, (first_seq, path)) in segments.iter().enumerate() {
+        let bytes = fs::read(path).map_err(PersistError::io(format!("read {}", path.display())))?;
+        // The first segment anchors the sequence; later ones must continue
+        // exactly where the previous left off.
+        let expect = if out.records.is_empty() && idx == 0 {
+            Some(*first_seq)
+        } else {
+            Some(out.last_seq + 1)
+        };
+        let parsed = parse_segment(&bytes, expect, &mut out.records);
+        out.last_seq = out.records.last().map_or(out.last_seq, |r| r.seq);
+        if let Err(offset) = parsed {
+            let later_bytes: u64 = segments[idx + 1..]
+                .iter()
+                .map(|(_, p)| fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+                .sum();
+            out.dropped_bytes = bytes.len() as u64 - offset + later_bytes;
+            out.torn = Some(TornTail {
+                segment: path.clone(),
+                offset,
+                mid_log: idx + 1 < segments.len(),
+            });
+            return Ok(out);
+        }
+    }
+    // A freshly rotated (header-only) tail segment promises its first
+    // record's sequence even before any record lands: appends must resume
+    // there, not at the last decoded record.
+    if let Some((first, _)) = segments.last() {
+        out.last_seq = out.last_seq.max(first.saturating_sub(1));
+    }
+    Ok(out)
+}
+
+fn fsync_dir(dir: &Path) -> Result<()> {
+    let d = File::open(dir).map_err(PersistError::io(format!("open dir {}", dir.display())))?;
+    d.sync_all()
+        .map_err(PersistError::io(format!("fsync dir {}", dir.display())))
+}
+
+/// An open, appendable write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    /// Current segment, positioned at its end.
+    file: File,
+    /// All live segments `(first_seq, path)`, sorted; the last is current.
+    segments: Vec<(u64, PathBuf)>,
+    next_seq: u64,
+    sync: SyncMode,
+    last_sync: Instant,
+    unsynced: bool,
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL in `dir`: scans every segment, truncates
+    /// a torn tail in place, and positions for appending after the last
+    /// complete record. Returns the scan so the caller can replay.
+    ///
+    /// Fails with [`PersistError::Corrupt`] if undecodable bytes sit
+    /// *before* intact later segments (`mid_log` damage) — truncating
+    /// there would silently drop acknowledged records.
+    pub fn open(dir: &Path, sync: SyncMode) -> Result<(Wal, WalScan)> {
+        fs::create_dir_all(dir).map_err(PersistError::io(format!("mkdir {}", dir.display())))?;
+        let scan_result = scan(dir)?;
+        if let Some(torn) = &scan_result.torn {
+            if torn.mid_log {
+                return Err(PersistError::Corrupt(format!(
+                    "segment {} is damaged at offset {} but later segments hold records; \
+                     refusing to truncate acknowledged history",
+                    torn.segment.display(),
+                    torn.offset
+                )));
+            }
+            // Crash artifact at the log's end: drop the torn bytes. A tail
+            // torn inside the header leaves nothing worth keeping — remove
+            // the file and let the append path start a fresh segment.
+            if torn.offset < WAL_HEADER_BYTES as u64 {
+                fs::remove_file(&torn.segment).map_err(PersistError::io(format!(
+                    "remove {}",
+                    torn.segment.display()
+                )))?;
+            } else {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&torn.segment)
+                    .map_err(PersistError::io(format!("open {}", torn.segment.display())))?;
+                f.set_len(torn.offset).map_err(PersistError::io(format!(
+                    "truncate {}",
+                    torn.segment.display()
+                )))?;
+                f.sync_all().map_err(PersistError::io(format!(
+                    "fsync {}",
+                    torn.segment.display()
+                )))?;
+            }
+            fsync_dir(dir)?;
+        }
+        let next_seq = scan_result.last_seq + 1;
+        let mut segments = list_segments(dir)?;
+        let file = match segments.last() {
+            Some((_, path)) => OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(PersistError::io(format!("open {}", path.display())))?,
+            None => {
+                let (first, path) = (next_seq, segment_path(dir, next_seq));
+                let file = Self::create_segment(&path, first)?;
+                fsync_dir(dir)?;
+                segments.push((first, path));
+                file
+            }
+        };
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                file,
+                segments,
+                next_seq,
+                sync,
+                last_sync: Instant::now(),
+                unsynced: false,
+            },
+            scan_result,
+        ))
+    }
+
+    /// Discards any existing segments and starts a brand-new log whose
+    /// first record will take `first_seq`. Recovery uses this when a
+    /// checkpoint's `wal_seq` is *ahead* of the log on disk (the log was
+    /// lost or deleted while checkpoints survived): appending at a lower
+    /// sequence would shadow records a future replay must consider baked,
+    /// so the log restarts exactly past the checkpoint frontier.
+    pub fn create_at(dir: &Path, sync: SyncMode, first_seq: u64) -> Result<Wal> {
+        fs::create_dir_all(dir).map_err(PersistError::io(format!("mkdir {}", dir.display())))?;
+        for (_, path) in list_segments(dir)? {
+            fs::remove_file(&path)
+                .map_err(PersistError::io(format!("remove {}", path.display())))?;
+        }
+        let path = segment_path(dir, first_seq);
+        let file = Self::create_segment(&path, first_seq)?;
+        fsync_dir(dir)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            file,
+            segments: vec![(first_seq, path)],
+            next_seq: first_seq,
+            sync,
+            last_sync: Instant::now(),
+            unsynced: false,
+        })
+    }
+
+    fn create_segment(path: &Path, first_seq: u64) -> Result<File> {
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(path)
+            .map_err(PersistError::io(format!("create {}", path.display())))?;
+        let mut header = Writer::new();
+        header.bytes(&WAL_MAGIC);
+        header.u32(WAL_FORMAT_VERSION);
+        header.u64(first_seq);
+        file.write_all(&header.into_bytes())
+            .map_err(PersistError::io(format!("write header {}", path.display())))?;
+        file.sync_all()
+            .map_err(PersistError::io(format!("fsync {}", path.display())))?;
+        Ok(file)
+    }
+
+    /// The sequence number the next append will take.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Paths of every live segment, oldest first.
+    pub fn segment_paths(&self) -> Vec<PathBuf> {
+        self.segments.iter().map(|(_, p)| p.clone()).collect()
+    }
+
+    /// Appends one batch as a record and applies the sync policy. Returns
+    /// the record's sequence number — once this returns under
+    /// [`SyncMode::Always`], the batch is on disk.
+    pub fn append(&mut self, updates: &[(u32, u32, f64)]) -> Result<u64> {
+        let seq = self.next_seq;
+        let record = encode_record(seq, updates);
+        self.file
+            .write_all(&record)
+            .map_err(PersistError::io("append wal record"))?;
+        self.next_seq += 1;
+        self.unsynced = true;
+        match self.sync {
+            SyncMode::Always => self.sync()?,
+            SyncMode::Interval(every) => {
+                if self.last_sync.elapsed() >= every {
+                    self.sync()?;
+                }
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Forces buffered records to disk now (a no-op when already clean).
+    pub fn sync(&mut self) -> Result<()> {
+        if self.unsynced {
+            self.file
+                .sync_data()
+                .map_err(PersistError::io("fsync wal segment"))?;
+            self.unsynced = false;
+        }
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Closes the current segment and starts a new one at `next_seq`.
+    pub fn rotate(&mut self) -> Result<()> {
+        self.sync()?;
+        let (first, path) = (self.next_seq, segment_path(&self.dir, self.next_seq));
+        self.file = Self::create_segment(&path, first)?;
+        fsync_dir(&self.dir)?;
+        self.segments.push((first, path));
+        Ok(())
+    }
+
+    /// Deletes every segment whose records are all `<= seq` (rotating
+    /// first if the current segment qualifies), keeping the log's tail
+    /// intact. Called after a checkpoint covering `seq` lands. Returns how
+    /// many segment files were removed.
+    pub fn prune_through(&mut self, seq: u64) -> Result<usize> {
+        let current_first = self.segments.last().map_or(self.next_seq, |(f, _)| *f);
+        if current_first < self.next_seq && self.next_seq - 1 <= seq {
+            // The current segment holds records and they are all covered.
+            self.rotate()?;
+        }
+        let mut removed = 0;
+        // A segment's records end where the next segment begins.
+        while self.segments.len() > 1 && self.segments[1].0 - 1 <= seq {
+            let (_, path) = self.segments.remove(0);
+            fs::remove_file(&path)
+                .map_err(PersistError::io(format!("remove {}", path.display())))?;
+            removed += 1;
+        }
+        if removed > 0 {
+            fsync_dir(&self.dir)?;
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gf-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let dir = tmpdir("round");
+        let (mut wal, scan0) = Wal::open(&dir, SyncMode::Always).unwrap();
+        assert_eq!(scan0.records.len(), 0);
+        assert_eq!(wal.append(&[(0, 1, 4.5)]).unwrap(), 1);
+        assert_eq!(wal.append(&[(2, 3, 1.0), (4, 5, 2.5)]).unwrap(), 2);
+        drop(wal);
+        let s = scan(&dir).unwrap();
+        assert!(s.torn.is_none());
+        assert_eq!(s.last_seq, 2);
+        assert_eq!(s.records[0].updates, vec![(0, 1, 4.5)]);
+        assert_eq!(s.records[1].updates, vec![(2, 3, 1.0), (4, 5, 2.5)]);
+        // Reopen continues the sequence.
+        let (mut wal, s) = Wal::open(&dir, SyncMode::Always).unwrap();
+        assert_eq!(s.last_seq, 2);
+        assert_eq!(wal.append(&[]).unwrap(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = tmpdir("torn");
+        let (mut wal, _) = Wal::open(&dir, SyncMode::Always).unwrap();
+        wal.append(&[(0, 0, 3.0)]).unwrap();
+        wal.append(&[(1, 1, 4.0)]).unwrap();
+        let path = wal.segment_paths().pop().unwrap();
+        drop(wal);
+        // Chop the last record in half.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let s = scan(&dir).unwrap();
+        assert_eq!(s.last_seq, 1);
+        assert_eq!(
+            s.dropped_bytes,
+            (full.len() - 7) as u64 - s.torn.as_ref().unwrap().offset
+        );
+        assert!(!s.torn.as_ref().unwrap().mid_log);
+        // Open repairs and appends after record 1 with seq 2 again.
+        let (mut wal, s) = Wal::open(&dir, SyncMode::Always).unwrap();
+        assert_eq!(s.last_seq, 1);
+        assert_eq!(wal.append(&[(9, 9, 5.0)]).unwrap(), 2);
+        drop(wal);
+        let s = scan(&dir).unwrap();
+        assert!(s.torn.is_none());
+        assert_eq!(s.records[1].updates, vec![(9, 9, 5.0)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_stops_the_scan() {
+        let dir = tmpdir("flip");
+        let (mut wal, _) = Wal::open(&dir, SyncMode::Always).unwrap();
+        wal.append(&[(0, 0, 3.0)]).unwrap();
+        wal.append(&[(1, 1, 4.0)]).unwrap();
+        let path = wal.segment_paths().pop().unwrap();
+        drop(wal);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = WAL_HEADER_BYTES + 10; // inside record 1's payload
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let s = scan(&dir).unwrap();
+        assert_eq!(s.last_seq, 0); // record 1's crc fails; nothing survives
+        assert!(s.torn.is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_and_header_torn_files_recover() {
+        let dir = tmpdir("empty");
+        fs::write(segment_path(&dir, 1), b"GF").unwrap(); // torn header
+        let (mut wal, s) = Wal::open(&dir, SyncMode::Always).unwrap();
+        assert_eq!(s.records.len(), 0);
+        assert_eq!(wal.append(&[(0, 0, 1.0)]).unwrap(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_log_damage_refuses_open() {
+        let dir = tmpdir("midlog");
+        let (mut wal, _) = Wal::open(&dir, SyncMode::Always).unwrap();
+        wal.append(&[(0, 0, 3.0)]).unwrap();
+        wal.rotate().unwrap();
+        wal.append(&[(1, 1, 4.0)]).unwrap();
+        let first = wal.segment_paths().remove(0);
+        drop(wal);
+        let mut bytes = fs::read(&first).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        fs::write(&first, &bytes).unwrap();
+        assert!(matches!(
+            Wal::open(&dir, SyncMode::Always),
+            Err(PersistError::Corrupt(_))
+        ));
+        // The read-only scan still reports what it could recover.
+        let s = scan(&dir).unwrap();
+        assert_eq!(s.last_seq, 0);
+        assert!(s.torn.as_ref().unwrap().mid_log);
+        assert!(s.dropped_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_at_restarts_past_a_checkpoint_frontier() {
+        let dir = tmpdir("createat");
+        let (mut wal, _) = Wal::open(&dir, SyncMode::Always).unwrap();
+        wal.append(&[(0, 0, 1.0)]).unwrap();
+        drop(wal);
+        // Checkpoint claims seq 40 is baked but the log only reaches 1:
+        // restart the log at 41 rather than re-issuing covered sequences.
+        let mut wal = Wal::create_at(&dir, SyncMode::Always, 41).unwrap();
+        assert_eq!(wal.next_seq(), 41);
+        assert_eq!(wal.append(&[(5, 5, 2.0)]).unwrap(), 41);
+        drop(wal);
+        let s = scan(&dir).unwrap();
+        assert!(s.torn.is_none());
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].seq, 41);
+        assert_eq!(s.last_seq, 41);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_and_pruning_keep_the_tail() {
+        let dir = tmpdir("prune");
+        let (mut wal, _) = Wal::open(&dir, SyncMode::Always).unwrap();
+        for seq in 1..=3u64 {
+            wal.append(&[(seq as u32, 0, 2.0)]).unwrap();
+        }
+        wal.rotate().unwrap();
+        for seq in 4..=5u64 {
+            wal.append(&[(seq as u32, 0, 2.0)]).unwrap();
+        }
+        // A checkpoint through seq 3 removes exactly the first segment.
+        assert_eq!(wal.prune_through(3).unwrap(), 1);
+        let s = scan(&dir).unwrap();
+        assert_eq!(s.records.first().unwrap().seq, 4);
+        assert_eq!(s.last_seq, 5);
+        // A checkpoint through 5 rotates the live segment out and prunes it.
+        assert_eq!(wal.prune_through(5).unwrap(), 1);
+        let s = scan(&dir).unwrap();
+        assert_eq!(s.records.len(), 0);
+        // Appends still continue the global sequence.
+        assert_eq!(wal.append(&[(0, 0, 1.0)]).unwrap(), 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

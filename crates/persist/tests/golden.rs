@@ -1,0 +1,142 @@
+//! Golden binary fixtures: the on-disk WAL and checkpoint encodings are a
+//! compatibility contract, so byte-level changes must be *deliberate*.
+//!
+//! Each test encodes a fixed state and compares it byte-for-byte against a
+//! checked-in fixture under `tests/golden/`. When a format change is
+//! intentional, regenerate with:
+//!
+//! ```sh
+//! GF_UPDATE_GOLDEN=1 cargo test -p gf-persist --test golden
+//! ```
+//!
+//! and bump `CHECKPOINT_FORMAT_VERSION` / `WAL_FORMAT_VERSION` if an old
+//! reader could no longer parse the new bytes.
+
+use gf_core::{
+    Aggregation, FormationConfig, GrowthPolicy, IncrementalFormer, MatrixBuilder, MissingPolicy,
+    PrefIndex, RatingScale, Semantics,
+};
+use gf_persist::checkpoint::{self, CheckpointState};
+use gf_persist::wal::{SyncMode, Wal};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check_golden(name: &str, actual: &[u8]) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("GF_UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden_dir()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n  regenerate with GF_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "{name} drifted from its golden fixture ({} vs {} bytes). If the \
+         format change is intentional, regenerate with GF_UPDATE_GOLDEN=1 \
+         and review the version constants.",
+        expected.len(),
+        actual.len()
+    );
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gf-golden-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A fully pinned checkpoint state: every byte of its encoding is a
+/// function of these literals and the (deterministic) greedy formation.
+fn fixture_state() -> CheckpointState {
+    let mut b = MatrixBuilder::new(5, 4, RatingScale::one_to_five());
+    for (u, i, s) in [
+        (0u32, 0u32, 5.0),
+        (0, 1, 3.0),
+        (0, 2, 1.0),
+        (1, 0, 4.0),
+        (1, 3, 2.0),
+        (2, 1, 5.0),
+        (2, 2, 4.0),
+        (2, 3, 3.0),
+        (3, 0, 2.0),
+        (3, 1, 2.0),
+        (4, 2, 5.0),
+        (4, 3, 1.0),
+    ] {
+        b.push(u, i, s).unwrap();
+    }
+    let matrix = b.build().unwrap();
+    let prefs = PrefIndex::build(&matrix);
+    let config = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, 2, 1)
+        .with_policy(MissingPolicy::Min)
+        .with_threads(1)
+        .with_growth(GrowthPolicy::Grow {
+            max_users: 64,
+            max_items: 32,
+        });
+    let former = IncrementalFormer::new(&matrix, &prefs, config).unwrap();
+    CheckpointState {
+        snapshot_version: 42,
+        wal_seq: 17,
+        applied: 17,
+        users_admitted: 3,
+        items_admitted: 1,
+        config,
+        formation: former.result().clone(),
+        former: Some(former.export_state()),
+        matrix,
+        prefs,
+    }
+}
+
+#[test]
+fn checkpoint_encoding_matches_golden() {
+    let bytes = checkpoint::encode(&fixture_state()).unwrap();
+    check_golden("checkpoint-v1.bin", &bytes);
+    // And the fixture must always decode back to an equivalent state.
+    let back = checkpoint::decode(&bytes).unwrap();
+    assert_eq!(back.snapshot_version, 42);
+    assert_eq!(back.wal_seq, 17);
+    assert!(back.former.is_some());
+}
+
+#[test]
+fn wal_segment_encoding_matches_golden() {
+    let dir = tmpdir("wal");
+    let (mut wal, _) = Wal::open(&dir, SyncMode::Always).unwrap();
+    wal.append(&[(0, 1, 4.5), (2, 3, 1.0)]).unwrap();
+    wal.append(&[]).unwrap();
+    wal.append(&[(7, 0, 3.0)]).unwrap();
+    let paths = wal.segment_paths();
+    assert_eq!(paths.len(), 1);
+    let bytes = fs::read(&paths[0]).unwrap();
+    drop(wal);
+    fs::remove_dir_all(&dir).unwrap();
+    check_golden("wal-segment-v1.bin", &bytes);
+}
+
+#[test]
+fn golden_checkpoint_file_still_loads() {
+    // Guard the *reader* too: a checked-in fixture from the current format
+    // version must decode on every future build of this major version.
+    if std::env::var_os("GF_UPDATE_GOLDEN").is_some() {
+        return; // fixtures may not exist yet during regeneration
+    }
+    let bytes = fs::read(golden_dir().join("checkpoint-v1.bin")).unwrap();
+    let state = checkpoint::decode(&bytes).unwrap();
+    let live = fixture_state();
+    assert_eq!(state.config, live.config);
+    assert_eq!(state.matrix.csr_parts(), live.matrix.csr_parts());
+    assert_eq!(state.former, live.former);
+}

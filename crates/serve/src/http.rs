@@ -12,7 +12,8 @@
 //! | method & path | body | answer |
 //! |---------------|------|--------|
 //! | `GET /health` | — | liveness + snapshot version/shape |
-//! | `GET /stats` | — | serving counters (incl. incremental vs cold refreshes) |
+//! | `GET /stats` | — | serving counters (incl. incremental vs cold refreshes, WAL/checkpoint/recovery progress) |
+//! | `GET /digest` | — | FNV-1a fingerprint of the full serving state (crash-harness oracle) |
 //! | `GET /group/{user}?limit=&offset=` | — | the user's group, paged members and top-`k` list |
 //! | `GET /recommend/{group}?limit=&offset=` | — | the group's recommended top-`k` list |
 //! | `POST /form` | optional config overrides | runs (or joins) a batched formation |
@@ -167,6 +168,9 @@ fn gf_error_status(err: &GfError) -> u16 {
         // request (400) nor an unknown id the client should retry (404):
         // the universe is full until the operator raises the cap.
         GfError::GrowthExhausted { .. } => 409,
+        // A journaling failure is the server's disk, not the client's
+        // request; surface it as a 500 so retries/alerts fire correctly.
+        GfError::Persist(_) => 500,
         _ => 400,
     }
 }
@@ -235,6 +239,42 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
                     ("form_runs", Json::from(s.form_runs.load(Ordering::Relaxed))),
                     ("pending", Json::from(state.pending_len())),
                     ("version", Json::from(snap.version)),
+                    (
+                        "wal_records",
+                        Json::from(s.wal_records.load(Ordering::Relaxed)),
+                    ),
+                    ("wal_seq", Json::from(snap.progress.wal_seq)),
+                    (
+                        "checkpoint_version",
+                        Json::from(s.checkpoint_version.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "checkpoints_written",
+                        Json::from(s.checkpoints_written.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "recovery_replayed",
+                        Json::from(s.recovery_replayed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "recovery_dropped_bytes",
+                        Json::from(s.recovery_dropped_bytes.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            )
+        }
+        ("GET", "/digest") => {
+            let snap = state.snapshot();
+            let digest = state.digest();
+            (
+                200,
+                obj([
+                    ("digest", Json::from(format!("{digest:016x}"))),
+                    ("version", Json::from(snap.version)),
+                    ("wal_seq", Json::from(snap.progress.wal_seq)),
+                    ("applied", Json::from(snap.progress.applied)),
+                    ("users_admitted", Json::from(snap.progress.users_admitted)),
+                    ("items_admitted", Json::from(snap.progress.items_admitted)),
                 ]),
             )
         }

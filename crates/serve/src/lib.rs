@@ -27,6 +27,13 @@
 //!   and standing formation, and `GET /group/{new_user}` resolves after
 //!   the refresh — no restart. `/stats` reports
 //!   `users_admitted`/`items_admitted`.
+//! * **Durability** — with `--data-dir`, every accepted `POST /rate` is
+//!   journaled to an fsync'd write-ahead log *before* acknowledgment, a
+//!   background thread checkpoints the immutable snapshot without pausing
+//!   serving, and a restart warm-loads the newest checkpoint and replays
+//!   the WAL tail — bit-for-bit equal to the server that never crashed
+//!   ([`persist`], formats in `gf-persist`, runbook in
+//!   `docs/OPERATIONS.md`).
 //! * **No new dependencies** — the HTTP/1.1 codec ([`http`]) and the JSON
 //!   codec ([`json`]) are hand-rolled on `std::net`, the same offline
 //!   philosophy as the `vendor/` stubs.
@@ -76,9 +83,11 @@
 pub mod batch;
 pub mod http;
 pub mod json;
+pub mod persist;
 pub mod state;
 
 pub use batch::BatchOutcome;
 pub use http::{parse_aggregation, parse_semantics, HttpRequest, Server, ServerHandle};
 pub use json::Json;
-pub use state::{ServeConfig, ServeState, Snapshot};
+pub use persist::{boot, spawn_checkpointer, Checkpointer, DurabilityOptions, RecoveryReport};
+pub use state::{Progress, ServeConfig, ServeState, Snapshot};

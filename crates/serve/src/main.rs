@@ -6,7 +6,9 @@
 //!          [--synth USERSxITEMS] \
 //!          [--semantics lm|av] [--aggregation min|max|sum] [--k K] [--ell L] \
 //!          [--threads N] [--batch-window-ms MS] [--refresh auto|cold|incremental] \
-//!          [--grow] [--max-users N] [--max-items N] [--max-swaps N]
+//!          [--grow] [--max-users N] [--max-items N] [--max-swaps N] \
+//!          [--data-dir DIR] [--wal-sync always|interval] [--wal-sync-interval-ms MS] \
+//!          [--checkpoint-interval-ms MS] [--wal-retain]
 //! ```
 //!
 //! With `--data`, the file format defaults from the extension (`.dat` →
@@ -22,7 +24,19 @@
 //! (bounded worst-case refresh latency; the server converges once
 //! updates quiesce).
 //!
-//! On startup the server prints one line —
+//! `--data-dir` makes the server **durable**: every accepted `/rate` is
+//! journaled to an fsync'd WAL before acknowledgment, checkpoints are
+//! written in the background, and a restart warm-loads the newest
+//! checkpoint and replays the WAL tail (see `docs/OPERATIONS.md`). On a
+//! warm boot the checkpointed formation configuration wins over the
+//! `--semantics`/`--k`/… flags — it is durable state a `/form` may have
+//! changed; non-formation knobs (threads are part of the config, but
+//! batch window, pass bounds and repair budget are not) still come from
+//! the command line.
+//!
+//! On startup the server prints a `gf-serve: recovery: …` line when
+//! durable (cold start, or checkpoint version + records replayed), then
+//! one line —
 //! `gf-serve: listening on http://ADDR (users=N items=M groups=G)` — that
 //! scripts (and the CI smoke job) wait for before issuing requests.
 
@@ -31,10 +45,14 @@ use gf_core::{
 };
 use gf_datasets::io::{read_movielens_csv, read_movielens_dat, read_netflix, read_tsv};
 use gf_datasets::SynthConfig;
-use gf_serve::{parse_aggregation, parse_semantics, ServeConfig, ServeState, Server};
+use gf_persist::wal::SyncMode;
+use gf_serve::{
+    parse_aggregation, parse_semantics, DurabilityOptions, ServeConfig, ServeState, Server,
+};
 use std::io::BufReader;
 use std::process::exit;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Options {
     addr: String,
@@ -54,6 +72,11 @@ struct Options {
     max_users: Option<u32>,
     max_items: Option<u32>,
     max_swaps: Option<usize>,
+    data_dir: Option<String>,
+    wal_sync: String,
+    wal_sync_interval: Duration,
+    checkpoint_interval: Duration,
+    wal_retain: bool,
 }
 
 impl Default for Options {
@@ -76,6 +99,11 @@ impl Default for Options {
             max_users: None,
             max_items: None,
             max_swaps: None,
+            data_dir: None,
+            wal_sync: "always".into(),
+            wal_sync_interval: Duration::from_millis(50),
+            checkpoint_interval: Duration::from_secs(30),
+            wal_retain: false,
         }
     }
 }
@@ -86,7 +114,8 @@ fn usage() -> ! {
          [--scale one5|zero5|half] [--synth UxI] [--semantics lm|av] \
          [--aggregation min|max|sum] [--k K] [--ell L] [--threads N] [--batch-window-ms MS] \
          [--refresh auto|cold|incremental] [--grow] [--max-users N] [--max-items N] \
-         [--max-swaps N]"
+         [--max-swaps N] [--data-dir DIR] [--wal-sync always|interval] \
+         [--wal-sync-interval-ms MS] [--checkpoint-interval-ms MS] [--wal-retain]"
     );
     exit(2)
 }
@@ -105,6 +134,10 @@ fn parse_options() -> Options {
         }
         if flag == "--grow" {
             opts.grow = true;
+            continue;
+        }
+        if flag == "--wal-retain" {
+            opts.wal_retain = true;
             continue;
         }
         let Some(value) = args.next() else { usage() };
@@ -151,6 +184,21 @@ fn parse_options() -> Options {
             "--max-users" => opts.max_users = Some(value.parse().unwrap_or_else(|_| usage())),
             "--max-items" => opts.max_items = Some(value.parse().unwrap_or_else(|_| usage())),
             "--max-swaps" => opts.max_swaps = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--data-dir" => opts.data_dir = Some(value),
+            "--wal-sync" => {
+                if value != "always" && value != "interval" {
+                    usage();
+                }
+                opts.wal_sync = value;
+            }
+            "--wal-sync-interval-ms" => {
+                opts.wal_sync_interval =
+                    Duration::from_millis(value.parse().unwrap_or_else(|_| usage()))
+            }
+            "--checkpoint-interval-ms" => {
+                opts.checkpoint_interval =
+                    Duration::from_millis(value.parse().unwrap_or_else(|_| usage()))
+            }
             _ => usage(),
         }
     }
@@ -193,8 +241,6 @@ fn load_matrix(opts: &Options) -> RatingMatrix {
 
 fn main() {
     let opts = parse_options();
-    let matrix = load_matrix(&opts);
-    let ell = opts.ell.min(matrix.n_users() as usize).max(1);
     let growth = if opts.grow || opts.max_users.is_some() || opts.max_items.is_some() {
         GrowthPolicy::Grow {
             max_users: opts.max_users.unwrap_or(u32::MAX),
@@ -203,7 +249,11 @@ fn main() {
     } else {
         GrowthPolicy::Fixed
     };
-    let formation = FormationConfig::new(opts.semantics, opts.aggregation, opts.k, ell)
+    // `ell` is clamped against the loaded matrix just before the initial
+    // formation runs: here for a volatile boot, inside `boot`'s cold path
+    // for a durable one (a warm boot restores the checkpointed config
+    // and never touches the flag defaults).
+    let formation = FormationConfig::new(opts.semantics, opts.aggregation, opts.k, opts.ell)
         .with_threads(opts.threads)
         .with_refresh(opts.refresh)
         .with_growth(growth);
@@ -211,10 +261,52 @@ fn main() {
     if let Some(max_swaps) = opts.max_swaps {
         cfg = cfg.with_max_swaps(max_swaps);
     }
-    let (n_users, n_items) = (matrix.n_users(), matrix.n_items());
-    let state =
-        ServeState::new(matrix, cfg).unwrap_or_else(|e| fail(format!("initial formation: {e}")));
-    let groups = state.snapshot().formation.grouping.len();
+
+    let (state, _checkpointer) = if let Some(dir) = &opts.data_dir {
+        let sync = match opts.wal_sync.as_str() {
+            "interval" => SyncMode::Interval(opts.wal_sync_interval),
+            _ => SyncMode::Always,
+        };
+        let dopts = DurabilityOptions {
+            data_dir: dir.into(),
+            sync,
+            checkpoint_interval: opts.checkpoint_interval,
+            retain_wal: opts.wal_retain,
+        };
+        let started = Instant::now();
+        let (state, report) = gf_serve::boot(cfg, &dopts, || Ok(load_matrix(&opts)))
+            .unwrap_or_else(|e| fail(format!("recovery from {dir}: {e}")));
+        for (path, reason) in &report.skipped_checkpoints {
+            eprintln!(
+                "gf-serve: recovery: skipped corrupt checkpoint {}: {reason}",
+                path.display()
+            );
+        }
+        let elapsed = started.elapsed().as_millis();
+        if report.cold_start {
+            println!("gf-serve: recovery: cold start (initial checkpoint written) in {elapsed}ms");
+        } else {
+            println!(
+                "gf-serve: recovery: checkpoint version {} + {} wal records replayed \
+                 ({} bytes dropped) in {elapsed}ms",
+                report.checkpoint_version, report.replayed, report.dropped_bytes
+            );
+        }
+        let checkpointer = (opts.checkpoint_interval > Duration::ZERO)
+            .then(|| gf_serve::spawn_checkpointer(Arc::clone(&state), dopts));
+        (state, checkpointer)
+    } else {
+        let matrix = load_matrix(&opts);
+        cfg.formation.ell = cfg.formation.ell.min(matrix.n_users() as usize).max(1);
+        let state = ServeState::new(matrix, cfg)
+            .unwrap_or_else(|e| fail(format!("initial formation: {e}")));
+        (state, None)
+    };
+
+    let snap = state.snapshot();
+    let (n_users, n_items) = (snap.matrix.n_users(), snap.matrix.n_items());
+    let groups = snap.formation.grouping.len();
+    drop(snap);
     let server = Server::bind((opts.addr.as_str(), opts.port), state)
         .unwrap_or_else(|e| fail(format!("bind {}:{}: {e}", opts.addr, opts.port)));
     let addr = server

@@ -41,6 +41,8 @@ use gf_core::{
     FormationConfig, FormationResult, GfError, GroupFormer, IncrementalFormer, PrefIndex,
     RatingDelta, RatingMatrix, Result, ShardedFormer,
 };
+use gf_persist::wal::{Wal, WalRecord};
+use gf_persist::{CheckpointState, StateDigest};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
@@ -99,6 +101,25 @@ impl ServeConfig {
     }
 }
 
+/// Durable progress carried by every snapshot: how much of the journal
+/// the snapshot's state bakes in. A checkpoint freezes these alongside
+/// the matrix so a warm restart knows exactly which WAL records are
+/// already applied (`seq <= wal_seq`) and which to replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Highest journal sequence number applied into this snapshot
+    /// (0 before any rating lands).
+    pub wal_seq: u64,
+    /// Total rating updates applied since the serving lineage began
+    /// (survives restarts, unlike the process-local `/stats` counters).
+    pub applied: u64,
+    /// Users admitted at serve time under [`gf_core::GrowthPolicy::Grow`],
+    /// cumulative across restarts.
+    pub users_admitted: u64,
+    /// Items admitted at serve time, cumulative across restarts.
+    pub items_admitted: u64,
+}
+
 /// One immutable, internally consistent view of the serving state.
 ///
 /// The matrix and preference index are `Arc`-shared because snapshot
@@ -123,8 +144,15 @@ pub struct Snapshot {
     /// for users the formation did not cover (impossible for valid
     /// formations, kept as `Option` for defense in depth).
     pub assignment: Vec<Option<usize>>,
-    /// Monotonic snapshot version; bumped on every install.
+    /// Monotonic snapshot version. A background pass advances it by one
+    /// **per applied journal record**, so the version a given rating
+    /// history produces is independent of how passes chunked the journal —
+    /// a crash-replayed server lands on exactly the version the
+    /// uninterrupted run reached. `/form` and capped-repair catch-up
+    /// passes advance it by one.
     pub version: u64,
+    /// How much of the durable journal this snapshot bakes in.
+    pub progress: Progress,
 }
 
 /// Counters exposed by `/stats`; cheap relaxed atomics.
@@ -151,6 +179,16 @@ pub struct Stats {
     pub users_admitted: AtomicU64,
     /// Items admitted at serve time under [`gf_core::GrowthPolicy::Grow`].
     pub items_admitted: AtomicU64,
+    /// WAL records appended by this process (0 when running volatile).
+    pub wal_records: AtomicU64,
+    /// Checkpoints written by this process (boot checkpoint included).
+    pub checkpoints_written: AtomicU64,
+    /// Snapshot version of the newest on-disk checkpoint (a gauge).
+    pub checkpoint_version: AtomicU64,
+    /// WAL records replayed during this process's recovery.
+    pub recovery_replayed: AtomicU64,
+    /// Torn-tail bytes dropped during this process's recovery.
+    pub recovery_dropped_bytes: AtomicU64,
 }
 
 /// The standing incremental former plus the snapshot version its bucket
@@ -161,9 +199,34 @@ struct FormerSlot {
     synced_version: u64,
 }
 
+/// The pending journal. The WAL handle lives *inside* this mutex on
+/// purpose: an accepted rating appends to the log and enqueues under one
+/// critical section, so on-disk journal order is exactly queue order —
+/// the property that makes crash replay reproduce the uninterrupted run.
 struct PendingQueue {
-    updates: Vec<(u32, u32, f64)>,
+    /// `(seq, user, item, score)` in journal order.
+    updates: Vec<(u64, u32, u32, f64)>,
+    /// Sequence the next accepted rating takes. Mirrors the WAL when one
+    /// is attached; counts from 1 standalone so version arithmetic is
+    /// identical in volatile and durable runs.
+    next_seq: u64,
+    /// Durable journal, when `--data-dir` is configured.
+    wal: Option<Wal>,
     shutdown: bool,
+}
+
+/// A consistent bundle frozen for checkpointing: the snapshot's pieces
+/// plus the standing former's exported bucket state when its lineage is
+/// current. The matrix/prefs stay `Arc`-shared — the (expensive) deep
+/// copy into an owned [`CheckpointState`] happens outside every lock.
+pub(crate) struct ExportedState {
+    pub version: u64,
+    pub progress: Progress,
+    pub config: FormationConfig,
+    pub matrix: Arc<RatingMatrix>,
+    pub prefs: Arc<PrefIndex>,
+    pub formation: FormationResult,
+    pub former: Option<gf_core::FormerState>,
 }
 
 /// The long-lived serving state shared by every connection handler.
@@ -191,12 +254,20 @@ impl ServeState {
     /// over `matrix` and wraps it in a shareable state.
     pub fn new(matrix: RatingMatrix, cfg: ServeConfig) -> Result<Arc<ServeState>> {
         let prefs = PrefIndex::build(&matrix);
-        let snapshot = build_snapshot(Arc::new(matrix), Arc::new(prefs), cfg.formation, 1)?;
+        let snapshot = build_snapshot(
+            Arc::new(matrix),
+            Arc::new(prefs),
+            cfg.formation,
+            Progress::default(),
+            1,
+        )?;
         Ok(Arc::new(ServeState {
             snapshot: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(()),
             pending: Mutex::new(PendingQueue {
                 updates: Vec::new(),
+                next_seq: 1,
+                wal: None,
                 shutdown: false,
             }),
             wakeup: Condvar::new(),
@@ -205,6 +276,74 @@ impl ServeState {
             max_swaps: cfg.max_swaps,
             former: Mutex::new(None),
             stats: Stats::default(),
+        }))
+    }
+
+    /// Rebuilds serving state from a decoded checkpoint: the snapshot is
+    /// restored verbatim (no re-formation) at its checkpointed version and
+    /// progress, and the standing incremental former — when the checkpoint
+    /// carried one — is imported warm so the first post-restart pass stays
+    /// on the dirty-bucket path. Non-formation knobs (batch window, pass
+    /// bounds, repair budget) come from `cfg`; the *formation*
+    /// configuration is the checkpoint's — it is part of the durable state
+    /// a `/form` may have changed since boot flags were last read.
+    pub fn restore_from(ck: CheckpointState, cfg: ServeConfig) -> Result<Arc<ServeState>> {
+        let matrix = Arc::new(ck.matrix);
+        let prefs = Arc::new(ck.prefs);
+        let progress = Progress {
+            wal_seq: ck.wal_seq,
+            applied: ck.applied,
+            users_admitted: ck.users_admitted,
+            items_admitted: ck.items_admitted,
+        };
+        let snapshot = snapshot_with_formation(
+            Arc::clone(&matrix),
+            Arc::clone(&prefs),
+            ck.config,
+            ck.formation,
+            progress,
+            ck.snapshot_version,
+        );
+        let former = match ck.former {
+            Some(state) => {
+                let mut former = IncrementalFormer::import_state(&matrix, ck.config, &state)?;
+                if let Some(max_swaps) = cfg.max_swaps {
+                    former = former.with_max_swaps(max_swaps);
+                }
+                Some(FormerSlot {
+                    former,
+                    synced_version: ck.snapshot_version,
+                })
+            }
+            None => None,
+        };
+        let stats = Stats::default();
+        // Seed the process-local counters so `/stats` stays meaningful
+        // across restarts: everything the checkpoint baked in counts as
+        // accepted and applied by this lineage.
+        stats.rates_accepted.store(ck.applied, Ordering::Relaxed);
+        stats.rates_applied.store(ck.applied, Ordering::Relaxed);
+        stats
+            .users_admitted
+            .store(ck.users_admitted, Ordering::Relaxed);
+        stats
+            .items_admitted
+            .store(ck.items_admitted, Ordering::Relaxed);
+        Ok(Arc::new(ServeState {
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            writer: Mutex::new(()),
+            pending: Mutex::new(PendingQueue {
+                updates: Vec::new(),
+                next_seq: ck.wal_seq + 1,
+                wal: None,
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+            batcher: Batcher::new(cfg.batch_window),
+            max_updates_per_pass: cfg.max_updates_per_pass.max(1),
+            max_swaps: cfg.max_swaps,
+            former: Mutex::new(former),
+            stats,
         }))
     }
 
@@ -247,12 +386,66 @@ impl ServeState {
             return Err(GfError::ScaleViolation { user, item, score });
         }
         let mut q = self.pending.lock().expect("pending lock poisoned");
-        q.updates.push((user, item, score));
+        // Journal before acknowledging: when a WAL is attached, the record
+        // must be on disk (per the sync mode) before this call can return
+        // Ok. A failed append rejects the rating — nothing is enqueued, so
+        // the durable log never lags the accepted set.
+        let journaled = q.wal.is_some();
+        let seq = match q.wal.as_mut() {
+            Some(wal) => wal.append(&[(user, item, score)]).map_err(GfError::from)?,
+            None => q.next_seq,
+        };
+        q.next_seq = seq + 1;
+        q.updates.push((seq, user, item, score));
         let depth = q.updates.len();
         drop(q);
         self.stats.rates_accepted.fetch_add(1, Ordering::Relaxed);
+        if journaled {
+            self.stats.wal_records.fetch_add(1, Ordering::Relaxed);
+        }
         self.wakeup.notify_one();
         Ok(depth)
+    }
+
+    /// Re-enqueues one journal record during recovery, preserving its
+    /// original sequence number. The WAL must not be attached yet (replay
+    /// must not re-append its own input); validation is deferred to the
+    /// applying pass, which re-checks growth caps exactly as the original
+    /// accept did.
+    pub(crate) fn enqueue_replayed(&self, rec: &WalRecord) -> Result<()> {
+        if rec.updates.len() != 1 {
+            return Err(GfError::Persist(format!(
+                "wal record {} carries {} updates; gf-serve journals exactly one per record",
+                rec.seq,
+                rec.updates.len()
+            )));
+        }
+        let (user, item, score) = rec.updates[0];
+        let mut q = self.pending.lock().expect("pending lock poisoned");
+        q.updates.push((rec.seq, user, item, score));
+        q.next_seq = rec.seq + 1;
+        drop(q);
+        self.stats.rates_accepted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Attaches the durable journal. Call *after* replay has been
+    /// enqueued and flushed: from here on every accepted rating appends
+    /// to `wal` before acknowledgment, continuing its sequence.
+    pub(crate) fn attach_wal(&self, wal: Wal) {
+        let mut q = self.pending.lock().expect("pending lock poisoned");
+        q.next_seq = wal.next_seq();
+        q.wal = Some(wal);
+    }
+
+    /// Runs `f` against the attached WAL (pruning, forced syncs). Returns
+    /// `None` when running volatile.
+    pub(crate) fn with_wal<R>(
+        &self,
+        f: impl FnOnce(&mut Wal) -> gf_persist::Result<R>,
+    ) -> Option<gf_persist::Result<R>> {
+        let mut q = self.pending.lock().expect("pending lock poisoned");
+        q.wal.as_mut().map(f)
     }
 
     /// Runs one bounded background pass: drains up to
@@ -264,7 +457,7 @@ impl ServeState {
     /// nothing was pending).
     pub fn process_pending(&self) -> Result<usize> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
-        let chunk: Vec<(u32, u32, f64)> = {
+        let chunk: Vec<(u64, u32, u32, f64)> = {
             let mut q = self.pending.lock().expect("pending lock poisoned");
             let take = q.updates.len().min(self.max_updates_per_pass);
             q.updates.drain(..take).collect()
@@ -272,6 +465,7 @@ impl ServeState {
         if chunk.is_empty() {
             return Ok(0);
         }
+        let updates: Vec<(u32, u32, f64)> = chunk.iter().map(|&(_, u, i, s)| (u, i, s)).collect();
         let current = self.snapshot();
         // Build the patched successors in one storage pass each (no
         // intermediate clone — the old matrix/prefs stay live for
@@ -283,16 +477,16 @@ impl ServeState {
         // top of the usual one-pass splice).
         let (matrix, outcomes) = current
             .matrix
-            .with_upserts_under(&chunk, current.config.growth)?;
+            .with_upserts_under(&updates, current.config.growth)?;
         let matrix = Arc::new(matrix);
         let admitted_users = u64::from(matrix.n_users() - current.matrix.n_users());
         let admitted_items = u64::from(matrix.n_items() - current.matrix.n_items());
-        let deltas: Vec<RatingDelta> = chunk
+        let deltas: Vec<RatingDelta> = updates
             .iter()
             .zip(outcomes)
             .map(|(&(u, i, s), o)| RatingDelta::from_upsert(u, i, s, o))
             .collect();
-        let mut dirty: Vec<u32> = chunk.iter().map(|&(u, _, _)| u).collect();
+        let mut dirty: Vec<u32> = updates.iter().map(|&(u, _, _)| u).collect();
         dirty.sort_unstable();
         dirty.dedup();
         let prefs = Arc::new(current.prefs.patched(&matrix, &dirty));
@@ -301,7 +495,17 @@ impl ServeState {
             .config
             .refresh
             .use_incremental(dirty.len(), matrix.n_users() as usize);
-        let next_version = current.version + 1;
+        // One version per journal record, not per pass: the version (and
+        // progress) a rating history yields is then invariant under pass
+        // chunking, which is what lets a crash-replayed server assert
+        // bit-for-bit equality with the uninterrupted run.
+        let next_version = current.version + chunk.len() as u64;
+        let progress = Progress {
+            wal_seq: chunk.last().expect("chunk non-empty").0,
+            applied: current.progress.applied + chunk.len() as u64,
+            users_admitted: current.progress.users_admitted + admitted_users,
+            items_admitted: current.progress.items_admitted + admitted_items,
+        };
         let snapshot = if incremental {
             let mut slot = self.former.lock().expect("former lock poisoned");
             let reusable = slot.as_ref().is_some_and(|s| {
@@ -332,13 +536,20 @@ impl ServeState {
             self.stats
                 .refresh_incremental
                 .fetch_add(1, Ordering::Relaxed);
-            snapshot_with_formation(matrix, prefs, current.config, formation, next_version)
+            snapshot_with_formation(
+                matrix,
+                prefs,
+                current.config,
+                formation,
+                progress,
+                next_version,
+            )
         } else {
             // A cold pass leaves the standing former behind the matrix;
             // drop it so the next incremental pass re-initializes.
             *self.former.lock().expect("former lock poisoned") = None;
             self.stats.refresh_cold.fetch_add(1, Ordering::Relaxed);
-            build_snapshot(matrix, prefs, current.config, next_version)?
+            build_snapshot(matrix, prefs, current.config, progress, next_version)?
         };
         self.install(snapshot);
         // Counter order matters for observers: `refresh_passes` last, so
@@ -413,6 +624,7 @@ impl ServeState {
             Arc::clone(&current.prefs),
             current.config,
             formation,
+            current.progress,
             next_version,
         ));
         self.stats.refresh_passes.fetch_add(1, Ordering::Relaxed);
@@ -447,9 +659,25 @@ impl ServeState {
                 Arc::clone(&current.matrix),
                 Arc::clone(&current.prefs),
                 cfg,
+                current.progress,
                 current.version + 1,
             )?;
             let shared = self.install(snapshot);
+            // A same-configuration `/form` reproduces exactly the greedy
+            // formation the standing former maintains, so its lineage is
+            // still valid — re-sync it instead of letting the next pass
+            // rebuild the former cold. (A capped former mid-repair is
+            // excluded: its bounded formation differs from the fresh one.)
+            let mut slot = self.former.lock().expect("former lock poisoned");
+            if let Some(s) = slot.as_mut() {
+                if s.synced_version == current.version
+                    && s.former.config() == &cfg
+                    && s.former.selection_lag() <= 0.0
+                {
+                    s.synced_version = shared.version;
+                }
+            }
+            drop(slot);
             Ok(shared)
         })
     }
@@ -480,10 +708,61 @@ impl ServeState {
         }
     }
 
-    /// Asks the refresh worker to exit once the journal drains.
+    /// Asks the refresh worker to exit once the journal drains, pushing
+    /// any interval-mode WAL tail to disk on the way (best effort — a
+    /// sync failure at shutdown has no one left to reject).
     pub fn shutdown(&self) {
-        self.pending.lock().expect("pending lock poisoned").shutdown = true;
+        let mut q = self.pending.lock().expect("pending lock poisoned");
+        q.shutdown = true;
+        if let Some(wal) = q.wal.as_mut() {
+            let _ = wal.sync();
+        }
+        drop(q);
         self.wakeup.notify_all();
+    }
+
+    /// Freezes a consistent bundle for the checkpointer. Taking `writer`
+    /// briefly excludes concurrent installs, so the exported former state
+    /// (when its lineage is current) matches the exported snapshot
+    /// version; the deep copy into owned checkpoint structures happens in
+    /// the caller, outside every lock.
+    pub(crate) fn export_for_checkpoint(&self) -> ExportedState {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let snap = self.snapshot();
+        let former = {
+            let slot = self.former.lock().expect("former lock poisoned");
+            slot.as_ref()
+                .filter(|s| s.synced_version == snap.version && s.former.config() == &snap.config)
+                .map(|s| s.former.export_state())
+        };
+        ExportedState {
+            version: snap.version,
+            progress: snap.progress,
+            config: snap.config,
+            matrix: Arc::clone(&snap.matrix),
+            prefs: Arc::clone(&snap.prefs),
+            formation: snap.formation.clone(),
+            former,
+        }
+    }
+
+    /// An order-sensitive FNV-1a fingerprint of the serving state: version,
+    /// journal progress, configuration, every stored rating and the full
+    /// formation (membership, top-k lists, satisfaction bits). Two servers
+    /// that applied the same journal — one uninterrupted, one crash-restored
+    /// — produce the same digest; the crash harness asserts exactly that.
+    pub fn digest(&self) -> u64 {
+        let snap = self.snapshot();
+        let mut d = StateDigest::new();
+        d.u64(snap.version)
+            .u64(snap.progress.wal_seq)
+            .u64(snap.progress.applied)
+            .u64(snap.progress.users_admitted)
+            .u64(snap.progress.items_admitted)
+            .bytes(format!("{:?}", snap.config).as_bytes())
+            .matrix(&snap.matrix)
+            .formation(&snap.formation);
+        d.finish()
     }
 
     fn install(&self, snapshot: Snapshot) -> Arc<Snapshot> {
@@ -509,6 +788,7 @@ fn build_snapshot(
     matrix: Arc<RatingMatrix>,
     prefs: Arc<PrefIndex>,
     cfg: FormationConfig,
+    progress: Progress,
     version: u64,
 ) -> Result<Snapshot> {
     let formation = match cfg.refresh {
@@ -518,7 +798,7 @@ fn build_snapshot(
         }
     };
     Ok(snapshot_with_formation(
-        matrix, prefs, cfg, formation, version,
+        matrix, prefs, cfg, formation, progress, version,
     ))
 }
 
@@ -530,6 +810,7 @@ fn snapshot_with_formation(
     prefs: Arc<PrefIndex>,
     config: FormationConfig,
     formation: FormationResult,
+    progress: Progress,
     version: u64,
 ) -> Snapshot {
     let assignment = formation.grouping.assignment(matrix.n_users());
@@ -540,6 +821,7 @@ fn snapshot_with_formation(
         formation,
         assignment,
         version,
+        progress,
     }
 }
 

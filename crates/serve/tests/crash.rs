@@ -1,0 +1,330 @@
+//! Crash-injection proof harness: `kill -9` a **real** `gf-serve`
+//! process mid-run, restart it on the same `--data-dir`, and assert the
+//! recovered state is bit-for-bit the state of a server that never
+//! crashed — digest, snapshot version, applied-record count and
+//! admission counters all equal.
+//!
+//! The uninterrupted reference is rebuilt in-process by replaying the
+//! full retained WAL (`--wal-retain`) from sequence 1 into a fresh
+//! [`ServeState`]: an acked rating is durable (`--wal-sync always`), so
+//! the journal *is* the uninterrupted run. Equality then proves
+//! checkpoint + tail-replay ≡ pure sequential application.
+//!
+//! Three kill points: before any checkpoint exists (WAL-only recovery),
+//! between rapid periodic checkpoints (checkpoint + tail), and a
+//! double-crash immediately after a recovery (recover-from-recovery).
+//! None of them use `--max-swaps`: exact version equality is guaranteed
+//! under the default unbounded repair budget only (capped servers run
+//! catch-up passes that advance the version without journal records).
+
+use gf_core::{Aggregation, FormationConfig, GrowthPolicy, RefreshMode, Semantics};
+use gf_datasets::SynthConfig;
+use gf_serve::{Json, ServeConfig, ServeState};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const USERS: u32 = 48;
+const ITEMS: u32 = 10;
+const MAX_USERS: u32 = 64;
+const MAX_ITEMS: u32 = 32;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gf-crash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running `gf-serve` child; SIGKILLed on drop so a failing assert
+/// never leaks a process.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Server {
+    /// `Child::kill` delivers SIGKILL on unix — the real crash, no
+    /// destructors, no flushes.
+    fn kill_dash_nine(mut self) {
+        self.child.kill().unwrap();
+        self.child.wait().unwrap();
+    }
+}
+
+fn spawn(dir: &Path, checkpoint_interval_ms: u64) -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gf-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--synth",
+            &format!("{USERS}x{ITEMS}"),
+            "--max-users",
+            &MAX_USERS.to_string(),
+            "--max-items",
+            &MAX_ITEMS.to_string(),
+            "--batch-window-ms",
+            "0",
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--wal-sync",
+            "always",
+            "--wal-retain",
+            "--checkpoint-interval-ms",
+            &checkpoint_interval_ms.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = stdout.read_line(&mut line).unwrap();
+        assert!(n > 0, "gf-serve exited before printing the listening line");
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after http://")
+                .to_string();
+        }
+    };
+    Server { child, addr }
+}
+
+/// One short-lived HTTP/1.1 request; returns (status, body).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\
+                 content-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    (status, body.to_string())
+}
+
+fn rate(addr: &str, user: u32, item: u32, score: u32) {
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/rate",
+        &format!(r#"{{"user":{user},"item":{item},"rating":{score}}}"#),
+    );
+    assert_eq!(status, 202, "rate ({user},{item},{score}) refused: {body}");
+}
+
+/// Deterministic rating stream: mostly in-population updates, a steady
+/// trickle of admissions (users 48..64, items 10..32), scores on the
+/// synth corpus's 1–5 integer grid.
+fn script(n: usize) -> Vec<(u32, u32, u32)> {
+    let mut x: u64 = 0x243F_6A88_85A3_08D3;
+    (0..n)
+        .map(|k| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let user = if k % 7 == 3 {
+                USERS + ((x >> 33) % (MAX_USERS - USERS) as u64) as u32
+            } else {
+                ((x >> 33) % USERS as u64) as u32
+            };
+            let item = if k % 11 == 5 {
+                ITEMS + ((x >> 13) % (MAX_ITEMS - ITEMS) as u64) as u32
+            } else {
+                ((x >> 13) % ITEMS as u64) as u32
+            };
+            (user, item, 1 + ((x >> 3) % 5) as u32)
+        })
+        .collect()
+}
+
+/// `/digest` fields of a live server.
+struct Digest {
+    digest: String,
+    version: u64,
+    applied: u64,
+    users_admitted: u64,
+    items_admitted: u64,
+}
+
+fn digest_of(addr: &str) -> Digest {
+    let (status, body) = http(addr, "GET", "/digest", "");
+    assert_eq!(status, 200, "{body}");
+    let json = Json::parse(&body).unwrap();
+    let num = |k: &str| json.get(k).and_then(Json::as_u64).unwrap();
+    Digest {
+        digest: json
+            .get("digest")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string(),
+        version: num("version"),
+        applied: num("applied"),
+        users_admitted: num("users_admitted"),
+        items_admitted: num("items_admitted"),
+    }
+}
+
+/// The uninterrupted run: a fresh in-process server over the same synth
+/// corpus and config, fed the retained journal from sequence 1.
+fn reference(dir: &Path) -> Digest {
+    let scanned = gf_persist::wal::scan(dir).unwrap();
+    assert!(!scanned.records.is_empty(), "harness journaled nothing");
+    let matrix = SynthConfig::yahoo_music()
+        .with_users(USERS)
+        .with_items(ITEMS)
+        .generate()
+        .matrix;
+    // Mirrors the flags `spawn` passes (and the binary's defaults).
+    let formation = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 5, 10)
+        .with_threads(0)
+        .with_refresh(RefreshMode::Auto)
+        .with_growth(GrowthPolicy::Grow {
+            max_users: MAX_USERS,
+            max_items: MAX_ITEMS,
+        });
+    let state = ServeState::new(
+        matrix,
+        ServeConfig::new(formation).with_batch_window(Duration::ZERO),
+    )
+    .unwrap();
+    for rec in &scanned.records {
+        assert_eq!(
+            rec.updates.len(),
+            1,
+            "live servers journal one update per record"
+        );
+        let (u, i, s) = rec.updates[0];
+        state.rate(u, i, s).unwrap();
+    }
+    state.flush().unwrap();
+    let snap = state.snapshot();
+    Digest {
+        digest: format!("{:016x}", state.digest()),
+        version: snap.version,
+        applied: snap.progress.applied,
+        users_admitted: snap.progress.users_admitted,
+        items_admitted: snap.progress.items_admitted,
+    }
+}
+
+fn assert_recovered_equals_reference(addr: &str, dir: &Path) {
+    let got = digest_of(addr);
+    let want = reference(dir);
+    assert_eq!(got.version, want.version, "snapshot version diverged");
+    assert_eq!(got.applied, want.applied, "applied-record count diverged");
+    assert_eq!(got.users_admitted, want.users_admitted);
+    assert_eq!(got.items_admitted, want.items_admitted);
+    assert_eq!(got.digest, want.digest, "state digest diverged");
+}
+
+fn stat(addr: &str, key: &str) -> u64 {
+    let (status, body) = http(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    Json::parse(&body)
+        .unwrap()
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("/stats missing {key}"))
+}
+
+/// Kill point 1: before any periodic checkpoint — recovery is the boot
+/// checkpoint plus a full WAL-tail replay.
+#[test]
+fn kill_before_first_checkpoint() {
+    let dir = tmpdir("early");
+    let server = spawn(&dir, 3_600_000);
+    let updates = script(40);
+    for &(u, i, s) in &updates {
+        rate(&server.addr, u, i, s);
+    }
+    server.kill_dash_nine();
+
+    let restarted = spawn(&dir, 3_600_000);
+    assert_eq!(
+        stat(&restarted.addr, "recovery_replayed"),
+        updates.len() as u64,
+        "every acked rating must replay"
+    );
+    assert_recovered_equals_reference(&restarted.addr, &dir);
+    drop(restarted);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill point 2: mid-run with a rapid checkpointer racing the update
+/// stream (and its admissions) — recovery is checkpoint + short tail.
+#[test]
+fn kill_between_checkpoints() {
+    let dir = tmpdir("mid");
+    let server = spawn(&dir, 25);
+    let updates = script(120);
+    for (n, &(u, i, s)) in updates.iter().enumerate() {
+        rate(&server.addr, u, i, s);
+        if n % 10 == 9 {
+            // Give the checkpointer room to land mid-stream.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    server.kill_dash_nine();
+
+    let restarted = spawn(&dir, 3_600_000);
+    assert_recovered_equals_reference(&restarted.addr, &dir);
+    drop(restarted);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill point 3: crash, recover, keep serving, crash again immediately —
+/// the second recovery stacks on the first one's boot checkpoint.
+#[test]
+fn kill_again_right_after_recovery() {
+    let dir = tmpdir("double");
+    let server = spawn(&dir, 3_600_000);
+    let first = script(30);
+    for &(u, i, s) in &first {
+        rate(&server.addr, u, i, s);
+    }
+    server.kill_dash_nine();
+
+    let survivor = spawn(&dir, 3_600_000);
+    let second = &script(45)[30..];
+    for &(u, i, s) in second {
+        rate(&survivor.addr, u, i, s);
+    }
+    survivor.kill_dash_nine();
+
+    let restarted = spawn(&dir, 3_600_000);
+    assert_eq!(
+        stat(&restarted.addr, "recovery_replayed"),
+        second.len() as u64,
+        "only records past the survivor's boot checkpoint replay"
+    );
+    assert_recovered_equals_reference(&restarted.addr, &dir);
+    drop(restarted);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
