@@ -209,4 +209,80 @@ request GET /digest 200 | jq -e '.digest == "'"$digest_before"'"
   and .version == '"$version_before" >/dev/null
 request GET /group/50 200 | jq -e '.user == 50 and (.members | index(50) != null)' >/dev/null
 
+# ---------------------------------------------------------------------------
+# Multi-grouping smoke: one instance serving several named groupings with
+# different aggregation semantics over one shared matrix — boot-declared
+# (--grouping) and socket-registered (POST /grouping) alike — every /rate
+# fanning out to all of them.
+# ---------------------------------------------------------------------------
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+
+MULTI_PORT=$((PORT + 3))
+BASE="http://127.0.0.1:${MULTI_PORT}"
+MULTI_LOG=$(mktemp)
+"$BIN" --port "$MULTI_PORT" --data "$FIXTURE" --ell 4 --k 3 \
+  --grouping fair:semantics=av,agg=sum \
+  --grouping cons:semantics=cons,lambda=0.5 \
+  >"$MULTI_LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$DATA_DIR"; cat "$LOG" "$GROW_LOG" "$PERSIST_LOG" "$MULTI_LOG"' EXIT
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$MULTI_LOG" && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "multi-grouping server died during startup"; exit 1; }
+  sleep 0.1
+done
+grep -q "listening on" "$MULTI_LOG" || { echo "multi-grouping server never became ready"; exit 1; }
+
+echo "== multi: boot registry has default + fair + cons =="
+request GET /health 200 | jq -e '.groupings == 3' >/dev/null
+request GET /stats 200 | jq -e '.groupings | keys == ["cons","default","fair"]
+  and .default.algorithm == "GRD-LM-MIN"
+  and .fair.algorithm == "GRD-AV-SUM"
+  and .cons.algorithm == "GRD-CONS-MIN"' >/dev/null
+
+echo "== multi: every grouping answers /group/{name}/{u} =="
+request GET /group/3 200 | jq -e '.grouping == "default" and .user == 3' >/dev/null
+request GET /group/fair/3 200 | jq -e '.grouping == "fair" and .user == 3
+  and (.members | index(3) != null)' >/dev/null
+request GET /group/cons/3 200 | jq -e '.grouping == "cons" and .user == 3' >/dev/null
+gi=$(request GET /group/fair/3 200 | jq -r '.group')
+request GET "/recommend/fair/$gi" 200 | jq -e '.top_k | length >= 1' >/dev/null
+
+echo "== multi: POST /grouping registers a fourth live =="
+request POST /grouping 200 '{"name":"ldr","semantics":"ldr","k":2}' \
+  | jq -e '.grouping == "ldr" and .algorithm == "GRD-LDR-MIN"' >/dev/null
+request GET /health 200 | jq -e '.groupings == 4' >/dev/null
+request GET /group/ldr/3 200 | jq -e '.grouping == "ldr"' >/dev/null
+
+echo "== multi: unknown names 404 everywhere, /form never mints =="
+request GET /group/nope/3 404 | jq -e '.error' >/dev/null
+request POST "/form?name=nope" 404 | jq -e '.error' >/dev/null
+request GET /health 200 | jq -e '.groupings == 4' >/dev/null
+
+echo "== multi: one /rate advances every grouping =="
+fair_v=$(request GET /stats 200 | jq -r '.groupings.fair.version')
+cons_v=$(request GET /stats 200 | jq -r '.groupings.cons.version')
+request POST /rate 202 '{"user":3,"item":1,"rating":1}' | jq -e '.accepted == true' >/dev/null
+for _ in $(seq 1 100); do
+  new_fair_v=$(request GET /stats 200 | jq -r '.groupings.fair.version')
+  [ "$new_fair_v" -gt "$fair_v" ] && break
+  sleep 0.1
+done
+[ "$new_fair_v" -gt "$fair_v" ] || { echo "FAIL: /rate never advanced grouping 'fair'"; exit 1; }
+request GET /stats 200 | jq -e '.groupings.cons.version > '"$cons_v"'
+  and .groupings.default.version == .groupings.fair.version' >/dev/null
+
+echo "== multi: /form?name= re-forms one grouping, not the others =="
+default_v=$(request GET /stats 200 | jq -r '.groupings.default.version')
+request POST "/form?name=fair" 200 '{"ell":3}' \
+  | jq -e '.grouping == "fair" and .groups <= 3' >/dev/null
+request GET /stats 200 | jq -e '.groupings.fair.version > .groupings.default.version
+  and .groupings.default.version == '"$default_v" >/dev/null
+
+echo "== multi: /digest carries one fingerprint per grouping =="
+request GET /digest 200 | jq -e '.groupings | keys == ["cons","default","fair","ldr"]
+  and (to_entries | all(.value | test("^[0-9a-f]{16}$")))' >/dev/null
+
 echo "serve smoke: all checks passed"

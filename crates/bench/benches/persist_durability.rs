@@ -22,7 +22,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gf_bench::Scale;
 use gf_core::{Aggregation, FormationConfig, Semantics};
 use gf_datasets::SynthConfig;
-use gf_persist::checkpoint::{self, CheckpointState};
+use gf_persist::checkpoint::{self, CheckpointGrouping, CheckpointState};
 use gf_persist::wal::{self, SyncMode, Wal};
 use gf_serve::{ServeConfig, ServeState};
 use std::path::PathBuf;
@@ -55,17 +55,22 @@ fn persist_durability_benches(c: &mut Criterion) {
     )
     .expect("initial formation");
     let snap = state.snapshot();
+    let default = snap.default_grouping();
     let ck = CheckpointState {
         snapshot_version: snap.version,
         wal_seq: 0,
         applied: 0,
         users_admitted: 0,
         items_admitted: 0,
-        config: snap.config,
         matrix: corpus.matrix.clone(),
         prefs: (*snap.prefs).clone(),
-        formation: snap.formation.clone(),
-        former: None,
+        groupings: vec![CheckpointGrouping {
+            name: "default".to_string(),
+            version: default.version,
+            config: default.config,
+            formation: default.formation.clone(),
+            former: None,
+        }],
     };
 
     let mut g = c.benchmark_group(format!("persist-durability-{n_users}x{n_items}"));

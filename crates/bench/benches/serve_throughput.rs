@@ -67,7 +67,7 @@ fn serve_benches(c: &mut Criterion) {
             assert_eq!(get(&state, format!("/group/{u}")), 200);
         })
     });
-    let groups = state.snapshot().formation.grouping.len();
+    let groups = state.snapshot().default_grouping().formation.grouping.len();
     let mut gi = 0usize;
     g.bench_function("recommend", |b| {
         b.iter(|| {

@@ -67,10 +67,18 @@ impl Bucket {
 
     /// The group's per-item score vector under `semantics` for the shared
     /// top-`k` sequence (non-increasing by construction).
+    ///
+    /// For the moment-based semantics (Consensus, LeaderWeighted) the
+    /// bucket key carries the full score bits ([`key_for`]), so every
+    /// member's personal score at each position is identical and equals
+    /// `pos_min`; a consensus over identical values has zero disagreement
+    /// and a leader-weighted average of identical values is that value —
+    /// both group scores collapse to `pos_min` exactly.
     pub fn score_vector(&self, semantics: Semantics) -> &[f64] {
         match semantics {
             Semantics::LeastMisery => &self.pos_min,
             Semantics::AggregateVoting => &self.pos_sum,
+            Semantics::Consensus { .. } | Semantics::LeaderWeighted => &self.pos_min,
         }
     }
 
@@ -158,6 +166,13 @@ pub fn key_for(
             }
             Pivot::All => scores.iter().map(|s| s.to_bits()).collect(),
         },
+        // Moment-based semantics: bucket only users whose whole score
+        // vector matches, so within a bucket every position is unanimous
+        // and the group score collapses to the shared personal score
+        // (zero consensus disagreement; leader-weighted mean of equals).
+        Semantics::Consensus { .. } | Semantics::LeaderWeighted => {
+            scores.iter().map(|s| s.to_bits()).collect()
+        }
     };
     BucketKey {
         items: items.into(),

@@ -245,6 +245,9 @@ impl TailAgg {
                 Semantics::AggregateVoting => {
                     self.sum[i] + (tail_len - self.count[i] as usize) as f64 * self.r_min
                 }
+                Semantics::Consensus { .. } | Semantics::LeaderWeighted => {
+                    unreachable!("agg_tail is only maintained for decomposable semantics")
+                }
             };
             scored.push((i as u32, score));
         }
@@ -338,8 +341,12 @@ impl IncrementalFormer {
             cfg.k,
             cfg.n_threads,
         );
-        let agg_tail = matches!(cfg.policy, MissingPolicy::Min)
-            .then(|| TailAgg::new(matrix.n_items() as usize, matrix.scale().min()));
+        // The maintained fast path only models the decomposable paper
+        // semantics; Consensus/LeaderWeighted fall back to exact tail
+        // rescoring through the shared repair machinery.
+        let agg_tail = (matches!(cfg.policy, MissingPolicy::Min)
+            && cfg.semantics.is_decomposable())
+        .then(|| TailAgg::new(matrix.n_items() as usize, matrix.scale().min()));
         let mut former = IncrementalFormer {
             cfg,
             n_items: matrix.n_items(),
@@ -413,6 +420,9 @@ impl IncrementalFormer {
         let per_item = match self.cfg.semantics {
             Semantics::LeastMisery => r_max,
             Semantics::AggregateVoting => matrix.n_users() as f64 * r_max,
+            // Both are (weighted) means bounded above by r_max; Consensus
+            // only subtracts from the mean (λ ≥ 0). See `semantics` docs.
+            Semantics::Consensus { .. } | Semantics::LeaderWeighted => r_max,
         };
         self.selection_lag + self.cfg.aggregation.apply(&vec![per_item; k_eff])
     }
@@ -541,7 +551,7 @@ impl IncrementalFormer {
             selected: Vec::new(),
             in_tail: vec![false; n],
             tail_len: 0,
-            agg_tail: matches!(cfg.policy, MissingPolicy::Min)
+            agg_tail: (matches!(cfg.policy, MissingPolicy::Min) && cfg.semantics.is_decomposable())
                 .then(|| TailAgg::new(matrix.n_items() as usize, matrix.scale().min())),
             result: FormationResult {
                 grouping: Grouping::default(),
@@ -1066,6 +1076,38 @@ mod tests {
             former.refresh(&m, &p, &deltas).unwrap();
             assert_matches_cold(&former, &m, &p, &cfg);
             assert_eq!(former.selection_lag(), 0.0);
+        }
+    }
+
+    #[test]
+    fn moment_semantics_init_and_refresh_track_cold_rebuild() {
+        // Consensus and LeaderWeighted have no TailAgg fast path; the
+        // exact rescoring fallback must still equal a cold build after
+        // every batch, for each missing policy.
+        for sem in [
+            Semantics::Consensus { lambda: 0.6 },
+            Semantics::LeaderWeighted,
+        ] {
+            for policy in [
+                MissingPolicy::Min,
+                MissingPolicy::UserMean,
+                MissingPolicy::Skip,
+            ] {
+                let (mut m, mut p) = example1();
+                let cfg = FormationConfig::new(sem, Aggregation::Min, 2, 3).with_policy(policy);
+                let mut former = IncrementalFormer::new(&m, &p, cfg).unwrap();
+                assert_matches_cold(&former, &m, &p, &cfg);
+                for batch in [
+                    vec![(0u32, 0u32, 5.0)],
+                    vec![(2, 2, 4.0), (3, 2, 4.0)],
+                    vec![(5, 1, 5.0), (5, 0, 3.0), (1, 1, 1.0)],
+                ] {
+                    let deltas = apply(&mut m, &mut p, &batch);
+                    former.refresh(&m, &p, &deltas).unwrap();
+                    assert_matches_cold(&former, &m, &p, &cfg);
+                    assert_eq!(former.selection_lag(), 0.0, "{sem} {policy:?}");
+                }
+            }
         }
     }
 

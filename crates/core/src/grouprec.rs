@@ -16,7 +16,7 @@
 use crate::aggregate::Aggregation;
 use crate::fxhash::FxHashMap;
 use crate::matrix::RatingMatrix;
-use crate::semantics::Semantics;
+use crate::semantics::{consensus_score, Semantics};
 
 /// Score assigned to a `(member, item)` pair the member did not rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,8 +49,15 @@ struct Acc {
     count: u32,
     min: f64,
     sum: f64,
+    /// Sum of squared ratings (only used under `Consensus`).
+    sum_sq: f64,
     /// Sum of the raters' mean ratings (only used under `UserMean`).
     rater_mean_sum: f64,
+    /// Sum of the raters' squared mean ratings (`Consensus` + `UserMean`).
+    rater_mean_sq_sum: f64,
+    /// The leader's rating, if the leader rated this item
+    /// (only used under `LeaderWeighted`).
+    leader: Option<f64>,
 }
 
 impl Default for Acc {
@@ -59,7 +66,10 @@ impl Default for Acc {
             count: 0,
             min: f64::INFINITY,
             sum: 0.0,
+            sum_sq: 0.0,
             rater_mean_sum: 0.0,
+            rater_mean_sq_sum: 0.0,
+            leader: None,
         }
     }
 }
@@ -94,6 +104,9 @@ impl<'a> GroupRecommender<'a> {
     /// implementation, O(|g| log d). Used as the oracle in tests and for
     /// spot queries.
     pub fn item_score(&self, members: &[u32], item: u32) -> f64 {
+        if !self.semantics.is_decomposable() {
+            return self.item_score_moments(members, item);
+        }
         let mut acc = self.semantics.identity();
         let mut any = false;
         for &u in members {
@@ -116,6 +129,43 @@ impl<'a> GroupRecommender<'a> {
         acc
     }
 
+    /// `sc(g, item)` for the moment-based semantics (Consensus,
+    /// LeaderWeighted). Accumulates the raters' moments in member order —
+    /// the same order and closed forms as [`GroupRecommender::top_k`], so
+    /// the two paths agree bit-for-bit.
+    fn item_score_moments(&self, members: &[u32], item: u32) -> f64 {
+        let g = members.len();
+        let leader_id = members.iter().copied().min().unwrap_or(0);
+        let need_means = matches!(self.policy, MissingPolicy::UserMean);
+        let mut acc = Acc::default();
+        let mut mean_total = 0.0;
+        let mut mean_sq_total = 0.0;
+        for &u in members {
+            let mean = if need_means {
+                self.matrix.user_mean(u)
+            } else {
+                0.0
+            };
+            mean_total += mean;
+            mean_sq_total += mean * mean;
+            if let Some(s) = self.matrix.get(u, item) {
+                acc.count += 1;
+                acc.min = acc.min.min(s);
+                acc.sum += s;
+                acc.sum_sq += s * s;
+                acc.rater_mean_sum += mean;
+                acc.rater_mean_sq_sum += mean * mean;
+                if u == leader_id {
+                    acc.leader = Some(s);
+                }
+            }
+        }
+        if acc.count == 0 {
+            return self.unrated_floor(members);
+        }
+        self.moment_score(&acc, g, leader_id, mean_total, mean_sq_total)
+    }
+
     /// The top-`k` list `I_g^k` for a group: `(item, group score)` pairs,
     /// best first, ties broken by ascending item id.
     ///
@@ -127,9 +177,11 @@ impl<'a> GroupRecommender<'a> {
             return Vec::new();
         }
         let g = members.len();
+        let leader_id = members.iter().copied().min().unwrap_or(0);
         let mut accs: FxHashMap<u32, Acc> = FxHashMap::default();
         let need_means = matches!(self.policy, MissingPolicy::UserMean);
         let mut mean_total = 0.0;
+        let mut mean_sq_total = 0.0;
         for &u in members {
             let mean = if need_means {
                 self.matrix.user_mean(u)
@@ -137,12 +189,18 @@ impl<'a> GroupRecommender<'a> {
                 0.0
             };
             mean_total += mean;
+            mean_sq_total += mean * mean;
             for (i, s) in self.matrix.user_ratings(u) {
                 let a = accs.entry(i).or_default();
                 a.count += 1;
                 a.min = a.min.min(s);
                 a.sum += s;
+                a.sum_sq += s * s;
                 a.rater_mean_sum += mean;
+                a.rater_mean_sq_sum += mean * mean;
+                if u == leader_id {
+                    a.leader = Some(s);
+                }
             }
         }
         // Members sorted by ascending mean, for the LM + UserMean fallback.
@@ -186,6 +244,9 @@ impl<'a> GroupRecommender<'a> {
                     acc.sum + (mean_total - acc.rater_mean_sum)
                 }
                 (Semantics::AggregateVoting, MissingPolicy::Skip) => acc.sum,
+                (Semantics::Consensus { .. } | Semantics::LeaderWeighted, _) => {
+                    self.moment_score(acc, g, leader_id, mean_total, mean_sq_total)
+                }
             };
             scored.push((item, score));
         }
@@ -242,6 +303,66 @@ impl<'a> GroupRecommender<'a> {
         agg.apply(&scores)
     }
 
+    /// The group score of an item with at least one rater under the
+    /// moment-based semantics (Consensus, LeaderWeighted). One closed form
+    /// per `(semantics, policy)` pair; both [`GroupRecommender::top_k`] and
+    /// the [`GroupRecommender::item_score`] oracle fill `acc` in member
+    /// order and land here, so the two agree bit-for-bit.
+    fn moment_score(
+        &self,
+        acc: &Acc,
+        g: usize,
+        leader_id: u32,
+        mean_total: f64,
+        mean_sq_total: f64,
+    ) -> f64 {
+        let r_min = self.matrix.scale().min();
+        let count = acc.count as usize;
+        match (self.semantics, self.policy) {
+            // Non-raters impute r_min: moments over all g members.
+            (Semantics::Consensus { lambda }, MissingPolicy::Min) => {
+                let miss = (g - count) as f64;
+                consensus_score(
+                    lambda,
+                    g as f64,
+                    acc.sum + miss * r_min,
+                    acc.sum_sq + miss * r_min * r_min,
+                )
+            }
+            // Non-raters impute their own mean rating.
+            (Semantics::Consensus { lambda }, MissingPolicy::UserMean) => consensus_score(
+                lambda,
+                g as f64,
+                acc.sum + (mean_total - acc.rater_mean_sum),
+                acc.sum_sq + (mean_sq_total - acc.rater_mean_sq_sum),
+            ),
+            // Consensus over the raters only.
+            (Semantics::Consensus { lambda }, MissingPolicy::Skip) => {
+                consensus_score(lambda, count as f64, acc.sum, acc.sum_sq)
+            }
+            (Semantics::LeaderWeighted, MissingPolicy::Min) => {
+                let s_l = acc.leader.unwrap_or(r_min);
+                let base = acc.sum + (g - count) as f64 * r_min;
+                (base + s_l) / (g as f64 + 1.0)
+            }
+            (Semantics::LeaderWeighted, MissingPolicy::UserMean) => {
+                let s_l = acc
+                    .leader
+                    .unwrap_or_else(|| self.matrix.user_mean(leader_id));
+                let base = acc.sum + (mean_total - acc.rater_mean_sum);
+                (base + s_l) / (g as f64 + 1.0)
+            }
+            // The leader's extra vote only exists if the leader rated.
+            (Semantics::LeaderWeighted, MissingPolicy::Skip) => match acc.leader {
+                Some(s_l) => (acc.sum + s_l) / (count as f64 + 1.0),
+                None => acc.sum / count as f64,
+            },
+            (Semantics::LeastMisery | Semantics::AggregateVoting, _) => {
+                unreachable!("moment_score is only called for moment-based semantics")
+            }
+        }
+    }
+
     /// Score of an item no member rated, under the active policy.
     fn unrated_floor(&self, members: &[u32]) -> f64 {
         let r_min = self.matrix.scale().min();
@@ -255,6 +376,31 @@ impl<'a> GroupRecommender<'a> {
             (Semantics::AggregateVoting, MissingPolicy::Min) => members.len() as f64 * r_min,
             (Semantics::AggregateVoting, MissingPolicy::UserMean) => {
                 members.iter().map(|&u| self.matrix.user_mean(u)).sum()
+            }
+            // All members at r_min: mean = r_min, disagreement = 0. Zero
+            // raters under Skip take the same pessimistic convention.
+            (Semantics::Consensus { .. }, MissingPolicy::Min | MissingPolicy::Skip) => r_min,
+            (Semantics::Consensus { lambda }, MissingPolicy::UserMean) => {
+                if members.is_empty() {
+                    return r_min;
+                }
+                let mut sum = 0.0;
+                let mut sum_sq = 0.0;
+                for &u in members {
+                    let mean = self.matrix.user_mean(u);
+                    sum += mean;
+                    sum_sq += mean * mean;
+                }
+                consensus_score(lambda, members.len() as f64, sum, sum_sq)
+            }
+            // A weighted average of scores all at r_min is r_min.
+            (Semantics::LeaderWeighted, MissingPolicy::Min | MissingPolicy::Skip) => r_min,
+            (Semantics::LeaderWeighted, MissingPolicy::UserMean) => {
+                let Some(leader_id) = members.iter().copied().min() else {
+                    return r_min;
+                };
+                let sum: f64 = members.iter().map(|&u| self.matrix.user_mean(u)).sum();
+                (sum + self.matrix.user_mean(leader_id)) / (members.len() as f64 + 1.0)
             }
         }
     }
@@ -409,7 +555,7 @@ mod tests {
             let mat =
                 RatingMatrix::from_triples(n, m, triples, RatingScale::one_to_five()).unwrap();
             let members: Vec<u32> = (0..n).collect();
-            for sem in Semantics::all() {
+            for sem in Semantics::extended(0.7) {
                 for policy in [
                     MissingPolicy::Min,
                     MissingPolicy::UserMean,
@@ -424,6 +570,76 @@ mod tests {
                             "{sem:?} {policy:?} item {item}: {score} vs {oracle}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consensus_discounts_disagreement() {
+        // u1 = (5, 4), u2 = (1, 4): i0 has mean 3, std 2; i1 has mean 4,
+        // std 0. Under λ = 1 consensus prefers the unanimous item by
+        // 4 − 1 = 3 points even though AV ties them at 6 vs 8.
+        let m = dense(&[&[5.0, 4.0], &[1.0, 4.0]]);
+        let rec = GroupRecommender::new(&m, Semantics::Consensus { lambda: 1.0 });
+        let top = rec.top_k(&[0, 1], 2);
+        assert_eq!(top[0].0, 1);
+        assert!((top[0].1 - 4.0).abs() < 1e-12);
+        assert_eq!(top[1].0, 0);
+        assert!((top[1].1 - 1.0).abs() < 1e-12);
+        // λ = 0 is the plain average: i0 -> 3, i1 -> 4.
+        let avg = GroupRecommender::new(&m, Semantics::Consensus { lambda: 0.0 });
+        let top = avg.top_k(&[0, 1], 2);
+        assert!((top[0].1 - 4.0).abs() < 1e-12);
+        assert!((top[1].1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leader_weighted_counts_the_lowest_id_twice() {
+        // Leader u0 = (5, 1), u1 = (1, 5): i0 -> (5+1+5)/3 = 11/3,
+        // i1 -> (1+5+1)/3 = 7/3 — the leader's favourite wins.
+        let m = dense(&[&[5.0, 1.0], &[1.0, 5.0]]);
+        let rec = GroupRecommender::new(&m, Semantics::LeaderWeighted);
+        let top = rec.top_k(&[0, 1], 2);
+        assert_eq!(top[0].0, 0);
+        assert!((top[0].1 - 11.0 / 3.0).abs() < 1e-12);
+        assert!((top[1].1 - 7.0 / 3.0).abs() < 1e-12);
+        // The leader is the lowest id regardless of slice order.
+        let reordered = rec.top_k(&[1, 0], 2);
+        assert_eq!(top, reordered);
+    }
+
+    #[test]
+    fn leader_weighted_skip_only_boosts_a_rating_leader() {
+        let m = sparse(); // u0: i0=5, i1=3; u1: i1=4, i2=2
+        let rec =
+            GroupRecommender::new(&m, Semantics::LeaderWeighted).with_policy(MissingPolicy::Skip);
+        // i0: leader u0 rated 5, sole rater -> (5+5)/2 = 5.
+        assert_eq!(rec.item_score(&[0, 1], 0), 5.0);
+        // i2: leader did not rate -> plain mean over raters = 2.
+        assert_eq!(rec.item_score(&[0, 1], 2), 2.0);
+        // i1: both rated, leader 3 -> (3+4+3)/3 = 10/3.
+        assert!((rec.item_score(&[0, 1], 1) - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moment_semantics_floor_matches_oracle() {
+        let m = sparse(); // i3 has no raters; means: u0 = 4.0, u1 = 3.0
+        for policy in [
+            MissingPolicy::Min,
+            MissingPolicy::UserMean,
+            MissingPolicy::Skip,
+        ] {
+            for sem in [
+                Semantics::Consensus { lambda: 0.5 },
+                Semantics::LeaderWeighted,
+            ] {
+                let rec = GroupRecommender::new(&m, sem).with_policy(policy);
+                let top = rec.top_k(&[0, 1], 4);
+                let in_list = top.iter().find(|&&(i, _)| i == 3);
+                let oracle = rec.item_score(&[0, 1], 3);
+                if let Some(&(_, s)) = in_list {
+                    assert_eq!(s, oracle, "{sem:?} {policy:?}");
                 }
             }
         }

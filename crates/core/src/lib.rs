@@ -88,7 +88,7 @@ pub use metrics::{avg_group_satisfaction, objective_value, recompute_objective};
 pub use ndcg::{dcg, ndcg, user_satisfaction};
 pub use prefs::PrefIndex;
 pub use scale::RatingScale;
-pub use semantics::Semantics;
+pub use semantics::{AggSemantics, Semantics};
 pub use threads::resolve_threads;
 pub use userweight::WeightedRecommender;
 pub use weights::WeightScheme;

@@ -64,6 +64,8 @@ pub fn avg_group_satisfaction(
             let norm = match semantics {
                 Semantics::LeastMisery => 1.0,
                 Semantics::AggregateVoting => g.len().max(1) as f64,
+                // Already per-member normalized (mean-based scores).
+                Semantics::Consensus { .. } | Semantics::LeaderWeighted => 1.0,
             };
             rec.top_k(&g.members, k)
                 .iter()

@@ -62,6 +62,17 @@ impl<'a> WeightedRecommender<'a> {
     }
 
     /// The weighted group score of one item.
+    ///
+    /// The two post-paper semantics generalize naturally over the same
+    /// weight vector:
+    ///
+    /// * **Weighted Consensus**: weighted mean minus `λ` times the
+    ///   weighted population standard deviation — unit weights reduce to
+    ///   the classic consensus score.
+    /// * **Weighted LeaderWeighted**: the leader (lowest member id) is
+    ///   counted once more at their own weight,
+    ///   `(Σ w_u·sc(u,i) + w_L·sc(L,i)) / (Σ w_u + w_L)` — unit weights
+    ///   reduce to the classic `(Σ sc + sc_L) / (|g| + 1)`.
     pub fn item_score(&self, members: &[u32], item: u32) -> f64 {
         let r_max = self.matrix.scale().max();
         match self.semantics {
@@ -73,6 +84,43 @@ impl<'a> WeightedRecommender<'a> {
                 .iter()
                 .map(|&u| r_max - self.weight(u) * (r_max - self.member_score(u, item)))
                 .fold(f64::INFINITY, f64::min),
+            Semantics::Consensus { lambda } => {
+                let mut w_total = 0.0;
+                let mut w_sum = 0.0;
+                let mut w_sum_sq = 0.0;
+                for &u in members {
+                    let w = self.weight(u);
+                    let s = self.member_score(u, item);
+                    w_total += w;
+                    w_sum += w * s;
+                    w_sum_sq += w * s * s;
+                }
+                if w_total <= 0.0 {
+                    return 0.0;
+                }
+                let mean = w_sum / w_total;
+                let var = (w_sum_sq / w_total - mean * mean).max(0.0);
+                mean - lambda * var.sqrt()
+            }
+            Semantics::LeaderWeighted => {
+                let Some(leader) = members.iter().copied().min() else {
+                    return 0.0;
+                };
+                let mut w_total = 0.0;
+                let mut w_sum = 0.0;
+                for &u in members {
+                    let w = self.weight(u);
+                    w_total += w;
+                    w_sum += w * self.member_score(u, item);
+                }
+                let w_l = self.weight(leader);
+                w_total += w_l;
+                w_sum += w_l * self.member_score(leader, item);
+                if w_total <= 0.0 {
+                    return 0.0;
+                }
+                w_sum / w_total
+            }
         }
     }
 
@@ -138,6 +186,24 @@ mod tests {
             for (x, y) in a.iter().zip(b.iter()) {
                 assert_eq!(x.0, y.0, "{sem}: item order differs");
                 assert!((x.1 - y.1).abs() < 1e-9, "{sem}: {x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_classic_moment_semantics() {
+        let m = example();
+        let members = [0u32, 1, 2];
+        for sem in [
+            Semantics::Consensus { lambda: 0.8 },
+            Semantics::LeaderWeighted,
+        ] {
+            let weighted = WeightedRecommender::new(&m, sem, MissingPolicy::Min, &[1.0, 1.0, 1.0]);
+            let classic = GroupRecommender::new(&m, sem);
+            for item in 0..3 {
+                let a = weighted.item_score(&members, item);
+                let b = classic.item_score(&members, item);
+                assert!((a - b).abs() < 1e-9, "{sem} item {item}: {a} vs {b}");
             }
         }
     }

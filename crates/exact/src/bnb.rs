@@ -81,6 +81,9 @@ impl Search<'_, '_> {
                 frozen + gain
             }
             Semantics::AggregateVoting => frozen + self.suffix_sum[next_user],
+            Semantics::Consensus { .. } | Semantics::LeaderWeighted => {
+                unreachable!("form() rejects non-paper semantics at entry")
+            }
         }
     }
 
@@ -126,6 +129,14 @@ impl GroupFormer for BranchAndBound {
         cfg: &FormationConfig,
     ) -> Result<FormationResult> {
         cfg.validate(matrix)?;
+        if !cfg.semantics.is_decomposable() {
+            // The pruning bounds above are derived for LM/AV only; the
+            // moment-based semantics have no admissible bound here yet.
+            return Err(GfError::InvalidGrouping(format!(
+                "BranchAndBound supports the paper semantics (LM/AV); got {}",
+                cfg.semantics
+            )));
+        }
         let n = matrix.n_users() as usize;
         if n > self.max_users as usize || n > 63 {
             return Err(GfError::InvalidGrouping(format!(

@@ -50,6 +50,14 @@ impl IpModel {
         if cfg.k != 1 {
             return Err(GfError::InvalidK { k: cfg.k });
         }
+        if !cfg.semantics.is_decomposable() {
+            // Appendix A linearizes the LM/AV scores only; the moment-based
+            // semantics (std-dev, leader weighting) are not big-M linear.
+            return Err(GfError::InvalidGrouping(format!(
+                "IpModel supports the paper semantics (LM/AV); got {}",
+                cfg.semantics
+            )));
+        }
         let n = matrix.n_users();
         let m = matrix.n_items();
         let mut scores = Vec::with_capacity(n as usize * m as usize);
@@ -61,6 +69,9 @@ impl IpModel {
         let big_m = match cfg.semantics {
             Semantics::LeastMisery => matrix.scale().max() + 1.0,
             Semantics::AggregateVoting => n as f64 * matrix.scale().max() + 1.0,
+            Semantics::Consensus { .. } | Semantics::LeaderWeighted => {
+                unreachable!("rejected above")
+            }
         };
         Ok(IpModel {
             semantics: cfg.semantics,
@@ -89,6 +100,9 @@ impl IpModel {
         let semantic = match self.semantics {
             Semantics::LeastMisery => n * m * l,
             Semantics::AggregateVoting => m * l,
+            Semantics::Consensus { .. } | Semantics::LeaderWeighted => {
+                unreachable!("build() rejects non-paper semantics")
+            }
         };
         // assignment (n) + item choice (l) + semantic + empty-group guard (l)
         n + l + semantic + l
@@ -157,6 +171,9 @@ impl IpModel {
                     }
                 }
             }
+            Semantics::Consensus { .. } | Semantics::LeaderWeighted => {
+                unreachable!("build() rejects non-paper semantics")
+            }
         }
         // Empty groups contribute nothing: z_g <= M * sum_u x_ug.
         for g in 0..l {
@@ -202,6 +219,9 @@ impl IpModel {
                         .map(|&u| self.score(u, j))
                         .fold(f64::INFINITY, f64::min),
                     Semantics::AggregateVoting => g.members.iter().map(|&u| self.score(u, j)).sum(),
+                    Semantics::Consensus { .. } | Semantics::LeaderWeighted => {
+                        unreachable!("build() rejects non-paper semantics")
+                    }
                 };
                 best = best.max(s);
             }

@@ -9,18 +9,27 @@
 //! payload = section*   section = [u32 tag][u32 0][u64 body_len][body][pad to 8]
 //! ```
 //!
-//! Sections carry the snapshot meta/progress counters, the formation
-//! configuration, the rating matrix CSR, the preference-index CSR, the
-//! emitted formation and (when the standing former was in lineage at
-//! checkpoint time) the exported [`FormerState`]. Every array is
-//! length-prefixed fixed-width little-endian and 8-byte aligned — the
-//! layout is mmap-ready, though this workspace reads it through the
-//! bounds-checked [`Reader`] (`forbid(unsafe_code)`
-//! rules out real `mmap`). **Unknown tags are skipped**, so a future
-//! writer can add sections (e.g. the consensus-objective per-grouping
-//! state queued in the ROADMAP) without breaking this reader; bumping
-//! [`CHECKPOINT_FORMAT_VERSION`] is reserved for layout changes an old
-//! reader must *not* attempt.
+//! Sections carry the snapshot meta/progress counters, the rating matrix
+//! CSR, the preference-index CSR and — since format v2 — the **named
+//! grouping registry**: one record per grouping holding its name,
+//! per-grouping version, formation configuration, emitted formation and
+//! (when that grouping's standing former was in lineage at checkpoint
+//! time) the exported [`FormerState`]. Every array is length-prefixed
+//! fixed-width little-endian and 8-byte aligned — the layout is
+//! mmap-ready, though this workspace reads it through the bounds-checked
+//! [`Reader`] (`forbid(unsafe_code)` rules out real `mmap`). **Unknown
+//! tags are skipped**, so a future writer can add sections without
+//! breaking this reader; bumping [`CHECKPOINT_FORMAT_VERSION`] is
+//! reserved for layout changes an old reader must *not* attempt.
+//!
+//! ## Compatibility
+//!
+//! The reader accepts format **v1** (single formation, `CONFIG` /
+//! `FORMATION` / `FORMER` sections) and **v2** (the `GROUPINGS`
+//! section). A v1 checkpoint decodes as a registry with exactly the
+//! `"default"` grouping at the checkpoint's snapshot version; the writer
+//! always emits v2. Versions above 2 are rejected with
+//! [`PersistError::UnsupportedVersion`].
 //!
 //! Writes are atomic: encode to `checkpoint.tmp`, `fsync`, rename into
 //! `checkpoint-<version>.ckpt`, `fsync` the directory. A reader therefore
@@ -40,7 +49,11 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Format version written into every checkpoint header.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version the reader still decodes (as a single
+/// `"default"` grouping).
+pub const CHECKPOINT_MIN_FORMAT_VERSION: u32 = 1;
 
 /// Checkpoint header magic.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"GFCK";
@@ -54,6 +67,28 @@ const TAG_MATRIX: u32 = 3;
 const TAG_PREFS: u32 = 4;
 const TAG_FORMATION: u32 = 5;
 const TAG_FORMER: u32 = 6;
+const TAG_GROUPINGS: u32 = 7;
+
+/// Name every pre-registry (format v1) checkpoint's formation restores
+/// under.
+pub const DEFAULT_GROUPING_NAME: &str = "default";
+
+/// One named grouping inside a checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointGrouping {
+    /// The registry name (`"default"` always exists).
+    pub name: String,
+    /// Global snapshot version at which this grouping's formation last
+    /// changed.
+    pub version: u64,
+    /// The formation configuration the grouping was formed under.
+    pub config: FormationConfig,
+    /// The emitted formation.
+    pub formation: FormationResult,
+    /// The grouping's standing incremental-former state, when it was in
+    /// lineage (synced to exactly this grouping version) at export time.
+    pub former: Option<FormerState>,
+}
 
 /// Everything one checkpoint captures. The fields mirror the serving
 /// snapshot plus its durable progress frontier.
@@ -71,23 +106,32 @@ pub struct CheckpointState {
     pub users_admitted: u64,
     /// Items admitted at serve time (cumulative).
     pub items_admitted: u64,
-    /// The formation configuration the snapshot was formed under.
-    pub config: FormationConfig,
-    /// The rating matrix.
+    /// The rating matrix (shared by every grouping).
     pub matrix: RatingMatrix,
     /// The preference index matching `matrix`.
     pub prefs: PrefIndex,
-    /// The emitted formation.
-    pub formation: FormationResult,
-    /// The standing incremental former's state, when it was in lineage
-    /// (synced to exactly this snapshot) at export time.
-    pub former: Option<FormerState>,
+    /// The named grouping registry, in name order. A v1 checkpoint
+    /// decodes to exactly one entry named
+    /// [`DEFAULT_GROUPING_NAME`] at the snapshot version.
+    pub groupings: Vec<CheckpointGrouping>,
 }
 
-fn semantics_code(s: Semantics) -> u8 {
+impl CheckpointState {
+    /// The `"default"` grouping's record, if present (it always is for
+    /// files this workspace wrote).
+    pub fn default_grouping(&self) -> Option<&CheckpointGrouping> {
+        self.groupings
+            .iter()
+            .find(|g| g.name == DEFAULT_GROUPING_NAME)
+    }
+}
+
+fn semantics_code(s: Semantics) -> (u8, f64) {
     match s {
-        Semantics::LeastMisery => 0,
-        Semantics::AggregateVoting => 1,
+        Semantics::LeastMisery => (0, 0.0),
+        Semantics::AggregateVoting => (1, 0.0),
+        Semantics::Consensus { lambda } => (2, lambda),
+        Semantics::LeaderWeighted => (3, 0.0),
     }
 }
 
@@ -97,7 +141,7 @@ fn aggregation_code(a: Aggregation) -> Result<u8> {
         Aggregation::Max => Ok(1),
         Aggregation::Sum => Ok(2),
         Aggregation::WeightedSum(_) => Err(PersistError::Corrupt(
-            "WeightedSum aggregation has no checkpoint encoding in format v1".into(),
+            "WeightedSum aggregation has no checkpoint encoding".into(),
         )),
     }
 }
@@ -120,10 +164,14 @@ fn refresh_code(r: RefreshMode) -> u8 {
 
 fn encode_config(cfg: &FormationConfig) -> Result<Vec<u8>> {
     let mut w = Writer::new();
-    w.u8(semantics_code(cfg.semantics));
+    let (sem, lambda) = semantics_code(cfg.semantics);
+    w.u8(sem);
     w.u8(aggregation_code(cfg.aggregation)?);
     w.u8(policy_code(cfg.policy));
     w.u8(refresh_code(cfg.refresh));
+    // v2: the Consensus dispersion penalty rides along (0.0 for the
+    // other semantics).
+    w.f64(lambda);
     w.usize(cfg.k);
     w.usize(cfg.ell);
     w.usize(cfg.n_threads);
@@ -145,27 +193,42 @@ fn encode_config(cfg: &FormationConfig) -> Result<Vec<u8>> {
     Ok(w.into_bytes())
 }
 
-fn decode_config(body: &[u8]) -> Result<FormationConfig> {
+fn decode_config(body: &[u8], format: u32) -> Result<FormationConfig> {
     let bad = |what: &str, v: u8| PersistError::Corrupt(format!("unknown {what} code {v}"));
     let mut r = Reader::new(body);
-    let semantics = match r.u8("semantics")? {
+    let sem_code = r.u8("semantics")?;
+    let agg_code = r.u8("aggregation")?;
+    let policy_code = r.u8("policy")?;
+    let refresh_code = r.u8("refresh")?;
+    // The v1 layout has no lambda field (and no codes above 1 to need it).
+    let lambda = if format >= 2 { r.f64("lambda")? } else { 0.0 };
+    let semantics = match sem_code {
         0 => Semantics::LeastMisery,
         1 => Semantics::AggregateVoting,
+        2 if format >= 2 => {
+            if !lambda.is_finite() {
+                return Err(PersistError::Corrupt(format!(
+                    "non-finite consensus lambda {lambda}"
+                )));
+            }
+            Semantics::Consensus { lambda }
+        }
+        3 if format >= 2 => Semantics::LeaderWeighted,
         v => return Err(bad("semantics", v)),
     };
-    let aggregation = match r.u8("aggregation")? {
+    let aggregation = match agg_code {
         0 => Aggregation::Min,
         1 => Aggregation::Max,
         2 => Aggregation::Sum,
         v => return Err(bad("aggregation", v)),
     };
-    let policy = match r.u8("policy")? {
+    let policy = match policy_code {
         0 => MissingPolicy::Min,
         1 => MissingPolicy::UserMean,
         2 => MissingPolicy::Skip,
         v => return Err(bad("policy", v)),
     };
-    let refresh = match r.u8("refresh")? {
+    let refresh = match refresh_code {
         0 => RefreshMode::Auto,
         1 => RefreshMode::Cold,
         2 => RefreshMode::Incremental,
@@ -319,6 +382,69 @@ fn decode_former(body: &[u8]) -> Result<FormerState> {
     Ok(FormerState { buckets, selected })
 }
 
+fn encode_groupings(groupings: &[CheckpointGrouping]) -> Result<Vec<u8>> {
+    let mut w = Writer::new();
+    w.usize(groupings.len());
+    for g in groupings {
+        w.usize(g.name.len());
+        w.bytes(g.name.as_bytes());
+        w.u64(g.version);
+        let cfg = encode_config(&g.config)?;
+        w.usize(cfg.len());
+        w.bytes(&cfg);
+        let formation = encode_formation(&g.formation);
+        w.usize(formation.len());
+        w.bytes(&formation);
+        match &g.former {
+            Some(f) => {
+                let body = encode_former(f);
+                w.u8(1);
+                w.usize(body.len());
+                w.bytes(&body);
+            }
+            None => w.u8(0),
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+fn decode_groupings(body: &[u8], format: u32) -> Result<Vec<CheckpointGrouping>> {
+    let mut r = Reader::new(body);
+    let n = r.usize("grouping count")?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let name_len = r.usize("grouping name length")?;
+        let name = std::str::from_utf8(r.take(name_len, "grouping name")?)
+            .map_err(|_| PersistError::Corrupt("grouping name is not UTF-8".into()))?
+            .to_string();
+        let version = r.u64("grouping version")?;
+        let cfg_len = r.usize("grouping config length")?;
+        let config = decode_config(r.take(cfg_len, "grouping config")?, format)?;
+        let form_len = r.usize("grouping formation length")?;
+        let formation = decode_formation(r.take(form_len, "grouping formation")?)?;
+        let former = match r.u8("grouping former flag")? {
+            0 => None,
+            1 => {
+                let len = r.usize("grouping former length")?;
+                Some(decode_former(r.take(len, "grouping former")?)?)
+            }
+            v => {
+                return Err(PersistError::Corrupt(format!(
+                    "unknown grouping former flag {v}"
+                )))
+            }
+        };
+        out.push(CheckpointGrouping {
+            name,
+            version,
+            config,
+            formation,
+            former,
+        });
+    }
+    Ok(out)
+}
+
 fn section(w: &mut Writer, tag: u32, body: &[u8]) {
     w.u32(tag);
     w.u32(0);
@@ -327,8 +453,14 @@ fn section(w: &mut Writer, tag: u32, body: &[u8]) {
     w.pad_to(8);
 }
 
-/// Serializes a checkpoint to its on-disk bytes.
+/// Serializes a checkpoint to its on-disk bytes (always format v2: the
+/// named grouping registry).
 pub fn encode(state: &CheckpointState) -> Result<Vec<u8>> {
+    if state.groupings.is_empty() {
+        return Err(PersistError::Corrupt(
+            "a checkpoint must carry at least one grouping".into(),
+        ));
+    }
     let mut payload = Writer::new();
     let mut meta = Writer::new();
     meta.u64(state.snapshot_version);
@@ -337,17 +469,13 @@ pub fn encode(state: &CheckpointState) -> Result<Vec<u8>> {
     meta.u64(state.users_admitted);
     meta.u64(state.items_admitted);
     section(&mut payload, TAG_META, &meta.into_bytes());
-    section(&mut payload, TAG_CONFIG, &encode_config(&state.config)?);
     section(&mut payload, TAG_MATRIX, &encode_matrix(&state.matrix));
     section(&mut payload, TAG_PREFS, &encode_prefs(&state.prefs));
     section(
         &mut payload,
-        TAG_FORMATION,
-        &encode_formation(&state.formation),
+        TAG_GROUPINGS,
+        &encode_groupings(&state.groupings)?,
     );
-    if let Some(former) = &state.former {
-        section(&mut payload, TAG_FORMER, &encode_former(former));
-    }
     let payload = payload.into_bytes();
     let mut out = Writer::new();
     out.bytes(&CHECKPOINT_MAGIC);
@@ -361,8 +489,9 @@ pub fn encode(state: &CheckpointState) -> Result<Vec<u8>> {
 
 /// Decodes checkpoint bytes, validating the header, the payload CRC and
 /// every restored structure. Unknown section tags are skipped (forward
-/// compatibility); a format version above
-/// [`CHECKPOINT_FORMAT_VERSION`] is rejected with
+/// compatibility). Format v1 files (single formation) decode as a
+/// registry holding only the [`DEFAULT_GROUPING_NAME`] grouping; a
+/// format version above [`CHECKPOINT_FORMAT_VERSION`] is rejected with
 /// [`PersistError::UnsupportedVersion`].
 pub fn decode(bytes: &[u8]) -> Result<CheckpointState> {
     let mut r = Reader::new(bytes);
@@ -370,7 +499,7 @@ pub fn decode(bytes: &[u8]) -> Result<CheckpointState> {
         return Err(PersistError::Corrupt("bad checkpoint magic".into()));
     }
     let version = r.u32("format version")?;
-    if version != CHECKPOINT_FORMAT_VERSION {
+    if !(CHECKPOINT_MIN_FORMAT_VERSION..=CHECKPOINT_FORMAT_VERSION).contains(&version) {
         return Err(PersistError::UnsupportedVersion {
             found: version,
             supported: CHECKPOINT_FORMAT_VERSION,
@@ -391,6 +520,7 @@ pub fn decode(bytes: &[u8]) -> Result<CheckpointState> {
     let mut prefs = None;
     let mut formation = None;
     let mut former = None;
+    let mut groupings: Option<Vec<CheckpointGrouping>> = None;
     let mut s = Reader::new(payload);
     while !s.is_empty() {
         let tag = s.u32("section tag")?;
@@ -411,21 +541,39 @@ pub fn decode(bytes: &[u8]) -> Result<CheckpointState> {
                     m.u64("items_admitted")?,
                 ));
             }
-            TAG_CONFIG => config = Some(decode_config(body)?),
+            TAG_CONFIG => config = Some(decode_config(body, version)?),
             TAG_MATRIX => matrix = Some(decode_matrix(body)?),
             TAG_PREFS => prefs = Some(decode_prefs(body)?),
             TAG_FORMATION => formation = Some(decode_formation(body)?),
             TAG_FORMER => former = Some(decode_former(body)?),
+            TAG_GROUPINGS => groupings = Some(decode_groupings(body, version)?),
             _ => {} // future section: skip
         }
     }
     let missing = |what: &str| PersistError::Corrupt(format!("checkpoint lacks a {what} section"));
     let (snapshot_version, wal_seq, applied, users_admitted, items_admitted) =
         meta.ok_or_else(|| missing("meta"))?;
-    let config = config.ok_or_else(|| missing("config"))?;
     let matrix = matrix.ok_or_else(|| missing("matrix"))?;
     let prefs = prefs.ok_or_else(|| missing("prefs"))?;
-    let formation = formation.ok_or_else(|| missing("formation"))?;
+    // v2 carries the registry section; a v1 file's flat CONFIG /
+    // FORMATION / FORMER triple restores as the lone "default" grouping
+    // at the snapshot version (the only version single-formation
+    // checkpoints knew).
+    let groupings = match groupings {
+        Some(gs) => {
+            if gs.is_empty() {
+                return Err(PersistError::Corrupt("empty groupings section".into()));
+            }
+            gs
+        }
+        None => vec![CheckpointGrouping {
+            name: DEFAULT_GROUPING_NAME.to_string(),
+            version: snapshot_version,
+            config: config.ok_or_else(|| missing("config"))?,
+            formation: formation.ok_or_else(|| missing("formation"))?,
+            former,
+        }],
+    };
     // Cross-validate the independent sections against each other.
     if prefs.n_users() != matrix.n_users() {
         return Err(PersistError::Corrupt(format!(
@@ -443,21 +591,34 @@ pub fn decode(bytes: &[u8]) -> Result<CheckpointState> {
             )));
         }
     }
-    formation
-        .grouping
-        .validate(matrix.n_users(), config.ell)
-        .map_err(|e: GfError| PersistError::from(e))?;
+    let mut seen = std::collections::BTreeSet::new();
+    for g in &groupings {
+        if !seen.insert(g.name.as_str()) {
+            return Err(PersistError::Corrupt(format!(
+                "duplicate grouping {:?} in checkpoint",
+                g.name
+            )));
+        }
+        if g.version > snapshot_version {
+            return Err(PersistError::Corrupt(format!(
+                "grouping {:?} version {} is ahead of snapshot version {snapshot_version}",
+                g.name, g.version
+            )));
+        }
+        g.formation
+            .grouping
+            .validate(matrix.n_users(), g.config.ell)
+            .map_err(|e: GfError| PersistError::from(e))?;
+    }
     Ok(CheckpointState {
         snapshot_version,
         wal_seq,
         applied,
         users_admitted,
         items_admitted,
-        config,
         matrix,
         prefs,
-        formation,
-        former,
+        groupings,
     })
 }
 
@@ -559,7 +720,7 @@ pub fn load_latest(dir: &Path) -> Result<LoadOutcome> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gf_core::{IncrementalFormer, MatrixBuilder, PrefIndex};
+    use gf_core::{GreedyFormer, GroupFormer, IncrementalFormer, MatrixBuilder, PrefIndex};
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("gf-ckpt-{name}-{}", std::process::id()));
@@ -568,7 +729,7 @@ mod tests {
         dir
     }
 
-    fn sample_state(version: u64) -> CheckpointState {
+    fn sample_matrix() -> RatingMatrix {
         let mut b = MatrixBuilder::new(6, 4, RatingScale::one_to_five());
         for u in 0..6u32 {
             for i in 0..4u32 {
@@ -579,7 +740,11 @@ mod tests {
         }
         b.push(0, 0, 3.0).unwrap();
         b.push(3, 0, 2.0).unwrap();
-        let matrix = b.build().unwrap();
+        b.build().unwrap()
+    }
+
+    fn sample_state(version: u64) -> CheckpointState {
+        let matrix = sample_matrix();
         let prefs = PrefIndex::build(&matrix);
         let config = FormationConfig::new(Semantics::LeastMisery, Aggregation::Sum, 2, 1)
             .with_growth(GrowthPolicy::Grow {
@@ -593,11 +758,27 @@ mod tests {
             applied: version * 3,
             users_admitted: 2,
             items_admitted: 1,
-            config,
-            formation: former.result().clone(),
-            former: Some(former.export_state()),
+            groupings: vec![CheckpointGrouping {
+                name: DEFAULT_GROUPING_NAME.to_string(),
+                version,
+                config,
+                formation: former.result().clone(),
+                former: Some(former.export_state()),
+            }],
             matrix,
             prefs,
+        }
+    }
+
+    fn assert_formations_equal(a: &FormationResult, b: &FormationResult) {
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.n_buckets, b.n_buckets);
+        let (ga, gb) = (&a.grouping.groups, &b.grouping.groups);
+        assert_eq!(ga.len(), gb.len());
+        for (x, y) in ga.iter().zip(gb) {
+            assert_eq!(x.members, y.members);
+            assert_eq!(x.top_k, y.top_k);
+            assert_eq!(x.satisfaction.to_bits(), y.satisfaction.to_bits());
         }
     }
 
@@ -607,20 +788,17 @@ mod tests {
         assert_eq!(a.applied, b.applied);
         assert_eq!(a.users_admitted, b.users_admitted);
         assert_eq!(a.items_admitted, b.items_admitted);
-        assert_eq!(a.config, b.config);
         assert_eq!(a.matrix.csr_parts(), b.matrix.csr_parts());
         assert_eq!(a.matrix.scale(), b.matrix.scale());
         assert_eq!(a.prefs.parts(), b.prefs.parts());
-        assert_eq!(a.formation.objective, b.formation.objective);
-        assert_eq!(a.formation.n_buckets, b.formation.n_buckets);
-        let (ga, gb) = (&a.formation.grouping.groups, &b.formation.grouping.groups);
-        assert_eq!(ga.len(), gb.len());
-        for (x, y) in ga.iter().zip(gb) {
-            assert_eq!(x.members, y.members);
-            assert_eq!(x.top_k, y.top_k);
-            assert_eq!(x.satisfaction.to_bits(), y.satisfaction.to_bits());
+        assert_eq!(a.groupings.len(), b.groupings.len());
+        for (x, y) in a.groupings.iter().zip(&b.groupings) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.version, y.version);
+            assert_eq!(x.config, y.config);
+            assert_formations_equal(&x.formation, &y.formation);
+            assert_eq!(x.former, y.former);
         }
-        assert_eq!(a.former, b.former);
     }
 
     #[test]
@@ -630,29 +808,74 @@ mod tests {
         let back = decode(&bytes).unwrap();
         assert_states_equal(&state, &back);
         // The restored former state imports into a working former.
-        let restored = IncrementalFormer::import_state(
-            &back.matrix,
-            back.config,
-            back.former.as_ref().unwrap(),
-        )
-        .unwrap();
-        assert_eq!(restored.result().objective, state.formation.objective);
+        let g = back.default_grouping().unwrap();
+        let restored =
+            IncrementalFormer::import_state(&back.matrix, g.config, g.former.as_ref().unwrap())
+                .unwrap();
+        assert_eq!(
+            restored.result().objective,
+            state.groupings[0].formation.objective
+        );
         // Encoding is deterministic: same state, same bytes.
         assert_eq!(bytes, encode(&state).unwrap());
     }
 
     #[test]
+    fn multi_grouping_round_trip_keeps_every_semantics() {
+        let mut state = sample_state(9);
+        let matrix = state.matrix.clone();
+        let prefs = PrefIndex::build(&matrix);
+        for (name, sem) in [
+            ("cons", Semantics::Consensus { lambda: 0.7 }),
+            ("ldr", Semantics::LeaderWeighted),
+            ("av", Semantics::AggregateVoting),
+        ] {
+            let config = FormationConfig::new(sem, Aggregation::Min, 2, 2);
+            let formation = GreedyFormer::new().form(&matrix, &prefs, &config).unwrap();
+            state.groupings.push(CheckpointGrouping {
+                name: name.to_string(),
+                version: 5,
+                config,
+                formation,
+                former: None,
+            });
+        }
+        let back = decode(&encode(&state).unwrap()).unwrap();
+        assert_states_equal(&state, &back);
+        // Lambda survives bit-for-bit.
+        let cons = back.groupings.iter().find(|g| g.name == "cons").unwrap();
+        assert_eq!(cons.config.semantics, Semantics::Consensus { lambda: 0.7 });
+    }
+
+    #[test]
     fn former_section_is_optional() {
         let mut state = sample_state(1);
-        state.former = None;
+        state.groupings[0].former = None;
         let back = decode(&encode(&state).unwrap()).unwrap();
-        assert!(back.former.is_none());
+        assert!(back.groupings[0].former.is_none());
+    }
+
+    #[test]
+    fn duplicate_grouping_names_are_corrupt() {
+        let mut state = sample_state(1);
+        let dup = state.groupings[0].clone();
+        state.groupings.push(dup);
+        let bytes = encode(&state).unwrap();
+        assert!(matches!(decode(&bytes), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn grouping_version_ahead_of_snapshot_is_corrupt() {
+        let mut state = sample_state(3);
+        state.groupings[0].version = 99;
+        let bytes = encode(&state).unwrap();
+        assert!(matches!(decode(&bytes), Err(PersistError::Corrupt(_))));
     }
 
     #[test]
     fn weighted_sum_is_rejected_at_encode_time() {
         let mut state = sample_state(1);
-        state.config = FormationConfig::new(
+        state.groupings[0].config = FormationConfig::new(
             Semantics::AggregateVoting,
             Aggregation::WeightedSum(gf_core::WeightScheme::Uniform),
             2,
@@ -665,14 +888,80 @@ mod tests {
     fn newer_format_version_is_unsupported_not_corrupt() {
         let state = sample_state(1);
         let mut bytes = encode(&state).unwrap();
-        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        bytes[4..8].copy_from_slice(&3u32.to_le_bytes());
         assert!(matches!(
             decode(&bytes),
             Err(PersistError::UnsupportedVersion {
-                found: 2,
-                supported: 1
+                found: 3,
+                supported: 2
             })
         ));
+    }
+
+    /// Re-encodes `state` as a format-v1 file: flat CONFIG / FORMATION /
+    /// FORMER sections and the v1 config layout (no lambda field).
+    fn encode_v1(state: &CheckpointState) -> Vec<u8> {
+        let g = &state.groupings[0];
+        let mut payload = Writer::new();
+        let mut meta = Writer::new();
+        meta.u64(state.snapshot_version);
+        meta.u64(state.wal_seq);
+        meta.u64(state.applied);
+        meta.u64(state.users_admitted);
+        meta.u64(state.items_admitted);
+        section(&mut payload, TAG_META, &meta.into_bytes());
+        let mut cfg = Writer::new();
+        cfg.u8(semantics_code(g.config.semantics).0);
+        cfg.u8(aggregation_code(g.config.aggregation).unwrap());
+        cfg.u8(policy_code(g.config.policy));
+        cfg.u8(refresh_code(g.config.refresh));
+        cfg.usize(g.config.k);
+        cfg.usize(g.config.ell);
+        cfg.usize(g.config.n_threads);
+        match g.config.growth {
+            GrowthPolicy::Fixed => {
+                cfg.u8(0);
+                cfg.u32(0);
+                cfg.u32(0);
+            }
+            GrowthPolicy::Grow {
+                max_users,
+                max_items,
+            } => {
+                cfg.u8(1);
+                cfg.u32(max_users);
+                cfg.u32(max_items);
+            }
+        }
+        section(&mut payload, TAG_CONFIG, &cfg.into_bytes());
+        section(&mut payload, TAG_MATRIX, &encode_matrix(&state.matrix));
+        section(&mut payload, TAG_PREFS, &encode_prefs(&state.prefs));
+        section(&mut payload, TAG_FORMATION, &encode_formation(&g.formation));
+        if let Some(former) = &g.former {
+            section(&mut payload, TAG_FORMER, &encode_former(former));
+        }
+        let payload = payload.into_bytes();
+        let mut out = Writer::new();
+        out.bytes(&CHECKPOINT_MAGIC);
+        out.u32(1);
+        out.usize(payload.len());
+        out.u32(crc32(&payload));
+        out.bytes(&[0u8; 12]);
+        out.bytes(&payload);
+        out.into_bytes()
+    }
+
+    #[test]
+    fn v1_checkpoint_decodes_as_the_default_grouping() {
+        let state = sample_state(7);
+        let bytes = encode_v1(&state);
+        let back = decode(&bytes).unwrap();
+        // The v1 flat formation restores as the lone "default" grouping
+        // pinned at the snapshot version.
+        assert_eq!(back.groupings.len(), 1);
+        assert_eq!(back.groupings[0].name, DEFAULT_GROUPING_NAME);
+        assert_eq!(back.groupings[0].version, back.snapshot_version);
+        assert_states_equal(&state, &back);
     }
 
     #[test]

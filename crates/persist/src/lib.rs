@@ -50,7 +50,10 @@ pub mod handbook {
     pub mod architecture {}
 }
 
-pub use checkpoint::{CheckpointState, LoadOutcome, CHECKPOINT_FORMAT_VERSION};
+pub use checkpoint::{
+    CheckpointGrouping, CheckpointState, LoadOutcome, CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_MIN_FORMAT_VERSION,
+};
 pub use crc32::crc32;
 pub use digest::StateDigest;
 pub use error::{PersistError, Result};

@@ -13,10 +13,10 @@
 //! reader could no longer parse the new bytes.
 
 use gf_core::{
-    Aggregation, FormationConfig, GrowthPolicy, IncrementalFormer, MatrixBuilder, MissingPolicy,
-    PrefIndex, RatingScale, Semantics,
+    Aggregation, FormationConfig, GreedyFormer, GroupFormer, GrowthPolicy, IncrementalFormer,
+    MatrixBuilder, MissingPolicy, PrefIndex, RatingScale, Semantics,
 };
-use gf_persist::checkpoint::{self, CheckpointState};
+use gf_persist::checkpoint::{self, CheckpointGrouping, CheckpointState};
 use gf_persist::wal::{SyncMode, Wal};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -86,15 +86,36 @@ fn fixture_state() -> CheckpointState {
             max_items: 32,
         });
     let former = IncrementalFormer::new(&matrix, &prefs, config).unwrap();
+    // A second named grouping pins the v2 registry layout, including the
+    // Consensus lambda field.
+    let cons_config =
+        FormationConfig::new(Semantics::Consensus { lambda: 0.5 }, Aggregation::Min, 2, 2)
+            .with_threads(1);
+    let cons_formation = GreedyFormer::new()
+        .form(&matrix, &prefs, &cons_config)
+        .unwrap();
     CheckpointState {
         snapshot_version: 42,
         wal_seq: 17,
         applied: 17,
         users_admitted: 3,
         items_admitted: 1,
-        config,
-        formation: former.result().clone(),
-        former: Some(former.export_state()),
+        groupings: vec![
+            CheckpointGrouping {
+                name: "default".to_string(),
+                version: 42,
+                config,
+                formation: former.result().clone(),
+                former: Some(former.export_state()),
+            },
+            CheckpointGrouping {
+                name: "cons".to_string(),
+                version: 40,
+                config: cons_config,
+                formation: cons_formation,
+                former: None,
+            },
+        ],
         matrix,
         prefs,
     }
@@ -103,12 +124,33 @@ fn fixture_state() -> CheckpointState {
 #[test]
 fn checkpoint_encoding_matches_golden() {
     let bytes = checkpoint::encode(&fixture_state()).unwrap();
-    check_golden("checkpoint-v1.bin", &bytes);
+    check_golden("checkpoint-v2.bin", &bytes);
     // And the fixture must always decode back to an equivalent state.
     let back = checkpoint::decode(&bytes).unwrap();
     assert_eq!(back.snapshot_version, 42);
     assert_eq!(back.wal_seq, 17);
-    assert!(back.former.is_some());
+    assert_eq!(back.groupings.len(), 2);
+    assert!(back.default_grouping().unwrap().former.is_some());
+}
+
+#[test]
+fn legacy_v1_checkpoint_loads_as_the_default_grouping() {
+    // `checkpoint-v1.bin` is a real format-v1 file written before the
+    // named-grouping registry existed; it is never regenerated. The
+    // reader must keep restoring it as the lone "default" grouping.
+    let bytes = fs::read(golden_dir().join("checkpoint-v1.bin")).unwrap();
+    let state = checkpoint::decode(&bytes).unwrap();
+    assert_eq!(state.snapshot_version, 42);
+    assert_eq!(state.groupings.len(), 1);
+    let g = &state.groupings[0];
+    assert_eq!(g.name, checkpoint::DEFAULT_GROUPING_NAME);
+    assert_eq!(g.version, 42, "v1 groupings pin to the snapshot version");
+    // And it matches the live fixture's default grouping exactly.
+    let live = fixture_state();
+    let live_g = live.default_grouping().unwrap();
+    assert_eq!(g.config, live_g.config);
+    assert_eq!(state.matrix.csr_parts(), live.matrix.csr_parts());
+    assert_eq!(g.former, live_g.former);
 }
 
 #[test]
@@ -133,10 +175,15 @@ fn golden_checkpoint_file_still_loads() {
     if std::env::var_os("GF_UPDATE_GOLDEN").is_some() {
         return; // fixtures may not exist yet during regeneration
     }
-    let bytes = fs::read(golden_dir().join("checkpoint-v1.bin")).unwrap();
+    let bytes = fs::read(golden_dir().join("checkpoint-v2.bin")).unwrap();
     let state = checkpoint::decode(&bytes).unwrap();
     let live = fixture_state();
-    assert_eq!(state.config, live.config);
+    assert_eq!(state.groupings.len(), live.groupings.len());
+    for (a, b) in state.groupings.iter().zip(&live.groupings) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.version, b.version);
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.former, b.former);
+    }
     assert_eq!(state.matrix.csr_parts(), live.matrix.csr_parts());
-    assert_eq!(state.former, live.former);
 }

@@ -34,11 +34,17 @@ pub struct BatchOutcome {
     pub leader: bool,
 }
 
-/// Hashable identity of a formation configuration; two requests coalesce
-/// iff their keys are equal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Hashable identity of a formation request: the target grouping plus the
+/// full formation configuration; two requests coalesce iff their keys are
+/// equal. Requests for different groupings never coalesce even under the
+/// same configuration — they install different registry entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct BatchKey {
-    lm: bool,
+    grouping: String,
+    /// Semantics discriminant; [`Semantics::Consensus`]'s `lambda` is
+    /// keyed separately by bit pattern.
+    semantics: u8,
+    lambda: u64,
     agg: u8,
     k: usize,
     ell: usize,
@@ -47,9 +53,17 @@ struct BatchKey {
 }
 
 impl BatchKey {
-    fn of(cfg: &FormationConfig) -> BatchKey {
+    fn of(grouping: &str, cfg: &FormationConfig) -> BatchKey {
+        let (semantics, lambda) = match cfg.semantics {
+            Semantics::LeastMisery => (0, 0.0),
+            Semantics::AggregateVoting => (1, 0.0),
+            Semantics::Consensus { lambda } => (2, lambda),
+            Semantics::LeaderWeighted => (3, 0.0),
+        };
         BatchKey {
-            lm: matches!(cfg.semantics, Semantics::LeastMisery),
+            grouping: grouping.to_string(),
+            semantics,
+            lambda: lambda.to_bits(),
             // Full discriminant, not a tag prefix: "MIN"/"MAX" share a
             // first byte, and the weight scheme changes the answer too.
             agg: match cfg.aggregation {
@@ -121,10 +135,11 @@ impl Batcher {
     /// and share it.
     pub(crate) fn submit(
         &self,
+        grouping: &str,
         cfg: FormationConfig,
         run: impl FnOnce() -> Result<Arc<Snapshot>>,
     ) -> Result<BatchOutcome> {
-        let key = BatchKey::of(&cfg);
+        let key = BatchKey::of(grouping, &cfg);
         let (slot, leader) = {
             let mut slots = self.slots.lock().expect("batch slots poisoned");
             match slots.get(&key) {
@@ -135,7 +150,7 @@ impl Batcher {
                         done: Condvar::new(),
                         members: AtomicU64::new(0),
                     });
-                    slots.insert(key, Arc::clone(&slot));
+                    slots.insert(key.clone(), Arc::clone(&slot));
                     (slot, true)
                 }
             }
@@ -204,13 +219,34 @@ mod tests {
         ];
         for (i, &a) in aggs.iter().enumerate() {
             for &b in &aggs[i + 1..] {
-                assert_ne!(BatchKey::of(&cfg(a)), BatchKey::of(&cfg(b)), "{a:?} {b:?}");
+                assert_ne!(
+                    BatchKey::of("default", &cfg(a)),
+                    BatchKey::of("default", &cfg(b)),
+                    "{a:?} {b:?}"
+                );
             }
         }
         assert_eq!(
-            BatchKey::of(&cfg(Aggregation::Min)),
-            BatchKey::of(&cfg(Aggregation::Min))
+            BatchKey::of("default", &cfg(Aggregation::Min)),
+            BatchKey::of("default", &cfg(Aggregation::Min))
         );
+    }
+
+    #[test]
+    fn keys_distinguish_groupings_and_moment_semantics() {
+        let c = cfg(Aggregation::Min);
+        // Same configuration, different grouping: never coalesce.
+        assert_ne!(BatchKey::of("a", &c), BatchKey::of("b", &c));
+        // Consensus lambdas key by bit pattern.
+        let cons =
+            |lambda| FormationConfig::new(Semantics::Consensus { lambda }, Aggregation::Min, 3, 5);
+        assert_ne!(BatchKey::of("a", &cons(0.5)), BatchKey::of("a", &cons(0.7)));
+        assert_eq!(BatchKey::of("a", &cons(0.5)), BatchKey::of("a", &cons(0.5)));
+        // The two moment semantics never collide with the paper pair.
+        let ldr = FormationConfig::new(Semantics::LeaderWeighted, Aggregation::Min, 3, 5);
+        let av = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Min, 3, 5);
+        assert_ne!(BatchKey::of("a", &ldr), BatchKey::of("a", &av));
+        assert_ne!(BatchKey::of("a", &ldr), BatchKey::of("a", &cons(0.0)));
     }
 
     #[test]
@@ -223,14 +259,14 @@ mod tests {
             let batcher = Arc::clone(&batcher);
             std::thread::spawn(move || {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    batcher.submit(key_cfg, || panic!("formation blew up"))
+                    batcher.submit("default", key_cfg, || panic!("formation blew up"))
                 }));
                 assert!(result.is_err(), "leader should propagate the panic");
             })
         };
         // Give the leader time to claim the slot, then join as follower.
         std::thread::sleep(Duration::from_millis(50));
-        let follower = batcher.submit(key_cfg, || unreachable!("follower never runs"));
+        let follower = batcher.submit("default", key_cfg, || unreachable!("follower never runs"));
         match follower {
             Err(GfError::InvalidGrouping(message)) => {
                 assert!(message.contains("panicked"), "{message}")

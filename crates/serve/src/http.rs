@@ -12,12 +12,15 @@
 //! | method & path | body | answer |
 //! |---------------|------|--------|
 //! | `GET /health` | — | liveness + snapshot version/shape |
-//! | `GET /stats` | — | serving counters (incl. incremental vs cold refreshes, WAL/checkpoint/recovery progress) |
-//! | `GET /digest` | — | FNV-1a fingerprint of the full serving state (crash-harness oracle) |
-//! | `GET /group/{user}?limit=&offset=` | — | the user's group, paged members and top-`k` list |
-//! | `GET /recommend/{group}?limit=&offset=` | — | the group's recommended top-`k` list |
-//! | `POST /form` | optional config overrides | runs (or joins) a batched formation |
-//! | `POST /rate` | `{"user":u,"item":i,"rating":r}` | enqueues an incremental update (202); under [`gf_core::GrowthPolicy::Grow`] a never-seen user/item is admitted (409 once a cap is exhausted) |
+//! | `GET /stats` | — | serving counters (incl. incremental vs cold refreshes, WAL/checkpoint/recovery progress) plus the per-grouping registry |
+//! | `GET /digest` | — | FNV-1a fingerprint of the full serving state plus one digest per grouping (crash-harness oracle) |
+//! | `GET /group/{user}?limit=&offset=` | — | the user's group under the `default` grouping |
+//! | `GET /group/{name}/{user}?limit=&offset=` | — | the user's group under the named grouping |
+//! | `GET /recommend/{group}?limit=&offset=` | — | a group's top-`k` list under the `default` grouping |
+//! | `GET /recommend/{name}/{group}?limit=&offset=` | — | a group's top-`k` list under the named grouping |
+//! | `POST /form?name=` | optional config overrides | re-forms one existing grouping (default: `default`), batched per grouping |
+//! | `POST /grouping` | `{"name":..., ...overrides}` | registers (or reconfigures) a named grouping over the shared matrix |
+//! | `POST /rate` | `{"user":u,"item":i,"rating":r}` | enqueues an incremental update refreshing *every* grouping (202); under [`gf_core::GrowthPolicy::Grow`] a never-seen user/item is admitted (409 once a cap is exhausted) |
 
 use crate::json::{obj, Json};
 use crate::state::{ServeState, Snapshot};
@@ -182,6 +185,7 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => {
             let snap = state.snapshot();
+            let default = snap.default_grouping();
             (
                 200,
                 obj([
@@ -189,8 +193,9 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
                     ("version", Json::from(snap.version)),
                     ("users", Json::from(snap.matrix.n_users())),
                     ("items", Json::from(snap.matrix.n_items())),
-                    ("groups", Json::from(snap.formation.grouping.len())),
-                    ("objective", Json::from(snap.formation.objective)),
+                    ("groups", Json::from(default.formation.grouping.len())),
+                    ("objective", Json::from(default.formation.objective)),
+                    ("groupings", Json::from(snap.groupings.len())),
                     ("pending", Json::from(state.pending_len())),
                 ]),
             )
@@ -221,7 +226,15 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
                         "refresh_cold",
                         Json::from(s.refresh_cold.load(Ordering::Relaxed)),
                     ),
-                    ("refresh_mode", Json::from(snap.config.refresh.tag())),
+                    (
+                        "refresh_mode",
+                        Json::from(snap.default_grouping().config.refresh.tag()),
+                    ),
+                    (
+                        "admission_splits",
+                        Json::from(s.admission_splits.load(Ordering::Relaxed)),
+                    ),
+                    ("groupings", groupings_json(&snap)),
                     ("n_users", Json::from(snap.matrix.n_users())),
                     ("n_items", Json::from(snap.matrix.n_items())),
                     (
@@ -266,6 +279,16 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
         ("GET", "/digest") => {
             let snap = state.snapshot();
             let digest = state.digest();
+            let per_grouping = Json::Obj(
+                snap.groupings
+                    .keys()
+                    .filter_map(|name| {
+                        state
+                            .grouping_digest(name)
+                            .map(|d| (name.clone(), Json::from(format!("{d:016x}"))))
+                    })
+                    .collect(),
+            );
             (
                 200,
                 obj([
@@ -275,24 +298,28 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
                     ("applied", Json::from(snap.progress.applied)),
                     ("users_admitted", Json::from(snap.progress.users_admitted)),
                     ("items_admitted", Json::from(snap.progress.items_admitted)),
+                    ("groupings", per_grouping),
                 ]),
             )
         }
         ("GET", path) if path.starts_with("/group/") => {
-            match (path["/group/".len()..].parse(), parse_page(&req.query)) {
-                (Ok(user), Ok(page)) => group_of(state, user, page),
+            let (name, id) = split_scoped(&path["/group/".len()..]);
+            match (id.parse(), parse_page(&req.query)) {
+                (Ok(user), Ok(page)) => group_of(state, name, user, page),
                 (Err(_), _) => (400, error_body("user id must be a non-negative integer")),
                 (_, Err(message)) => (400, error_body(message)),
             }
         }
         ("GET", path) if path.starts_with("/recommend/") => {
-            match (path["/recommend/".len()..].parse(), parse_page(&req.query)) {
-                (Ok(group), Ok(page)) => recommend(state, group, page),
+            let (name, id) = split_scoped(&path["/recommend/".len()..]);
+            match (id.parse(), parse_page(&req.query)) {
+                (Ok(group), Ok(page)) => recommend(state, name, group, page),
                 (Err(_), _) => (400, error_body("group id must be a non-negative integer")),
                 (_, Err(message)) => (400, error_body(message)),
             }
         }
-        ("POST", "/form") => form(state, &req.body),
+        ("POST", "/form") => form(state, &req.query, &req.body),
+        ("POST", "/grouping") => create_grouping(state, &req.body),
         ("POST", "/rate") => rate(state, &req.body),
         ("GET" | "POST", _) => (404, error_body(format!("no such endpoint: {}", req.path))),
         _ => (
@@ -350,29 +377,70 @@ fn parse_page(query: &str) -> std::result::Result<Page, String> {
     Ok(page)
 }
 
-fn group_body(snap: &Snapshot, gi: usize, page: Page) -> Json {
-    let g = &snap.formation.grouping.groups[gi];
-    let lo = page.offset.min(g.members.len());
-    let hi = lo.saturating_add(page.limit).min(g.members.len());
+/// Splits the tail of a `/group/…` or `/recommend/…` path: one segment
+/// addresses the `default` grouping, two (`name/id`) name one explicitly.
+fn split_scoped(rest: &str) -> (&str, &str) {
+    match rest.split_once('/') {
+        Some((name, id)) => (name, id),
+        None => (Snapshot::DEFAULT_GROUPING, rest),
+    }
+}
+
+/// The `/stats` registry listing: every named grouping with its version,
+/// shape and algorithm — the operator's view of the whole registry.
+fn groupings_json(snap: &Snapshot) -> Json {
+    Json::Obj(
+        snap.groupings
+            .iter()
+            .map(|(name, g)| {
+                (
+                    name.clone(),
+                    obj([
+                        ("version", Json::from(g.version)),
+                        ("groups", Json::from(g.formation.grouping.len())),
+                        ("objective", Json::from(g.formation.objective)),
+                        ("algorithm", Json::from(g.config.grd_name())),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn group_body(
+    snap: &Snapshot,
+    name: &str,
+    g: &crate::state::GroupingState,
+    gi: usize,
+    page: Page,
+) -> Json {
+    let grp = &g.formation.grouping.groups[gi];
+    let lo = page.offset.min(grp.members.len());
+    let hi = lo.saturating_add(page.limit).min(grp.members.len());
     obj([
+        ("grouping", Json::from(name)),
         ("group", Json::from(gi)),
-        ("members_total", Json::from(g.len())),
+        ("members_total", Json::from(grp.len())),
         ("members_offset", Json::from(lo)),
         (
             "members",
-            Json::Arr(g.members[lo..hi].iter().map(|&u| Json::from(u)).collect()),
+            Json::Arr(grp.members[lo..hi].iter().map(|&u| Json::from(u)).collect()),
         ),
-        ("top_k", top_k_json(&g.top_k)),
-        ("satisfaction", Json::from(g.satisfaction)),
+        ("top_k", top_k_json(&grp.top_k)),
+        ("satisfaction", Json::from(grp.satisfaction)),
         ("version", Json::from(snap.version)),
+        ("grouping_version", Json::from(g.version)),
     ])
 }
 
-fn group_of(state: &ServeState, user: u32, page: Page) -> (u16, Json) {
+fn group_of(state: &ServeState, name: &str, user: u32, page: Page) -> (u16, Json) {
     let snap = state.snapshot();
-    match snap.assignment.get(user as usize).copied().flatten() {
+    let Some(g) = snap.grouping(name) else {
+        return (404, error_body(format!("no grouping named {name:?}")));
+    };
+    match g.assignment.get(user as usize).copied().flatten() {
         Some(gi) => {
-            let mut body = group_body(&snap, gi, page);
+            let mut body = group_body(&snap, name, g, gi, page);
             if let Json::Obj(fields) = &mut body {
                 fields.insert(0, ("user".to_string(), Json::from(user)));
             }
@@ -382,19 +450,33 @@ fn group_of(state: &ServeState, user: u32, page: Page) -> (u16, Json) {
     }
 }
 
-fn recommend(state: &ServeState, group: usize, page: Page) -> (u16, Json) {
+fn recommend(state: &ServeState, name: &str, group: usize, page: Page) -> (u16, Json) {
     let snap = state.snapshot();
-    if group >= snap.formation.grouping.len() {
+    let Some(g) = snap.grouping(name) else {
+        return (404, error_body(format!("no grouping named {name:?}")));
+    };
+    if group >= g.formation.grouping.len() {
         return (404, error_body(format!("no group {group}")));
     }
-    (200, group_body(&snap, group, page))
+    (200, group_body(&snap, name, g, group, page))
 }
 
-/// Parses a semantics name as used by `/form` bodies and the CLI.
+/// Default disagreement penalty when `"cons"` is requested without an
+/// explicit `lambda`.
+pub const DEFAULT_CONSENSUS_LAMBDA: f64 = 0.5;
+
+/// Parses a semantics name as used by `/form`/`/grouping` bodies and the
+/// CLI. `"cons"` starts from [`DEFAULT_CONSENSUS_LAMBDA`]; callers may
+/// override the penalty afterwards (the `"lambda"` body key, `lambda=` in
+/// `--grouping` specs).
 pub fn parse_semantics(text: &str) -> Option<Semantics> {
     match text.to_ascii_lowercase().as_str() {
         "lm" | "least-misery" | "leastmisery" => Some(Semantics::LeastMisery),
         "av" | "aggregate-voting" | "aggregatevoting" => Some(Semantics::AggregateVoting),
+        "cons" | "consensus" => Some(Semantics::Consensus {
+            lambda: DEFAULT_CONSENSUS_LAMBDA,
+        }),
+        "ldr" | "leader" | "leader-weighted" | "leaderweighted" => Some(Semantics::LeaderWeighted),
         _ => None,
     }
 }
@@ -409,19 +491,24 @@ pub fn parse_aggregation(text: &str) -> Option<Aggregation> {
     }
 }
 
-/// Applies `/form` body overrides on top of the currently-serving
+/// Applies `/form`/`/grouping` body overrides on top of a base
 /// configuration; unknown names and non-positive sizes are errors.
-fn form_config(state: &ServeState, body: &str) -> Result<FormationConfig, String> {
-    let mut cfg = state.snapshot().config;
-    if body.trim().is_empty() {
-        return Ok(cfg);
-    }
-    let parsed = Json::parse(body).map_err(|e| e.to_string())?;
+fn apply_overrides(mut cfg: FormationConfig, parsed: &Json) -> Result<FormationConfig, String> {
     if let Some(v) = parsed.get("semantics") {
         cfg.semantics = v
             .as_str()
             .and_then(parse_semantics)
-            .ok_or("semantics must be \"lm\" or \"av\"")?;
+            .ok_or("semantics must be \"lm\", \"av\", \"cons\" or \"ldr\"")?;
+    }
+    if let Some(v) = parsed.get("lambda") {
+        let lambda = v
+            .as_f64()
+            .filter(|l| l.is_finite() && *l >= 0.0)
+            .ok_or("lambda must be a finite non-negative number")?;
+        match cfg.semantics {
+            Semantics::Consensus { .. } => cfg.semantics = Semantics::Consensus { lambda },
+            _ => return Err("lambda only applies to \"cons\" semantics".to_string()),
+        }
     }
     if let Some(v) = parsed.get("aggregation") {
         cfg.aggregation = v
@@ -438,29 +525,98 @@ fn form_config(state: &ServeState, body: &str) -> Result<FormationConfig, String
     Ok(cfg)
 }
 
-fn form(state: &ServeState, body: &str) -> (u16, Json) {
-    let cfg = match form_config(state, body) {
+/// The `name=` parameter of `POST /form`; absent means `default`.
+fn parse_form_name(query: &str) -> String {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == "name")
+        .map(|(_, v)| v.to_string())
+        .unwrap_or_else(|| Snapshot::DEFAULT_GROUPING.to_string())
+}
+
+/// The shared `/form` + `/grouping` success body.
+fn formed_body(outcome: &crate::batch::BatchOutcome, name: &str) -> Json {
+    let g = outcome
+        .snapshot
+        .grouping(name)
+        .expect("formed grouping present in installed snapshot");
+    obj([
+        ("grouping", Json::from(name)),
+        ("version", Json::from(outcome.snapshot.version)),
+        ("grouping_version", Json::from(g.version)),
+        ("groups", Json::from(g.formation.grouping.len())),
+        ("objective", Json::from(g.formation.objective)),
+        ("algorithm", Json::from(g.config.grd_name())),
+        ("batch_size", Json::from(outcome.batch_size)),
+        ("coalesced", Json::from(!outcome.leader)),
+    ])
+}
+
+/// `POST /form?name=`: re-forms one *existing* grouping with optional
+/// overrides on top of its current configuration. Unknown names are 404 —
+/// creation is `POST /grouping`'s job, so a typo cannot silently mint a
+/// new registry entry.
+fn form(state: &ServeState, query: &str, body: &str) -> (u16, Json) {
+    let name = parse_form_name(query);
+    let snap = state.snapshot();
+    let Some(g) = snap.grouping(&name) else {
+        return (
+            404,
+            error_body(format!(
+                "no grouping named {name:?}; create it with POST /grouping"
+            )),
+        );
+    };
+    let cfg = if body.trim().is_empty() {
+        g.config
+    } else {
+        let parsed = match Json::parse(body) {
+            Ok(v) => v,
+            Err(e) => return (400, error_body(e)),
+        };
+        match apply_overrides(g.config, &parsed) {
+            Ok(cfg) => cfg,
+            Err(message) => return (400, error_body(message)),
+        }
+    };
+    drop(snap);
+    match state.form_named(&name, cfg) {
+        Ok(outcome) => (200, formed_body(&outcome, &name)),
+        Err(err) => (gf_error_status(&err), error_body(err)),
+    }
+}
+
+/// `POST /grouping`: registers a new named grouping (or reconfigures an
+/// existing one) over the shared matrix. The base configuration is the
+/// grouping's own when it exists, the `default` grouping's otherwise.
+fn create_grouping(state: &ServeState, body: &str) -> (u16, Json) {
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(e)),
+    };
+    let Some(name) = parsed
+        .get("name")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+    else {
+        return (
+            400,
+            error_body("body must carry a \"name\" for the grouping"),
+        );
+    };
+    let snap = state.snapshot();
+    let base = snap
+        .grouping(&name)
+        .unwrap_or_else(|| snap.default_grouping())
+        .config;
+    let cfg = match apply_overrides(base, &parsed) {
         Ok(cfg) => cfg,
         Err(message) => return (400, error_body(message)),
     };
-    match state.form(cfg) {
-        Ok(outcome) => (
-            200,
-            obj([
-                ("version", Json::from(outcome.snapshot.version)),
-                (
-                    "groups",
-                    Json::from(outcome.snapshot.formation.grouping.len()),
-                ),
-                (
-                    "objective",
-                    Json::from(outcome.snapshot.formation.objective),
-                ),
-                ("algorithm", Json::from(outcome.snapshot.config.grd_name())),
-                ("batch_size", Json::from(outcome.batch_size)),
-                ("coalesced", Json::from(!outcome.leader)),
-            ]),
-        ),
+    drop(snap);
+    match state.form_named(&name, cfg) {
+        Ok(outcome) => (200, formed_body(&outcome, &name)),
         Err(err) => (gf_error_status(&err), error_body(err)),
     }
 }
@@ -480,10 +636,16 @@ fn rate(state: &ServeState, body: &str) -> (u16, Json) {
             error_body("body must be {\"user\":u,\"item\":i,\"rating\":r}"),
         );
     };
-    if user > u32::MAX as u64 || item > u32::MAX as u64 {
+    // Raw-id mode forwards the full u64 ids through the remap layer;
+    // dense mode requires them to be in-range matrix indices.
+    let accepted = if state.raw_ids().is_some() {
+        state.rate_raw(user, item, rating)
+    } else if user > u32::MAX as u64 || item > u32::MAX as u64 {
         return (400, error_body("user/item out of u32 range"));
-    }
-    match state.rate(user as u32, item as u32, rating) {
+    } else {
+        state.rate(user as u32, item as u32, rating)
+    };
+    match accepted {
         Ok(pending) => (
             202,
             obj([

@@ -10,9 +10,15 @@
 //!   `GET /recommend/{group}`, `GET /health`) read an immutable,
 //!   `Arc`-shared [`Snapshot`] and are lock-free after one brief
 //!   read-lock to clone the `Arc`.
-//! * **Request batching** — concurrent `POST /form` requests with the
-//!   same configuration arriving within a small window coalesce into a
-//!   single `ShardedFormer` run ([`batch`]).
+//! * **A named-grouping registry** — one process serves many independent
+//!   formations (per-tenant `k`/`ℓ`/semantics) over **one** shared rating
+//!   matrix: the snapshot maps grouping names to [`state::GroupingState`]
+//!   entries that share the matrix/prefs `Arc`s, `POST /grouping`
+//!   registers new ones at runtime, and `GET /group/{name}/{user}`
+//!   queries each by name ([`state`] module docs).
+//! * **Request batching** — concurrent `POST /form` requests for the
+//!   same grouping and configuration arriving within a small window
+//!   coalesce into a single formation run ([`batch`]).
 //! * **Incremental updates** — `POST /rate` enqueues a rating; a bounded
 //!   background pass patches the matrix ([`gf_core::RatingMatrix::upsert`])
 //!   and only the affected users' preference lists
@@ -70,7 +76,7 @@
 //! let snap = state.snapshot();
 //! assert_eq!(snap.version, 2);
 //! assert_eq!(snap.matrix.get(0, 2), Some(5.0));
-//! # assert!(snap.assignment.iter().all(Option::is_some));
+//! # assert!(snap.default_grouping().assignment.iter().all(Option::is_some));
 //! ```
 //!
 //! To serve over TCP, wrap the state in an [`http::Server`] (or run the
@@ -84,10 +90,14 @@ pub mod batch;
 pub mod http;
 pub mod json;
 pub mod persist;
+pub mod remap;
 pub mod state;
 
 pub use batch::BatchOutcome;
 pub use http::{parse_aggregation, parse_semantics, HttpRequest, Server, ServerHandle};
 pub use json::Json;
 pub use persist::{boot, spawn_checkpointer, Checkpointer, DurabilityOptions, RecoveryReport};
-pub use state::{Progress, ServeConfig, ServeState, Snapshot};
+pub use remap::RawIdLayer;
+pub use state::{
+    validate_grouping_name, GroupingState, Progress, ServeConfig, ServeState, Snapshot,
+};

@@ -3,8 +3,9 @@
 //! ```text
 //! gf-serve [--addr HOST] [--port P] \
 //!          [--data FILE [--format dat|csv|tsv|netflix] [--scale one5|zero5|half]] \
-//!          [--synth USERSxITEMS] \
-//!          [--semantics lm|av] [--aggregation min|max|sum] [--k K] [--ell L] \
+//!          [--synth USERSxITEMS] [--raw-ids] \
+//!          [--semantics lm|av|cons|ldr] [--aggregation min|max|sum] [--k K] [--ell L] \
+//!          [--grouping NAME:k=K,ell=L,agg=A,semantics=S,lambda=F]... \
 //!          [--threads N] [--batch-window-ms MS] [--refresh auto|cold|incremental] \
 //!          [--grow] [--max-users N] [--max-items N] [--max-swaps N] \
 //!          [--data-dir DIR] [--wal-sync always|interval] [--wal-sync-interval-ms MS] \
@@ -16,6 +17,20 @@
 //! rating scale defaults to `half` (0.5–5.0 half stars, which contains
 //! the 1–5 integer grid). Without `--data`, a Yahoo!-Music-shaped
 //! synthetic corpus of `--synth` size (default `1000x200`) is generated.
+//!
+//! `--grouping` (repeatable) registers additional **named groupings**
+//! next to the `default` one — each key=value overrides the default
+//! formation flags for that grouping only (`agg`/`aggregation`,
+//! `semantics`/`sem`, `k`, `ell`, `lambda` for `cons`). All groupings
+//! share one rating matrix; more can be registered at runtime via
+//! `POST /grouping`.
+//!
+//! `--raw-ids` makes `/rate` accept the dataset's *original* ids: the
+//! loader's id tables seed a serve-time remapper, and never-seen raw ids
+//! intern under the growth caps. The table is in-memory: every boot
+//! re-seeds it from the `--data` file's first-appearance order (identity
+//! for synthetic corpora), so raw ids interned *at serve time* are
+//! forgotten by a restart — persisting the table is a ROADMAP follow-up.
 //!
 //! `--grow` lets `/rate` admit never-seen users and items without a
 //! restart ([`gf_core::GrowthPolicy::Grow`]); `--max-users`/`--max-items`
@@ -65,6 +80,10 @@ struct Options {
     aggregation: Aggregation,
     k: usize,
     ell: usize,
+    /// Raw `--grouping NAME:k=..` specs, resolved against the default
+    /// formation config once flag parsing is complete.
+    groupings: Vec<String>,
+    raw_ids: bool,
     threads: usize,
     batch_window: Duration,
     refresh: RefreshMode,
@@ -92,6 +111,8 @@ impl Default for Options {
             aggregation: Aggregation::Min,
             k: 5,
             ell: 10,
+            groupings: Vec::new(),
+            raw_ids: false,
             threads: 0,
             batch_window: Duration::from_millis(5),
             refresh: RefreshMode::Auto,
@@ -111,8 +132,10 @@ impl Default for Options {
 fn usage() -> ! {
     eprintln!(
         "usage: gf-serve [--addr HOST] [--port P] [--data FILE] [--format dat|csv|tsv|netflix] \
-         [--scale one5|zero5|half] [--synth UxI] [--semantics lm|av] \
-         [--aggregation min|max|sum] [--k K] [--ell L] [--threads N] [--batch-window-ms MS] \
+         [--scale one5|zero5|half] [--synth UxI] [--raw-ids] [--semantics lm|av|cons|ldr] \
+         [--aggregation min|max|sum] [--k K] [--ell L] \
+         [--grouping NAME:k=K,ell=L,agg=A,semantics=S,lambda=F]... \
+         [--threads N] [--batch-window-ms MS] \
          [--refresh auto|cold|incremental] [--grow] [--max-users N] [--max-items N] \
          [--max-swaps N] [--data-dir DIR] [--wal-sync always|interval] \
          [--wal-sync-interval-ms MS] [--checkpoint-interval-ms MS] [--wal-retain]"
@@ -138,6 +161,10 @@ fn parse_options() -> Options {
         }
         if flag == "--wal-retain" {
             opts.wal_retain = true;
+            continue;
+        }
+        if flag == "--raw-ids" {
+            opts.raw_ids = true;
             continue;
         }
         let Some(value) = args.next() else { usage() };
@@ -169,6 +196,7 @@ fn parse_options() -> Options {
             }
             "--k" => opts.k = value.parse().unwrap_or_else(|_| usage()),
             "--ell" => opts.ell = value.parse().unwrap_or_else(|_| usage()),
+            "--grouping" => opts.groupings.push(value),
             "--threads" => opts.threads = value.parse().unwrap_or_else(|_| usage()),
             "--batch-window-ms" => {
                 opts.batch_window = Duration::from_millis(value.parse().unwrap_or_else(|_| usage()))
@@ -205,15 +233,97 @@ fn parse_options() -> Options {
     opts
 }
 
-fn load_matrix(opts: &Options) -> RatingMatrix {
+/// Parses one `--grouping NAME:k=..,ell=..,agg=..,semantics=..,lambda=..`
+/// spec on top of the default formation configuration. Semantics applies
+/// before `lambda` so `semantics=cons,lambda=0.7` works in either order.
+fn parse_grouping_spec(spec: &str, base: FormationConfig) -> (String, FormationConfig) {
+    let (name, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    if name.is_empty() {
+        fail(format!("--grouping {spec:?}: empty grouping name"));
+    }
+    let mut cfg = base;
+    let pairs: Vec<(&str, &str)> = rest
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|kv| {
+            kv.split_once('=')
+                .unwrap_or_else(|| fail(format!("--grouping {spec:?}: {kv:?} is not key=value")))
+        })
+        .collect();
+    for &(key, value) in pairs
+        .iter()
+        .filter(|(k, _)| *k == "semantics" || *k == "sem")
+    {
+        cfg.semantics = parse_semantics(value)
+            .unwrap_or_else(|| fail(format!("--grouping {spec:?}: unknown semantics {value:?}")));
+        let _ = key;
+    }
+    for &(key, value) in &pairs {
+        match key {
+            "semantics" | "sem" => {}
+            "agg" | "aggregation" => {
+                cfg.aggregation = parse_aggregation(value).unwrap_or_else(|| {
+                    fail(format!(
+                        "--grouping {spec:?}: unknown aggregation {value:?}"
+                    ))
+                })
+            }
+            "k" => {
+                cfg.k = value
+                    .parse()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| fail(format!("--grouping {spec:?}: k must be >= 1")))
+            }
+            "ell" => {
+                cfg.ell = value
+                    .parse()
+                    .ok()
+                    .filter(|&l| l >= 1)
+                    .unwrap_or_else(|| fail(format!("--grouping {spec:?}: ell must be >= 1")))
+            }
+            "lambda" => {
+                let lambda: f64 = value
+                    .parse()
+                    .ok()
+                    .filter(|l: &f64| l.is_finite() && *l >= 0.0)
+                    .unwrap_or_else(|| {
+                        fail(format!(
+                            "--grouping {spec:?}: lambda must be >= 0 and finite"
+                        ))
+                    });
+                match cfg.semantics {
+                    Semantics::Consensus { .. } => cfg.semantics = Semantics::Consensus { lambda },
+                    _ => fail(format!(
+                        "--grouping {spec:?}: lambda only applies to semantics=cons"
+                    )),
+                }
+            }
+            other => fail(format!("--grouping {spec:?}: unknown key {other:?}")),
+        }
+    }
+    (name.to_string(), cfg)
+}
+
+/// A loaded corpus: the matrix plus the raw ids of every dense index
+/// (`None` for synthetic corpora, whose ids are already dense).
+struct LoadedCorpus {
+    matrix: RatingMatrix,
+    raw_ids: Option<(Vec<u64>, Vec<u64>)>,
+}
+
+fn load_corpus(opts: &Options) -> LoadedCorpus {
     let Some(path) = &opts.data else {
         let (users, items) = opts.synth;
         eprintln!("gf-serve: no --data given; generating a {users}x{items} synthetic corpus");
-        return SynthConfig::yahoo_music()
-            .with_users(users)
-            .with_items(items)
-            .generate()
-            .matrix;
+        return LoadedCorpus {
+            matrix: SynthConfig::yahoo_music()
+                .with_users(users)
+                .with_items(items)
+                .generate()
+                .matrix,
+            raw_ids: None,
+        };
     };
     let format = opts.format.clone().unwrap_or_else(|| {
         match std::path::Path::new(path)
@@ -234,9 +344,29 @@ fn load_matrix(opts: &Options) -> RatingMatrix {
         "tsv" => read_tsv(reader, opts.scale),
         other => fail(format!("unknown format {other:?}")),
     };
-    loaded
-        .unwrap_or_else(|e| fail(format!("load {path}: {e}")))
-        .matrix
+    let loaded = loaded.unwrap_or_else(|e| fail(format!("load {path}: {e}")));
+    LoadedCorpus {
+        matrix: loaded.matrix,
+        raw_ids: Some((loaded.user_ids, loaded.item_ids)),
+    }
+}
+
+/// Builds the `--raw-ids` layer: dataset boots seed from the loader's id
+/// tables (re-derived from the file on a warm restart — first-appearance
+/// order is deterministic, so the dense indices line up with the
+/// checkpointed matrix); synthetic corpora get the identity mapping.
+fn raw_id_layer(
+    corpus_ids: Option<(Vec<u64>, Vec<u64>)>,
+    state: &ServeState,
+) -> gf_serve::RawIdLayer {
+    use gf_datasets::IdRemapper;
+    let snap = state.snapshot();
+    match corpus_ids {
+        Some((users, items)) => {
+            gf_serve::RawIdLayer::new(IdRemapper::from_ids(users), IdRemapper::from_ids(items))
+        }
+        None => gf_serve::RawIdLayer::identity(snap.matrix.n_users(), snap.matrix.n_items()),
+    }
 }
 
 fn main() {
@@ -258,10 +388,20 @@ fn main() {
         .with_refresh(opts.refresh)
         .with_growth(growth);
     let mut cfg = ServeConfig::new(formation).with_batch_window(opts.batch_window);
+    for spec in &opts.groupings {
+        let (name, gc) = parse_grouping_spec(spec, formation);
+        gf_serve::validate_grouping_name(&name)
+            .unwrap_or_else(|e| fail(format!("--grouping {spec:?}: {e}")));
+        cfg = cfg.with_grouping(name, gc);
+    }
     if let Some(max_swaps) = opts.max_swaps {
         cfg = cfg.with_max_swaps(max_swaps);
     }
 
+    // The boot closure runs only on cold durable starts; when it does,
+    // stash the loader's raw-id tables for `--raw-ids`.
+    let corpus_ids: std::cell::RefCell<Option<(Vec<u64>, Vec<u64>)>> =
+        std::cell::RefCell::new(None);
     let (state, _checkpointer) = if let Some(dir) = &opts.data_dir {
         let sync = match opts.wal_sync.as_str() {
             "interval" => SyncMode::Interval(opts.wal_sync_interval),
@@ -274,8 +414,12 @@ fn main() {
             retain_wal: opts.wal_retain,
         };
         let started = Instant::now();
-        let (state, report) = gf_serve::boot(cfg, &dopts, || Ok(load_matrix(&opts)))
-            .unwrap_or_else(|e| fail(format!("recovery from {dir}: {e}")));
+        let (state, report) = gf_serve::boot(cfg, &dopts, || {
+            let corpus = load_corpus(&opts);
+            *corpus_ids.borrow_mut() = corpus.raw_ids;
+            Ok(corpus.matrix)
+        })
+        .unwrap_or_else(|e| fail(format!("recovery from {dir}: {e}")));
         for (path, reason) in &report.skipped_checkpoints {
             eprintln!(
                 "gf-serve: recovery: skipped corrupt checkpoint {}: {reason}",
@@ -296,16 +440,35 @@ fn main() {
             .then(|| gf_serve::spawn_checkpointer(Arc::clone(&state), dopts));
         (state, checkpointer)
     } else {
-        let matrix = load_matrix(&opts);
-        cfg.formation.ell = cfg.formation.ell.min(matrix.n_users() as usize).max(1);
+        let corpus = load_corpus(&opts);
+        let matrix = corpus.matrix;
+        *corpus_ids.borrow_mut() = corpus.raw_ids;
+        let n = matrix.n_users() as usize;
+        cfg.formation.ell = cfg.formation.ell.min(n).max(1);
+        for (_, gc) in &mut cfg.groupings {
+            gc.ell = gc.ell.min(n).max(1);
+        }
         let state = ServeState::new(matrix, cfg)
             .unwrap_or_else(|e| fail(format!("initial formation: {e}")));
         (state, None)
     };
 
+    if opts.raw_ids {
+        // A warm durable boot skipped the loader; re-derive the id tables
+        // from the dataset file when one is named, identity otherwise.
+        let ids = corpus_ids.borrow_mut().take().or_else(|| {
+            opts.data.is_some().then(|| {
+                let corpus = load_corpus(&opts);
+                corpus.raw_ids.expect("--data loads always carry raw ids")
+            })
+        });
+        state.attach_raw_ids(raw_id_layer(ids, &state));
+    }
+
     let snap = state.snapshot();
     let (n_users, n_items) = (snap.matrix.n_users(), snap.matrix.n_items());
-    let groups = snap.formation.grouping.len();
+    let groups = snap.default_grouping().formation.grouping.len();
+    let groupings = snap.groupings.len();
     drop(snap);
     let server = Server::bind((opts.addr.as_str(), opts.port), state)
         .unwrap_or_else(|e| fail(format!("bind {}:{}: {e}", opts.addr, opts.port)));
@@ -313,7 +476,8 @@ fn main() {
         .local_addr()
         .unwrap_or_else(|e| fail(format!("local addr: {e}")));
     println!(
-        "gf-serve: listening on http://{addr} (users={n_users} items={n_items} groups={groups})"
+        "gf-serve: listening on http://{addr} \
+         (users={n_users} items={n_items} groups={groups} groupings={groupings})"
     );
     if let Err(e) = server.run() {
         fail(format!("serve loop: {e}"));

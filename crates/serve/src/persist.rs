@@ -30,7 +30,7 @@
 
 use crate::state::{ServeConfig, ServeState};
 use gf_core::{GfError, RatingMatrix, Result};
-use gf_persist::checkpoint::{self, CheckpointState};
+use gf_persist::checkpoint::{self, CheckpointGrouping, CheckpointState};
 use gf_persist::wal::{SyncMode, Wal};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -100,6 +100,7 @@ pub fn boot(
         .map_err(|e| GfError::Persist(format!("mkdir {}: {e}", opts.data_dir.display())))?;
     let outcome = checkpoint::load_latest(&opts.data_dir).map_err(GfError::from)?;
     let skipped_checkpoints = outcome.skipped;
+    let boot_groupings = cfg.groupings.clone();
     let (state, cold_start, ckpt_version, ckpt_wal_seq) = match outcome.loaded {
         Some((ck, _)) => {
             let (version, wal_seq) = (ck.snapshot_version, ck.wal_seq);
@@ -108,12 +109,28 @@ pub fn boot(
         None => {
             let mut cfg = cfg;
             let matrix = make_matrix()?;
-            // The cold path clamps ell like a volatile boot would; the
-            // warm path inherits the checkpointed (already valid) config.
-            cfg.formation.ell = cfg.formation.ell.min(matrix.n_users() as usize).max(1);
+            // The cold path clamps ell (for every boot grouping) like a
+            // volatile boot would; the warm path inherits the
+            // checkpointed (already valid) configs.
+            let n = matrix.n_users() as usize;
+            cfg.formation.ell = cfg.formation.ell.min(n).max(1);
+            for (_, gc) in &mut cfg.groupings {
+                gc.ell = gc.ell.min(n).max(1);
+            }
             (ServeState::new(matrix, cfg)?, true, 0, 0)
         }
     };
+    // A warm boot restores the checkpoint's registry verbatim; any boot
+    // flags naming groupings the checkpoint does not know yet register
+    // now (idempotent — a grouping the durable state already carries is
+    // never re-formed, so repeated restarts stay bit-for-bit stable).
+    if !cold_start {
+        for (name, fc) in &boot_groupings {
+            if state.snapshot().grouping(name).is_none() {
+                state.form_named(name, *fc)?;
+            }
+        }
+    }
     let (wal, scanned) = Wal::open(&opts.data_dir, opts.sync).map_err(GfError::from)?;
     // A checkpoint ahead of the log means WAL segments were lost (they
     // are never pruned past the newest checkpoint in normal operation).
@@ -180,11 +197,19 @@ pub fn checkpoint_now(state: &ServeState, opts: &DurabilityOptions) -> Result<Op
         applied: exported.progress.applied,
         users_admitted: exported.progress.users_admitted,
         items_admitted: exported.progress.items_admitted,
-        config: exported.config,
         matrix: (*exported.matrix).clone(),
         prefs: (*exported.prefs).clone(),
-        formation: exported.formation,
-        former: exported.former,
+        groupings: exported
+            .groupings
+            .into_iter()
+            .map(|g| CheckpointGrouping {
+                name: g.name,
+                version: g.version,
+                config: g.config,
+                formation: g.formation,
+                former: g.former,
+            })
+            .collect(),
     };
     checkpoint::write(&opts.data_dir, &ck).map_err(GfError::from)?;
     state

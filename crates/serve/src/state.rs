@@ -1,65 +1,104 @@
-//! Shared serving state: immutable snapshots, incremental rating updates
-//! and the bounded background re-formation pass.
+//! Shared serving state: immutable snapshots, a named-grouping registry,
+//! incremental rating updates and the bounded background re-formation pass.
 //!
 //! ## Consistency model
 //!
 //! All queries (`/group`, `/recommend`, `/health`) read one [`Snapshot`] —
 //! an immutable, `Arc`-shared bundle of the rating matrix, the preference
-//! index, the current [`FormationResult`] and the user→group assignment.
-//! Readers clone the `Arc` under a briefly-held read lock and then work
-//! lock-free; writers build the next snapshot off to the side and swap it
-//! in with a briefly-held write lock. A query therefore always sees an
-//! internally consistent formation, never a half-applied update.
+//! index and a **registry of named groupings** ([`GroupingState`]), each
+//! carrying its own [`FormationConfig`], [`FormationResult`] and
+//! user→group assignment. Readers clone the `Arc` under a briefly-held
+//! read lock and then work lock-free; writers build the next snapshot off
+//! to the side and swap it in with a briefly-held write lock. A query
+//! therefore always sees an internally consistent formation, never a
+//! half-applied update.
+//!
+//! ## The registry
+//!
+//! Every server has at least the `"default"` grouping (built from
+//! [`ServeConfig::formation`]); additional groupings register at boot
+//! ([`ServeConfig::with_grouping`]) or at runtime (`POST /grouping`,
+//! [`ServeState::form_named`]). All groupings share **one** rating matrix
+//! and preference index by `Arc` — registering ten tenant groupings costs
+//! ten formations, not ten O(nnz) rating copies. Each grouping keeps a
+//! per-grouping `version`: the global snapshot version at which its
+//! formation last changed. A rating pass refreshes *every* grouping (so
+//! all land on the pass's version); a `/form` touches only the named one.
 //!
 //! Rating updates (`/rate`) are **eventually consistent**: they enqueue
 //! into a pending journal and return immediately; the background
 //! re-formation pass (one bounded batch of updates per pass, see
 //! [`ServeConfig::max_updates_per_pass`]) patches the matrix
 //! ([`RatingMatrix::upsert_batch`]) and the affected users' preference
-//! lists ([`PrefIndex::patch_users`]) and then re-forms one of two ways,
-//! chosen per pass by [`gf_core::RefreshMode`] from the dirty-set size:
+//! lists ([`PrefIndex::patch_users`]) **once**, then fans the dirty set
+//! out to each registered grouping, which re-forms one of two ways,
+//! chosen per grouping per pass by [`gf_core::RefreshMode`] from the
+//! dirty-set size:
 //!
-//! * **incremental** — a standing [`gf_core::IncrementalFormer`] moves
-//!   only the dirty users between their greedy buckets and splices the
-//!   result back into the grouping, making refresh cost proportional to
-//!   the update batch;
+//! * **incremental** — a standing [`gf_core::IncrementalFormer`] (one per
+//!   grouping, keyed by name) moves only the dirty users between their
+//!   greedy buckets and splices the result back into the grouping, making
+//!   refresh cost proportional to the update batch;
 //! * **cold** — a full re-formation over the whole population (also the
 //!   fallback whenever the standing former's lineage broke, e.g. after a
-//!   `/form` or a cold pass).
+//!   `/form` or a cold pass, and whenever an item admission moved the
+//!   grouping's effective top-`k` length — see below).
 //!
-//! Both paths are **test-enforced** to converge to exactly the snapshot a
-//! cold rebuild over the same ratings produces (`tests/serve_props.rs`);
-//! `/stats` reports which path each pass took. So that the two paths
-//! agree on grouping *shape* under any thread count, every snapshot an
-//! `Auto`/`Incremental` instance installs comes from the plain greedy
-//! (Step-1 threaded); the population-sharded former serves
-//! [`RefreshMode::Cold`](gf_core::RefreshMode) instances, where the
+//! Both paths are **test-enforced** to converge, per grouping, to exactly
+//! the snapshot a cold rebuild over the same ratings produces
+//! (`tests/serve_props.rs`); `/stats` reports which path each grouping
+//! refresh took. So that the two paths agree on grouping *shape* under
+//! any thread count, every snapshot an `Auto`/`Incremental` grouping
+//! installs comes from the plain greedy (Step-1 threaded); the
+//! population-sharded former serves
+//! [`RefreshMode::Cold`](gf_core::RefreshMode) groupings, where the
 //! incremental path never runs.
+//!
+//! ## Admission-aware refresh scheduling
+//!
+//! Item admissions interact with the warm formers: while the catalogue
+//! has fewer than `k` items, every top-`k` signature has the catalogue's
+//! length; the admission that pushes the catalogue past a grouping's `k`
+//! changes every user's signature at once, so an incremental refresh
+//! would dirty the whole population. When a drained batch contains such
+//! a crossing, the pass **splits** it: the prefix through the last
+//! item-admitting record applies first (the crossing grouping re-forms
+//! cold, exactly once), and the user-rating tail is spliced back onto the
+//! *front* of the journal to ride the re-warmed former on the next pass.
+//! Journal order — and therefore the chunking-invariant versioning — is
+//! preserved.
 
 use crate::batch::{BatchOutcome, Batcher};
+use crate::remap::RawIdLayer;
 use gf_core::{
     FormationConfig, FormationResult, GfError, GroupFormer, IncrementalFormer, PrefIndex,
     RatingDelta, RatingMatrix, Result, ShardedFormer,
 };
 use gf_persist::wal::{Wal, WalRecord};
 use gf_persist::{CheckpointState, StateDigest};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 /// Everything that parameterises a serving instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Formation configuration used for the initial formation and for
-    /// background re-formation (until a `/form` request overrides it).
+    /// Formation configuration of the `"default"` grouping — used for the
+    /// initial formation and for background re-formation (until a `/form`
+    /// request overrides it).
     pub formation: FormationConfig,
+    /// Additional named groupings registered at boot, in registration
+    /// order. A later entry for the same name (including `"default"`)
+    /// overrides the earlier one.
+    pub groupings: Vec<(String, FormationConfig)>,
     /// How long a `/form` leader waits for concurrent same-configuration
     /// requests to join its batch before running.
     pub batch_window: Duration,
     /// Upper bound on how many rating updates one background re-formation
     /// pass applies; more pending updates simply take more passes.
     pub max_updates_per_pass: usize,
-    /// Repair-pass budget for the standing incremental former
+    /// Repair-pass budget for the standing incremental formers
     /// ([`IncrementalFormer::with_max_swaps`]): `None` (the default) keeps
     /// the unbounded, exactly-cold repair; `Some(n)` caps how many buckets
     /// one refresh may admit, bounding worst-case refresh latency at the
@@ -70,15 +109,22 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// Defaults: a 5 ms batching window, at most 1024 updates per pass and
-    /// an unbounded repair budget.
+    /// Defaults: only the `"default"` grouping, a 5 ms batching window, at
+    /// most 1024 updates per pass and an unbounded repair budget.
     pub fn new(formation: FormationConfig) -> Self {
         ServeConfig {
             formation,
+            groupings: Vec::new(),
             batch_window: Duration::from_millis(5),
             max_updates_per_pass: 1024,
             max_swaps: None,
         }
+    }
+
+    /// Registers an additional named grouping to build at boot.
+    pub fn with_grouping(mut self, name: impl Into<String>, cfg: FormationConfig) -> Self {
+        self.groupings.push((name.into(), cfg));
+        self
     }
 
     /// Overrides the `/form` batching window.
@@ -93,11 +139,28 @@ impl ServeConfig {
         self
     }
 
-    /// Caps the incremental former's per-refresh repair budget (see
+    /// Caps the incremental formers' per-refresh repair budget (see
     /// [`ServeConfig::max_swaps`]).
     pub fn with_max_swaps(mut self, max_swaps: usize) -> Self {
         self.max_swaps = Some(max_swaps);
         self
+    }
+}
+
+/// Checks that a grouping name is non-empty, at most 64 bytes and uses
+/// only URL- and checkpoint-safe characters (`[A-Za-z0-9_.-]`).
+pub fn validate_grouping_name(name: &str) -> Result<()> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.');
+    if ok {
+        Ok(())
+    } else {
+        Err(GfError::InvalidGrouping(format!(
+            "grouping name {name:?} must be 1..=64 chars of [A-Za-z0-9_.-]"
+        )))
     }
 }
 
@@ -120,22 +183,11 @@ pub struct Progress {
     pub items_admitted: u64,
 }
 
-/// One immutable, internally consistent view of the serving state.
-///
-/// The matrix and preference index are `Arc`-shared because snapshot
-/// succession never mutates them: a background pass *builds* the patched
-/// successors ([`RatingMatrix::with_upserts`], [`PrefIndex::patched`])
-/// while the old structures stay live for concurrent readers, and a
-/// `/form` (which changes only the formation) shares them wholesale.
-/// Cloning ~O(nnz) rating storage per refresh used to dominate the
-/// 50k-user refresh pass; the `Arc` succession removes it entirely.
+/// One named grouping inside a snapshot: its configuration, formation,
+/// derived user→group assignment and the global snapshot version at
+/// which the formation last changed.
 #[derive(Debug)]
-pub struct Snapshot {
-    /// The rating matrix this formation was computed on.
-    pub matrix: Arc<RatingMatrix>,
-    /// Preference index built on (or incrementally patched to match)
-    /// `matrix`.
-    pub prefs: Arc<PrefIndex>,
+pub struct GroupingState {
     /// The formation configuration the groups were formed under.
     pub config: FormationConfig,
     /// The current formation.
@@ -144,6 +196,32 @@ pub struct Snapshot {
     /// for users the formation did not cover (impossible for valid
     /// formations, kept as `Option` for defense in depth).
     pub assignment: Vec<Option<usize>>,
+    /// Global snapshot version at which this grouping's formation was
+    /// last (re)computed. Rating passes refresh every grouping, so after
+    /// a pass all groupings carry the pass's version; a `/form` advances
+    /// only the named grouping.
+    pub version: u64,
+}
+
+/// One immutable, internally consistent view of the serving state.
+///
+/// The matrix and preference index are `Arc`-shared because snapshot
+/// succession never mutates them: a background pass *builds* the patched
+/// successors ([`RatingMatrix::with_upserts`], [`PrefIndex::patched`])
+/// while the old structures stay live for concurrent readers, and a
+/// `/form` (which changes only one grouping) shares them wholesale. All
+/// registered groupings read the same two `Arc`s — one O(nnz) rating
+/// copy regardless of how many groupings are registered.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The rating matrix every grouping's formation was computed on.
+    pub matrix: Arc<RatingMatrix>,
+    /// Preference index built on (or incrementally patched to match)
+    /// `matrix`.
+    pub prefs: Arc<PrefIndex>,
+    /// The named-grouping registry, ordered by name. Always contains
+    /// [`Snapshot::DEFAULT_GROUPING`].
+    pub groupings: BTreeMap<String, Arc<GroupingState>>,
     /// Monotonic snapshot version. A background pass advances it by one
     /// **per applied journal record**, so the version a given rating
     /// history produces is independent of how passes chunked the journal —
@@ -153,6 +231,23 @@ pub struct Snapshot {
     pub version: u64,
     /// How much of the durable journal this snapshot bakes in.
     pub progress: Progress,
+}
+
+impl Snapshot {
+    /// Name of the grouping every server is guaranteed to have.
+    pub const DEFAULT_GROUPING: &'static str = "default";
+
+    /// The `"default"` grouping (always present).
+    pub fn default_grouping(&self) -> &Arc<GroupingState> {
+        self.groupings
+            .get(Self::DEFAULT_GROUPING)
+            .expect("the default grouping always exists")
+    }
+
+    /// Looks up a grouping by name.
+    pub fn grouping(&self, name: &str) -> Option<&Arc<GroupingState>> {
+        self.groupings.get(name)
+    }
 }
 
 /// Counters exposed by `/stats`; cheap relaxed atomics.
@@ -169,16 +264,21 @@ pub struct Stats {
     /// Actual formation runs executed on behalf of `/form` (≤ requests;
     /// the difference is requests answered from a coalesced batch).
     pub form_runs: AtomicU64,
-    /// Background passes that patched the standing formation through the
-    /// incremental former (dirty-bucket path).
+    /// Grouping refreshes that patched a standing formation through its
+    /// incremental former (dirty-bucket path). With several groupings
+    /// registered, one background pass counts once per grouping.
     pub refresh_incremental: AtomicU64,
-    /// Background passes that re-formed the whole population from scratch.
+    /// Grouping refreshes that re-formed the whole population from
+    /// scratch (counted per grouping, like `refresh_incremental`).
     pub refresh_cold: AtomicU64,
     /// Users admitted at serve time under [`gf_core::GrowthPolicy::Grow`] (includes
     /// the empty gap rows a sparse admission creates).
     pub users_admitted: AtomicU64,
     /// Items admitted at serve time under [`gf_core::GrowthPolicy::Grow`].
     pub items_admitted: AtomicU64,
+    /// Rating-pass splits forced by an item admission crossing a
+    /// grouping's top-`k` length (see the module docs).
+    pub admission_splits: AtomicU64,
     /// WAL records appended by this process (0 when running volatile).
     pub wal_records: AtomicU64,
     /// Checkpoints written by this process (boot checkpoint included).
@@ -191,11 +291,15 @@ pub struct Stats {
     pub recovery_dropped_bytes: AtomicU64,
 }
 
-/// The standing incremental former plus the snapshot version its bucket
-/// state is synced to; any snapshot it did not produce breaks the lineage
-/// and forces a re-initialization on the next incremental-eligible pass.
+/// A standing incremental former plus the per-grouping version its
+/// bucket state is synced to; any formation it did not produce breaks
+/// the lineage and forces a re-initialization on the next
+/// incremental-eligible pass.
 struct FormerSlot {
     former: IncrementalFormer,
+    /// Must equal the grouping's [`GroupingState::version`] for the slot
+    /// to be reusable. Rating passes bump every grouping's version, so a
+    /// slot that missed a matrix change can never pass this check.
     synced_version: u64,
 }
 
@@ -215,18 +319,27 @@ struct PendingQueue {
     shutdown: bool,
 }
 
+/// One grouping frozen for checkpointing.
+pub(crate) struct ExportedGrouping {
+    pub name: String,
+    pub version: u64,
+    pub config: FormationConfig,
+    pub formation: FormationResult,
+    /// The standing former's exported bucket state, when its lineage is
+    /// current for this grouping.
+    pub former: Option<gf_core::FormerState>,
+}
+
 /// A consistent bundle frozen for checkpointing: the snapshot's pieces
-/// plus the standing former's exported bucket state when its lineage is
+/// plus each grouping's standing-former state when its lineage is
 /// current. The matrix/prefs stay `Arc`-shared — the (expensive) deep
 /// copy into an owned [`CheckpointState`] happens outside every lock.
 pub(crate) struct ExportedState {
     pub version: u64,
     pub progress: Progress,
-    pub config: FormationConfig,
     pub matrix: Arc<RatingMatrix>,
     pub prefs: Arc<PrefIndex>,
-    pub formation: FormationResult,
-    pub former: Option<gf_core::FormerState>,
+    pub groupings: Vec<ExportedGrouping>,
 }
 
 /// The long-lived serving state shared by every connection handler.
@@ -242,25 +355,56 @@ pub struct ServeState {
     max_updates_per_pass: usize,
     /// Repair budget applied to every (re-)initialized standing former.
     max_swaps: Option<usize>,
-    /// Standing incremental former (built lazily on the first
-    /// incremental-eligible pass; only ever touched under `writer`).
-    former: Mutex<Option<FormerSlot>>,
+    /// Standing incremental formers, one per grouping name (built lazily
+    /// on a grouping's first incremental-eligible pass; only ever touched
+    /// under `writer`).
+    formers: Mutex<BTreeMap<String, FormerSlot>>,
+    /// Raw-id translation (`--raw-ids`); absent means `/rate` ids are
+    /// dense indices, set once at boot via
+    /// [`ServeState::attach_raw_ids`].
+    raw_ids: OnceLock<RawIdLayer>,
     /// Counters for `/stats`.
     pub stats: Stats,
 }
 
 impl ServeState {
-    /// Builds the initial snapshot (version 1) by running a full formation
-    /// over `matrix` and wraps it in a shareable state.
+    /// Builds the initial snapshot (version 1) by running one full
+    /// formation per registered grouping over `matrix` — the `"default"`
+    /// grouping from [`ServeConfig::formation`] plus every
+    /// [`ServeConfig::with_grouping`] entry — and wraps it all in a
+    /// shareable state.
     pub fn new(matrix: RatingMatrix, cfg: ServeConfig) -> Result<Arc<ServeState>> {
-        let prefs = PrefIndex::build(&matrix);
-        let snapshot = build_snapshot(
-            Arc::new(matrix),
-            Arc::new(prefs),
-            cfg.formation,
-            Progress::default(),
-            1,
-        )?;
+        let matrix = Arc::new(matrix);
+        let prefs = Arc::new(PrefIndex::build(&matrix));
+        // Resolve the boot registry first (later entries override), then
+        // form each named grouping exactly once.
+        let mut configs: BTreeMap<String, FormationConfig> = BTreeMap::new();
+        configs.insert(Snapshot::DEFAULT_GROUPING.to_string(), cfg.formation);
+        for (name, fc) in &cfg.groupings {
+            validate_grouping_name(name)?;
+            configs.insert(name.clone(), *fc);
+        }
+        let mut groupings = BTreeMap::new();
+        for (name, fc) in configs {
+            let formation = build_formation(&matrix, &prefs, &fc)?;
+            let assignment = formation.grouping.assignment(matrix.n_users());
+            groupings.insert(
+                name,
+                Arc::new(GroupingState {
+                    config: fc,
+                    formation,
+                    assignment,
+                    version: 1,
+                }),
+            );
+        }
+        let snapshot = Snapshot {
+            matrix,
+            prefs,
+            groupings,
+            version: 1,
+            progress: Progress::default(),
+        };
         Ok(Arc::new(ServeState {
             snapshot: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(()),
@@ -274,19 +418,21 @@ impl ServeState {
             batcher: Batcher::new(cfg.batch_window),
             max_updates_per_pass: cfg.max_updates_per_pass.max(1),
             max_swaps: cfg.max_swaps,
-            former: Mutex::new(None),
+            formers: Mutex::new(BTreeMap::new()),
+            raw_ids: OnceLock::new(),
             stats: Stats::default(),
         }))
     }
 
-    /// Rebuilds serving state from a decoded checkpoint: the snapshot is
-    /// restored verbatim (no re-formation) at its checkpointed version and
-    /// progress, and the standing incremental former — when the checkpoint
-    /// carried one — is imported warm so the first post-restart pass stays
-    /// on the dirty-bucket path. Non-formation knobs (batch window, pass
-    /// bounds, repair budget) come from `cfg`; the *formation*
-    /// configuration is the checkpoint's — it is part of the durable state
-    /// a `/form` may have changed since boot flags were last read.
+    /// Rebuilds serving state from a decoded checkpoint: every
+    /// checkpointed grouping is restored verbatim (no re-formation) at
+    /// its checkpointed version, and any grouping whose checkpoint
+    /// carried a standing-former state is imported warm so its first
+    /// post-restart pass stays on the dirty-bucket path. Non-formation
+    /// knobs (batch window, pass bounds, repair budget) come from `cfg`;
+    /// the *formation* configurations are the checkpoint's — they are
+    /// part of the durable state a `/form` may have changed since boot
+    /// flags were last read.
     pub fn restore_from(ck: CheckpointState, cfg: ServeConfig) -> Result<Arc<ServeState>> {
         let matrix = Arc::new(ck.matrix);
         let prefs = Arc::new(ck.prefs);
@@ -296,26 +442,44 @@ impl ServeState {
             users_admitted: ck.users_admitted,
             items_admitted: ck.items_admitted,
         };
-        let snapshot = snapshot_with_formation(
-            Arc::clone(&matrix),
-            Arc::clone(&prefs),
-            ck.config,
-            ck.formation,
-            progress,
-            ck.snapshot_version,
-        );
-        let former = match ck.former {
-            Some(state) => {
-                let mut former = IncrementalFormer::import_state(&matrix, ck.config, &state)?;
+        let mut groupings = BTreeMap::new();
+        let mut formers = BTreeMap::new();
+        for g in ck.groupings {
+            if let Some(state) = g.former {
+                let mut former = IncrementalFormer::import_state(&matrix, g.config, &state)?;
                 if let Some(max_swaps) = cfg.max_swaps {
                     former = former.with_max_swaps(max_swaps);
                 }
-                Some(FormerSlot {
-                    former,
-                    synced_version: ck.snapshot_version,
-                })
+                formers.insert(
+                    g.name.clone(),
+                    FormerSlot {
+                        former,
+                        synced_version: g.version,
+                    },
+                );
             }
-            None => None,
+            let assignment = g.formation.grouping.assignment(matrix.n_users());
+            groupings.insert(
+                g.name,
+                Arc::new(GroupingState {
+                    config: g.config,
+                    formation: g.formation,
+                    assignment,
+                    version: g.version,
+                }),
+            );
+        }
+        if !groupings.contains_key(Snapshot::DEFAULT_GROUPING) {
+            return Err(GfError::Persist(
+                "checkpoint carries no \"default\" grouping".into(),
+            ));
+        }
+        let snapshot = Snapshot {
+            matrix,
+            prefs,
+            groupings,
+            version: ck.snapshot_version,
+            progress,
         };
         let stats = Stats::default();
         // Seed the process-local counters so `/stats` stays meaningful
@@ -342,7 +506,8 @@ impl ServeState {
             batcher: Batcher::new(cfg.batch_window),
             max_updates_per_pass: cfg.max_updates_per_pass.max(1),
             max_swaps: cfg.max_swaps,
-            former: Mutex::new(former),
+            formers: Mutex::new(formers),
+            raw_ids: OnceLock::new(),
             stats,
         }))
     }
@@ -365,18 +530,21 @@ impl ServeState {
     /// Accepts one rating update into the pending journal.
     ///
     /// The update is validated against the current snapshot's dimensions,
-    /// growth policy and scale so malformed requests fail fast; it becomes
-    /// visible to queries only once a background pass installs the next
-    /// snapshot (call [`ServeState::flush`] to force that synchronously).
-    /// Under [`gf_core::GrowthPolicy::Grow`], a never-seen user or item within the
+    /// the **default grouping's** growth policy and the rating scale so
+    /// malformed requests fail fast; it becomes visible to queries only
+    /// once a background pass installs the next snapshot (call
+    /// [`ServeState::flush`] to force that synchronously). Under
+    /// [`gf_core::GrowthPolicy::Grow`], a never-seen user or item within the
     /// caps is **admitted**: the journal entry carries the grown id and
-    /// the applying pass extends the matrix, preference index and standing
-    /// formation to cover it — no restart. Returns the number of updates
-    /// now pending.
+    /// the applying pass extends the matrix, preference index and every
+    /// registered grouping to cover it — no restart. Returns the number
+    /// of updates now pending.
     pub fn rate(&self, user: u32, item: u32, score: f64) -> Result<usize> {
         let snap = self.snapshot();
         let matrix = &snap.matrix;
-        let growth = snap.config.growth;
+        // The matrix is shared by all groupings, so exactly one growth
+        // policy can govern admissions: the default grouping's.
+        let growth = snap.default_grouping().config.growth;
         growth.admit_user(user, matrix.n_users())?;
         growth.admit_item(item, matrix.n_items())?;
         if !score.is_finite() {
@@ -405,6 +573,33 @@ impl ServeState {
         }
         self.wakeup.notify_one();
         Ok(depth)
+    }
+
+    /// Installs the raw-id translation layer (`--raw-ids`). Call once at
+    /// boot, before serving; a second call is ignored (the first layer
+    /// wins, matching `OnceLock` semantics).
+    pub fn attach_raw_ids(&self, layer: RawIdLayer) {
+        let _ = self.raw_ids.set(layer);
+    }
+
+    /// The raw-id layer, when serving original dataset ids.
+    pub fn raw_ids(&self) -> Option<&RawIdLayer> {
+        self.raw_ids.get()
+    }
+
+    /// [`ServeState::rate`] for original dataset ids: resolves
+    /// `raw_user`/`raw_item` through the attached [`RawIdLayer`] (interning
+    /// never-seen raw ids under the default grouping's growth caps — the
+    /// interned dense index is exactly the row the admission pipeline
+    /// grows to) and enqueues the dense-id update. The WAL therefore
+    /// journals dense ids only; replay never needs the table.
+    pub fn rate_raw(&self, raw_user: u64, raw_item: u64, score: f64) -> Result<usize> {
+        let layer = self.raw_ids().ok_or_else(|| {
+            GfError::InvalidGrouping("raw-id mode is not enabled (start with --raw-ids)".into())
+        })?;
+        let growth = self.snapshot().default_grouping().config.growth;
+        let (user, item) = layer.resolve(raw_user, raw_item, growth)?;
+        self.rate(user, item, score)
     }
 
     /// Re-enqueues one journal record during recovery, preserving its
@@ -450,14 +645,15 @@ impl ServeState {
 
     /// Runs one bounded background pass: drains up to
     /// `max_updates_per_pass` pending updates, patches the matrix and the
-    /// affected users' preference lists in one batch each, re-forms under
-    /// the current configuration — incrementally (dirty buckets only) or
-    /// cold, per [`gf_core::RefreshMode`] and the dirty-set size — and
-    /// installs the result. Returns how many updates were applied (0 when
-    /// nothing was pending).
+    /// affected users' preference lists in one batch each, then re-forms
+    /// **every registered grouping** under its own configuration —
+    /// incrementally (dirty buckets only) or cold, per
+    /// [`gf_core::RefreshMode`] and the dirty-set size — and installs the
+    /// result. Returns how many updates were applied (0 when nothing was
+    /// pending).
     pub fn process_pending(&self) -> Result<usize> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
-        let chunk: Vec<(u64, u32, u32, f64)> = {
+        let mut chunk: Vec<(u64, u32, u32, f64)> = {
             let mut q = self.pending.lock().expect("pending lock poisoned");
             let take = q.updates.len().min(self.max_updates_per_pass);
             q.updates.drain(..take).collect()
@@ -465,8 +661,37 @@ impl ServeState {
         if chunk.is_empty() {
             return Ok(0);
         }
-        let updates: Vec<(u32, u32, f64)> = chunk.iter().map(|&(_, u, i, s)| (u, i, s)).collect();
         let current = self.snapshot();
+        // Admission-aware split (module docs): if an item admission in
+        // this chunk pushes the catalogue past some grouping's `k`, apply
+        // only the prefix through the last admitting record now and push
+        // the user-rating tail back to the journal's front. The crossing
+        // grouping pays its unavoidable cold rebuild on the short prefix;
+        // the tail then rides the re-warmed former incrementally. Safe
+        // because versioning is chunking-invariant.
+        let base_items = current.matrix.n_items();
+        let mut max_item = base_items;
+        let mut last_growth = 0usize;
+        for (idx, &(_, _, item, _)) in chunk.iter().enumerate() {
+            if item >= max_item {
+                max_item = item + 1;
+                last_growth = idx + 1;
+            }
+        }
+        let crosses = max_item > base_items
+            && current
+                .groupings
+                .values()
+                .any(|g| g.config.k.min(base_items as usize) != g.config.k.min(max_item as usize));
+        if crosses && last_growth < chunk.len() {
+            let tail = chunk.split_off(last_growth);
+            let mut q = self.pending.lock().expect("pending lock poisoned");
+            q.updates.splice(0..0, tail);
+            drop(q);
+            self.stats.admission_splits.fetch_add(1, Ordering::Relaxed);
+            self.wakeup.notify_one();
+        }
+        let updates: Vec<(u32, u32, f64)> = chunk.iter().map(|&(_, u, i, s)| (u, i, s)).collect();
         // Build the patched successors in one storage pass each (no
         // intermediate clone — the old matrix/prefs stay live for
         // concurrent readers), re-sorting each dirty user's preference
@@ -474,10 +699,10 @@ impl ServeState {
         // `PrefIndex::build`. Journal entries validated under
         // `GrowthPolicy::Grow` may carry grown ids; the successor build
         // admits them here (appending rows is O(new rows), not O(nnz), on
-        // top of the usual one-pass splice).
-        let (matrix, outcomes) = current
-            .matrix
-            .with_upserts_under(&updates, current.config.growth)?;
+        // top of the usual one-pass splice). Every grouping shares the
+        // one patched matrix/prefs pair.
+        let growth = current.default_grouping().config.growth;
+        let (matrix, outcomes) = current.matrix.with_upserts_under(&updates, growth)?;
         let matrix = Arc::new(matrix);
         let admitted_users = u64::from(matrix.n_users() - current.matrix.n_users());
         let admitted_items = u64::from(matrix.n_items() - current.matrix.n_items());
@@ -491,10 +716,6 @@ impl ServeState {
         dirty.dedup();
         let prefs = Arc::new(current.prefs.patched(&matrix, &dirty));
 
-        let incremental = current
-            .config
-            .refresh
-            .use_incremental(dirty.len(), matrix.n_users() as usize);
         // One version per journal record, not per pass: the version (and
         // progress) a rating history yields is then invariant under pass
         // chunking, which is what lets a crash-replayed server assert
@@ -506,52 +727,79 @@ impl ServeState {
             users_admitted: current.progress.users_admitted + admitted_users,
             items_admitted: current.progress.items_admitted + admitted_items,
         };
-        let snapshot = if incremental {
-            let mut slot = self.former.lock().expect("former lock poisoned");
-            let reusable = slot.as_ref().is_some_and(|s| {
-                s.synced_version == current.version && s.former.config() == &current.config
-            });
-            if reusable {
-                let slot = slot.as_mut().expect("checked above");
-                slot.former.refresh(&matrix, &prefs, &deltas)?;
-                slot.synced_version = next_version;
-            } else {
-                // (Re-)initialize the standing former on the already
-                // patched matrix; subsequent passes patch it in place.
-                let mut former = IncrementalFormer::new(&matrix, &prefs, current.config)?;
-                if let Some(max_swaps) = self.max_swaps {
-                    former = former.with_max_swaps(max_swaps);
+        let n_users = matrix.n_users() as usize;
+        let mut formers = self.formers.lock().expect("formers lock poisoned");
+        // Slots for groupings that were dropped from the registry have no
+        // owner left to re-sync them; reclaim the memory.
+        formers.retain(|name, _| current.groupings.contains_key(name));
+        let mut groupings = BTreeMap::new();
+        for (name, g) in &current.groupings {
+            let cfg = g.config;
+            // An item admission that crossed this grouping's top-`k`
+            // length rewrites every signature; incremental repair would
+            // degenerate, so take the cold rebuild deliberately.
+            let k_crossed = cfg.k.min(base_items as usize) != cfg.k.min(matrix.n_items() as usize);
+            let incremental = !k_crossed && cfg.refresh.use_incremental(dirty.len(), n_users);
+            let formation = if incremental {
+                let reusable = formers
+                    .get(name)
+                    .is_some_and(|s| s.synced_version == g.version && s.former.config() == &cfg);
+                if reusable {
+                    let slot = formers.get_mut(name).expect("checked above");
+                    slot.former.refresh(&matrix, &prefs, &deltas)?;
+                    slot.synced_version = next_version;
+                } else {
+                    // (Re-)initialize this grouping's standing former on
+                    // the already patched matrix; subsequent passes patch
+                    // it in place.
+                    let mut former = IncrementalFormer::new(&matrix, &prefs, cfg)?;
+                    if let Some(max_swaps) = self.max_swaps {
+                        former = former.with_max_swaps(max_swaps);
+                    }
+                    formers.insert(
+                        name.clone(),
+                        FormerSlot {
+                            former,
+                            synced_version: next_version,
+                        },
+                    );
                 }
-                *slot = Some(FormerSlot {
-                    former,
-                    synced_version: next_version,
-                });
-            }
-            let formation = slot
-                .as_ref()
-                .expect("former installed above")
-                .former
-                .result()
-                .clone();
-            self.stats
-                .refresh_incremental
-                .fetch_add(1, Ordering::Relaxed);
-            snapshot_with_formation(
-                matrix,
-                prefs,
-                current.config,
-                formation,
-                progress,
-                next_version,
-            )
-        } else {
-            // A cold pass leaves the standing former behind the matrix;
-            // drop it so the next incremental pass re-initializes.
-            *self.former.lock().expect("former lock poisoned") = None;
-            self.stats.refresh_cold.fetch_add(1, Ordering::Relaxed);
-            build_snapshot(matrix, prefs, current.config, progress, next_version)?
-        };
-        self.install(snapshot);
+                self.stats
+                    .refresh_incremental
+                    .fetch_add(1, Ordering::Relaxed);
+                formers
+                    .get(name)
+                    .expect("installed above")
+                    .former
+                    .result()
+                    .clone()
+            } else {
+                // A cold pass leaves this grouping's standing former
+                // behind the matrix; drop it so the next incremental pass
+                // re-initializes.
+                formers.remove(name);
+                self.stats.refresh_cold.fetch_add(1, Ordering::Relaxed);
+                build_formation(&matrix, &prefs, &cfg)?
+            };
+            let assignment = formation.grouping.assignment(matrix.n_users());
+            groupings.insert(
+                name.clone(),
+                Arc::new(GroupingState {
+                    config: cfg,
+                    formation,
+                    assignment,
+                    version: next_version,
+                }),
+            );
+        }
+        drop(formers);
+        self.install(Snapshot {
+            matrix,
+            prefs,
+            groupings,
+            version: next_version,
+            progress,
+        });
         // Counter order matters for observers: `refresh_passes` last, so
         // `refresh_incremental + refresh_cold >= refresh_passes` holds in
         // every interleaving a `/stats` read can see. Admission counters
@@ -576,12 +824,12 @@ impl ServeState {
 
     /// One catch-up pass for a capped repair budget
     /// ([`ServeConfig::with_max_swaps`]): when the journal is empty but
-    /// the standing former's last refresh had to defer bucket admissions
-    /// ([`IncrementalFormer::selection_lag`] > 0), an empty refresh admits
-    /// the next budget's worth and installs the improved snapshot.
-    /// Returns whether a pass ran (callers loop until `false`). With an
-    /// unbounded budget (the default) the lag is always 0 and this is a
-    /// no-op.
+    /// some grouping's standing former had to defer bucket admissions on
+    /// its last refresh ([`IncrementalFormer::selection_lag`] > 0), an
+    /// empty refresh admits the next budget's worth for every such
+    /// grouping and installs the improved snapshot. Returns whether a
+    /// pass ran (callers loop until `false`). With an unbounded budget
+    /// (the default) the lag is always 0 and this is a no-op.
     pub fn catch_up(&self) -> Result<bool> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         if !self
@@ -594,39 +842,61 @@ impl ServeState {
             return Ok(false); // real updates take priority; they catch up too
         }
         let current = self.snapshot();
-        let mut slot = self.former.lock().expect("former lock poisoned");
-        let Some(s) = slot.as_mut() else {
-            return Ok(false);
-        };
-        if s.synced_version != current.version
-            || s.former.config() != &current.config
-            || s.former.selection_lag() <= 0.0
-        {
-            return Ok(false);
+        let mut formers = self.formers.lock().expect("formers lock poisoned");
+        let mut improved: Vec<(String, FormationResult)> = Vec::new();
+        for (name, s) in formers.iter_mut() {
+            let Some(g) = current.groupings.get(name) else {
+                continue;
+            };
+            if s.synced_version != g.version
+                || s.former.config() != &g.config
+                || s.former.selection_lag() <= 0.0
+            {
+                continue;
+            }
+            let lag_before = s.former.selection_lag();
+            s.former.refresh(&current.matrix, &current.prefs, &[])?;
+            if s.former.selection_lag() >= lag_before {
+                // A zero budget (or a tie) makes no progress; installing
+                // the identical formation forever would spin. Keep the
+                // bounded snapshot — the quality bound still holds.
+                continue;
+            }
+            improved.push((name.clone(), s.former.result().clone()));
         }
-        let lag_before = s.former.selection_lag();
-        s.former.refresh(&current.matrix, &current.prefs, &[])?;
-        if s.former.selection_lag() >= lag_before {
-            // A zero budget (or a tie) makes no progress; installing the
-            // identical formation forever would spin. Keep the bounded
-            // snapshot — the quality bound still holds.
+        if improved.is_empty() {
             return Ok(false);
         }
         let next_version = current.version + 1;
-        s.synced_version = next_version;
-        let formation = s.former.result().clone();
-        drop(slot);
-        self.stats
-            .refresh_incremental
-            .fetch_add(1, Ordering::Relaxed);
-        self.install(snapshot_with_formation(
-            Arc::clone(&current.matrix),
-            Arc::clone(&current.prefs),
-            current.config,
-            formation,
-            current.progress,
-            next_version,
-        ));
+        let mut groupings = current.groupings.clone();
+        for (name, formation) in improved {
+            formers
+                .get_mut(&name)
+                .expect("iterated above")
+                .synced_version = next_version;
+            let g = &current.groupings[&name];
+            let assignment = formation.grouping.assignment(current.matrix.n_users());
+            groupings.insert(
+                name,
+                Arc::new(GroupingState {
+                    config: g.config,
+                    formation,
+                    assignment,
+                    version: next_version,
+                }),
+            );
+            self.stats
+                .refresh_incremental
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        drop(formers);
+        self.install(Snapshot {
+            matrix: Arc::clone(&current.matrix),
+            prefs: Arc::clone(&current.prefs),
+            groupings,
+            version: next_version,
+            progress: current.progress,
+        });
         self.stats.refresh_passes.fetch_add(1, Ordering::Relaxed);
         Ok(true)
     }
@@ -634,50 +904,72 @@ impl ServeState {
     /// Synchronously applies *all* pending updates (possibly over several
     /// bounded passes), then drains any capped-repair catch-up. After
     /// `flush` returns, queries see every rating accepted before the call
-    /// and a capped former has converged as far as its budget allows.
+    /// and every capped former has converged as far as its budget allows.
     pub fn flush(&self) -> Result<()> {
         while self.process_pending()? > 0 {}
         while self.catch_up()? {}
         Ok(())
     }
 
-    /// Re-forms groups under `cfg` over the current matrix and installs
-    /// the result as the serving snapshot (including `cfg` as the new
-    /// current configuration for background passes).
-    ///
-    /// Concurrent `form` calls with the **same configuration** arriving
-    /// within the batching window are coalesced into a single formation
-    /// run whose snapshot all of them return.
+    /// Re-forms the `"default"` grouping under `cfg` — the single-tenant
+    /// [`ServeState::form_named`].
     pub fn form(&self, cfg: FormationConfig) -> Result<BatchOutcome> {
+        self.form_named(Snapshot::DEFAULT_GROUPING, cfg)
+    }
+
+    /// Re-forms (or first registers) the named grouping under `cfg` over
+    /// the current matrix and installs the result, leaving every other
+    /// grouping untouched. A brand-new name registers a new grouping —
+    /// sharing the one matrix and preference index by `Arc` — and
+    /// subsequent rating passes refresh it like any other.
+    ///
+    /// Concurrent `form_named` calls for the **same grouping and
+    /// configuration** arriving within the batching window are coalesced
+    /// into a single formation run whose snapshot all of them return.
+    pub fn form_named(&self, name: &str, cfg: FormationConfig) -> Result<BatchOutcome> {
+        validate_grouping_name(name)?;
         self.stats.form_requests.fetch_add(1, Ordering::Relaxed);
-        self.batcher.submit(cfg, || {
+        self.batcher.submit(name, cfg, || {
             self.stats.form_runs.fetch_add(1, Ordering::Relaxed);
             let _writer = self.writer.lock().expect("writer lock poisoned");
             let current = self.snapshot();
             // The ratings are unchanged: the new snapshot shares them.
-            let snapshot = build_snapshot(
-                Arc::clone(&current.matrix),
-                Arc::clone(&current.prefs),
-                cfg,
-                current.progress,
-                current.version + 1,
-            )?;
-            let shared = self.install(snapshot);
+            let formation = build_formation(&current.matrix, &current.prefs, &cfg)?;
+            let assignment = formation.grouping.assignment(current.matrix.n_users());
+            let next_version = current.version + 1;
+            let mut groupings = current.groupings.clone();
+            let prev = groupings.insert(
+                name.to_string(),
+                Arc::new(GroupingState {
+                    config: cfg,
+                    formation,
+                    assignment,
+                    version: next_version,
+                }),
+            );
+            let shared = self.install(Snapshot {
+                matrix: Arc::clone(&current.matrix),
+                prefs: Arc::clone(&current.prefs),
+                groupings,
+                version: next_version,
+                progress: current.progress,
+            });
             // A same-configuration `/form` reproduces exactly the greedy
-            // formation the standing former maintains, so its lineage is
-            // still valid — re-sync it instead of letting the next pass
-            // rebuild the former cold. (A capped former mid-repair is
-            // excluded: its bounded formation differs from the fresh one.)
-            let mut slot = self.former.lock().expect("former lock poisoned");
-            if let Some(s) = slot.as_mut() {
-                if s.synced_version == current.version
+            // formation the grouping's standing former maintains, so its
+            // lineage is still valid — re-sync it instead of letting the
+            // next pass rebuild the former cold. (A capped former
+            // mid-repair is excluded: its bounded formation differs from
+            // the fresh one.)
+            let mut formers = self.formers.lock().expect("formers lock poisoned");
+            if let (Some(s), Some(prev)) = (formers.get_mut(name), prev.as_ref()) {
+                if s.synced_version == prev.version
                     && s.former.config() == &cfg
                     && s.former.selection_lag() <= 0.0
                 {
-                    s.synced_version = shared.version;
+                    s.synced_version = next_version;
                 }
             }
-            drop(slot);
+            drop(formers);
             Ok(shared)
         })
     }
@@ -722,35 +1014,45 @@ impl ServeState {
     }
 
     /// Freezes a consistent bundle for the checkpointer. Taking `writer`
-    /// briefly excludes concurrent installs, so the exported former state
-    /// (when its lineage is current) matches the exported snapshot
+    /// briefly excludes concurrent installs, so each exported former
+    /// state (when its lineage is current) matches its exported grouping
     /// version; the deep copy into owned checkpoint structures happens in
     /// the caller, outside every lock.
     pub(crate) fn export_for_checkpoint(&self) -> ExportedState {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         let snap = self.snapshot();
-        let former = {
-            let slot = self.former.lock().expect("former lock poisoned");
-            slot.as_ref()
-                .filter(|s| s.synced_version == snap.version && s.former.config() == &snap.config)
-                .map(|s| s.former.export_state())
-        };
+        let formers = self.formers.lock().expect("formers lock poisoned");
+        let groupings = snap
+            .groupings
+            .iter()
+            .map(|(name, g)| ExportedGrouping {
+                name: name.clone(),
+                version: g.version,
+                config: g.config,
+                formation: g.formation.clone(),
+                former: formers
+                    .get(name)
+                    .filter(|s| s.synced_version == g.version && s.former.config() == &g.config)
+                    .map(|s| s.former.export_state()),
+            })
+            .collect();
+        drop(formers);
         ExportedState {
             version: snap.version,
             progress: snap.progress,
-            config: snap.config,
             matrix: Arc::clone(&snap.matrix),
             prefs: Arc::clone(&snap.prefs),
-            formation: snap.formation.clone(),
-            former,
+            groupings,
         }
     }
 
-    /// An order-sensitive FNV-1a fingerprint of the serving state: version,
-    /// journal progress, configuration, every stored rating and the full
-    /// formation (membership, top-k lists, satisfaction bits). Two servers
-    /// that applied the same journal — one uninterrupted, one crash-restored
-    /// — produce the same digest; the crash harness asserts exactly that.
+    /// An order-sensitive FNV-1a fingerprint of the serving state:
+    /// version, journal progress, every stored rating, and — per named
+    /// grouping, in name order — its name, version, configuration and
+    /// full formation (membership, top-k lists, satisfaction bits). Two
+    /// servers that applied the same journal — one uninterrupted, one
+    /// crash-restored — produce the same digest; the crash harness
+    /// asserts exactly that.
     pub fn digest(&self) -> u64 {
         let snap = self.snapshot();
         let mut d = StateDigest::new();
@@ -759,10 +1061,31 @@ impl ServeState {
             .u64(snap.progress.applied)
             .u64(snap.progress.users_admitted)
             .u64(snap.progress.items_admitted)
-            .bytes(format!("{:?}", snap.config).as_bytes())
-            .matrix(&snap.matrix)
-            .formation(&snap.formation);
+            .matrix(&snap.matrix);
+        for (name, g) in &snap.groupings {
+            d.bytes(name.as_bytes())
+                .u64(g.version)
+                .bytes(format!("{:?}", g.config).as_bytes())
+                .formation(&g.formation);
+        }
         d.finish()
+    }
+
+    /// The fingerprint of one named grouping (name, version,
+    /// configuration, formation) — the per-grouping entries of
+    /// `/digest`. Cheaper than [`ServeState::digest`] (no matrix walk);
+    /// two servers that agree on [`ServeState::digest`] agree on every
+    /// per-grouping digest, and a disagreement localizes the divergent
+    /// grouping.
+    pub fn grouping_digest(&self, name: &str) -> Option<u64> {
+        let snap = self.snapshot();
+        let g = snap.groupings.get(name)?;
+        let mut d = StateDigest::new();
+        d.bytes(name.as_bytes())
+            .u64(g.version)
+            .bytes(format!("{:?}", g.config).as_bytes())
+            .formation(&g.formation);
+        Some(d.finish())
     }
 
     fn install(&self, snapshot: Snapshot) -> Arc<Snapshot> {
@@ -773,10 +1096,10 @@ impl ServeState {
     }
 }
 
-/// Runs a formation over `matrix` and bundles the result.
+/// Runs a formation over `matrix` under one grouping's configuration.
 ///
-/// The engine follows the refresh mode so that every snapshot a serving
-/// instance installs has the same grouping shape: under
+/// The engine follows the refresh mode so that every formation a serving
+/// instance installs for a grouping has the same shape: under
 /// [`RefreshMode::Cold`](gf_core::RefreshMode) — where the incremental
 /// path never runs — this is the population-sharded [`ShardedFormer`];
 /// under `Auto`/`Incremental` it is the plain [`GreedyFormer`] (Step-1
@@ -784,44 +1107,16 @@ impl ServeState {
 /// formation the [`IncrementalFormer`] maintains. Without this split, a
 /// multi-worker configuration would flip users between a sharded and an
 /// unsharded grouping depending on which path the last pass took.
-fn build_snapshot(
-    matrix: Arc<RatingMatrix>,
-    prefs: Arc<PrefIndex>,
-    cfg: FormationConfig,
-    progress: Progress,
-    version: u64,
-) -> Result<Snapshot> {
-    let formation = match cfg.refresh {
-        gf_core::RefreshMode::Cold => ShardedFormer::new().form(&matrix, &prefs, &cfg)?,
+fn build_formation(
+    matrix: &RatingMatrix,
+    prefs: &PrefIndex,
+    cfg: &FormationConfig,
+) -> Result<FormationResult> {
+    match cfg.refresh {
+        gf_core::RefreshMode::Cold => ShardedFormer::new().form(matrix, prefs, cfg),
         gf_core::RefreshMode::Auto | gf_core::RefreshMode::Incremental => {
-            gf_core::GreedyFormer::new().form(&matrix, &prefs, &cfg)?
+            gf_core::GreedyFormer::new().form(matrix, prefs, cfg)
         }
-    };
-    Ok(snapshot_with_formation(
-        matrix, prefs, cfg, formation, progress, version,
-    ))
-}
-
-/// Bundles an already-computed formation into a snapshot — the single
-/// place the user→group assignment is derived and the `Snapshot` struct
-/// is assembled, shared by the cold and incremental refresh paths.
-fn snapshot_with_formation(
-    matrix: Arc<RatingMatrix>,
-    prefs: Arc<PrefIndex>,
-    config: FormationConfig,
-    formation: FormationResult,
-    progress: Progress,
-    version: u64,
-) -> Snapshot {
-    let assignment = formation.grouping.assignment(matrix.n_users());
-    Snapshot {
-        matrix,
-        prefs,
-        config,
-        formation,
-        assignment,
-        version,
-        progress,
     }
 }
 
@@ -853,13 +1148,34 @@ mod tests {
         ServeState::new(matrix(n, m), cfg).unwrap()
     }
 
+    /// Three differently-configured groupings over one matrix.
+    fn multi_state(n: u32, m: u32) -> Arc<ServeState> {
+        let cfg = ServeConfig::new(FormationConfig::new(
+            Semantics::LeastMisery,
+            Aggregation::Min,
+            2,
+            3,
+        ))
+        .with_grouping(
+            "av",
+            FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 2, 4),
+        )
+        .with_grouping(
+            "cons",
+            FormationConfig::new(Semantics::Consensus { lambda: 0.5 }, Aggregation::Min, 2, 3),
+        )
+        .with_batch_window(Duration::ZERO);
+        ServeState::new(matrix(n, m), cfg).unwrap()
+    }
+
     #[test]
     fn initial_snapshot_covers_every_user() {
         let s = state(12, 5, 3);
         let snap = s.snapshot();
         assert_eq!(snap.version, 1);
-        assert!(snap.assignment.iter().all(Option::is_some));
-        snap.formation.grouping.validate(12, 3).unwrap();
+        let g = snap.default_grouping();
+        assert!(g.assignment.iter().all(Option::is_some));
+        g.formation.grouping.validate(12, 3).unwrap();
     }
 
     #[test]
@@ -925,12 +1241,12 @@ mod tests {
         let s = state(10, 6, 2);
         let new_cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 3, 4);
         let outcome = s.form(new_cfg).unwrap();
-        assert_eq!(outcome.snapshot.config, new_cfg);
+        assert_eq!(outcome.snapshot.default_grouping().config, new_cfg);
         assert_eq!(s.snapshot().version, 2);
         // Background passes now re-form under the new config.
         s.rate(0, 0, 1.0).unwrap();
         s.flush().unwrap();
-        assert_eq!(s.snapshot().config, new_cfg);
+        assert_eq!(s.snapshot().default_grouping().config, new_cfg);
     }
 
     #[test]
@@ -946,12 +1262,13 @@ mod tests {
         assert_eq!(s.stats.refresh_cold.load(Ordering::Relaxed), 0);
         // And the snapshots match a cold rebuild over the same ratings.
         let snap = s.snapshot();
+        let g = snap.default_grouping();
         let cold = ServeState::new(
             snap.matrix.as_ref().clone(),
-            ServeConfig::new(snap.config).with_batch_window(Duration::ZERO),
+            ServeConfig::new(g.config).with_batch_window(Duration::ZERO),
         )
         .unwrap();
-        assert_eq!(snap.formation, cold.snapshot().formation);
+        assert_eq!(g.formation, cold.snapshot().default_grouping().formation);
     }
 
     #[test]
@@ -970,16 +1287,17 @@ mod tests {
         assert_eq!(s.stats.users_admitted.load(Ordering::Relaxed), 4);
         assert_eq!(s.stats.items_admitted.load(Ordering::Relaxed), 2);
         let snap = s.snapshot();
+        let g = snap.default_grouping();
         assert_eq!(snap.matrix.n_users(), 14);
-        assert_eq!(snap.assignment.len(), 14);
-        assert!(snap.assignment.iter().all(Option::is_some));
+        assert_eq!(g.assignment.len(), 14);
+        assert!(g.assignment.iter().all(Option::is_some));
         // Equal to a cold boot over the grown universe.
         let cold = ServeState::new(
             snap.matrix.as_ref().clone(),
-            ServeConfig::new(snap.config).with_batch_window(Duration::ZERO),
+            ServeConfig::new(g.config).with_batch_window(Duration::ZERO),
         )
         .unwrap();
-        assert_eq!(snap.formation, cold.snapshot().formation);
+        assert_eq!(g.formation, cold.snapshot().default_grouping().formation);
     }
 
     #[test]
@@ -1002,18 +1320,19 @@ mod tests {
         s.rate(0, 0, 5.0).unwrap();
         s.flush().unwrap(); // former initialized + synced
         let new_cfg = FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 2, 4);
-        s.form(new_cfg).unwrap(); // snapshot the former did not produce
+        s.form(new_cfg).unwrap(); // a formation the former did not produce
         s.rate(3, 3, 2.0).unwrap();
         s.flush().unwrap(); // must re-init under the new config
         assert_eq!(s.stats.refresh_incremental.load(Ordering::Relaxed), 2);
         let snap = s.snapshot();
-        assert_eq!(snap.config, new_cfg);
+        let g = snap.default_grouping();
+        assert_eq!(g.config, new_cfg);
         let cold = ServeState::new(
             snap.matrix.as_ref().clone(),
             ServeConfig::new(new_cfg).with_batch_window(Duration::ZERO),
         )
         .unwrap();
-        assert_eq!(snap.formation, cold.snapshot().formation);
+        assert_eq!(g.formation, cold.snapshot().default_grouping().formation);
     }
 
     #[test]
@@ -1032,5 +1351,155 @@ mod tests {
         }
         s.shutdown();
         worker.join().unwrap();
+    }
+
+    // ---- named-grouping registry ----------------------------------------
+
+    #[test]
+    fn boot_registers_every_named_grouping_over_one_matrix() {
+        let s = multi_state(12, 6);
+        let snap = s.snapshot();
+        assert_eq!(snap.groupings.len(), 3);
+        for name in ["default", "av", "cons"] {
+            let g = snap.grouping(name).unwrap();
+            assert_eq!(g.version, 1);
+            assert!(g.assignment.iter().all(Option::is_some));
+        }
+        assert_eq!(
+            snap.grouping("av").unwrap().config.semantics,
+            Semantics::AggregateVoting
+        );
+    }
+
+    #[test]
+    fn rating_pass_refreshes_every_grouping_and_each_matches_its_cold_rebuild() {
+        let s = multi_state(12, 6);
+        s.rate(1, 1, 5.0).unwrap();
+        s.rate(7, 2, 1.0).unwrap();
+        s.flush().unwrap();
+        let snap = s.snapshot();
+        // One pass, two records: global version 1 -> 3, all groupings on it.
+        assert_eq!(snap.version, 3);
+        for (name, g) in &snap.groupings {
+            assert_eq!(g.version, 3, "{name}");
+            let cold = ServeState::new(
+                snap.matrix.as_ref().clone(),
+                ServeConfig::new(g.config).with_batch_window(Duration::ZERO),
+            )
+            .unwrap();
+            assert_eq!(
+                g.formation,
+                cold.snapshot().default_grouping().formation,
+                "grouping {name} diverged from its own cold rebuild"
+            );
+        }
+        // Every grouping refreshed incrementally (small dirty set).
+        assert_eq!(s.stats.refresh_incremental.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn form_named_registers_and_shares_the_matrix() {
+        let s = state(10, 6, 3);
+        let before = s.snapshot();
+        let cfg = FormationConfig::new(Semantics::LeaderWeighted, Aggregation::Min, 2, 4);
+        let outcome = s.form_named("ldr", cfg).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.version, before.version + 1);
+        // One matrix, one preference index — shared by Arc, not copied.
+        assert!(Arc::ptr_eq(&before.matrix, &snap.matrix));
+        assert!(Arc::ptr_eq(&before.prefs, &snap.prefs));
+        // Untouched groupings are shared wholesale.
+        assert!(Arc::ptr_eq(
+            before.default_grouping(),
+            snap.default_grouping()
+        ));
+        let g = snap.grouping("ldr").unwrap();
+        assert_eq!(g.config, cfg);
+        assert_eq!(g.version, snap.version);
+        assert_eq!(outcome.snapshot.version, snap.version);
+        // The default grouping's formation (and version) did not move.
+        assert_eq!(snap.default_grouping().version, before.version);
+    }
+
+    #[test]
+    fn form_named_rejects_bad_names() {
+        let s = state(6, 4, 2);
+        let cfg = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 2, 2);
+        assert!(s.form_named("", cfg).is_err());
+        assert!(s.form_named("has space", cfg).is_err());
+        assert!(s.form_named("has/slash", cfg).is_err());
+        assert!(s.form_named("ok-name_1.x", cfg).is_ok());
+    }
+
+    #[test]
+    fn new_grouping_rides_subsequent_rating_passes() {
+        let s = state(10, 5, 3);
+        s.form_named(
+            "av",
+            FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 2, 4),
+        )
+        .unwrap();
+        s.rate(2, 2, 5.0).unwrap();
+        s.flush().unwrap();
+        let snap = s.snapshot();
+        let g = snap.grouping("av").unwrap();
+        assert_eq!(g.version, snap.version);
+        let cold = ServeState::new(
+            snap.matrix.as_ref().clone(),
+            ServeConfig::new(g.config).with_batch_window(Duration::ZERO),
+        )
+        .unwrap();
+        assert_eq!(g.formation, cold.snapshot().default_grouping().formation);
+    }
+
+    #[test]
+    fn grouping_digests_localize_changes() {
+        let s = multi_state(10, 5);
+        let d_default = s.grouping_digest("default").unwrap();
+        let d_av = s.grouping_digest("av").unwrap();
+        assert!(s.grouping_digest("nope").is_none());
+        // Re-forming one grouping moves its digest, not the others'.
+        s.form_named(
+            "av",
+            FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, 3, 2),
+        )
+        .unwrap();
+        assert_eq!(s.grouping_digest("default").unwrap(), d_default);
+        assert_ne!(s.grouping_digest("av").unwrap(), d_av);
+    }
+
+    #[test]
+    fn admission_split_defers_the_user_tail() {
+        // k = 4 over a 3-item catalogue: the first admission that pushes
+        // the catalogue to 4+ items crosses the top-k edge.
+        let cfg = ServeConfig::new(
+            FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 4, 3)
+                .with_growth(gf_core::GrowthPolicy::unbounded()),
+        )
+        .with_batch_window(Duration::ZERO);
+        let s = ServeState::new(matrix(10, 3), cfg).unwrap();
+        s.rate(0, 0, 5.0).unwrap();
+        s.flush().unwrap(); // warm former on the 3-item catalogue
+        s.rate(1, 3, 4.0).unwrap(); // admits item 3 -> crosses k = 4
+        s.rate(2, 0, 2.0).unwrap(); // plain user rating after the admission
+        s.rate(3, 1, 1.0).unwrap();
+        // One bounded pass drains the admission prefix only.
+        assert_eq!(s.process_pending().unwrap(), 1);
+        assert_eq!(s.stats.admission_splits.load(Ordering::Relaxed), 1);
+        assert_eq!(s.pending_len(), 2);
+        assert_eq!(s.snapshot().matrix.n_items(), 4);
+        s.flush().unwrap();
+        // The deferred tail rode the re-warmed former incrementally.
+        assert_eq!(s.pending_len(), 0);
+        let snap = s.snapshot();
+        // Versioning stayed chunking-invariant: 1 (boot) + 4 records.
+        assert_eq!(snap.version, 5);
+        let g = snap.default_grouping();
+        let cold = ServeState::new(
+            snap.matrix.as_ref().clone(),
+            ServeConfig::new(g.config).with_batch_window(Duration::ZERO),
+        )
+        .unwrap();
+        assert_eq!(g.formation, cold.snapshot().default_grouping().formation);
     }
 }

@@ -116,7 +116,11 @@ fn readers_stay_consistent_under_rating_stream() {
     // After the dust settles the snapshot matches a synchronous flush.
     state.flush().unwrap();
     let snap = state.snapshot();
-    snap.formation.grouping.validate(N_USERS, 5).unwrap();
+    snap.default_grouping()
+        .formation
+        .grouping
+        .validate(N_USERS, 5)
+        .unwrap();
     assert_eq!(
         state.stats.rates_applied.load(Ordering::Relaxed),
         N_UPDATES as u64

@@ -16,6 +16,12 @@
 //! None of them use `--max-swaps`: exact version equality is guaranteed
 //! under the default unbounded repair budget only (capped servers run
 //! catch-up passes that advance the version without journal records).
+//!
+//! Every server runs a three-entry grouping registry — `default`
+//! (least-misery), `av` (average) and `cons` (consensus) — over the one
+//! shared matrix, and recovery is asserted per grouping: the `/digest`
+//! grouping map of the restarted process must equal the uninterrupted
+//! reference name-for-name, bit-for-bit.
 
 use gf_core::{Aggregation, FormationConfig, GrowthPolicy, RefreshMode, Semantics};
 use gf_datasets::SynthConfig;
@@ -83,6 +89,10 @@ fn spawn(dir: &Path, checkpoint_interval_ms: u64) -> Server {
             "--wal-retain",
             "--checkpoint-interval-ms",
             &checkpoint_interval_ms.to_string(),
+            "--grouping",
+            "av:semantics=av,agg=sum",
+            "--grouping",
+            "cons:semantics=cons,lambda=0.5",
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -164,13 +174,15 @@ fn script(n: usize) -> Vec<(u32, u32, u32)> {
         .collect()
 }
 
-/// `/digest` fields of a live server.
+/// `/digest` fields of a live server, including the per-grouping map.
 struct Digest {
     digest: String,
     version: u64,
     applied: u64,
     users_admitted: u64,
     items_admitted: u64,
+    /// Sorted `(grouping name, 16-hex-digit digest)` pairs.
+    groupings: Vec<(String, String)>,
 }
 
 fn digest_of(addr: &str) -> Digest {
@@ -178,6 +190,14 @@ fn digest_of(addr: &str) -> Digest {
     assert_eq!(status, 200, "{body}");
     let json = Json::parse(&body).unwrap();
     let num = |k: &str| json.get(k).and_then(Json::as_u64).unwrap();
+    let mut groupings: Vec<(String, String)> = match json.get("groupings") {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(name, d)| (name.clone(), d.as_str().unwrap().to_string()))
+            .collect(),
+        other => panic!("/digest groupings map missing or not an object: {other:?}"),
+    };
+    groupings.sort();
     Digest {
         digest: json
             .get("digest")
@@ -188,6 +208,7 @@ fn digest_of(addr: &str) -> Digest {
         applied: num("applied"),
         users_admitted: num("users_admitted"),
         items_admitted: num("items_admitted"),
+        groupings,
     }
 }
 
@@ -201,7 +222,8 @@ fn reference(dir: &Path) -> Digest {
         .with_items(ITEMS)
         .generate()
         .matrix;
-    // Mirrors the flags `spawn` passes (and the binary's defaults).
+    // Mirrors the flags `spawn` passes (and the binary's defaults),
+    // including its three-entry grouping registry.
     let formation = FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 5, 10)
         .with_threads(0)
         .with_refresh(RefreshMode::Auto)
@@ -209,9 +231,17 @@ fn reference(dir: &Path) -> Digest {
             max_users: MAX_USERS,
             max_items: MAX_ITEMS,
         });
+    let mut av = formation;
+    av.semantics = Semantics::AggregateVoting;
+    av.aggregation = Aggregation::Sum;
+    let mut cons = formation;
+    cons.semantics = Semantics::Consensus { lambda: 0.5 };
     let state = ServeState::new(
         matrix,
-        ServeConfig::new(formation).with_batch_window(Duration::ZERO),
+        ServeConfig::new(formation)
+            .with_grouping("av", av)
+            .with_grouping("cons", cons)
+            .with_batch_window(Duration::ZERO),
     )
     .unwrap();
     for rec in &scanned.records {
@@ -225,12 +255,21 @@ fn reference(dir: &Path) -> Digest {
     }
     state.flush().unwrap();
     let snap = state.snapshot();
+    let groupings = snap
+        .groupings
+        .keys()
+        .map(|name| {
+            let d = state.grouping_digest(name).unwrap();
+            (name.clone(), format!("{d:016x}"))
+        })
+        .collect();
     Digest {
         digest: format!("{:016x}", state.digest()),
         version: snap.version,
         applied: snap.progress.applied,
         users_admitted: snap.progress.users_admitted,
         items_admitted: snap.progress.items_admitted,
+        groupings,
     }
 }
 
@@ -241,6 +280,15 @@ fn assert_recovered_equals_reference(addr: &str, dir: &Path) {
     assert_eq!(got.applied, want.applied, "applied-record count diverged");
     assert_eq!(got.users_admitted, want.users_admitted);
     assert_eq!(got.items_admitted, want.items_admitted);
+    assert!(
+        got.groupings.len() >= 3,
+        "the registry lost groupings: {:?}",
+        got.groupings
+    );
+    assert_eq!(
+        got.groupings, want.groupings,
+        "per-grouping digests diverged"
+    );
     assert_eq!(got.digest, want.digest, "state digest diverged");
 }
 

@@ -118,6 +118,56 @@ fn serve_json_bodies_match_committed_fixtures() {
     assert_golden("error_unknown_user.json", status, 404, &body);
 }
 
+/// The registry-scripted session: the Example-1 ratings with a consensus
+/// grouping registered at runtime (`POST /grouping`), re-formed by name
+/// (`POST /form?name=`), then one rating fanned out to both groupings.
+/// Pins the named-endpoint wire formats and the per-grouping digest map.
+#[test]
+fn multi_grouping_json_bodies_match_committed_fixtures() {
+    let state = scripted_state();
+
+    let (status, body) = request(
+        &state,
+        "POST",
+        "/grouping",
+        "",
+        r#"{"name":"cons","semantics":"cons","lambda":0.5,"aggregation":"min","ell":2}"#,
+    );
+    assert_golden("grouping_create.json", status, 200, &body);
+
+    let (status, body) = request(&state, "POST", "/form", "name=cons", "");
+    assert_golden("form_named.json", status, 200, &body);
+
+    let (status, _) = request(
+        &state,
+        "POST",
+        "/rate",
+        "",
+        r#"{"user":0,"item":1,"rating":2}"#,
+    );
+    assert_eq!(status, 202);
+    state.flush().unwrap();
+
+    let (status, body) = request(&state, "GET", "/group/cons/3", "", "");
+    assert_golden("group_named.json", status, 200, &body);
+
+    let (status, body) = request(&state, "GET", "/recommend/cons/0", "", "");
+    assert_golden("recommend_named.json", status, 200, &body);
+
+    let (status, body) = request(&state, "GET", "/stats", "", "");
+    assert_golden("stats_multi.json", status, 200, &body);
+
+    let (status, body) = request(&state, "GET", "/digest", "", "");
+    assert_golden("digest_multi.json", status, 200, &body);
+
+    // Unknown grouping names are 404s, on queries and on /form alike
+    // (creation stays POST /grouping's job).
+    let (status, body) = request(&state, "GET", "/group/nope/0", "", "");
+    assert_golden("error_unknown_grouping.json", status, 404, &body);
+    let (status, _) = request(&state, "POST", "/form", "name=nope", "");
+    assert_eq!(status, 404);
+}
+
 /// The growth-scripted session: the same Example-1 ratings serving under
 /// `GrowthPolicy::Grow { max_users: 8, max_items: 4 }`, one admission
 /// (never-seen user 7 rating never-seen item 3 — user 6 stays a gap row),

@@ -100,11 +100,17 @@ fn never_seen_user_is_admitted_and_served() {
     let snap = s.snapshot();
     let cold = ServeState::new(
         snap.matrix.as_ref().clone(),
-        ServeConfig::new(snap.config).with_batch_window(Duration::ZERO),
+        ServeConfig::new(snap.default_grouping().config).with_batch_window(Duration::ZERO),
     )
     .unwrap();
-    assert_eq!(snap.formation, cold.snapshot().formation);
-    assert_eq!(snap.assignment, cold.snapshot().assignment);
+    assert_eq!(
+        snap.default_grouping().formation,
+        cold.snapshot().default_grouping().formation
+    );
+    assert_eq!(
+        snap.default_grouping().assignment,
+        cold.snapshot().default_grouping().assignment
+    );
 }
 
 /// Admissions and plain updates interleave across several bounded passes;
@@ -142,8 +148,16 @@ fn interleaved_admissions_and_rates_apply_in_order() {
     assert_eq!(snap.matrix.get(9, 2), Some(1.0), "last write wins");
     assert_eq!(snap.matrix.get(2, 1), Some(5.0));
     assert_eq!(snap.matrix.get(11, 7), Some(3.0));
-    snap.formation.grouping.validate(12, 3).unwrap();
-    assert!(snap.assignment.iter().all(Option::is_some));
+    snap.default_grouping()
+        .formation
+        .grouping
+        .validate(12, 3)
+        .unwrap();
+    assert!(snap
+        .default_grouping()
+        .assignment
+        .iter()
+        .all(Option::is_some));
 }
 
 /// Exhaustion is a clean, atomic refusal: the journal stays empty, the
@@ -231,15 +245,19 @@ fn capped_server_converges_once_updates_quiesce() {
 
     let unbounded = ServeState::new(
         warm.matrix.as_ref().clone(),
-        ServeConfig::new(warm.config).with_batch_window(Duration::ZERO),
+        ServeConfig::new(warm.default_grouping().config).with_batch_window(Duration::ZERO),
     )
     .unwrap();
     let cold = unbounded.snapshot();
     assert_eq!(
-        warm.formation, cold.formation,
+        warm.default_grouping().formation,
+        cold.default_grouping().formation,
         "capped server failed to converge after quiescence"
     );
-    assert_eq!(warm.assignment, cold.assignment);
+    assert_eq!(
+        warm.default_grouping().assignment,
+        cold.default_grouping().assignment
+    );
     // Catch-up passes really ran as installs (version beyond the update
     // passes alone is not guaranteed, but the counters must balance).
     let stats = &capped.stats;

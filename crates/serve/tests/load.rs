@@ -350,11 +350,16 @@ fn admission_load_generator() {
     );
     // Every user — original or admitted — resolves from the final
     // snapshot, and the grouping is internally consistent.
-    snap.formation
+    snap.default_grouping()
+        .formation
         .grouping
         .validate(snap.matrix.n_users(), 8)
         .unwrap();
-    assert!(snap.assignment.iter().all(Option::is_some));
+    assert!(snap
+        .default_grouping()
+        .assignment
+        .iter()
+        .all(Option::is_some));
     server.stop();
 }
 
@@ -403,6 +408,10 @@ fn keep_alive_load_generator() {
     assert!(stats.refresh_passes.load(Ordering::Relaxed) >= 1);
     let snap = server.state().snapshot();
     assert!(snap.version > 1);
-    snap.formation.grouping.validate(N_USERS, 8).unwrap();
+    snap.default_grouping()
+        .formation
+        .grouping
+        .validate(N_USERS, 8)
+        .unwrap();
     server.stop();
 }

@@ -183,7 +183,7 @@ fn checkpoints_restore_the_former_warm() {
     assert!(checkpoint_now(&state, &o).unwrap().is_some());
     let loaded = checkpoint::load_latest(&dir).unwrap().loaded.unwrap().0;
     assert!(
-        loaded.former.is_some(),
+        loaded.default_grouping().unwrap().former.is_some(),
         "a synced former must be exported into the checkpoint"
     );
     drop(state);
@@ -213,7 +213,7 @@ fn same_config_form_keeps_the_former_lineage() {
     let (state, _) = boot(grow_config(), &o, || Ok(base_matrix())).unwrap();
     state.rate(0, 0, 5.0).unwrap();
     state.flush().unwrap(); // former initialized + synced
-    let cfg = state.snapshot().config;
+    let cfg = state.snapshot().default_grouping().config;
 
     // A same-config /form used to break the lineage; now it re-syncs, so
     // the standing former still exports into the next checkpoint...
@@ -221,7 +221,7 @@ fn same_config_form_keeps_the_former_lineage() {
     assert!(checkpoint_now(&state, &o).unwrap().is_some());
     let ck = checkpoint::load_latest(&dir).unwrap().loaded.unwrap().0;
     assert!(
-        ck.former.is_some(),
+        ck.default_grouping().unwrap().former.is_some(),
         "same-config /form must keep the former warm"
     );
 
@@ -231,7 +231,7 @@ fn same_config_form_keeps_the_former_lineage() {
     state.form(other).unwrap();
     assert!(checkpoint_now(&state, &o).unwrap().is_some());
     let ck = checkpoint::load_latest(&dir).unwrap().loaded.unwrap().0;
-    assert!(ck.former.is_none());
+    assert!(ck.default_grouping().unwrap().former.is_none());
     fs::remove_dir_all(&dir).unwrap();
 }
 

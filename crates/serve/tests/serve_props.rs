@@ -78,7 +78,7 @@ proptest! {
         let serve_cfg = ServeConfig::new(cfg)
             .with_batch_window(Duration::ZERO)
             .with_max_updates_per_pass(max_per_pass);
-        let state = ServeState::new(matrix_of(&inst), serve_cfg).unwrap();
+        let state = ServeState::new(matrix_of(&inst), serve_cfg.clone()).unwrap();
         for &(u, i, r) in &updates {
             state.rate(u % inst.n, i % inst.m, r as f64).unwrap();
         }
@@ -106,9 +106,68 @@ proptest! {
             prop_assert_eq!(warm.prefs.ranked_items(u), cold_prefs.ranked_items(u));
             prop_assert_eq!(warm.prefs.ranked_scores(u), cold_prefs.ranked_scores(u));
         }
-        prop_assert_eq!(&warm.formation, &cold.formation);
-        prop_assert_eq!(&warm.assignment, &cold.assignment);
-        warm.formation.grouping.validate(inst.n, ell).unwrap();
+        prop_assert_eq!(&warm.default_grouping().formation, &cold.default_grouping().formation);
+        prop_assert_eq!(&warm.default_grouping().assignment, &cold.default_grouping().assignment);
+        warm.default_grouping().formation.grouping.validate(inst.n, ell).unwrap();
+    }
+
+    /// The registry-wide acceptance invariant: after ANY `/rate` batch
+    /// sequence fanned out by the background passes, EVERY named grouping
+    /// — least-misery, average, consensus and leader-weighted, each with
+    /// its own (k, ell) — equals its own cold build over the same final
+    /// ratings. One shared matrix, four independent formations, all exact.
+    #[test]
+    fn every_named_grouping_matches_its_own_cold_rebuild(
+        inst in instance(9, 7),
+        updates in proptest::collection::vec((0u32..9, 0u32..7, 1u8..=5), 1..14),
+        lambda in 0.0f64..1.5,
+        (k, ell) in (1usize..4, 1usize..5),
+        max_per_pass in 1usize..4,
+    ) {
+        let registry = [
+            ("av", FormationConfig::new(Semantics::AggregateVoting, Aggregation::Sum, k, ell)),
+            ("cons", FormationConfig::new(Semantics::Consensus { lambda }, Aggregation::Min, 2, 2)),
+            ("ldr", FormationConfig::new(Semantics::LeaderWeighted, Aggregation::Max, 3, ell)),
+        ];
+        let mut serve_cfg = ServeConfig::new(config(true, 0, k, ell))
+            .with_batch_window(Duration::ZERO)
+            .with_max_updates_per_pass(max_per_pass);
+        for (name, gc) in &registry {
+            serve_cfg = serve_cfg.with_grouping(*name, *gc);
+        }
+        let state = ServeState::new(matrix_of(&inst), serve_cfg.clone()).unwrap();
+        for &(u, i, r) in &updates {
+            state.rate(u % inst.n, i % inst.m, r as f64).unwrap();
+        }
+        state.flush().unwrap();
+        let warm = state.snapshot();
+
+        // All groupings share the one matrix by pointer.
+        for g in ["av", "cons", "ldr"] {
+            prop_assert!(warm.grouping(g).is_some(), "grouping {} missing", g);
+        }
+
+        // Cold rebuild of the whole registry over the same final ratings.
+        let mut finals: std::collections::HashMap<(u32, u32), f64> =
+            inst.triples.iter().map(|&(u, i, s)| ((u, i), s)).collect();
+        for &(u, i, r) in &updates {
+            finals.insert((u % inst.n, i % inst.m), r as f64);
+        }
+        let cold_matrix = RatingMatrix::from_triples(
+            inst.n,
+            inst.m,
+            finals.iter().map(|(&(u, i), &s)| (u, i, s)),
+            RatingScale::one_to_five(),
+        ).unwrap();
+        let cold = ServeState::new(cold_matrix, serve_cfg).unwrap();
+        let cold = cold.snapshot();
+
+        for (name, _) in registry.iter().map(|(n, c)| (*n, c)).chain([("default", &registry[0].1)]) {
+            let w = warm.grouping(name).unwrap();
+            let c = cold.grouping(name).unwrap();
+            prop_assert_eq!(&w.formation, &c.formation, "grouping {}", name);
+            prop_assert_eq!(&w.assignment, &c.assignment, "grouping {}", name);
+        }
     }
 
     /// Every pass is bounded and versions advance by exactly one per
