@@ -285,4 +285,47 @@ echo "== multi: /digest carries one fingerprint per grouping =="
 request GET /digest 200 | jq -e '.groupings | keys == ["cons","default","fair","ldr"]
   and (to_entries | all(.value | test("^[0-9a-f]{16}$")))' >/dev/null
 
+# ---------------------------------------------------------------------------
+# Quality smoke: the /v1 surface closes the loop on the multi-grouping
+# instance — candidate-filtered /v1/recommend, journaled /v1/feedback,
+# and per-grouping quality counters advancing in /v1/stats.
+# ---------------------------------------------------------------------------
+echo "== quality: /v1 aliases answer, legacy carries a Deprecation header =="
+request GET /v1/health 200 | jq -e '.status == "ok"' >/dev/null
+curl -sS -D - -o /dev/null "$BASE/health" | grep -qi '^Deprecation:' \
+  || { echo "FAIL: legacy /health missing Deprecation header"; exit 1; }
+if curl -sS -D - -o /dev/null "$BASE/v1/health" | grep -qi '^Deprecation:'; then
+  echo "FAIL: /v1/health must not carry a Deprecation header"; exit 1
+fi
+
+echo "== quality: /v1/recommend filters rated items by default =="
+gi=$(request GET /v1/group/fair/3 200 | jq -r '.group')
+filtered=$(request GET "/v1/recommend/fair/$gi" 200)
+jq -e '.excluded_rated == true and .grouping == "fair"' <<<"$filtered" >/dev/null
+request GET "/v1/recommend/fair/$gi?exclude_rated=false&top_k=2" 200 \
+  | jq -e '.excluded_rated == false and (.top_k | length) <= 2' >/dev/null
+request GET "/v1/recommend/fair/$gi?exclude_rated=bogus" 400 \
+  | jq -e '.error.code == "bad_request"' >/dev/null
+
+echo "== quality: /v1/feedback journals and the quality block advances =="
+before=$(request GET /v1/stats 200 | jq -r '.feedback_applied // 0')
+request POST /v1/feedback 202 '{"user":3,"item":1}' | jq -e '.accepted == true' >/dev/null
+request POST /v1/feedback 202 '{"user":5,"item":2,"grouping":"fair"}' \
+  | jq -e '.accepted == true' >/dev/null
+request POST /v1/feedback 404 '{"user":3,"item":1,"grouping":"nope"}' \
+  | jq -e '.error.code == "unknown_grouping"' >/dev/null
+for _ in $(seq 1 100); do
+  applied=$(request GET /v1/stats 200 | jq -r '.feedback_applied // 0')
+  [ "$applied" -ge $((before + 2)) ] && break
+  sleep 0.1
+done
+[ "$applied" -ge $((before + 2)) ] || { echo "FAIL: feedback never applied"; exit 1; }
+request GET /v1/stats 200 | jq -e '.quality.fair.window_events >= 2
+  and .quality.default.window_events >= 1
+  and (.quality | keys == ["cons","default","fair","ldr"])' >/dev/null
+
+echo "== quality: the error envelope is uniform on /v1 =="
+request GET /v1/nope 404 | jq -e '.error.code == "unknown_endpoint" and .error.message' >/dev/null
+request GET /v1/group/abc 400 | jq -e '.error.code == "bad_request"' >/dev/null
+
 echo "serve smoke: all checks passed"

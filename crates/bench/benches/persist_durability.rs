@@ -71,6 +71,7 @@ fn persist_durability_benches(c: &mut Criterion) {
             formation: default.formation.clone(),
             former: None,
         }],
+        feedback: gf_core::OnlineEval::default(),
     };
 
     let mut g = c.benchmark_group(format!("persist-durability-{n_users}x{n_items}"));

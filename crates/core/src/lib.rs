@@ -21,7 +21,11 @@
 //!   `GRD-LM-MAX`, `GRD-LM-SUM`, `GRD-AV-MIN`, `GRD-AV-MAX`, `GRD-AV-SUM`,
 //! * evaluation metrics (objective value, average group satisfaction, NDCG),
 //! * the Section-6 extensions (weighted sum aggregation, NDCG-weighted
-//!   user-level satisfaction).
+//!   user-level satisfaction),
+//! * serve-time quality primitives: the candidate-item engine
+//!   ([`CandidateEngine`] — items no group member has rated) and the
+//!   online consumption window ([`OnlineEval`] — per-group
+//!   precision/recall/NDCG from observed feedback).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +62,7 @@
 
 pub mod aggregate;
 pub mod alg;
+pub mod candidates;
 pub mod error;
 pub mod fxhash;
 pub mod grouping;
@@ -66,6 +71,7 @@ pub mod ids;
 pub mod matrix;
 pub mod metrics;
 pub mod ndcg;
+pub mod online;
 pub mod prefs;
 pub mod scale;
 pub mod semantics;
@@ -78,6 +84,7 @@ pub use alg::{
     FormationConfig, FormationResult, FormerBucket, FormerState, GreedyFormer, GroupFormer,
     IncrementalFormer, RatingDelta, RefreshMode, ShardedFormer,
 };
+pub use candidates::{brute_force_candidates, CandidateEngine};
 pub use error::{GfError, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use grouping::{Group, Grouping};
@@ -86,6 +93,7 @@ pub use ids::{ItemId, UserId};
 pub use matrix::{GrowthPolicy, MatrixBuilder, RatingMatrix};
 pub use metrics::{avg_group_satisfaction, objective_value, recompute_objective};
 pub use ndcg::{dcg, ndcg, user_satisfaction};
+pub use online::{FeedbackEvent, GroupQuality, OnlineEval, QualitySummary};
 pub use prefs::PrefIndex;
 pub use scale::RatingScale;
 pub use semantics::{AggSemantics, Semantics};

@@ -6,6 +6,10 @@
 //!   [`GroupFormer`](gf_core::GroupFormer) with quality metrics collected
 //!   into uniform records ("All numbers are presented as the average of
 //!   three runs");
+//! * [`holdout`] — offline precision/recall/NDCG judging of a grouping
+//!   against a held-out consumption set, implemented independently of the
+//!   serving-side `gf_core::OnlineEval` so the two can cross-check each
+//!   other;
 //! * [`quantile`] — the five-number summaries behind Table 4's group-size
 //!   distribution;
 //! * [`table`] — plain-text / CSV table rendering for the bench harness;
@@ -19,11 +23,13 @@
 #![forbid(unsafe_code)]
 
 pub mod experiment;
+pub mod holdout;
 pub mod quantile;
 pub mod table;
 pub mod userstudy;
 
 pub use experiment::{run_timed, RunRecord};
+pub use holdout::{evaluate_holdout, GroupHoldout, HoldoutEvent, HoldoutReport};
 pub use quantile::FiveNumber;
 pub use table::Table;
 pub use userstudy::{SampleKind, UserStudy, UserStudyConfig};

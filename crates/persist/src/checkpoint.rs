@@ -40,9 +40,9 @@ use crate::codec::{Reader, Writer};
 use crate::crc32::crc32;
 use crate::error::{PersistError, Result};
 use gf_core::{
-    Aggregation, FormationConfig, FormationResult, FormerBucket, FormerState, GfError, Group,
-    Grouping, GrowthPolicy, MissingPolicy, PrefIndex, RatingMatrix, RatingScale, RefreshMode,
-    Semantics,
+    Aggregation, FeedbackEvent, FormationConfig, FormationResult, FormerBucket, FormerState,
+    GfError, Group, Grouping, GrowthPolicy, MissingPolicy, OnlineEval, PrefIndex, RatingMatrix,
+    RatingScale, RefreshMode, Semantics,
 };
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
@@ -68,6 +68,10 @@ const TAG_PREFS: u32 = 4;
 const TAG_FORMATION: u32 = 5;
 const TAG_FORMER: u32 = 6;
 const TAG_GROUPINGS: u32 = 7;
+/// The online-feedback window (`/feedback` consumptions). Additive: the
+/// section is only written when the window has ever observed an event,
+/// and readers that predate it skip it — no format bump needed.
+const TAG_FEEDBACK: u32 = 8;
 
 /// Name every pre-registry (format v1) checkpoint's formation restores
 /// under.
@@ -114,6 +118,10 @@ pub struct CheckpointState {
     /// decodes to exactly one entry named
     /// [`DEFAULT_GROUPING_NAME`] at the snapshot version.
     pub groupings: Vec<CheckpointGrouping>,
+    /// The online-feedback window at export time (consumption events and
+    /// the cumulative observed counter). Empty when the checkpoint
+    /// predates the feedback section or never saw an event.
+    pub feedback: OnlineEval,
 }
 
 impl CheckpointState {
@@ -445,6 +453,60 @@ fn decode_groupings(body: &[u8], format: u32) -> Result<Vec<CheckpointGrouping>>
     Ok(out)
 }
 
+fn encode_feedback(w: &OnlineEval) -> Vec<u8> {
+    let mut out = Writer::new();
+    out.u64(w.capacity() as u64);
+    out.u64(w.observed_total());
+    out.u32(w.len() as u32);
+    for ev in w.events() {
+        out.u32(ev.user);
+        out.u32(ev.item);
+        match &ev.scope {
+            Some(s) => {
+                out.u8(1);
+                out.u32(s.len() as u32);
+                out.bytes(s.as_bytes());
+            }
+            None => out.u8(0),
+        }
+    }
+    out.into_bytes()
+}
+
+fn decode_feedback(body: &[u8]) -> Result<OnlineEval> {
+    let mut r = Reader::new(body);
+    let capacity = r.u64("feedback capacity")? as usize;
+    let observed_total = r.u64("feedback observed_total")?;
+    let count = r.u32("feedback count")?;
+    let mut events = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let user = r.u32("feedback user")?;
+        let item = r.u32("feedback item")?;
+        let scope = match r.u8("feedback has_scope")? {
+            0 => None,
+            1 => {
+                let len = r.u32("feedback scope length")? as usize;
+                let bytes = r.take(len, "feedback scope")?;
+                Some(String::from_utf8(bytes.to_vec()).map_err(|_| {
+                    PersistError::Corrupt("feedback scope is not valid UTF-8".into())
+                })?)
+            }
+            k => {
+                return Err(PersistError::Corrupt(format!(
+                    "feedback scope marker {k} is neither 0 nor 1"
+                )))
+            }
+        };
+        events.push(FeedbackEvent { user, item, scope });
+    }
+    if !r.is_empty() {
+        return Err(PersistError::Corrupt(
+            "trailing bytes after feedback events".into(),
+        ));
+    }
+    Ok(OnlineEval::from_parts(capacity, events, observed_total))
+}
+
 fn section(w: &mut Writer, tag: u32, body: &[u8]) {
     w.u32(tag);
     w.u32(0);
@@ -476,6 +538,16 @@ pub fn encode(state: &CheckpointState) -> Result<Vec<u8>> {
         TAG_GROUPINGS,
         &encode_groupings(&state.groupings)?,
     );
+    // Additive section: written only once feedback exists, so pre-feedback
+    // states keep their exact historical bytes (the golden fixtures pin
+    // this).
+    if state.feedback.observed_total() > 0 || !state.feedback.is_empty() {
+        section(
+            &mut payload,
+            TAG_FEEDBACK,
+            &encode_feedback(&state.feedback),
+        );
+    }
     let payload = payload.into_bytes();
     let mut out = Writer::new();
     out.bytes(&CHECKPOINT_MAGIC);
@@ -521,6 +593,7 @@ pub fn decode(bytes: &[u8]) -> Result<CheckpointState> {
     let mut formation = None;
     let mut former = None;
     let mut groupings: Option<Vec<CheckpointGrouping>> = None;
+    let mut feedback = OnlineEval::default();
     let mut s = Reader::new(payload);
     while !s.is_empty() {
         let tag = s.u32("section tag")?;
@@ -547,6 +620,7 @@ pub fn decode(bytes: &[u8]) -> Result<CheckpointState> {
             TAG_FORMATION => formation = Some(decode_formation(body)?),
             TAG_FORMER => former = Some(decode_former(body)?),
             TAG_GROUPINGS => groupings = Some(decode_groupings(body, version)?),
+            TAG_FEEDBACK => feedback = decode_feedback(body)?,
             _ => {} // future section: skip
         }
     }
@@ -619,6 +693,7 @@ pub fn decode(bytes: &[u8]) -> Result<CheckpointState> {
         matrix,
         prefs,
         groupings,
+        feedback,
     })
 }
 
@@ -767,6 +842,7 @@ mod tests {
             }],
             matrix,
             prefs,
+            feedback: OnlineEval::default(),
         }
     }
 
@@ -799,6 +875,58 @@ mod tests {
             assert_formations_equal(&x.formation, &y.formation);
             assert_eq!(x.former, y.former);
         }
+        assert_eq!(a.feedback, b.feedback);
+    }
+
+    #[test]
+    fn feedback_window_round_trips() {
+        let mut state = sample_state(3);
+        state.feedback = OnlineEval::from_parts(
+            128,
+            vec![
+                FeedbackEvent {
+                    user: 0,
+                    item: 1,
+                    scope: None,
+                },
+                FeedbackEvent {
+                    user: 4,
+                    item: 2,
+                    scope: Some("cons".to_string()),
+                },
+            ],
+            17,
+        );
+        let bytes = encode(&state).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_states_equal(&state, &back);
+        assert_eq!(back.feedback.observed_total(), 17);
+        assert_eq!(back.feedback.capacity(), 128);
+        assert_eq!(back.feedback.events()[1].scope.as_deref(), Some("cons"));
+    }
+
+    #[test]
+    fn empty_feedback_emits_no_section() {
+        // Pre-feedback byte layouts must stay stable: a state that never
+        // observed feedback encodes exactly as it did before TAG_FEEDBACK
+        // existed (and decodes with an empty window).
+        let state = sample_state(3);
+        let bytes = encode(&state).unwrap();
+        let mut r = Reader::new(&bytes[CHECKPOINT_HEADER_BYTES..]);
+        let mut tags = Vec::new();
+        while !r.is_empty() {
+            let tag = r.u32("tag").unwrap();
+            r.u32("pad").unwrap();
+            let len = r.usize("len").unwrap();
+            r.take(len, "body").unwrap();
+            let pad = (8 - (r.position() % 8)) % 8;
+            r.take(pad, "padding").unwrap();
+            tags.push(tag);
+        }
+        assert!(!tags.contains(&TAG_FEEDBACK));
+        let back = decode(&bytes).unwrap();
+        assert!(back.feedback.is_empty());
+        assert_eq!(back.feedback.observed_total(), 0);
     }
 
     #[test]

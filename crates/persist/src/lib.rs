@@ -57,4 +57,7 @@ pub use checkpoint::{
 pub use crc32::crc32;
 pub use digest::StateDigest;
 pub use error::{PersistError, Result};
-pub use wal::{SyncMode, TornTail, Wal, WalRecord, WalScan, WAL_FORMAT_VERSION};
+pub use wal::{
+    SyncMode, TornTail, Wal, WalPayload, WalRecord, WalScan, WAL_FORMAT_VERSION,
+    WAL_MIN_FORMAT_VERSION,
+};

@@ -1,5 +1,5 @@
 //! The write-ahead log: an fsync'd, CRC-guarded journal of accepted
-//! `/rate` batches.
+//! `/rate` batches and `/feedback` events.
 //!
 //! A WAL is a directory of segment files named `wal-<first_seq>.log`.
 //! Each segment starts with a 16-byte header (`GFWL` magic, format
@@ -8,8 +8,16 @@
 //!
 //! ```text
 //! [u32 payload_len][u32 crc32(payload)][payload]
-//! payload = [u64 seq][u32 count] count x ([u32 user][u32 item][u64 score_bits])
+//! payload (format 2) = [u64 seq][u8 kind][kind-specific body]
+//!   kind 0 (ratings)  = [u32 count] count x ([u32 user][u32 item][u64 score_bits])
+//!   kind 1 (feedback) = [u32 user][u32 item][u8 has_scope]([u32 len][len bytes])?
 //! ```
+//!
+//! Format 1 segments (written before the feedback record kind existed)
+//! have no kind byte — their payload is `[u64 seq][u32 count] count x
+//! (...)`, always a ratings batch. The reader accepts both formats, so a
+//! warm boot replays a pre-upgrade log unchanged; the writer always
+//! emits format 2.
 //!
 //! Sequence numbers are contiguous across segments — record `seq` is the
 //! global append index, starting at 1 — which is what makes checkpoint
@@ -37,7 +45,17 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Format version written into every segment header.
-pub const WAL_FORMAT_VERSION: u32 = 1;
+pub const WAL_FORMAT_VERSION: u32 = 2;
+
+/// Oldest segment format the reader still accepts (format 1: ratings
+/// only, no record-kind byte).
+pub const WAL_MIN_FORMAT_VERSION: u32 = 1;
+
+/// Record-kind byte of a ratings batch (format 2).
+const KIND_RATINGS: u8 = 0;
+
+/// Record-kind byte of a feedback (consumption) event (format 2).
+const KIND_FEEDBACK: u8 = 1;
 
 /// Segment header magic.
 pub const WAL_MAGIC: [u8; 4] = *b"GFWL";
@@ -62,14 +80,40 @@ pub enum SyncMode {
     Interval(Duration),
 }
 
-/// One decoded WAL record: a batch of rating updates under a single
-/// sequence number.
+/// What one WAL record carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalPayload {
+    /// A batch of accepted `(user, item, score)` rating updates.
+    Ratings(Vec<(u32, u32, f64)>),
+    /// One observed consumption (`/feedback`): `user` consumed `item`,
+    /// optionally scoped to a named grouping.
+    Feedback {
+        /// The consuming user (dense index).
+        user: u32,
+        /// The consumed item (dense index).
+        item: u32,
+        /// Grouping name the event is scoped to, if any.
+        scope: Option<String>,
+    },
+}
+
+/// One decoded WAL record under a single sequence number.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalRecord {
     /// Global append index (1-based, contiguous).
     pub seq: u64,
-    /// The accepted `(user, item, score)` updates, in journal order.
-    pub updates: Vec<(u32, u32, f64)>,
+    /// The record's payload.
+    pub payload: WalPayload,
+}
+
+impl WalRecord {
+    /// The rating updates, when this is a ratings record.
+    pub fn ratings(&self) -> Option<&[(u32, u32, f64)]> {
+        match &self.payload {
+            WalPayload::Ratings(updates) => Some(updates),
+            WalPayload::Feedback { .. } => None,
+        }
+    }
 }
 
 /// Where and why a scan stopped early.
@@ -125,21 +169,87 @@ fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
     Ok(out)
 }
 
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut record = Writer::new();
+    record.u32(payload.len() as u32);
+    record.u32(crc32(&payload));
+    record.bytes(&payload);
+    record.into_bytes()
+}
+
 fn encode_record(seq: u64, updates: &[(u32, u32, f64)]) -> Vec<u8> {
     let mut payload = Writer::new();
     payload.u64(seq);
+    payload.u8(KIND_RATINGS);
     payload.u32(updates.len() as u32);
     for &(u, i, s) in updates {
         payload.u32(u);
         payload.u32(i);
         payload.f64(s);
     }
-    let payload = payload.into_bytes();
-    let mut record = Writer::new();
-    record.u32(payload.len() as u32);
-    record.u32(crc32(&payload));
-    record.bytes(&payload);
-    record.into_bytes()
+    frame(payload.into_bytes())
+}
+
+fn encode_feedback_record(seq: u64, user: u32, item: u32, scope: Option<&str>) -> Vec<u8> {
+    let mut payload = Writer::new();
+    payload.u64(seq);
+    payload.u8(KIND_FEEDBACK);
+    payload.u32(user);
+    payload.u32(item);
+    match scope {
+        Some(s) => {
+            payload.u8(1);
+            payload.u32(s.len() as u32);
+            payload.bytes(s.as_bytes());
+        }
+        None => payload.u8(0),
+    }
+    frame(payload.into_bytes())
+}
+
+/// Decodes one record payload (seq already read) under the segment's
+/// format version. Returns `None` on any malformation — the caller
+/// treats that exactly like a CRC failure.
+fn parse_payload(version: u32, p: &mut Reader<'_>) -> Option<WalPayload> {
+    let kind = if version == 1 {
+        KIND_RATINGS
+    } else {
+        p.u8("kind").ok()?
+    };
+    match kind {
+        KIND_RATINGS => {
+            let count = p.u32("count").ok()?;
+            if p.remaining() != count as usize * 16 {
+                return None;
+            }
+            let mut updates = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let u = p.u32("user").expect("length checked");
+                let i = p.u32("item").expect("length checked");
+                let s = p.f64("score").expect("length checked");
+                updates.push((u, i, s));
+            }
+            Some(WalPayload::Ratings(updates))
+        }
+        KIND_FEEDBACK => {
+            let user = p.u32("user").ok()?;
+            let item = p.u32("item").ok()?;
+            let scope = match p.u8("has_scope").ok()? {
+                0 => None,
+                1 => {
+                    let len = p.u32("scope length").ok()?;
+                    let bytes = p.take(len as usize, "scope").ok()?;
+                    Some(String::from_utf8(bytes.to_vec()).ok()?)
+                }
+                _ => return None,
+            };
+            if !p.is_empty() {
+                return None;
+            }
+            Some(WalPayload::Feedback { user, item, scope })
+        }
+        _ => None,
+    }
 }
 
 /// Parses one segment's records starting at `expect_seq`, appending to
@@ -160,7 +270,7 @@ fn parse_segment(
     let Ok(version) = r.u32("version") else {
         return Err(0);
     };
-    if version != WAL_FORMAT_VERSION {
+    if !(WAL_MIN_FORMAT_VERSION..=WAL_FORMAT_VERSION).contains(&version) {
         return Err(0);
     }
     let Ok(first_seq) = r.u64("first_seq") else {
@@ -181,7 +291,10 @@ fn parse_segment(
             return Err(at);
         };
         let len = len as usize;
-        if !(12..=MAX_RECORD_BYTES).contains(&len) {
+        // The smallest valid payload: format 1 = seq + count (12 bytes),
+        // format 2 = seq + kind (9 bytes, an unscoped feedback adds 9).
+        let min_len = if version == 1 { 12 } else { 9 };
+        if !(min_len..=MAX_RECORD_BYTES).contains(&len) {
             return Err(at);
         }
         let Ok(crc) = r.u32("record crc") else {
@@ -197,20 +310,13 @@ fn parse_segment(
         let Ok(seq) = p.u64("seq") else {
             return Err(at);
         };
-        let Ok(count) = p.u32("count") else {
+        if seq != expect_seq {
+            return Err(at);
+        }
+        let Some(payload) = parse_payload(version, &mut p) else {
             return Err(at);
         };
-        if seq != expect_seq || p.remaining() != count as usize * 16 {
-            return Err(at);
-        }
-        let mut updates = Vec::with_capacity(count as usize);
-        for _ in 0..count {
-            let u = p.u32("user").expect("length checked");
-            let i = p.u32("item").expect("length checked");
-            let s = p.f64("score").expect("length checked");
-            updates.push((u, i, s));
-        }
-        records.push(WalRecord { seq, updates });
+        records.push(WalRecord { seq, payload });
         expect_seq += 1;
     }
 }
@@ -322,13 +428,32 @@ impl Wal {
         }
         let next_seq = scan_result.last_seq + 1;
         let mut segments = list_segments(dir)?;
-        let file = match segments.last() {
-            Some((_, path)) => OpenOptions::new()
+        // Records are decoded under their segment header's format version,
+        // so the current-format writer must never append into a segment
+        // written under an older format: roll an upgraded log over to a
+        // fresh segment instead of appending in place.
+        let tail = match segments.last() {
+            Some((_, path)) if Self::segment_version(path)? == WAL_FORMAT_VERSION => {
+                Some(path.clone())
+            }
+            _ => None,
+        };
+        let file = match tail {
+            Some(path) => OpenOptions::new()
                 .append(true)
-                .open(path)
+                .open(&path)
                 .map_err(PersistError::io(format!("open {}", path.display())))?,
             None => {
                 let (first, path) = (next_seq, segment_path(dir, next_seq));
+                if segments.last().is_some_and(|(_, p)| *p == path) {
+                    // A header-only old-format tail occupies exactly the
+                    // name the fresh segment needs (it holds no records —
+                    // otherwise `next_seq` would be past its `first_seq`);
+                    // replace it.
+                    fs::remove_file(&path)
+                        .map_err(PersistError::io(format!("remove {}", path.display())))?;
+                    segments.pop();
+                }
                 let file = Self::create_segment(&path, first)?;
                 fsync_dir(dir)?;
                 segments.push((first, path));
@@ -375,6 +500,19 @@ impl Wal {
         })
     }
 
+    /// Reads a segment's header format version (the `u32` after the
+    /// magic). Callers only probe segments [`scan`] already decoded, so
+    /// the header is known-well-formed.
+    fn segment_version(path: &Path) -> Result<u32> {
+        let bytes = fs::read(path).map_err(PersistError::io(format!("read {}", path.display())))?;
+        let mut r = Reader::new(&bytes);
+        r.take(4, "magic")
+            .and_then(|_| r.u32("version"))
+            .map_err(|_| {
+                PersistError::Corrupt(format!("segment {} header unreadable", path.display()))
+            })
+    }
+
     fn create_segment(path: &Path, first_seq: u64) -> Result<File> {
         let mut file = OpenOptions::new()
             .create_new(true)
@@ -402,12 +540,23 @@ impl Wal {
         self.segments.iter().map(|(_, p)| p.clone()).collect()
     }
 
-    /// Appends one batch as a record and applies the sync policy. Returns
-    /// the record's sequence number — once this returns under
+    /// Appends one ratings batch as a record and applies the sync policy.
+    /// Returns the record's sequence number — once this returns under
     /// [`SyncMode::Always`], the batch is on disk.
     pub fn append(&mut self, updates: &[(u32, u32, f64)]) -> Result<u64> {
+        let record = encode_record(self.next_seq, updates);
+        self.append_framed(record)
+    }
+
+    /// Appends one feedback (consumption) event as a record and applies
+    /// the sync policy, like [`Wal::append`].
+    pub fn append_feedback(&mut self, user: u32, item: u32, scope: Option<&str>) -> Result<u64> {
+        let record = encode_feedback_record(self.next_seq, user, item, scope);
+        self.append_framed(record)
+    }
+
+    fn append_framed(&mut self, record: Vec<u8>) -> Result<u64> {
         let seq = self.next_seq;
-        let record = encode_record(seq, updates);
         self.file
             .write_all(&record)
             .map_err(PersistError::io("append wal record"))?;
@@ -493,8 +642,8 @@ mod tests {
         let s = scan(&dir).unwrap();
         assert!(s.torn.is_none());
         assert_eq!(s.last_seq, 2);
-        assert_eq!(s.records[0].updates, vec![(0, 1, 4.5)]);
-        assert_eq!(s.records[1].updates, vec![(2, 3, 1.0), (4, 5, 2.5)]);
+        assert_eq!(s.records[0].ratings().unwrap(), &[(0, 1, 4.5)]);
+        assert_eq!(s.records[1].ratings().unwrap(), &[(2, 3, 1.0), (4, 5, 2.5)]);
         // Reopen continues the sequence.
         let (mut wal, s) = Wal::open(&dir, SyncMode::Always).unwrap();
         assert_eq!(s.last_seq, 2);
@@ -527,7 +676,89 @@ mod tests {
         drop(wal);
         let s = scan(&dir).unwrap();
         assert!(s.torn.is_none());
-        assert_eq!(s.records[1].updates, vec![(9, 9, 5.0)]);
+        assert_eq!(s.records[1].ratings().unwrap(), &[(9, 9, 5.0)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn feedback_records_round_trip_interleaved() {
+        let dir = tmpdir("feedback");
+        let (mut wal, _) = Wal::open(&dir, SyncMode::Always).unwrap();
+        assert_eq!(wal.append(&[(0, 1, 4.5)]).unwrap(), 1);
+        assert_eq!(wal.append_feedback(0, 1, None).unwrap(), 2);
+        assert_eq!(wal.append_feedback(3, 2, Some("cons")).unwrap(), 3);
+        assert_eq!(wal.append(&[(3, 2, 2.0)]).unwrap(), 4);
+        drop(wal);
+        let s = scan(&dir).unwrap();
+        assert!(s.torn.is_none());
+        assert_eq!(s.last_seq, 4);
+        assert_eq!(s.records[0].payload, WalPayload::Ratings(vec![(0, 1, 4.5)]));
+        assert_eq!(
+            s.records[1].payload,
+            WalPayload::Feedback {
+                user: 0,
+                item: 1,
+                scope: None
+            }
+        );
+        assert_eq!(
+            s.records[2].payload,
+            WalPayload::Feedback {
+                user: 3,
+                item: 2,
+                scope: Some("cons".to_string())
+            }
+        );
+        assert!(s.records[2].ratings().is_none());
+        // Reopen continues the sequence past both kinds.
+        let (wal, s) = Wal::open(&dir, SyncMode::Always).unwrap();
+        assert_eq!(s.last_seq, 4);
+        assert_eq!(wal.next_seq(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn format_v1_segments_still_parse() {
+        // A format-1 segment has no kind byte; hand-assemble one and make
+        // sure the reader treats it as ratings-only history.
+        let dir = tmpdir("v1");
+        let mut w = Writer::new();
+        w.bytes(&WAL_MAGIC);
+        w.u32(1); // format version 1
+        w.u64(1); // first_seq
+        let mut payload = Writer::new();
+        payload.u64(1);
+        payload.u32(1);
+        payload.u32(7);
+        payload.u32(3);
+        payload.f64(4.0);
+        let payload = payload.into_bytes();
+        w.u32(payload.len() as u32);
+        w.u32(crc32(&payload));
+        w.bytes(&payload);
+        fs::write(segment_path(&dir, 1), w.into_bytes()).unwrap();
+        let s = scan(&dir).unwrap();
+        assert!(s.torn.is_none());
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].payload, WalPayload::Ratings(vec![(7, 3, 4.0)]));
+        // Records decode under their segment header's version, so `open`
+        // must not append current-format records into the v1 tail: it
+        // rolls over to a fresh format-2 segment automatically.
+        let (mut wal, s) = Wal::open(&dir, SyncMode::Always).unwrap();
+        assert_eq!(s.last_seq, 1);
+        assert_eq!(wal.segment_paths().len(), 2);
+        assert_eq!(wal.append_feedback(7, 3, None).unwrap(), 2);
+        drop(wal);
+        let s = scan(&dir).unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert!(matches!(
+            s.records[1].payload,
+            WalPayload::Feedback {
+                user: 7,
+                item: 3,
+                ..
+            }
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 

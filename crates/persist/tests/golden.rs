@@ -118,6 +118,7 @@ fn fixture_state() -> CheckpointState {
         ],
         matrix,
         prefs,
+        feedback: gf_core::OnlineEval::default(),
     }
 }
 
@@ -160,12 +161,81 @@ fn wal_segment_encoding_matches_golden() {
     wal.append(&[(0, 1, 4.5), (2, 3, 1.0)]).unwrap();
     wal.append(&[]).unwrap();
     wal.append(&[(7, 0, 3.0)]).unwrap();
+    wal.append_feedback(7, 0, None).unwrap();
+    wal.append_feedback(2, 3, Some("cons")).unwrap();
     let paths = wal.segment_paths();
     assert_eq!(paths.len(), 1);
     let bytes = fs::read(&paths[0]).unwrap();
     drop(wal);
     fs::remove_dir_all(&dir).unwrap();
-    check_golden("wal-segment-v1.bin", &bytes);
+    check_golden("wal-segment-v2.bin", &bytes);
+}
+
+#[test]
+fn legacy_v1_wal_segment_still_scans() {
+    // `wal-segment-v1.bin` is a real format-1 segment written before the
+    // feedback record kind existed; it is never regenerated. The reader
+    // must keep decoding it as ratings-only history.
+    if std::env::var_os("GF_UPDATE_GOLDEN").is_some() {
+        return; // v1 fixtures are frozen, nothing to regenerate
+    }
+    let dir = tmpdir("wal-v1");
+    fs::copy(
+        golden_dir().join("wal-segment-v1.bin"),
+        dir.join(format!("wal-{:020}.log", 1)),
+    )
+    .unwrap();
+    let s = gf_persist::wal::scan(&dir).unwrap();
+    assert!(s.torn.is_none());
+    assert_eq!(s.last_seq, 3);
+    assert_eq!(s.records[0].ratings().unwrap(), &[(0, 1, 4.5), (2, 3, 1.0)]);
+    assert_eq!(s.records[1].ratings().unwrap(), &[]);
+    assert_eq!(s.records[2].ratings().unwrap(), &[(7, 0, 3.0)]);
+    // And the current-format writer resumes *past* it in a fresh segment
+    // rather than appending v2 records under the v1 header.
+    let (mut wal, scan) = Wal::open(&dir, SyncMode::Always).unwrap();
+    assert_eq!(scan.last_seq, 3);
+    assert_eq!(wal.segment_paths().len(), 2);
+    assert_eq!(wal.append_feedback(0, 1, None).unwrap(), 4);
+    drop(wal);
+    let s = gf_persist::wal::scan(&dir).unwrap();
+    assert_eq!(s.records.len(), 4);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn golden_wal_v2_file_still_scans() {
+    // Reader guard for the current format, mirroring the checkpoint one.
+    if std::env::var_os("GF_UPDATE_GOLDEN").is_some() {
+        return; // fixture may not exist yet during regeneration
+    }
+    let dir = tmpdir("wal-v2-read");
+    fs::copy(
+        golden_dir().join("wal-segment-v2.bin"),
+        dir.join(format!("wal-{:020}.log", 1)),
+    )
+    .unwrap();
+    let s = gf_persist::wal::scan(&dir).unwrap();
+    assert!(s.torn.is_none());
+    assert_eq!(s.last_seq, 5);
+    assert_eq!(s.records[0].ratings().unwrap(), &[(0, 1, 4.5), (2, 3, 1.0)]);
+    assert_eq!(
+        s.records[3].payload,
+        gf_persist::WalPayload::Feedback {
+            user: 7,
+            item: 0,
+            scope: None
+        }
+    );
+    assert_eq!(
+        s.records[4].payload,
+        gf_persist::WalPayload::Feedback {
+            user: 2,
+            item: 3,
+            scope: Some("cons".to_string())
+        }
+    );
+    fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -7,20 +7,34 @@
 //! `Content-Length` bodies, keep-alive with explicit lengths on every
 //! response. No chunked encoding, no TLS, no HTTP/2.
 //!
-//! ## Endpoints
+//! ## Endpoints (`/v1`)
+//!
+//! The surface lives under the versioned `/v1/` namespace. Every
+//! unversioned path (`/health`, `/rate`, …) remains a thin alias for its
+//! `/v1` twin: same handler, same body, plus a `Deprecation: true`
+//! response header. The aliases differ in exactly one default —
+//! `exclude_rated` is off on the legacy `/recommend` so pre-`/v1`
+//! clients keep seeing unfiltered lists.
 //!
 //! | method & path | body | answer |
 //! |---------------|------|--------|
-//! | `GET /health` | — | liveness + snapshot version/shape |
-//! | `GET /stats` | — | serving counters (incl. incremental vs cold refreshes, WAL/checkpoint/recovery progress) plus the per-grouping registry |
-//! | `GET /digest` | — | FNV-1a fingerprint of the full serving state plus one digest per grouping (crash-harness oracle) |
-//! | `GET /group/{user}?limit=&offset=` | — | the user's group under the `default` grouping |
-//! | `GET /group/{name}/{user}?limit=&offset=` | — | the user's group under the named grouping |
-//! | `GET /recommend/{group}?limit=&offset=` | — | a group's top-`k` list under the `default` grouping |
-//! | `GET /recommend/{name}/{group}?limit=&offset=` | — | a group's top-`k` list under the named grouping |
-//! | `POST /form?name=` | optional config overrides | re-forms one existing grouping (default: `default`), batched per grouping |
-//! | `POST /grouping` | `{"name":..., ...overrides}` | registers (or reconfigures) a named grouping over the shared matrix |
-//! | `POST /rate` | `{"user":u,"item":i,"rating":r}` | enqueues an incremental update refreshing *every* grouping (202); under [`gf_core::GrowthPolicy::Grow`] a never-seen user/item is admitted (409 once a cap is exhausted) |
+//! | `GET /v1/health` | — | liveness + snapshot version/shape |
+//! | `GET /v1/stats` | — | serving counters, the per-grouping registry and the per-grouping online `quality` block |
+//! | `GET /v1/digest` | — | FNV-1a fingerprint of the full serving state plus one digest per grouping (crash-harness oracle) |
+//! | `GET /v1/group/{user}?limit=&offset=` | — | the user's group under the `default` grouping |
+//! | `GET /v1/group/{name}/{user}?limit=&offset=` | — | the user's group under the named grouping |
+//! | `GET /v1/recommend/{group}?top_k=&exclude_rated=&limit=&offset=` | — | a group's recommendation list under the `default` grouping; `exclude_rated` (default on) drops items any member already rated |
+//! | `GET /v1/recommend/{name}/{group}?top_k=&exclude_rated=&limit=&offset=` | — | the same under the named grouping |
+//! | `POST /v1/form?name=` | optional config overrides | re-forms one existing grouping (default: `default`), batched per grouping |
+//! | `POST /v1/grouping` | `{"name":..., ...overrides}` | registers (or reconfigures) a named grouping over the shared matrix |
+//! | `POST /v1/rate` | `{"user":u,"item":i,"rating":r}` | enqueues an incremental update refreshing *every* grouping (202); under [`gf_core::GrowthPolicy::Grow`] a never-seen user/item is admitted (409 once a cap is exhausted) |
+//! | `POST /v1/feedback` | `{"user":u,"item":i,"grouping":name?}` | journals one observed consumption (202) feeding the online quality metrics; never admits |
+//!
+//! ## Errors
+//!
+//! Every error answers with one envelope, `{"error":{"code":...,
+//! "message":...}}`: a stable machine-readable `code` (see the README's
+//! error-code table) and a human-readable `message`.
 
 use crate::json::{obj, Json};
 use crate::state::{ServeState, Snapshot};
@@ -147,42 +161,113 @@ fn write_response(
     status: u16,
     body: &Json,
     keep_alive: bool,
+    deprecated: bool,
 ) -> std::io::Result<()> {
     let payload = body.to_string();
     let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n{}\r\n",
         status_text(status),
         payload.len(),
         if keep_alive { "keep-alive" } else { "close" },
+        if deprecated { "deprecation: true\r\n" } else { "" },
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(payload.as_bytes())?;
     stream.flush()
 }
 
-fn error_body(message: impl std::fmt::Display) -> Json {
-    obj([("error", Json::from(message.to_string()))])
+/// The one error envelope every failure answers with: a stable
+/// machine-readable `code` plus a human-readable `message`.
+fn error_body(code: &'static str, message: impl std::fmt::Display) -> Json {
+    obj([(
+        "error",
+        obj([
+            ("code", Json::from(code)),
+            ("message", Json::from(message.to_string())),
+        ]),
+    )])
 }
 
-fn gf_error_status(err: &GfError) -> u16 {
-    match err {
-        GfError::UserOutOfRange { .. } | GfError::ItemOutOfRange { .. } => 404,
+/// Maps a state-layer error to its HTTP status and envelope code.
+fn gf_error_response(err: &GfError) -> (u16, Json) {
+    let (status, code) = match err {
+        GfError::UserOutOfRange { .. } => (404, "unknown_user"),
+        GfError::ItemOutOfRange { .. } => (404, "unknown_item"),
         // A growth cap refusing an admission is neither a malformed
         // request (400) nor an unknown id the client should retry (404):
         // the universe is full until the operator raises the cap.
-        GfError::GrowthExhausted { .. } => 409,
+        GfError::GrowthExhausted { .. } => (409, "growth_exhausted"),
         // A journaling failure is the server's disk, not the client's
         // request; surface it as a 500 so retries/alerts fire correctly.
-        GfError::Persist(_) => 500,
-        _ => 400,
+        GfError::Persist(_) => (500, "persist_error"),
+        GfError::InvalidGrouping(_) => (400, "invalid_grouping"),
+        _ => (400, "bad_request"),
+    };
+    (status, error_body(code, err))
+}
+
+/// The `/v1` route table — one `(method, path pattern)` row per
+/// endpoint. Dispatch is the `match` in [`route_full`]; this table is
+/// the declarative mirror that `tests/routes.rs` checks against the
+/// module-doc and README endpoint tables, so the three can never drift
+/// apart silently.
+pub const ROUTE_TABLE: &[(&str, &str)] = &[
+    ("GET", "/v1/health"),
+    ("GET", "/v1/stats"),
+    ("GET", "/v1/digest"),
+    ("GET", "/v1/group/{user}"),
+    ("GET", "/v1/group/{name}/{user}"),
+    ("GET", "/v1/recommend/{group}"),
+    ("GET", "/v1/recommend/{name}/{group}"),
+    ("POST", "/v1/form"),
+    ("POST", "/v1/grouping"),
+    ("POST", "/v1/rate"),
+    ("POST", "/v1/feedback"),
+];
+
+/// A fully resolved response: status, JSON body, and whether the request
+/// arrived through a deprecated (unversioned) alias — the connection
+/// handler turns the flag into a `Deprecation: true` response header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOutcome {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON response body.
+    pub body: Json,
+    /// The request used a legacy unversioned path.
+    pub deprecated: bool,
+}
+
+/// Routes one request to `(status, JSON body)` — [`route_full`] without
+/// the deprecation flag, kept for embedders and tests that only care
+/// about the payload.
+pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
+    let outcome = route_full(state, req);
+    (outcome.status, outcome.body)
+}
+
+/// Routes one request. Pure apart from the state it queries/mutates —
+/// exercised directly by unit tests, no socket required.
+///
+/// The canonical surface is `/v1/...`; an unversioned path dispatches to
+/// the identical handler (so every route has a legacy alias) but is
+/// flagged deprecated, and its `/recommend` alias defaults
+/// `exclude_rated` off where `/v1` defaults it on.
+pub fn route_full(state: &ServeState, req: &HttpRequest) -> RouteOutcome {
+    let (path, versioned) = match req.path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => (rest, true),
+        _ => (req.path.as_str(), false),
+    };
+    let (status, body) = dispatch(state, req, path, versioned);
+    RouteOutcome {
+        status,
+        body,
+        deprecated: !versioned,
     }
 }
 
-/// Routes one request to `(status, JSON body)`. Pure apart from the state
-/// it queries/mutates — exercised directly by unit tests, no socket
-/// required.
-pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
-    match (req.method.as_str(), req.path.as_str()) {
+fn dispatch(state: &ServeState, req: &HttpRequest, path: &str, versioned: bool) -> (u16, Json) {
+    match (req.method.as_str(), path) {
         ("GET", "/health") => {
             let snap = state.snapshot();
             let default = snap.default_grouping();
@@ -273,6 +358,16 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
                         "recovery_dropped_bytes",
                         Json::from(s.recovery_dropped_bytes.load(Ordering::Relaxed)),
                     ),
+                    (
+                        "feedback_accepted",
+                        Json::from(s.feedback_accepted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "feedback_applied",
+                        Json::from(s.feedback_applied.load(Ordering::Relaxed)),
+                    ),
+                    ("feedback_window_events", Json::from(snap.feedback.len())),
+                    ("quality", quality_json(&snap)),
                 ]),
             )
         }
@@ -306,25 +401,44 @@ pub fn route(state: &ServeState, req: &HttpRequest) -> (u16, Json) {
             let (name, id) = split_scoped(&path["/group/".len()..]);
             match (id.parse(), parse_page(&req.query)) {
                 (Ok(user), Ok(page)) => group_of(state, name, user, page),
-                (Err(_), _) => (400, error_body("user id must be a non-negative integer")),
-                (_, Err(message)) => (400, error_body(message)),
+                (Err(_), _) => (
+                    400,
+                    error_body("bad_request", "user id must be a non-negative integer"),
+                ),
+                (_, Err(message)) => (400, error_body("bad_request", message)),
             }
         }
         ("GET", path) if path.starts_with("/recommend/") => {
             let (name, id) = split_scoped(&path["/recommend/".len()..]);
-            match (id.parse(), parse_page(&req.query)) {
-                (Ok(group), Ok(page)) => recommend(state, name, group, page),
-                (Err(_), _) => (400, error_body("group id must be a non-negative integer")),
-                (_, Err(message)) => (400, error_body(message)),
+            // The one default the alias disagrees on: `/v1` filters to
+            // candidate items unless told otherwise, the legacy route
+            // keeps its historical unfiltered list.
+            match (id.parse(), parse_recommend_params(&req.query, versioned)) {
+                (Ok(group), Ok(params)) => recommend(state, name, group, params),
+                (Err(_), _) => (
+                    400,
+                    error_body("bad_request", "group id must be a non-negative integer"),
+                ),
+                (_, Err(message)) => (400, error_body("bad_request", message)),
             }
         }
         ("POST", "/form") => form(state, &req.query, &req.body),
         ("POST", "/grouping") => create_grouping(state, &req.body),
         ("POST", "/rate") => rate(state, &req.body),
-        ("GET" | "POST", _) => (404, error_body(format!("no such endpoint: {}", req.path))),
+        ("POST", "/feedback") => feedback(state, &req.body),
+        ("GET" | "POST", _) => (
+            404,
+            error_body(
+                "unknown_endpoint",
+                format!("no such endpoint: {}", req.path),
+            ),
+        ),
         _ => (
             405,
-            error_body(format!("method {} not allowed", req.method)),
+            error_body(
+                "method_not_allowed",
+                format!("method {} not allowed", req.method),
+            ),
         ),
     }
 }
@@ -386,6 +500,83 @@ fn split_scoped(rest: &str) -> (&str, &str) {
     }
 }
 
+/// Query parameters of `/recommend`: the shared `limit`/`offset` window
+/// plus `top_k` (how much of the stored list to recommend, clamped to
+/// its length) and `exclude_rated` (filter to candidate items — on by
+/// default under `/v1`, off on the legacy alias).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RecommendParams {
+    page: Page,
+    top_k: Option<usize>,
+    exclude_rated: bool,
+}
+
+fn parse_recommend_params(
+    query: &str,
+    versioned: bool,
+) -> std::result::Result<RecommendParams, String> {
+    let mut params = RecommendParams {
+        page: parse_page(query)?,
+        top_k: None,
+        exclude_rated: versioned,
+    };
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match name {
+            "top_k" => {
+                params.top_k = Some(
+                    value
+                        .parse()
+                        .map_err(|_| "top_k must be a non-negative integer".to_string())?,
+                );
+            }
+            "exclude_rated" => {
+                params.exclude_rated = match value {
+                    "true" | "1" => true,
+                    "false" | "0" => false,
+                    _ => return Err("exclude_rated must be true or false".to_string()),
+                };
+            }
+            _ => {}
+        }
+    }
+    Ok(params)
+}
+
+/// The `/v1/stats` quality block: per grouping, the online
+/// precision/recall/NDCG of its groups' recommendation lists against
+/// the feedback window, at the grouping's own `k`.
+fn quality_json(snap: &Snapshot) -> Json {
+    Json::Obj(
+        snap.groupings
+            .iter()
+            .map(|(name, g)| {
+                let group_items: Vec<Vec<u32>> = g
+                    .formation
+                    .grouping
+                    .groups
+                    .iter()
+                    .map(|grp| grp.top_k.iter().map(|&(item, _)| item).collect())
+                    .collect();
+                let q = snap
+                    .feedback
+                    .evaluate(name, &g.assignment, &group_items, g.config.k);
+                (
+                    name.clone(),
+                    obj([
+                        ("k", Json::from(q.k)),
+                        ("window_events", Json::from(q.window_events)),
+                        ("groups_evaluated", Json::from(q.groups_evaluated)),
+                        ("precision", Json::from(q.precision)),
+                        ("recall", Json::from(q.recall)),
+                        ("ndcg", Json::from(q.ndcg)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
 /// The `/stats` registry listing: every named grouping with its version,
 /// shape and algorithm — the operator's view of the whole registry.
 fn groupings_json(snap: &Snapshot) -> Json {
@@ -436,7 +627,10 @@ fn group_body(
 fn group_of(state: &ServeState, name: &str, user: u32, page: Page) -> (u16, Json) {
     let snap = state.snapshot();
     let Some(g) = snap.grouping(name) else {
-        return (404, error_body(format!("no grouping named {name:?}")));
+        return (
+            404,
+            error_body("unknown_grouping", format!("no grouping named {name:?}")),
+        );
     };
     match g.assignment.get(user as usize).copied().flatten() {
         Some(gi) => {
@@ -446,19 +640,66 @@ fn group_of(state: &ServeState, name: &str, user: u32, page: Page) -> (u16, Json
             }
             (200, body)
         }
-        None => (404, error_body(format!("user {user} is not assigned"))),
+        None => (
+            404,
+            error_body("unknown_user", format!("user {user} is not assigned")),
+        ),
     }
 }
 
-fn recommend(state: &ServeState, name: &str, group: usize, page: Page) -> (u16, Json) {
+fn recommend(state: &ServeState, name: &str, group: usize, params: RecommendParams) -> (u16, Json) {
     let snap = state.snapshot();
     let Some(g) = snap.grouping(name) else {
-        return (404, error_body(format!("no grouping named {name:?}")));
+        return (
+            404,
+            error_body("unknown_grouping", format!("no grouping named {name:?}")),
+        );
     };
     if group >= g.formation.grouping.len() {
-        return (404, error_body(format!("no group {group}")));
+        return (
+            404,
+            error_body("unknown_group", format!("no group {group}")),
+        );
     }
-    (200, group_body(&snap, name, g, group, page))
+    let grp = &g.formation.grouping.groups[group];
+    // `exclude_rated` keeps only candidate items — items **no** member
+    // has rated — from the stored list, preserving score order. The
+    // candidate set comes from the per-grouping cache, so steady-state
+    // queries pay one sorted-membership probe per recommended item.
+    let mut items: Vec<(u32, f64)> = if params.exclude_rated {
+        let candidates = state
+            .candidate_items(&snap, name, group)
+            .expect("grouping and group index checked above");
+        grp.top_k
+            .iter()
+            .copied()
+            .filter(|(item, _)| candidates.binary_search(item).is_ok())
+            .collect()
+    } else {
+        grp.top_k.clone()
+    };
+    if let Some(top_k) = params.top_k {
+        // The stored list is precomputed at the grouping's configured
+        // `k`, so a larger request clamps to what exists.
+        items.truncate(top_k);
+    }
+    let total = items.len();
+    let lo = params.page.offset.min(total);
+    let hi = lo.saturating_add(params.page.limit).min(total);
+    (
+        200,
+        obj([
+            ("grouping", Json::from(name)),
+            ("group", Json::from(group)),
+            ("items_total", Json::from(total)),
+            ("items_offset", Json::from(lo)),
+            ("top_k", top_k_json(&items[lo..hi])),
+            ("excluded_rated", Json::from(params.exclude_rated)),
+            ("satisfaction", Json::from(grp.satisfaction)),
+            ("version", Json::from(snap.version)),
+            ("grouping_version", Json::from(g.version)),
+        ]),
+    )
 }
 
 /// Default disagreement penalty when `"cons"` is requested without an
@@ -563,9 +804,10 @@ fn form(state: &ServeState, query: &str, body: &str) -> (u16, Json) {
     let Some(g) = snap.grouping(&name) else {
         return (
             404,
-            error_body(format!(
-                "no grouping named {name:?}; create it with POST /grouping"
-            )),
+            error_body(
+                "unknown_grouping",
+                format!("no grouping named {name:?}; create it with POST /v1/grouping"),
+            ),
         );
     };
     let cfg = if body.trim().is_empty() {
@@ -573,17 +815,17 @@ fn form(state: &ServeState, query: &str, body: &str) -> (u16, Json) {
     } else {
         let parsed = match Json::parse(body) {
             Ok(v) => v,
-            Err(e) => return (400, error_body(e)),
+            Err(e) => return (400, error_body("bad_request", e)),
         };
         match apply_overrides(g.config, &parsed) {
             Ok(cfg) => cfg,
-            Err(message) => return (400, error_body(message)),
+            Err(message) => return (400, error_body("bad_request", message)),
         }
     };
     drop(snap);
     match state.form_named(&name, cfg) {
         Ok(outcome) => (200, formed_body(&outcome, &name)),
-        Err(err) => (gf_error_status(&err), error_body(err)),
+        Err(err) => gf_error_response(&err),
     }
 }
 
@@ -593,7 +835,7 @@ fn form(state: &ServeState, query: &str, body: &str) -> (u16, Json) {
 fn create_grouping(state: &ServeState, body: &str) -> (u16, Json) {
     let parsed = match Json::parse(body) {
         Ok(v) => v,
-        Err(e) => return (400, error_body(e)),
+        Err(e) => return (400, error_body("bad_request", e)),
     };
     let Some(name) = parsed
         .get("name")
@@ -602,7 +844,7 @@ fn create_grouping(state: &ServeState, body: &str) -> (u16, Json) {
     else {
         return (
             400,
-            error_body("body must carry a \"name\" for the grouping"),
+            error_body("bad_request", "body must carry a \"name\" for the grouping"),
         );
     };
     let snap = state.snapshot();
@@ -612,19 +854,19 @@ fn create_grouping(state: &ServeState, body: &str) -> (u16, Json) {
         .config;
     let cfg = match apply_overrides(base, &parsed) {
         Ok(cfg) => cfg,
-        Err(message) => return (400, error_body(message)),
+        Err(message) => return (400, error_body("bad_request", message)),
     };
     drop(snap);
     match state.form_named(&name, cfg) {
         Ok(outcome) => (200, formed_body(&outcome, &name)),
-        Err(err) => (gf_error_status(&err), error_body(err)),
+        Err(err) => gf_error_response(&err),
     }
 }
 
 fn rate(state: &ServeState, body: &str) -> (u16, Json) {
     let parsed = match Json::parse(body) {
         Ok(v) => v,
-        Err(e) => return (400, error_body(e)),
+        Err(e) => return (400, error_body("bad_request", e)),
     };
     let (Some(user), Some(item), Some(rating)) = (
         parsed.get("user").and_then(Json::as_u64),
@@ -633,7 +875,10 @@ fn rate(state: &ServeState, body: &str) -> (u16, Json) {
     ) else {
         return (
             400,
-            error_body("body must be {\"user\":u,\"item\":i,\"rating\":r}"),
+            error_body(
+                "bad_request",
+                "body must be {\"user\":u,\"item\":i,\"rating\":r}",
+            ),
         );
     };
     // Raw-id mode forwards the full u64 ids through the remap layer;
@@ -641,7 +886,7 @@ fn rate(state: &ServeState, body: &str) -> (u16, Json) {
     let accepted = if state.raw_ids().is_some() {
         state.rate_raw(user, item, rating)
     } else if user > u32::MAX as u64 || item > u32::MAX as u64 {
-        return (400, error_body("user/item out of u32 range"));
+        return (400, error_body("bad_request", "user/item out of u32 range"));
     } else {
         state.rate(user as u32, item as u32, rating)
     };
@@ -654,7 +899,71 @@ fn rate(state: &ServeState, body: &str) -> (u16, Json) {
                 ("version", Json::from(state.snapshot().version)),
             ]),
         ),
-        Err(err) => (gf_error_status(&err), error_body(err)),
+        Err(err) => gf_error_response(&err),
+    }
+}
+
+/// `POST /v1/feedback`: journals one observed consumption — "`user`
+/// actually consumed `item`" — optionally scoped to one grouping via
+/// `"grouping"`. Durably WAL-journaled before the 202 like a rating;
+/// background passes fold it into the online quality window that powers
+/// the `quality` block of `/v1/stats`. Feedback never admits new ids.
+fn feedback(state: &ServeState, body: &str) -> (u16, Json) {
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body("bad_request", e)),
+    };
+    let (Some(user), Some(item)) = (
+        parsed.get("user").and_then(Json::as_u64),
+        parsed.get("item").and_then(Json::as_u64),
+    ) else {
+        return (
+            400,
+            error_body(
+                "bad_request",
+                "body must be {\"user\":u,\"item\":i} with an optional \"grouping\"",
+            ),
+        );
+    };
+    let scope = match parsed.get("grouping") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_str() {
+            Some(name) => Some(name.to_string()),
+            None => {
+                return (
+                    400,
+                    error_body("bad_request", "\"grouping\" must be a string"),
+                )
+            }
+        },
+    };
+    // An unknown scope is the same class of miss as an unknown grouping
+    // in a path: 404, not 400 — the name may exist after a `/grouping`.
+    if let Some(name) = scope.as_deref() {
+        if state.snapshot().grouping(name).is_none() {
+            return (
+                404,
+                error_body("unknown_grouping", format!("no grouping named {name:?}")),
+            );
+        }
+    }
+    let accepted = if state.raw_ids().is_some() {
+        state.feedback_raw(user, item, scope.as_deref())
+    } else if user > u32::MAX as u64 || item > u32::MAX as u64 {
+        return (400, error_body("bad_request", "user/item out of u32 range"));
+    } else {
+        state.feedback(user as u32, item as u32, scope.as_deref())
+    };
+    match accepted {
+        Ok(pending) => (
+            202,
+            obj([
+                ("accepted", Json::from(true)),
+                ("pending", Json::from(pending)),
+                ("version", Json::from(state.snapshot().version)),
+            ]),
+        ),
+        Err(err) => gf_error_response(&err),
     }
 }
 
@@ -779,15 +1088,23 @@ fn handle_connection(stream: TcpStream, state: &ServeState) {
     loop {
         match read_request(&mut reader) {
             Ok(Some(req)) => {
-                let (status, body) = route(state, &req);
-                let keep = req.keep_alive && status < 500;
-                if write_response(&mut stream, status, &body, keep).is_err() || !keep {
+                let out = route_full(state, &req);
+                let keep = req.keep_alive && out.status < 500;
+                if write_response(&mut stream, out.status, &out.body, keep, out.deprecated).is_err()
+                    || !keep
+                {
                     return;
                 }
             }
             Ok(None) => return,
             Err(err) if err.kind() == std::io::ErrorKind::InvalidData => {
-                let _ = write_response(&mut stream, 400, &error_body(err), false);
+                let _ = write_response(
+                    &mut stream,
+                    400,
+                    &error_body("bad_request", err),
+                    false,
+                    false,
+                );
                 return;
             }
             Err(_) => return,
@@ -919,13 +1236,14 @@ mod tests {
             .and_then(Json::as_arr)
             .unwrap()
             .is_empty());
-        // Same window on the group endpoint.
+        // Same window semantics on the recommendation endpoint.
         let (status, body) = get_query(&s, "/recommend/0", "limit=1");
         assert_eq!(status, 200);
         assert_eq!(
-            body.get("members").and_then(Json::as_arr).map(<[_]>::len),
+            body.get("top_k").and_then(Json::as_arr).map(<[_]>::len),
             Some(1)
         );
+        assert_eq!(body.get("items_total").and_then(Json::as_u64), Some(2));
         // Malformed paging parameters are a 400, unknown ones are ignored.
         assert_eq!(get_query(&s, "/group/0", "limit=abc").0, 400);
         assert_eq!(get_query(&s, "/group/0", "offset=-1").0, 400);
@@ -1027,6 +1345,172 @@ mod tests {
         assert_eq!(post(&s, "/form", r#"{"k":0}"#).0, 400);
         // Empty body re-forms under the current config.
         assert_eq!(post(&s, "/form", "").0, 200);
+    }
+
+    #[test]
+    fn v1_paths_alias_legacy_paths_with_deprecation() {
+        let s = test_state();
+        for (method, v1_path) in [("GET", "/v1/health"), ("GET", "/v1/stats")] {
+            let req = |path: &str| HttpRequest {
+                method: method.into(),
+                path: path.into(),
+                query: String::new(),
+                body: String::new(),
+                keep_alive: true,
+            };
+            let v1 = route_full(&s, &req(v1_path));
+            let legacy = route_full(&s, &req(&v1_path["/v1".len()..]));
+            assert_eq!(v1.status, 200);
+            assert!(!v1.deprecated, "{v1_path} is the canonical surface");
+            assert!(legacy.deprecated, "unversioned alias must be flagged");
+            assert_eq!(v1.status, legacy.status);
+        }
+        // "/v1" without a following slash is not the namespace.
+        let (status, body) = get(&s, "/v1health");
+        assert_eq!(status, 404);
+        assert_eq!(
+            body.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("unknown_endpoint")
+        );
+    }
+
+    #[test]
+    fn errors_share_one_envelope() {
+        let s = test_state();
+        let code = |(status, body): (u16, Json)| {
+            let err = body.get("error").cloned().expect("error envelope");
+            assert!(err.get("message").and_then(Json::as_str).is_some());
+            (
+                status,
+                err.get("code").and_then(Json::as_str).unwrap().to_string(),
+            )
+        };
+        assert_eq!(code(get(&s, "/v1/group/99")), (404, "unknown_user".into()));
+        assert_eq!(
+            code(get(&s, "/v1/recommend/99")),
+            (404, "unknown_group".into())
+        );
+        assert_eq!(
+            code(get(&s, "/v1/recommend/nope/0")),
+            (404, "unknown_grouping".into())
+        );
+        assert_eq!(code(get(&s, "/v1/nope")), (404, "unknown_endpoint".into()));
+        assert_eq!(code(get(&s, "/v1/group/abc")), (400, "bad_request".into()));
+        assert_eq!(
+            code(post(&s, "/v1/rate", "not json")),
+            (400, "bad_request".into())
+        );
+        assert_eq!(
+            code(post(&s, "/v1/rate", r#"{"user":99,"item":0,"rating":5}"#)),
+            (404, "unknown_user".into())
+        );
+        let (status, _) = route(
+            &s,
+            &HttpRequest {
+                method: "DELETE".into(),
+                path: "/v1/health".into(),
+                query: String::new(),
+                body: String::new(),
+                keep_alive: true,
+            },
+        );
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn feedback_endpoint_journals_and_surfaces_quality() {
+        let s = test_state();
+        let (status, body) = post(&s, "/v1/feedback", r#"{"user":1,"item":2}"#);
+        assert_eq!(status, 202);
+        assert_eq!(body.get("accepted").and_then(Json::as_bool), Some(true));
+        assert_eq!(post(&s, "/v1/feedback", r#"{"user":99,"item":0}"#).0, 404);
+        assert_eq!(
+            post(
+                &s,
+                "/v1/feedback",
+                r#"{"user":0,"item":0,"grouping":"nope"}"#
+            )
+            .0,
+            404
+        );
+        assert_eq!(post(&s, "/v1/feedback", r#"{"user":0}"#).0, 400);
+        s.flush().unwrap();
+        let (status, stats) = get(&s, "/v1/stats");
+        assert_eq!(status, 200);
+        assert_eq!(
+            stats.get("feedback_applied").and_then(Json::as_u64),
+            Some(1)
+        );
+        let q = stats
+            .get("quality")
+            .and_then(|q| q.get("default"))
+            .expect("per-grouping quality block");
+        assert_eq!(q.get("window_events").and_then(Json::as_u64), Some(1));
+        assert!(q.get("ndcg").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn v1_recommend_filters_rated_items_by_default() {
+        let s = test_state();
+        // The 9x5 fixture matrix is dense: every item is rated by every
+        // member, so the filtered list is empty under /v1 defaults...
+        let (status, body) = get(&s, "/v1/recommend/0");
+        assert_eq!(status, 200);
+        assert_eq!(body.get("items_total").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            body.get("excluded_rated").and_then(Json::as_bool),
+            Some(true)
+        );
+        // ...while the legacy alias (and an explicit opt-out) still see
+        // the stored list.
+        let (_, legacy) = get(&s, "/recommend/0");
+        assert_eq!(
+            legacy.get("excluded_rated").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert!(legacy.get("items_total").and_then(Json::as_u64).unwrap() > 0);
+        let (_, opt_out) = get_query(&s, "/v1/recommend/0", "exclude_rated=false");
+        assert_eq!(opt_out.get("top_k"), legacy.get("top_k"));
+        // top_k clamps to the stored list length.
+        let (_, clamped) = get_query(&s, "/v1/recommend/0", "exclude_rated=false&top_k=1");
+        assert_eq!(clamped.get("items_total").and_then(Json::as_u64), Some(1));
+        let (_, large) = get_query(&s, "/v1/recommend/0", "exclude_rated=false&top_k=999");
+        assert_eq!(large.get("top_k"), legacy.get("top_k"));
+        assert_eq!(
+            get_query(&s, "/v1/recommend/0", "exclude_rated=maybe").0,
+            400
+        );
+        assert_eq!(get_query(&s, "/v1/recommend/0", "top_k=x").0, 400);
+    }
+
+    #[test]
+    fn route_table_rows_all_dispatch() {
+        let s = test_state();
+        for (method, pattern) in ROUTE_TABLE {
+            let path = pattern
+                .replace("{name}", "default")
+                .replace("{user}", "0")
+                .replace("{group}", "0")
+                .replace("{item}", "0");
+            let (status, _) = route(
+                &s,
+                &HttpRequest {
+                    method: (*method).into(),
+                    path,
+                    query: String::new(),
+                    body: String::new(),
+                    keep_alive: true,
+                },
+            );
+            // Anything but unknown_endpoint/method_not_allowed proves the
+            // row reaches a real handler (POSTs 400 on the empty body).
+            assert!(
+                status != 405 && (status != 404 || *method == "GET"),
+                "{method} {pattern} -> {status}"
+            );
+        }
     }
 
     #[test]

@@ -6,10 +6,24 @@
 //! online component, sitting on the parallel formation backend
 //! ([`gf_core::ShardedFormer`]):
 //!
-//! * **Snapshot serving** — queries (`GET /group/{user}`,
-//!   `GET /recommend/{group}`, `GET /health`) read an immutable,
+//! * **A versioned API surface** — every endpoint lives under `/v1/...`
+//!   with one shared error envelope (`{"error":{"code","message"}}`) and
+//!   uniform `top_k`/`limit`/`offset` parameters; the original
+//!   unversioned paths remain as thin aliases that answer identically
+//!   but carry a `Deprecation: true` header ([`http`] module docs hold
+//!   the route table, mirrored by [`http::ROUTE_TABLE`]).
+//! * **Snapshot serving** — queries (`GET /v1/group/{user}`,
+//!   `GET /v1/recommend/{group}`, `GET /v1/health`) read an immutable,
 //!   `Arc`-shared [`Snapshot`] and are lock-free after one brief
 //!   read-lock to clone the `Arc`.
+//! * **A closed quality loop** — `GET /v1/recommend/...` filters the
+//!   stored top-`k` list down to *candidate* items no group member has
+//!   rated (`exclude_rated=true` is the `/v1` default, computed by
+//!   [`gf_core::CandidateEngine`] and cached per grouping version);
+//!   `POST /v1/feedback` journals which recommendations users accepted
+//!   — WAL-durable before the `202`, exactly like ratings — and folds
+//!   them into a sliding [`gf_core::OnlineEval`] window whose per-group
+//!   precision/recall/NDCG\@k surface under `quality` in `/v1/stats`.
 //! * **A named-grouping registry** — one process serves many independent
 //!   formations (per-tenant `k`/`ℓ`/semantics) over **one** shared rating
 //!   matrix: the snapshot maps grouping names to [`state::GroupingState`]
@@ -94,7 +108,10 @@ pub mod remap;
 pub mod state;
 
 pub use batch::BatchOutcome;
-pub use http::{parse_aggregation, parse_semantics, HttpRequest, Server, ServerHandle};
+pub use http::{
+    parse_aggregation, parse_semantics, HttpRequest, RouteOutcome, Server, ServerHandle,
+    ROUTE_TABLE,
+};
 pub use json::Json;
 pub use persist::{boot, spawn_checkpointer, Checkpointer, DurabilityOptions, RecoveryReport};
 pub use remap::RawIdLayer;

@@ -8,6 +8,7 @@
 //!          [--grouping NAME:k=K,ell=L,agg=A,semantics=S,lambda=F]... \
 //!          [--threads N] [--batch-window-ms MS] [--refresh auto|cold|incremental] \
 //!          [--grow] [--max-users N] [--max-items N] [--max-swaps N] \
+//!          [--feedback-window N] \
 //!          [--data-dir DIR] [--wal-sync always|interval] [--wal-sync-interval-ms MS] \
 //!          [--checkpoint-interval-ms MS] [--wal-retain]
 //! ```
@@ -38,6 +39,12 @@
 //! `--max-swaps` caps the incremental repair budget per refresh
 //! (bounded worst-case refresh latency; the server converges once
 //! updates quiesce).
+//!
+//! `--feedback-window N` sizes the sliding window of `POST /v1/feedback`
+//! events behind the per-grouping quality metrics in `/v1/stats`
+//! (default 1024 events). The window is a process knob, not durable
+//! state: a restart re-fills whatever capacity the new process was
+//! given from the journaled event history.
 //!
 //! `--data-dir` makes the server **durable**: every accepted `/rate` is
 //! journaled to an fsync'd WAL before acknowledgment, checkpoints are
@@ -91,6 +98,7 @@ struct Options {
     max_users: Option<u32>,
     max_items: Option<u32>,
     max_swaps: Option<usize>,
+    feedback_window: usize,
     data_dir: Option<String>,
     wal_sync: String,
     wal_sync_interval: Duration,
@@ -120,6 +128,7 @@ impl Default for Options {
             max_users: None,
             max_items: None,
             max_swaps: None,
+            feedback_window: 1024,
             data_dir: None,
             wal_sync: "always".into(),
             wal_sync_interval: Duration::from_millis(50),
@@ -137,7 +146,7 @@ fn usage() -> ! {
          [--grouping NAME:k=K,ell=L,agg=A,semantics=S,lambda=F]... \
          [--threads N] [--batch-window-ms MS] \
          [--refresh auto|cold|incremental] [--grow] [--max-users N] [--max-items N] \
-         [--max-swaps N] [--data-dir DIR] [--wal-sync always|interval] \
+         [--max-swaps N] [--feedback-window N] [--data-dir DIR] [--wal-sync always|interval] \
          [--wal-sync-interval-ms MS] [--checkpoint-interval-ms MS] [--wal-retain]"
     );
     exit(2)
@@ -212,6 +221,13 @@ fn parse_options() -> Options {
             "--max-users" => opts.max_users = Some(value.parse().unwrap_or_else(|_| usage())),
             "--max-items" => opts.max_items = Some(value.parse().unwrap_or_else(|_| usage())),
             "--max-swaps" => opts.max_swaps = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--feedback-window" => {
+                opts.feedback_window = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
             "--data-dir" => opts.data_dir = Some(value),
             "--wal-sync" => {
                 if value != "always" && value != "interval" {
@@ -387,7 +403,9 @@ fn main() {
         .with_threads(opts.threads)
         .with_refresh(opts.refresh)
         .with_growth(growth);
-    let mut cfg = ServeConfig::new(formation).with_batch_window(opts.batch_window);
+    let mut cfg = ServeConfig::new(formation)
+        .with_batch_window(opts.batch_window)
+        .with_feedback_window(opts.feedback_window);
     for spec in &opts.groupings {
         let (name, gc) = parse_grouping_spec(spec, formation);
         gf_serve::validate_grouping_name(&name)

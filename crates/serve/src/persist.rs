@@ -210,6 +210,7 @@ pub fn checkpoint_now(state: &ServeState, opts: &DurabilityOptions) -> Result<Op
                 former: g.former,
             })
             .collect(),
+        feedback: (*exported.feedback).clone(),
     };
     checkpoint::write(&opts.data_dir, &ck).map_err(GfError::from)?;
     state

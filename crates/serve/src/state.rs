@@ -67,14 +67,30 @@
 //! *front* of the journal to ride the re-warmed former on the next pass.
 //! Journal order — and therefore the chunking-invariant versioning — is
 //! preserved.
+//!
+//! ## The quality loop
+//!
+//! `POST /v1/feedback` events ride the same pending journal (and the same
+//! WAL, as their own record kind) as ratings: a pass folds each into the
+//! snapshot's sliding [`OnlineEval`] window in journal order, advancing
+//! the version by one per record just like a rating does — so crash
+//! digests stay chunking-invariant. A feedback-only pass never re-forms
+//! (the window is not an input to formation); it clones the groupings
+//! forward to the pass's version and re-syncs the standing formers so
+//! later rating passes still refresh incrementally. Candidate lists for
+//! `exclude_rated` filtering come from a [`CandidateEngine`] behind a
+//! per-`(grouping, group)` cache keyed by grouping version
+//! ([`ServeState::candidate_items`]): a version bump from any pass
+//! invalidates stale entries on the next miss.
 
 use crate::batch::{BatchOutcome, Batcher};
 use crate::remap::RawIdLayer;
 use gf_core::{
-    FormationConfig, FormationResult, GfError, GroupFormer, IncrementalFormer, PrefIndex,
-    RatingDelta, RatingMatrix, Result, ShardedFormer,
+    CandidateEngine, FeedbackEvent, FormationConfig, FormationResult, GfError, GroupFormer,
+    GrowthPolicy, IncrementalFormer, OnlineEval, PrefIndex, RatingDelta, RatingMatrix, Result,
+    ShardedFormer,
 };
-use gf_persist::wal::{Wal, WalRecord};
+use gf_persist::wal::{Wal, WalPayload, WalRecord};
 use gf_persist::{CheckpointState, StateDigest};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,11 +122,17 @@ pub struct ServeConfig {
     /// updates quiesce — the background worker runs catch-up passes over
     /// an empty journal until the deferred admissions drain.
     pub max_swaps: Option<usize>,
+    /// Capacity of the sliding feedback window behind the online quality
+    /// metrics (`/v1/feedback`, the `quality` block of `/v1/stats`). The
+    /// window keeps the most recent consumptions only; the cumulative
+    /// observed count survives eviction.
+    pub feedback_window: usize,
 }
 
 impl ServeConfig {
     /// Defaults: only the `"default"` grouping, a 5 ms batching window, at
-    /// most 1024 updates per pass and an unbounded repair budget.
+    /// most 1024 updates per pass, an unbounded repair budget and a
+    /// 1024-event feedback window.
     pub fn new(formation: FormationConfig) -> Self {
         ServeConfig {
             formation,
@@ -118,6 +140,7 @@ impl ServeConfig {
             batch_window: Duration::from_millis(5),
             max_updates_per_pass: 1024,
             max_swaps: None,
+            feedback_window: 1024,
         }
     }
 
@@ -143,6 +166,13 @@ impl ServeConfig {
     /// [`ServeConfig::max_swaps`]).
     pub fn with_max_swaps(mut self, max_swaps: usize) -> Self {
         self.max_swaps = Some(max_swaps);
+        self
+    }
+
+    /// Overrides the sliding feedback-window capacity (see
+    /// [`ServeConfig::feedback_window`]).
+    pub fn with_feedback_window(mut self, capacity: usize) -> Self {
+        self.feedback_window = capacity;
         self
     }
 }
@@ -231,6 +261,11 @@ pub struct Snapshot {
     pub version: u64,
     /// How much of the durable journal this snapshot bakes in.
     pub progress: Progress,
+    /// The sliding window of observed consumptions (`/v1/feedback`)
+    /// behind the online quality metrics. Immutable like everything else
+    /// in a snapshot: a background pass folds newly journaled feedback
+    /// into a successor window; untouched passes share the `Arc`.
+    pub feedback: Arc<OnlineEval>,
 }
 
 impl Snapshot {
@@ -289,6 +324,10 @@ pub struct Stats {
     pub recovery_replayed: AtomicU64,
     /// Torn-tail bytes dropped during this process's recovery.
     pub recovery_dropped_bytes: AtomicU64,
+    /// Feedback events accepted into the pending journal (`/v1/feedback`).
+    pub feedback_accepted: AtomicU64,
+    /// Feedback events folded into the online window by background passes.
+    pub feedback_applied: AtomicU64,
 }
 
 /// A standing incremental former plus the per-grouping version its
@@ -303,20 +342,64 @@ struct FormerSlot {
     synced_version: u64,
 }
 
+/// One accepted-but-unapplied journal record: a rating update or a
+/// feedback consumption. Both kinds share the sequence space, so version
+/// arithmetic stays chunking-invariant across mixed streams.
+#[derive(Debug, Clone)]
+enum PendingEntry {
+    /// `POST /v1/rate` — patches the matrix on apply.
+    Rating {
+        seq: u64,
+        user: u32,
+        item: u32,
+        score: f64,
+    },
+    /// `POST /v1/feedback` — folds into the online window on apply.
+    Feedback {
+        seq: u64,
+        user: u32,
+        item: u32,
+        scope: Option<String>,
+    },
+}
+
+impl PendingEntry {
+    fn seq(&self) -> u64 {
+        match self {
+            PendingEntry::Rating { seq, .. } | PendingEntry::Feedback { seq, .. } => *seq,
+        }
+    }
+}
+
 /// The pending journal. The WAL handle lives *inside* this mutex on
 /// purpose: an accepted rating appends to the log and enqueues under one
 /// critical section, so on-disk journal order is exactly queue order —
 /// the property that makes crash replay reproduce the uninterrupted run.
 struct PendingQueue {
-    /// `(seq, user, item, score)` in journal order.
-    updates: Vec<(u64, u32, u32, f64)>,
-    /// Sequence the next accepted rating takes. Mirrors the WAL when one
+    /// Accepted records in journal order.
+    entries: Vec<PendingEntry>,
+    /// Sequence the next accepted record takes. Mirrors the WAL when one
     /// is attached; counts from 1 standalone so version arithmetic is
     /// identical in volatile and durable runs.
     next_seq: u64,
     /// Durable journal, when `--data-dir` is configured.
     wal: Option<Wal>,
     shutdown: bool,
+}
+
+/// A cached candidate list: the grouping version it was computed at,
+/// and the sorted candidate item ids.
+type CachedList = (u64, Arc<Vec<u32>>);
+
+/// Per-group candidate lists (items **no** member has rated), computed
+/// on demand through one shared epoch-marked [`CandidateEngine`] and
+/// cached until the owning grouping's version moves — every background
+/// pass bumps every grouping's version, so a hit is always consistent
+/// with the snapshot that produced it.
+struct CandidateCache {
+    engine: CandidateEngine,
+    /// Keyed by `(grouping name, group index)`.
+    lists: BTreeMap<(String, usize), CachedList>,
 }
 
 /// One grouping frozen for checkpointing.
@@ -340,6 +423,7 @@ pub(crate) struct ExportedState {
     pub matrix: Arc<RatingMatrix>,
     pub prefs: Arc<PrefIndex>,
     pub groupings: Vec<ExportedGrouping>,
+    pub feedback: Arc<OnlineEval>,
 }
 
 /// The long-lived serving state shared by every connection handler.
@@ -363,6 +447,8 @@ pub struct ServeState {
     /// dense indices, set once at boot via
     /// [`ServeState::attach_raw_ids`].
     raw_ids: OnceLock<RawIdLayer>,
+    /// Candidate-item engine plus its per-group result cache.
+    candidates: Mutex<CandidateCache>,
     /// Counters for `/stats`.
     pub stats: Stats,
 }
@@ -404,12 +490,13 @@ impl ServeState {
             groupings,
             version: 1,
             progress: Progress::default(),
+            feedback: Arc::new(OnlineEval::new(cfg.feedback_window)),
         };
         Ok(Arc::new(ServeState {
             snapshot: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(()),
             pending: Mutex::new(PendingQueue {
-                updates: Vec::new(),
+                entries: Vec::new(),
                 next_seq: 1,
                 wal: None,
                 shutdown: false,
@@ -420,6 +507,10 @@ impl ServeState {
             max_swaps: cfg.max_swaps,
             formers: Mutex::new(BTreeMap::new()),
             raw_ids: OnceLock::new(),
+            candidates: Mutex::new(CandidateCache {
+                engine: CandidateEngine::new(),
+                lists: BTreeMap::new(),
+            }),
             stats: Stats::default(),
         }))
     }
@@ -474,12 +565,23 @@ impl ServeState {
                 "checkpoint carries no \"default\" grouping".into(),
             ));
         }
+        // The checkpointed window re-caps to this boot's configured
+        // capacity: shrinking drops the oldest events, growing keeps
+        // them all; the cumulative observed count carries over either
+        // way.
+        let feedback = Arc::new(OnlineEval::from_parts(
+            cfg.feedback_window,
+            ck.feedback.events().to_vec(),
+            ck.feedback.observed_total(),
+        ));
+        let feedback_observed = feedback.observed_total();
         let snapshot = Snapshot {
             matrix,
             prefs,
             groupings,
             version: ck.snapshot_version,
             progress,
+            feedback,
         };
         let stats = Stats::default();
         // Seed the process-local counters so `/stats` stays meaningful
@@ -493,11 +595,17 @@ impl ServeState {
         stats
             .items_admitted
             .store(ck.items_admitted, Ordering::Relaxed);
+        stats
+            .feedback_accepted
+            .store(feedback_observed, Ordering::Relaxed);
+        stats
+            .feedback_applied
+            .store(feedback_observed, Ordering::Relaxed);
         Ok(Arc::new(ServeState {
             snapshot: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(()),
             pending: Mutex::new(PendingQueue {
-                updates: Vec::new(),
+                entries: Vec::new(),
                 next_seq: ck.wal_seq + 1,
                 wal: None,
                 shutdown: false,
@@ -508,6 +616,10 @@ impl ServeState {
             max_swaps: cfg.max_swaps,
             formers: Mutex::new(formers),
             raw_ids: OnceLock::new(),
+            candidates: Mutex::new(CandidateCache {
+                engine: CandidateEngine::new(),
+                lists: BTreeMap::new(),
+            }),
             stats,
         }))
     }
@@ -518,12 +630,12 @@ impl ServeState {
         Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
     }
 
-    /// Number of rating updates waiting for the background pass.
+    /// Number of journal records waiting for the background pass.
     pub fn pending_len(&self) -> usize {
         self.pending
             .lock()
             .expect("pending lock poisoned")
-            .updates
+            .entries
             .len()
     }
 
@@ -564,8 +676,13 @@ impl ServeState {
             None => q.next_seq,
         };
         q.next_seq = seq + 1;
-        q.updates.push((seq, user, item, score));
-        let depth = q.updates.len();
+        q.entries.push(PendingEntry::Rating {
+            seq,
+            user,
+            item,
+            score,
+        });
+        let depth = q.entries.len();
         drop(q);
         self.stats.rates_accepted.fetch_add(1, Ordering::Relaxed);
         if journaled {
@@ -573,6 +690,112 @@ impl ServeState {
         }
         self.wakeup.notify_one();
         Ok(depth)
+    }
+
+    /// Accepts one feedback event (`user` consumed `item`) into the
+    /// pending journal, optionally scoped to one named grouping.
+    ///
+    /// Feedback never admits: both ids must already be covered by the
+    /// current snapshot, and a `scope` must name a registered grouping.
+    /// Like a rating, the event is journaled through the WAL **before**
+    /// acknowledgment and becomes visible (in the online quality window,
+    /// `/v1/stats`) once a background pass folds it in. Returns the
+    /// number of records now pending.
+    pub fn feedback(&self, user: u32, item: u32, scope: Option<&str>) -> Result<usize> {
+        let snap = self.snapshot();
+        let matrix = &snap.matrix;
+        if user >= matrix.n_users() {
+            return Err(GfError::UserOutOfRange {
+                user,
+                n_users: matrix.n_users(),
+            });
+        }
+        if item >= matrix.n_items() {
+            return Err(GfError::ItemOutOfRange {
+                item,
+                n_items: matrix.n_items(),
+            });
+        }
+        if let Some(name) = scope {
+            if snap.grouping(name).is_none() {
+                return Err(GfError::InvalidGrouping(format!(
+                    "no grouping named {name:?}"
+                )));
+            }
+        }
+        let mut q = self.pending.lock().expect("pending lock poisoned");
+        let journaled = q.wal.is_some();
+        let seq = match q.wal.as_mut() {
+            Some(wal) => wal
+                .append_feedback(user, item, scope)
+                .map_err(GfError::from)?,
+            None => q.next_seq,
+        };
+        q.next_seq = seq + 1;
+        q.entries.push(PendingEntry::Feedback {
+            seq,
+            user,
+            item,
+            scope: scope.map(String::from),
+        });
+        let depth = q.entries.len();
+        drop(q);
+        self.stats.feedback_accepted.fetch_add(1, Ordering::Relaxed);
+        if journaled {
+            self.stats.wal_records.fetch_add(1, Ordering::Relaxed);
+        }
+        self.wakeup.notify_one();
+        Ok(depth)
+    }
+
+    /// [`ServeState::feedback`] for original dataset ids. Resolution is a
+    /// pure lookup ([`GrowthPolicy::Fixed`]): a raw id the table has
+    /// never seen fails like an out-of-range dense id — consumptions of
+    /// unknown users or items never intern anything.
+    pub fn feedback_raw(&self, raw_user: u64, raw_item: u64, scope: Option<&str>) -> Result<usize> {
+        let layer = self.raw_ids().ok_or_else(|| {
+            GfError::InvalidGrouping("raw-id mode is not enabled (start with --raw-ids)".into())
+        })?;
+        let (user, item) = layer.resolve(raw_user, raw_item, GrowthPolicy::Fixed)?;
+        self.feedback(user, item, scope)
+    }
+
+    /// Candidate items for one group of a named grouping: the items **no**
+    /// member has rated, sorted ascending. Computed on the snapshot's
+    /// shared matrix through the epoch-marked [`CandidateEngine`] and
+    /// cached per `(grouping, group)` until the grouping's version moves
+    /// (every background pass moves every grouping's version, so a cache
+    /// hit always matches the matrix it is filtered against). Returns
+    /// `None` for an unknown grouping or group index.
+    pub fn candidate_items(
+        &self,
+        snap: &Snapshot,
+        name: &str,
+        group: usize,
+    ) -> Option<Arc<Vec<u32>>> {
+        let g = snap.grouping(name)?;
+        let members = &g.formation.grouping.groups.get(group)?.members;
+        let mut cache = self.candidates.lock().expect("candidate lock poisoned");
+        let key = (name.to_string(), group);
+        if let Some((version, list)) = cache.lists.get(&key) {
+            if *version == g.version {
+                return Some(Arc::clone(list));
+            }
+        }
+        let list = Arc::new(
+            cache
+                .engine
+                .candidates_for_group(&snap.matrix, members)
+                .expect("group members are valid rows of the snapshot's own matrix"),
+        );
+        // Evict entries no current grouping vouches for, so stale lists
+        // from re-formed or dropped groupings never accumulate.
+        let groupings = &snap.groupings;
+        cache
+            .lists
+            .retain(|(n, _), (v, _)| groupings.get(n.as_str()).is_some_and(|g| *v == g.version));
+        cache.lists.insert(key, (g.version, Arc::clone(&list)));
+        Some(list)
     }
 
     /// Installs the raw-id translation layer (`--raw-ids`). Call once at
@@ -608,19 +831,39 @@ impl ServeState {
     /// applying pass, which re-checks growth caps exactly as the original
     /// accept did.
     pub(crate) fn enqueue_replayed(&self, rec: &WalRecord) -> Result<()> {
-        if rec.updates.len() != 1 {
-            return Err(GfError::Persist(format!(
-                "wal record {} carries {} updates; gf-serve journals exactly one per record",
-                rec.seq,
-                rec.updates.len()
-            )));
-        }
-        let (user, item, score) = rec.updates[0];
+        let entry = match &rec.payload {
+            WalPayload::Ratings(updates) => {
+                if updates.len() != 1 {
+                    return Err(GfError::Persist(format!(
+                        "wal record {} carries {} updates; gf-serve journals exactly one per record",
+                        rec.seq,
+                        updates.len()
+                    )));
+                }
+                let (user, item, score) = updates[0];
+                PendingEntry::Rating {
+                    seq: rec.seq,
+                    user,
+                    item,
+                    score,
+                }
+            }
+            WalPayload::Feedback { user, item, scope } => PendingEntry::Feedback {
+                seq: rec.seq,
+                user: *user,
+                item: *item,
+                scope: scope.clone(),
+            },
+        };
+        let counter = match &entry {
+            PendingEntry::Rating { .. } => &self.stats.rates_accepted,
+            PendingEntry::Feedback { .. } => &self.stats.feedback_accepted,
+        };
         let mut q = self.pending.lock().expect("pending lock poisoned");
-        q.updates.push((rec.seq, user, item, score));
         q.next_seq = rec.seq + 1;
+        q.entries.push(entry);
         drop(q);
-        self.stats.rates_accepted.fetch_add(1, Ordering::Relaxed);
+        counter.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -653,10 +896,10 @@ impl ServeState {
     /// pending).
     pub fn process_pending(&self) -> Result<usize> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
-        let mut chunk: Vec<(u64, u32, u32, f64)> = {
+        let mut chunk: Vec<PendingEntry> = {
             let mut q = self.pending.lock().expect("pending lock poisoned");
-            let take = q.updates.len().min(self.max_updates_per_pass);
-            q.updates.drain(..take).collect()
+            let take = q.entries.len().min(self.max_updates_per_pass);
+            q.entries.drain(..take).collect()
         };
         if chunk.is_empty() {
             return Ok(0);
@@ -668,14 +911,18 @@ impl ServeState {
         // the user-rating tail back to the journal's front. The crossing
         // grouping pays its unavoidable cold rebuild on the short prefix;
         // the tail then rides the re-warmed former incrementally. Safe
-        // because versioning is chunking-invariant.
+        // because versioning is chunking-invariant. Only rating records
+        // can admit; feedback riding in the split tail keeps its place in
+        // journal order.
         let base_items = current.matrix.n_items();
         let mut max_item = base_items;
         let mut last_growth = 0usize;
-        for (idx, &(_, _, item, _)) in chunk.iter().enumerate() {
-            if item >= max_item {
-                max_item = item + 1;
-                last_growth = idx + 1;
+        for (idx, e) in chunk.iter().enumerate() {
+            if let PendingEntry::Rating { item, .. } = e {
+                if *item >= max_item {
+                    max_item = item + 1;
+                    last_growth = idx + 1;
+                }
             }
         }
         let crosses = max_item > base_items
@@ -686,12 +933,88 @@ impl ServeState {
         if crosses && last_growth < chunk.len() {
             let tail = chunk.split_off(last_growth);
             let mut q = self.pending.lock().expect("pending lock poisoned");
-            q.updates.splice(0..0, tail);
+            q.entries.splice(0..0, tail);
             drop(q);
             self.stats.admission_splits.fetch_add(1, Ordering::Relaxed);
             self.wakeup.notify_one();
         }
-        let updates: Vec<(u32, u32, f64)> = chunk.iter().map(|&(_, u, i, s)| (u, i, s)).collect();
+        let updates: Vec<(u32, u32, f64)> = chunk
+            .iter()
+            .filter_map(|e| match e {
+                PendingEntry::Rating {
+                    user, item, score, ..
+                } => Some((*user, *item, *score)),
+                PendingEntry::Feedback { .. } => None,
+            })
+            .collect();
+        let n_feedback = (chunk.len() - updates.len()) as u64;
+        // Fold newly journaled feedback into the successor window in
+        // journal order; rating-only chunks share the window `Arc`.
+        let feedback = if n_feedback == 0 {
+            Arc::clone(&current.feedback)
+        } else {
+            let mut window = (*current.feedback).clone();
+            for e in &chunk {
+                if let PendingEntry::Feedback {
+                    user, item, scope, ..
+                } = e
+                {
+                    window = window.observe(FeedbackEvent {
+                        user: *user,
+                        item: *item,
+                        scope: scope.clone(),
+                    });
+                }
+            }
+            Arc::new(window)
+        };
+        let next_version = current.version + chunk.len() as u64;
+        let last_seq = chunk.last().expect("chunk non-empty").seq();
+
+        if updates.is_empty() {
+            // Feedback-only chunk: the ratings, preference lists and every
+            // formation are untouched, so the successor shares them
+            // wholesale and skips the refresh machinery. Grouping versions
+            // still advance to the chunk-end version — exactly what a
+            // rating pass over the same records would do — so versioning
+            // (and the crash digest) stays chunking-invariant; standing
+            // formers with current lineage re-sync to follow.
+            let mut formers = self.formers.lock().expect("formers lock poisoned");
+            formers.retain(|name, _| current.groupings.contains_key(name));
+            let mut groupings = BTreeMap::new();
+            for (name, g) in &current.groupings {
+                if let Some(slot) = formers.get_mut(name) {
+                    if slot.synced_version == g.version && slot.former.config() == &g.config {
+                        slot.synced_version = next_version;
+                    }
+                }
+                groupings.insert(
+                    name.clone(),
+                    Arc::new(GroupingState {
+                        config: g.config,
+                        formation: g.formation.clone(),
+                        assignment: g.assignment.clone(),
+                        version: next_version,
+                    }),
+                );
+            }
+            drop(formers);
+            self.install(Snapshot {
+                matrix: Arc::clone(&current.matrix),
+                prefs: Arc::clone(&current.prefs),
+                groupings,
+                version: next_version,
+                progress: Progress {
+                    wal_seq: last_seq,
+                    ..current.progress
+                },
+                feedback,
+            });
+            self.stats
+                .feedback_applied
+                .fetch_add(n_feedback, Ordering::Relaxed);
+            return Ok(chunk.len());
+        }
         // Build the patched successors in one storage pass each (no
         // intermediate clone — the old matrix/prefs stay live for
         // concurrent readers), re-sorting each dirty user's preference
@@ -716,14 +1039,15 @@ impl ServeState {
         dirty.dedup();
         let prefs = Arc::new(current.prefs.patched(&matrix, &dirty));
 
-        // One version per journal record, not per pass: the version (and
-        // progress) a rating history yields is then invariant under pass
-        // chunking, which is what lets a crash-replayed server assert
-        // bit-for-bit equality with the uninterrupted run.
-        let next_version = current.version + chunk.len() as u64;
+        // One version per journal record (of either kind), not per pass:
+        // the version (and progress) a journal history yields is then
+        // invariant under pass chunking, which is what lets a
+        // crash-replayed server assert bit-for-bit equality with the
+        // uninterrupted run. `applied` counts rating updates only — the
+        // feedback ledger is the window's own cumulative count.
         let progress = Progress {
-            wal_seq: chunk.last().expect("chunk non-empty").0,
-            applied: current.progress.applied + chunk.len() as u64,
+            wal_seq: last_seq,
+            applied: current.progress.applied + updates.len() as u64,
             users_admitted: current.progress.users_admitted + admitted_users,
             items_admitted: current.progress.items_admitted + admitted_items,
         };
@@ -799,6 +1123,7 @@ impl ServeState {
             groupings,
             version: next_version,
             progress,
+            feedback,
         });
         // Counter order matters for observers: `refresh_passes` last, so
         // `refresh_incremental + refresh_cold >= refresh_passes` holds in
@@ -817,7 +1142,12 @@ impl ServeState {
         }
         self.stats
             .rates_applied
-            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+        if n_feedback > 0 {
+            self.stats
+                .feedback_applied
+                .fetch_add(n_feedback, Ordering::Relaxed);
+        }
         self.stats.refresh_passes.fetch_add(1, Ordering::Relaxed);
         Ok(chunk.len())
     }
@@ -836,7 +1166,7 @@ impl ServeState {
             .pending
             .lock()
             .expect("pending lock poisoned")
-            .updates
+            .entries
             .is_empty()
         {
             return Ok(false); // real updates take priority; they catch up too
@@ -896,6 +1226,7 @@ impl ServeState {
             groupings,
             version: next_version,
             progress: current.progress,
+            feedback: Arc::clone(&current.feedback),
         });
         self.stats.refresh_passes.fetch_add(1, Ordering::Relaxed);
         Ok(true)
@@ -953,6 +1284,7 @@ impl ServeState {
                 groupings,
                 version: next_version,
                 progress: current.progress,
+                feedback: Arc::clone(&current.feedback),
             });
             // A same-configuration `/form` reproduces exactly the greedy
             // formation the grouping's standing former maintains, so its
@@ -981,10 +1313,10 @@ impl ServeState {
         loop {
             {
                 let mut q = self.pending.lock().expect("pending lock poisoned");
-                while q.updates.is_empty() && !q.shutdown {
+                while q.entries.is_empty() && !q.shutdown {
                     q = self.wakeup.wait(q).expect("pending lock poisoned");
                 }
-                if q.shutdown && q.updates.is_empty() {
+                if q.shutdown && q.entries.is_empty() {
                     return;
                 }
             }
@@ -1043,16 +1375,19 @@ impl ServeState {
             matrix: Arc::clone(&snap.matrix),
             prefs: Arc::clone(&snap.prefs),
             groupings,
+            feedback: Arc::clone(&snap.feedback),
         }
     }
 
     /// An order-sensitive FNV-1a fingerprint of the serving state:
-    /// version, journal progress, every stored rating, and — per named
-    /// grouping, in name order — its name, version, configuration and
-    /// full formation (membership, top-k lists, satisfaction bits). Two
-    /// servers that applied the same journal — one uninterrupted, one
-    /// crash-restored — produce the same digest; the crash harness
-    /// asserts exactly that.
+    /// version, journal progress, every stored rating, the online
+    /// feedback window (cumulative count plus every windowed event —
+    /// but not its configured capacity, which is a process knob, not
+    /// journal state), and — per named grouping, in name order — its
+    /// name, version, configuration and full formation (membership,
+    /// top-k lists, satisfaction bits). Two servers that applied the
+    /// same journal — one uninterrupted, one crash-restored — produce
+    /// the same digest; the crash harness asserts exactly that.
     pub fn digest(&self) -> u64 {
         let snap = self.snapshot();
         let mut d = StateDigest::new();
@@ -1062,6 +1397,14 @@ impl ServeState {
             .u64(snap.progress.users_admitted)
             .u64(snap.progress.items_admitted)
             .matrix(&snap.matrix);
+        d.u64(snap.feedback.observed_total());
+        for ev in snap.feedback.events() {
+            d.u64(u64::from(ev.user)).u64(u64::from(ev.item));
+            match &ev.scope {
+                Some(s) => d.u64(1).bytes(s.as_bytes()),
+                None => d.u64(0),
+            };
+        }
         for (name, g) in &snap.groupings {
             d.bytes(name.as_bytes())
                 .u64(g.version)
@@ -1466,6 +1809,96 @@ mod tests {
         .unwrap();
         assert_eq!(s.grouping_digest("default").unwrap(), d_default);
         assert_ne!(s.grouping_digest("av").unwrap(), d_av);
+    }
+
+    #[test]
+    fn feedback_validates_defers_and_folds_into_the_window() {
+        let s = multi_state(10, 5);
+        assert!(matches!(
+            s.feedback(99, 0, None),
+            Err(GfError::UserOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.feedback(0, 99, None),
+            Err(GfError::ItemOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.feedback(0, 0, Some("nope")),
+            Err(GfError::InvalidGrouping(_))
+        ));
+        assert_eq!(s.pending_len(), 0);
+        let before = s.snapshot();
+        assert_eq!(s.feedback(3, 2, Some("av")).unwrap(), 1);
+        assert_eq!(s.feedback(4, 1, None).unwrap(), 2);
+        // Not visible until a pass folds it in.
+        assert!(s.snapshot().feedback.is_empty());
+        s.flush().unwrap();
+        let after = s.snapshot();
+        // Two records, one version each; the matrix and prefs are shared
+        // untouched, but every grouping's version follows the snapshot.
+        assert_eq!(after.version, before.version + 2);
+        assert!(Arc::ptr_eq(&before.matrix, &after.matrix));
+        assert!(Arc::ptr_eq(&before.prefs, &after.prefs));
+        for g in after.groupings.values() {
+            assert_eq!(g.version, after.version);
+        }
+        assert_eq!(after.feedback.len(), 2);
+        assert_eq!(after.feedback.observed_total(), 2);
+        assert_eq!(s.stats.feedback_applied.load(Ordering::Relaxed), 2);
+        // A feedback-only pass re-syncs warm formers instead of breaking
+        // their lineage: the next rating still refreshes incrementally.
+        s.rate(0, 0, 5.0).unwrap();
+        s.flush().unwrap();
+        s.rate(1, 1, 4.0).unwrap();
+        s.feedback(1, 1, None).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.stats.refresh_cold.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn feedback_digest_is_chunking_invariant() {
+        let run = |max_per_pass: usize| {
+            let cfg = ServeConfig::new(FormationConfig::new(
+                Semantics::LeastMisery,
+                Aggregation::Min,
+                2,
+                3,
+            ))
+            .with_batch_window(Duration::ZERO)
+            .with_max_updates_per_pass(max_per_pass);
+            let s = ServeState::new(matrix(10, 5), cfg).unwrap();
+            for step in 0..12u32 {
+                if step % 3 == 2 {
+                    s.feedback(step % 10, step % 5, None).unwrap();
+                } else {
+                    s.rate(step % 10, step % 5, 1.0 + f64::from(step % 5))
+                        .unwrap();
+                }
+                if max_per_pass == 1 {
+                    s.flush().unwrap(); // apply one record at a time
+                }
+            }
+            s.flush().unwrap();
+            s.digest()
+        };
+        assert_eq!(run(1), run(1024));
+    }
+
+    #[test]
+    fn candidate_items_match_brute_force_and_cache_by_version() {
+        let s = state(10, 6, 3);
+        let snap = s.snapshot();
+        let g = snap.default_grouping();
+        for (gi, group) in g.formation.grouping.groups.iter().enumerate() {
+            let got = s.candidate_items(&snap, "default", gi).unwrap();
+            let want = gf_core::brute_force_candidates(&snap.matrix, &group.members).unwrap();
+            assert_eq!(*got, want);
+            // A second query at the same version returns the cached Arc.
+            let again = s.candidate_items(&snap, "default", gi).unwrap();
+            assert!(Arc::ptr_eq(&got, &again));
+        }
+        assert!(s.candidate_items(&snap, "nope", 0).is_none());
+        assert!(s.candidate_items(&snap, "default", 99).is_none());
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! shared matrix, and recovery is asserted per grouping: the `/digest`
 //! grouping map of the restarted process must equal the uninterrupted
 //! reference name-for-name, bit-for-bit.
+//!
+//! The update stream interleaves `POST /v1/feedback` with ratings, so the
+//! same equality also proves the quality ledger survives: the state
+//! digest folds in the feedback window, and `feedback_applied` on the
+//! restarted server must equal the journal's feedback-record count.
 
 use gf_core::{Aggregation, FormationConfig, GrowthPolicy, RefreshMode, Semantics};
 use gf_datasets::SynthConfig;
@@ -149,6 +154,43 @@ fn rate(addr: &str, user: u32, item: u32, score: u32) {
     assert_eq!(status, 202, "rate ({user},{item},{score}) refused: {body}");
 }
 
+fn feedback(addr: &str, user: u32, item: u32, scope: Option<&str>) {
+    let body = match scope {
+        Some(s) => format!(r#"{{"user":{user},"item":{item},"grouping":"{s}"}}"#),
+        None => format!(r#"{{"user":{user},"item":{item}}}"#),
+    };
+    let (status, resp) = http(addr, "POST", "/v1/feedback", &body);
+    assert_eq!(status, 202, "feedback ({user},{item}) refused: {resp}");
+}
+
+/// Drives a slice of the rating script against a live server,
+/// interleaving a deterministic trickle of `/v1/feedback` posts (base
+/// users/items only, so feedback validation never races a pending
+/// admission). Returns the number of journal records produced — one per
+/// rating plus one per feedback. `sleep_every > 0` naps briefly every
+/// that-many ratings so a rapid checkpointer can land mid-stream.
+fn drive(addr: &str, updates: &[(u32, u32, u32)], offset: usize, sleep_every: usize) -> u64 {
+    let mut records = 0u64;
+    for (n, &(u, i, s)) in updates.iter().enumerate() {
+        rate(addr, u, i, s);
+        records += 1;
+        let k = offset + n;
+        if k % 5 == 2 {
+            let scope = match k % 3 {
+                0 => Some("cons"),
+                1 => Some("av"),
+                _ => None,
+            };
+            feedback(addr, u % USERS, i % ITEMS, scope);
+            records += 1;
+        }
+        if sleep_every > 0 && n % sleep_every == sleep_every - 1 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    records
+}
+
 /// Deterministic rating stream: mostly in-population updates, a steady
 /// trickle of admissions (users 48..64, items 10..32), scores on the
 /// synth corpus's 1–5 integer grid.
@@ -245,13 +287,20 @@ fn reference(dir: &Path) -> Digest {
     )
     .unwrap();
     for rec in &scanned.records {
-        assert_eq!(
-            rec.updates.len(),
-            1,
-            "live servers journal one update per record"
-        );
-        let (u, i, s) = rec.updates[0];
-        state.rate(u, i, s).unwrap();
+        match &rec.payload {
+            gf_persist::WalPayload::Ratings(updates) => {
+                assert_eq!(
+                    updates.len(),
+                    1,
+                    "live servers journal one update per record"
+                );
+                let (u, i, s) = updates[0];
+                state.rate(u, i, s).unwrap();
+            }
+            gf_persist::WalPayload::Feedback { user, item, scope } => {
+                state.feedback(*user, *item, scope.as_deref()).unwrap();
+            }
+        }
     }
     state.flush().unwrap();
     let snap = state.snapshot();
@@ -290,6 +339,21 @@ fn assert_recovered_equals_reference(addr: &str, dir: &Path) {
         "per-grouping digests diverged"
     );
     assert_eq!(got.digest, want.digest, "state digest diverged");
+    // The quality ledger must survive too: every journaled feedback
+    // record counts as applied on the recovered server (checkpointed
+    // window observations plus replayed tail).
+    let n_feedback = gf_persist::wal::scan(dir)
+        .unwrap()
+        .records
+        .iter()
+        .filter(|r| matches!(r.payload, gf_persist::WalPayload::Feedback { .. }))
+        .count() as u64;
+    assert!(n_feedback > 0, "harness journaled no feedback");
+    assert_eq!(
+        stat(addr, "feedback_applied"),
+        n_feedback,
+        "feedback ledger diverged across the crash"
+    );
 }
 
 fn stat(addr: &str, key: &str) -> u64 {
@@ -308,17 +372,14 @@ fn stat(addr: &str, key: &str) -> u64 {
 fn kill_before_first_checkpoint() {
     let dir = tmpdir("early");
     let server = spawn(&dir, 3_600_000);
-    let updates = script(40);
-    for &(u, i, s) in &updates {
-        rate(&server.addr, u, i, s);
-    }
+    let records = drive(&server.addr, &script(40), 0, 0);
     server.kill_dash_nine();
 
     let restarted = spawn(&dir, 3_600_000);
     assert_eq!(
         stat(&restarted.addr, "recovery_replayed"),
-        updates.len() as u64,
-        "every acked rating must replay"
+        records,
+        "every acked record must replay"
     );
     assert_recovered_equals_reference(&restarted.addr, &dir);
     drop(restarted);
@@ -331,14 +392,8 @@ fn kill_before_first_checkpoint() {
 fn kill_between_checkpoints() {
     let dir = tmpdir("mid");
     let server = spawn(&dir, 25);
-    let updates = script(120);
-    for (n, &(u, i, s)) in updates.iter().enumerate() {
-        rate(&server.addr, u, i, s);
-        if n % 10 == 9 {
-            // Give the checkpointer room to land mid-stream.
-            std::thread::sleep(Duration::from_millis(5));
-        }
-    }
+    // sleep_every gives the checkpointer room to land mid-stream.
+    drive(&server.addr, &script(120), 0, 10);
     server.kill_dash_nine();
 
     let restarted = spawn(&dir, 3_600_000);
@@ -353,23 +408,17 @@ fn kill_between_checkpoints() {
 fn kill_again_right_after_recovery() {
     let dir = tmpdir("double");
     let server = spawn(&dir, 3_600_000);
-    let first = script(30);
-    for &(u, i, s) in &first {
-        rate(&server.addr, u, i, s);
-    }
+    drive(&server.addr, &script(30), 0, 0);
     server.kill_dash_nine();
 
     let survivor = spawn(&dir, 3_600_000);
-    let second = &script(45)[30..];
-    for &(u, i, s) in second {
-        rate(&survivor.addr, u, i, s);
-    }
+    let second_records = drive(&survivor.addr, &script(45)[30..], 30, 0);
     survivor.kill_dash_nine();
 
     let restarted = spawn(&dir, 3_600_000);
     assert_eq!(
         stat(&restarted.addr, "recovery_replayed"),
-        second.len() as u64,
+        second_records,
         "only records past the survivor's boot checkpoint replay"
     );
     assert_recovered_equals_reference(&restarted.addr, &dir);

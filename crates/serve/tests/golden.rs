@@ -1,9 +1,15 @@
 //! Golden-file regression tests for the serve JSON codecs: a scripted,
 //! fully deterministic serving session renders `/health`, `/rate`,
-//! `/stats`, `/group` (plain and paged) and `/recommend` bodies, and each
+//! `/stats`, `/group` (plain and paged), `/recommend` and `/v1/feedback`
+//! bodies — plus the shared `{"error":{...}}` envelope — and each
 //! byte-compares against a committed fixture. Codec drift — a renamed
 //! field, a reordered object, a number formatting change — fails loudly
 //! here instead of silently changing the wire format.
+//!
+//! Success bodies are fixture-shared between `/v1/...` and the
+//! unversioned aliases (the surfaces differ only in `/recommend`'s
+//! `exclude_rated` default and the `Deprecation` header, which is not
+//! part of the body).
 //!
 //! To regenerate after an *intentional* format change:
 //! `GF_UPDATE_GOLDEN=1 cargo test -p gf-serve --test golden` and commit
@@ -166,6 +172,50 @@ fn multi_grouping_json_bodies_match_committed_fixtures() {
     assert_golden("error_unknown_grouping.json", status, 404, &body);
     let (status, _) = request(&state, "POST", "/form", "name=nope", "");
     assert_eq!(status, 404);
+}
+
+/// The quality-loop session: one journaled `/v1/feedback` event, the
+/// candidate-filtered `/v1/recommend` body (the dense Example-1 matrix
+/// leaves no unrated candidates, so the filtered list is empty), the
+/// opt-out + `top_k` variant, the `/v1/stats` quality block, and the
+/// error envelope in its 400/404 shapes.
+#[test]
+fn v1_quality_loop_bodies_match_committed_fixtures() {
+    let state = scripted_state();
+
+    let (status, body) = request(&state, "POST", "/v1/feedback", "", r#"{"user":3,"item":1}"#);
+    assert_golden("feedback.json", status, 202, &body);
+    state.flush().unwrap();
+
+    let (status, body) = request(&state, "GET", "/v1/recommend/0", "", "");
+    assert_golden("recommend_v1_filtered.json", status, 200, &body);
+
+    let (status, body) = request(
+        &state,
+        "GET",
+        "/v1/recommend/0",
+        "exclude_rated=false&top_k=2",
+        "",
+    );
+    assert_golden("recommend_v1_topk.json", status, 200, &body);
+
+    let (status, body) = request(&state, "GET", "/v1/stats", "", "");
+    assert_golden("stats_quality.json", status, 200, &body);
+
+    let (status, body) = request(
+        &state,
+        "POST",
+        "/v1/feedback",
+        "",
+        r#"{"user":0,"item":0,"grouping":"nope"}"#,
+    );
+    assert_golden("error_unknown_grouping_feedback.json", status, 404, &body);
+
+    let (status, body) = request(&state, "GET", "/v1/nope", "", "");
+    assert_golden("error_unknown_endpoint.json", status, 404, &body);
+
+    let (status, body) = request(&state, "GET", "/v1/group/abc", "", "");
+    assert_golden("error_bad_request.json", status, 400, &body);
 }
 
 /// The growth-scripted session: the same Example-1 ratings serving under

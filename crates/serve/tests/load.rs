@@ -1,8 +1,9 @@
 //! Socket-level keep-alive load generator: N persistent connections
 //! streaming interleaved `POST /rate` and `GET /group/{u}` (plus paged
-//! and `/stats` reads) against a real [`Server`] — the accept loop,
-//! thread-per-connection handlers and background refresh worker the
-//! `gf-serve` binary runs — while refreshes swap snapshots underneath.
+//! reads, `POST /v1/feedback` and `/v1/stats` reads) against a real
+//! [`Server`] — the accept loop, thread-per-connection handlers and
+//! background refresh worker the `gf-serve` binary runs — while
+//! refreshes swap snapshots underneath.
 //!
 //! Asserted invariants:
 //!
@@ -11,7 +12,8 @@
 //! * snapshot versions observed on one connection are monotone
 //!   non-decreasing (each response carries the serving version);
 //! * nothing is lost: after a final flush, `rates_applied` equals the
-//!   number of accepted `/rate` requests.
+//!   number of accepted `/rate` requests, and `feedback_applied` the
+//!   number of accepted `/v1/feedback` requests.
 //!
 //! The default profile is CI-sized (a few hundred requests); set
 //! `GF_LOAD_SCALE=8` (any positive integer) to multiply both the
@@ -124,6 +126,7 @@ impl Client {
 struct ConnReport {
     requests: usize,
     rates_accepted: usize,
+    feedback_accepted: usize,
     versions_seen: usize,
 }
 
@@ -138,6 +141,7 @@ fn drive_connection(
     let mut report = ConnReport {
         requests: 0,
         rates_accepted: 0,
+        feedback_accepted: 0,
         versions_seen: 0,
     };
     let mut observe_version = |body: &Json, report: &mut ConnReport| -> Result<(), String> {
@@ -198,13 +202,25 @@ fn drive_connection(
                 }
                 observe_version(&json, &mut report)?;
             }
-            // Stats round out the read mix.
+            // Feedback journaling and stats reads round out the mix.
             _ => {
-                let (status, json) = client.request("GET", "/stats", "")?;
-                if status != 200 {
-                    return Err(format!("/stats returned {status}: {json}"));
+                if rng.gen_bool(0.5) {
+                    let user = rng.gen_range(0..N_USERS);
+                    let item = rng.gen_range(0..N_ITEMS);
+                    let body = format!(r#"{{"user":{user},"item":{item}}}"#);
+                    let (status, json) = client.request("POST", "/v1/feedback", &body)?;
+                    if status != 202 {
+                        return Err(format!("/v1/feedback returned {status}: {json}"));
+                    }
+                    observe_version(&json, &mut report)?;
+                    report.feedback_accepted += 1;
+                } else {
+                    let (status, json) = client.request("GET", "/v1/stats", "")?;
+                    if status != 200 {
+                        return Err(format!("/v1/stats returned {status}: {json}"));
+                    }
+                    observe_version(&json, &mut report)?;
                 }
-                observe_version(&json, &mut report)?;
             }
         }
         report.requests += 1;
@@ -230,6 +246,7 @@ fn drive_admissions(
     let mut report = ConnReport {
         requests: 0,
         rates_accepted: 0,
+        feedback_accepted: 0,
         versions_seen: 0,
     };
     for r in 0..n_requests {
@@ -376,6 +393,7 @@ fn keep_alive_load_generator() {
         .collect();
     let mut total_requests = 0usize;
     let mut total_rates = 0usize;
+    let mut total_feedback = 0usize;
     for (c, worker) in workers.into_iter().enumerate() {
         let report = worker
             .join()
@@ -388,6 +406,7 @@ fn keep_alive_load_generator() {
         );
         total_requests += report.requests;
         total_rates += report.rates_accepted;
+        total_feedback += report.feedback_accepted;
     }
     assert_eq!(total_requests, n_connections * n_requests);
 
@@ -401,6 +420,19 @@ fn keep_alive_load_generator() {
     assert_eq!(
         stats.rates_applied.load(Ordering::Relaxed),
         total_rates as u64
+    );
+    assert!(total_feedback > 0, "the mix never exercised /v1/feedback");
+    assert_eq!(
+        stats.feedback_accepted.load(Ordering::Relaxed),
+        total_feedback as u64
+    );
+    assert_eq!(
+        stats.feedback_applied.load(Ordering::Relaxed),
+        total_feedback as u64
+    );
+    assert_eq!(
+        server.state().snapshot().feedback.observed_total(),
+        total_feedback as u64
     );
     assert_eq!(server.state().pending_len(), 0);
     // The refresh worker really ran while the load was in flight, and the
