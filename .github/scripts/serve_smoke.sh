@@ -328,4 +328,61 @@ echo "== quality: the error envelope is uniform on /v1 =="
 request GET /v1/nope 404 | jq -e '.error.code == "unknown_endpoint" and .error.message' >/dev/null
 request GET /v1/group/abc 400 | jq -e '.error.code == "bad_request"' >/dev/null
 
+# ---------------------------------------------------------------------------
+# Net-transport smoke: boot the same corpus under --net epoll and
+# --net blocking, drive the same endpoints, and assert the response
+# bodies are byte-identical — the transports must be indistinguishable
+# above the socket layer.
+# ---------------------------------------------------------------------------
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+
+NET_ENDPOINTS=(
+  "GET /v1/health"
+  "GET /v1/group/3"
+  "GET /v1/group/3?limit=1&offset=0"
+  "GET /v1/group/9999"
+  "GET /v1/nope"
+  "GET /v1/group/abc"
+)
+
+# capture_transport MODE PORT OUTFILE — boots --net MODE, appends one
+# "METHOD PATH -> body" line per endpoint, shuts down.
+capture_transport() {
+  local mode=$1 port=$2 outfile=$3
+  local log; log=$(mktemp)
+  "$BIN" --port "$port" --data "$FIXTURE" --ell 4 --k 3 --net "$mode" \
+    --conn-timeout-ms 5000 >"$log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$log" && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "--net $mode server died during startup"; cat "$log"; exit 1; }
+    sleep 0.1
+  done
+  grep -q "listening on" "$log" || { echo "--net $mode server never became ready"; exit 1; }
+  grep -q "net=$mode" "$log" || { echo "FAIL: listening line does not report net=$mode"; cat "$log"; exit 1; }
+  : >"$outfile"
+  local method path body
+  for ep in "${NET_ENDPOINTS[@]}"; do
+    method=${ep%% *}
+    path=${ep#* }
+    body=$(curl -sS -X "$method" "http://127.0.0.1:${port}${path}")
+    jq -e . >/dev/null <<<"$body" || { echo "FAIL: --net $mode $method $path returned malformed JSON: $body" >&2; exit 1; }
+    printf '%s %s -> %s\n' "$method" "$path" "$body" >>"$outfile"
+  done
+  kill "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+}
+
+echo "== net: identical bodies under --net epoll and --net blocking =="
+NET_PORT_A=$((PORT + 4))
+NET_PORT_B=$((PORT + 5))
+EPOLL_OUT=$(mktemp)
+BLOCKING_OUT=$(mktemp)
+capture_transport epoll "$NET_PORT_A" "$EPOLL_OUT"
+capture_transport blocking "$NET_PORT_B" "$BLOCKING_OUT"
+diff -u "$EPOLL_OUT" "$BLOCKING_OUT" \
+  || { echo "FAIL: transports served different bodies"; exit 1; }
+trap 'rm -rf "$DATA_DIR"' EXIT
+
 echo "serve smoke: all checks passed"

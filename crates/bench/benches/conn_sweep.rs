@@ -1,0 +1,98 @@
+//! Persistent-connection sweep over the event-driven transport: a real
+//! [`gf_serve::Server`] on a loopback socket, swept at 100 → 1k → 10k
+//! keep-alive connections of interleaved `/v1/rate` + `/v1/group` +
+//! `/v1/stats` traffic via [`gf_serve::loadgen`] — the same harness the
+//! `tests/load.rs` sweeps and the `conn_sweep` example use.
+//!
+//! The sweep points do their own wall-clock timing (one pass per point;
+//! percentile math lives in the harness) and print the
+//! `conns=… p50=…us p99=…us rps=…` lines EXPERIMENTS.md quotes; a small
+//! criterion-tracked `request_latency_1conn` bench rides along so the
+//! per-PR guard sees a stable socket-latency series.
+//!
+//! Scale: the top sweep point is 10k connections at `GF_BENCH_SCALE=paper`
+//! and 400 at `quick`, always clamped to the process fd budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gf_bench::Scale;
+use gf_core::{Aggregation, FormationConfig, Semantics};
+use gf_datasets::SynthConfig;
+use gf_serve::loadgen::{fd_budget, run_sweep, SweepConfig};
+use gf_serve::{ServeConfig, ServeState, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const N_USERS: u32 = 500;
+const N_ITEMS: u32 = 60;
+
+fn start_server() -> ServerHandle {
+    let corpus = SynthConfig::yahoo_music()
+        .with_users(N_USERS)
+        .with_items(N_ITEMS)
+        .generate();
+    let state = ServeState::new(
+        corpus.matrix,
+        ServeConfig::new(
+            FormationConfig::new(Semantics::LeastMisery, Aggregation::Min, 5, 10).with_threads(0),
+        )
+        .with_batch_window(Duration::from_millis(1)),
+    )
+    .expect("initial formation");
+    // Default transport: epoll on Linux — the path the sweep targets.
+    Server::bind("127.0.0.1:0", state)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+fn conn_sweep_benches(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let server = start_server();
+
+    // The sweep proper: self-timed (one pass per point is the
+    // measurement — holding 10k sockets open is the workload, and
+    // repeating it per criterion sample would dwarf the run budget).
+    let budget = fd_budget().saturating_sub(256);
+    let top = scale.shrink(10_000, 25);
+    for (conns, reqs) in [(top / 100, 20), (top / 10, 10), (top, 3)] {
+        let conns = conns.clamp(8, budget);
+        let report = run_sweep(
+            server.addr(),
+            &SweepConfig {
+                connections: conns,
+                requests_per_conn: reqs,
+                threads: 0,
+                users: N_USERS,
+                items: N_ITEMS,
+            },
+        )
+        .expect("sweep point");
+        assert_eq!(report.errors, 0, "sweep saw bad statuses");
+        println!("conn-sweep: {}", report.summary());
+    }
+
+    // Criterion-tracked single-connection request latency, for the
+    // regression guard: one keep-alive socket, lockstep GET /v1/health.
+    let mut g = c.benchmark_group(format!("conn-sweep-{N_USERS}x{N_ITEMS}"));
+    g.sample_size(12);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut buf = [0u8; 4096];
+    g.bench_function("request_latency_1conn", |b| {
+        b.iter(|| {
+            stream
+                .write_all(b"GET /v1/health HTTP/1.1\r\n\r\n")
+                .expect("write");
+            // Health bodies are tiny: one read gets the whole response.
+            let n = stream.read(&mut buf).expect("read");
+            assert!(n > 0, "server closed the bench connection");
+        })
+    });
+    g.finish();
+    drop(stream);
+    server.stop();
+}
+
+criterion_group!(benches, conn_sweep_benches);
+criterion_main!(benches);

@@ -1,0 +1,473 @@
+//! # gf-netpoll — minimal readiness notification for the serving transport
+//!
+//! The workspace builds offline with zero external dependencies, so this
+//! crate plays the role `mio`/`polling` would otherwise fill: a safe,
+//! tiny wrapper over the platform readiness API, exposing exactly the
+//! surface `gf-serve`'s event loop needs.
+//!
+//! * [`Poller`] — a level-triggered `epoll` instance: register file
+//!   descriptors with a `u64` token and an [`Interest`], then block in
+//!   [`Poller::wait`] until any of them are ready.
+//! * [`Waker`] — a loopback datagram socket registered like any other
+//!   fd; [`Waker::wake`] makes a blocked [`Poller::wait`] return from
+//!   another thread. (A `UdpSocket` pair instead of an `eventfd` keeps
+//!   the unsafe surface down to the four `epoll` calls.)
+//!
+//! The Linux implementation is the real one; every other platform gets
+//! a stub whose constructors return [`std::io::ErrorKind::Unsupported`]
+//! so callers can probe with [`supported`] and fall back to a blocking
+//! transport. This is the **only** crate in the workspace that contains
+//! `unsafe` code — four FFI declarations and the `OwnedFd` adoption of
+//! the fd `epoll_create1` returns — everything above it (including all
+//! of `gf-serve`) keeps `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Whether this platform has a real readiness backend.
+///
+/// `false` means [`Poller::new`] will fail with
+/// [`std::io::ErrorKind::Unsupported`]; callers should use their
+/// blocking transport instead.
+pub fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+/// What readiness a registration asks to be told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd becomes readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (includes peer hang-up, so a read observes EOF).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The fd is in an error or hang-up state (`EPOLLERR`/`EPOLLHUP`);
+    /// delivered regardless of the registered interest.
+    pub error: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::net::UdpSocket;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    /// The raw libc surface. `std` links libc on every Linux target, so
+    /// declaring the four symbols here adds no dependency; `errno` is
+    /// read through `io::Error::last_os_error()` as usual.
+    #[allow(unsafe_code)]
+    mod sys {
+        use std::os::raw::c_int;
+
+        /// Kernel ABI: `struct epoll_event` is packed on x86 so the
+        /// 64-bit payload sits at offset 4.
+        #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+        #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+        }
+    }
+
+    /// A level-triggered `epoll` instance.
+    pub struct Poller {
+        epfd: OwnedFd,
+        /// Scratch buffer reused across `wait` calls.
+        buf: Vec<sys::EpollEvent>,
+    }
+
+    fn interest_mask(interest: Interest) -> u32 {
+        let mut mask = sys::EPOLLRDHUP;
+        if interest.readable {
+            mask |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+
+    impl Poller {
+        /// Creates a new epoll instance (close-on-exec).
+        #[allow(unsafe_code)]
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall; a non-negative return is a freshly
+            // created fd this process owns, adopted exactly once.
+            let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: `epfd` was just returned by the kernel and is not
+            // owned by anything else.
+            let epfd = unsafe { OwnedFd::from_raw_fd(epfd) };
+            Ok(Poller {
+                epfd,
+                buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        #[allow(unsafe_code)]
+        fn ctl(
+            &self,
+            op: std::os::raw::c_int,
+            fd: RawFd,
+            event: u32,
+            token: u64,
+        ) -> io::Result<()> {
+            let mut ev = sys::EpollEvent {
+                events: event,
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            let rc = unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Registers `fd` with `token`; readiness per `interest`.
+        pub fn add(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                sys::EPOLL_CTL_ADD,
+                fd.as_raw_fd(),
+                interest_mask(interest),
+                token,
+            )
+        }
+
+        /// Changes the interest set of an already-registered `fd`.
+        pub fn modify(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                sys::EPOLL_CTL_MOD,
+                fd.as_raw_fd(),
+                interest_mask(interest),
+                token,
+            )
+        }
+
+        /// Deregisters `fd`. Closing the fd deregisters implicitly, so
+        /// this is only needed when the fd lives on.
+        pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_DEL, fd.as_raw_fd(), 0, 0)
+        }
+
+        /// Blocks until at least one registered fd is ready or `timeout`
+        /// elapses (`None` blocks indefinitely). `events` is cleared
+        /// first and then filled with this wakeup's readiness — stale
+        /// events never survive into the next iteration. Returns the
+        /// number of events delivered; `EINTR` retries transparently.
+        #[allow(unsafe_code)]
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms: std::os::raw::c_int = match timeout {
+                // Round up so a 100µs deadline cannot spin at timeout 0.
+                Some(t) => t
+                    .as_millis()
+                    .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                    .min(i32::MAX as u128) as std::os::raw::c_int,
+                None => -1,
+            };
+            let n = loop {
+                // SAFETY: `buf` is a live, properly sized allocation for
+                // the duration of the call; the kernel writes at most
+                // `buf.len()` events into it.
+                let rc = unsafe {
+                    sys::epoll_wait(
+                        self.epfd.as_raw_fd(),
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as std::os::raw::c_int,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for raw in &self.buf[..n] {
+                // Copy out of the (possibly packed) struct by value.
+                let (mask, data) = (raw.events, raw.data);
+                events.push(Event {
+                    token: data,
+                    readable: mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                    writable: mask & sys::EPOLLOUT != 0,
+                    error: mask & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    /// Cross-thread wake-up for a blocked [`Poller::wait`]: a connected
+    /// loopback `UdpSocket` pair. Register the waker's receiving socket
+    /// like any fd, call [`Waker::wake`] from any thread, and drain it
+    /// with [`Waker::drain`] when its token fires.
+    #[derive(Debug)]
+    pub struct Waker {
+        rx: UdpSocket,
+        tx: UdpSocket,
+    }
+
+    impl Waker {
+        /// Creates the socket pair (both non-blocking).
+        pub fn new() -> io::Result<Waker> {
+            let rx = UdpSocket::bind("127.0.0.1:0")?;
+            let tx = UdpSocket::bind("127.0.0.1:0")?;
+            tx.connect(rx.local_addr()?)?;
+            // Reject datagrams from anyone but our own tx socket.
+            rx.connect(tx.local_addr()?)?;
+            rx.set_nonblocking(true)?;
+            tx.set_nonblocking(true)?;
+            Ok(Waker { rx, tx })
+        }
+
+        /// Makes the owning poller's `wait` return. Never blocks; a full
+        /// socket buffer means a wake-up is already pending, which is all
+        /// the caller wanted.
+        pub fn wake(&self) {
+            let _ = self.tx.send(&[1u8]);
+        }
+
+        /// Consumes pending wake-ups so level-triggered polling quiesces.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 16];
+            while self.rx.recv(&mut buf).is_ok() {}
+        }
+    }
+
+    impl AsRawFd for Waker {
+        fn as_raw_fd(&self) -> RawFd {
+            self.rx.as_raw_fd()
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "gf-netpoll: no readiness backend on this platform (use the blocking transport)",
+        )
+    }
+
+    /// Stub poller; constructors fail with `Unsupported`.
+    #[derive(Debug)]
+    pub struct Poller {}
+
+    impl Poller {
+        /// Always fails on this platform.
+        pub fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn add(&self, _fd: &impl Fd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn modify(&self, _fd: &impl Fd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn delete(&self, _fd: &impl Fd) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn wait(
+            &mut self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            Err(unsupported())
+        }
+    }
+
+    /// Stand-in bound for the stub's fd parameters.
+    pub trait Fd {}
+    impl<T> Fd for T {}
+
+    /// Stub waker; constructor fails with `Unsupported`.
+    #[derive(Debug)]
+    pub struct Waker {}
+
+    impl Waker {
+        /// Always fails on this platform.
+        pub fn new() -> io::Result<Waker> {
+            Err(unsupported())
+        }
+
+        /// No-op.
+        pub fn wake(&self) {}
+
+        /// No-op.
+        pub fn drain(&self) {}
+    }
+}
+
+pub use imp::{Poller, Waker};
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn readiness_round_trip_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(&listener, 7, Interest::READ).unwrap();
+
+        // Nothing pending: a short wait times out empty.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // A connect makes the listener readable.
+        let mut client = TcpStream::connect(addr).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        let (accepted, _) = listener.accept().unwrap();
+        accepted.set_nonblocking(true).unwrap();
+        poller.add(&accepted, 9, Interest::READ).unwrap();
+
+        // Payload arrives: token 9 readable; the write side observes
+        // writability once asked for it.
+        client.write_all(b"ping").unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.readable));
+        let mut buf = [0u8; 8];
+        let mut acc = accepted;
+        assert_eq!(acc.read(&mut buf).unwrap(), 4);
+
+        poller.modify(&acc, 9, Interest::BOTH).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.writable));
+
+        // Peer close is visible as readable (EOF) on a level-triggered
+        // registration.
+        drop(client);
+        poller.modify(&acc, 9, Interest::READ).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.readable));
+        assert_eq!(acc.read(&mut buf).unwrap(), 0, "EOF after peer close");
+        let _ = acc.as_raw_fd();
+    }
+
+    #[test]
+    fn waker_unblocks_wait_from_another_thread() {
+        let mut poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.add(&*waker, u64::MAX, Interest::READ).unwrap();
+
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == u64::MAX && e.readable));
+        waker.drain();
+        // Drained: the next wait is quiet again.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn supported_reports_linux_backend() {
+        assert!(supported());
+    }
+}

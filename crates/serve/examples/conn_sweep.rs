@@ -1,0 +1,54 @@
+//! Standalone connection-sweep driver against a *running* `gf-serve`:
+//!
+//! ```text
+//! gf-serve --synth 500x60 --port 8080 &
+//! cargo run --release -p gf-serve --example conn_sweep -- 127.0.0.1:8080 100 1000 10000
+//! ```
+//!
+//! Each positional argument after the address is one sweep point
+//! (persistent keep-alive connections); with none given the default
+//! 100 → 1000 → 10000 ladder runs. Points are clamped to this process's
+//! fd budget. Prints one `conns=… p50=…us p99=…us rps=…` line per point
+//! — the format EXPERIMENTS.md quotes.
+
+use gf_serve::loadgen::{fd_budget, run_sweep, SweepConfig};
+use std::net::SocketAddr;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr: SocketAddr = args
+        .next()
+        .unwrap_or_else(|| usage())
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let mut points: Vec<usize> = args
+        .map(|a| a.parse().unwrap_or_else(|_| usage()))
+        .collect();
+    if points.is_empty() {
+        points = vec![100, 1_000, 10_000];
+    }
+    let budget = fd_budget().saturating_sub(256);
+    for conns in points {
+        let conns = conns.clamp(1, budget);
+        let cfg = SweepConfig {
+            connections: conns,
+            // Keep total traffic roughly flat across the ladder.
+            requests_per_conn: (20_000 / conns).clamp(3, 100),
+            threads: 0,
+            users: 500,
+            items: 60,
+        };
+        match run_sweep(addr, &cfg) {
+            Ok(report) => println!("{}", report.summary()),
+            Err(err) => {
+                eprintln!("sweep at {conns} connections failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: conn_sweep ADDR:PORT [CONNS...]");
+    std::process::exit(2);
+}

@@ -1,11 +1,15 @@
-//! A minimal HTTP/1.1 server on `std::net` — request/response codec,
-//! routing and the thread-per-connection accept loop.
+//! Request routing and response shaping — the transport-agnostic half
+//! of the HTTP server.
 //!
-//! The environment is offline, so the codec is hand-rolled the same way
-//! the `vendor/` stubs stand in for crates: just enough HTTP/1.1 for
-//! `curl`, load generators and browsers — request line, headers,
+//! The environment is offline, so the protocol is hand-rolled the same
+//! way the `vendor/` stubs stand in for crates: just enough HTTP/1.1
+//! for `curl`, load generators and browsers — request line, headers,
 //! `Content-Length` bodies, keep-alive with explicit lengths on every
-//! response. No chunked encoding, no TLS, no HTTP/2.
+//! response. No chunked encoding, no TLS, no HTTP/2. The byte-level
+//! codec and both transports (the epoll readiness loop and the blocking
+//! fallback) live in [`crate::net`]; everything there funnels into
+//! [`route_full`] here, so routing behavior is transport-independent by
+//! construction.
 //!
 //! ## Endpoints (`/v1`)
 //!
@@ -39,15 +43,7 @@
 use crate::json::{obj, Json};
 use crate::state::{ServeState, Snapshot};
 use gf_core::{Aggregation, FormationConfig, GfError, Semantics};
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-
-/// Caps keeping one slow or hostile connection from hurting the rest.
-const MAX_LINE: usize = 8 * 1024;
-const MAX_HEADERS: usize = 64;
-const MAX_BODY: usize = 1024 * 1024;
+use std::sync::atomic::Ordering;
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,87 +60,8 @@ pub struct HttpRequest {
     pub keep_alive: bool,
 }
 
-/// Reads one request off the stream; `Ok(None)` on a cleanly closed
-/// connection, `Err` on malformed or oversized input.
-fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<HttpRequest>> {
-    let mut line = String::new();
-    if read_crlf_line(reader, &mut line)? == 0 {
-        return Ok(None); // EOF between requests: clean close
-    }
-    let (method, target, version) = {
-        let mut parts = line.split_whitespace();
-        match (parts.next(), parts.next(), parts.next()) {
-            (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => {
-                (m.to_uppercase(), t.to_string(), v.to_string())
-            }
-            _ => return Err(bad_input("malformed request line")),
-        }
-    };
-    let mut keep_alive = version == "HTTP/1.1";
-    let mut content_length = 0usize;
-    for _ in 0..MAX_HEADERS {
-        line.clear();
-        if read_crlf_line(reader, &mut line)? == 0 {
-            // EOF mid-headers: a truncated request must be dropped, not
-            // dispatched as if the blank end-of-headers line arrived.
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "connection closed mid-request",
-            ));
-        }
-        let header = line.trim_end();
-        if header.is_empty() {
-            let (path, query) = match target.split_once('?') {
-                Some((p, q)) => (p.to_string(), q.to_string()),
-                None => (target.clone(), String::new()),
-            };
-            let mut body = vec![0u8; content_length];
-            reader.read_exact(&mut body)?;
-            let body =
-                String::from_utf8(body).map_err(|_| bad_input("request body is not utf-8"))?;
-            return Ok(Some(HttpRequest {
-                method,
-                path,
-                query,
-                body,
-                keep_alive,
-            }));
-        }
-        let Some((name, value)) = header.split_once(':') else {
-            return Err(bad_input("malformed header"));
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n <= MAX_BODY)
-                .ok_or_else(|| bad_input("bad content-length"))?;
-        } else if name.eq_ignore_ascii_case("connection") {
-            keep_alive = !value.eq_ignore_ascii_case("close");
-        }
-    }
-    Err(bad_input("too many headers"))
-}
-
-/// Reads one `\r\n`-terminated line; returns 0 at EOF before any byte.
-fn read_crlf_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> std::io::Result<usize> {
-    line.clear();
-    let n = reader.take(MAX_LINE as u64 + 1).read_line(line)?;
-    if n > MAX_LINE {
-        return Err(bad_input("line too long"));
-    }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
-    Ok(n)
-}
-
-fn bad_input(message: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, message.to_string())
-}
-
-fn status_text(status: u16) -> &'static str {
+/// Status line text for every status the server can answer with.
+pub(crate) fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
         202 => "Accepted",
@@ -152,33 +69,14 @@ fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Payload Too Large",
         _ => "Internal Server Error",
     }
 }
 
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    body: &Json,
-    keep_alive: bool,
-    deprecated: bool,
-) -> std::io::Result<()> {
-    let payload = body.to_string();
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n{}\r\n",
-        status_text(status),
-        payload.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-        if deprecated { "deprecation: true\r\n" } else { "" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(payload.as_bytes())?;
-    stream.flush()
-}
-
 /// The one error envelope every failure answers with: a stable
 /// machine-readable `code` plus a human-readable `message`.
-fn error_body(code: &'static str, message: impl std::fmt::Display) -> Json {
+pub(crate) fn error_body(code: &'static str, message: impl std::fmt::Display) -> Json {
     obj([(
         "error",
         obj([
@@ -357,6 +255,14 @@ fn dispatch(state: &ServeState, req: &HttpRequest, path: &str, versioned: bool) 
                     (
                         "recovery_dropped_bytes",
                         Json::from(s.recovery_dropped_bytes.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "conns_accepted",
+                        Json::from(s.conns_accepted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "conns_timed_out",
+                        Json::from(s.conns_timed_out.load(Ordering::Relaxed)),
                     ),
                     (
                         "feedback_accepted",
@@ -967,156 +873,12 @@ fn feedback(state: &ServeState, body: &str) -> (u16, Json) {
     }
 }
 
-/// The serving process: a TCP listener, the shared state, and the
-/// background refresh worker.
-pub struct Server {
-    listener: TcpListener,
-    state: Arc<ServeState>,
-}
-
-/// Handle to a server running on background threads (used by tests and
-/// embedders; the binary calls [`Server::run`] instead).
-pub struct ServerHandle {
-    addr: SocketAddr,
-    state: Arc<ServeState>,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    refresh_thread: Option<std::thread::JoinHandle<()>>,
-}
-
-impl ServerHandle {
-    /// The address the server is listening on.
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// The shared serving state (for white-box assertions in tests).
-    pub fn state(&self) -> &Arc<ServeState> {
-        &self.state
-    }
-
-    /// Stops accepting, drains the refresh worker and joins both threads.
-    pub fn stop(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a wake-up connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        self.state.shutdown();
-        if let Some(t) = self.refresh_thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Server {
-    /// Binds to `addr` (use port 0 to let the OS pick a free port).
-    pub fn bind(addr: impl ToSocketAddrs, state: Arc<ServeState>) -> std::io::Result<Server> {
-        Ok(Server {
-            listener: TcpListener::bind(addr)?,
-            state,
-        })
-    }
-
-    /// The bound address.
-    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.listener.local_addr()
-    }
-
-    /// Runs the accept loop on the current thread forever, spawning the
-    /// background refresh worker and one handler thread per connection.
-    pub fn run(self) -> std::io::Result<()> {
-        {
-            let state = Arc::clone(&self.state);
-            std::thread::spawn(move || state.run_refresh_worker());
-        }
-        for stream in self.listener.incoming() {
-            match stream {
-                Ok(stream) => {
-                    let state = Arc::clone(&self.state);
-                    std::thread::spawn(move || handle_connection(stream, &state));
-                }
-                Err(err) => eprintln!("gf-serve: accept error: {err}"),
-            }
-        }
-        Ok(())
-    }
-
-    /// Runs accept loop and refresh worker on background threads,
-    /// returning a handle to stop them. Used by tests and benches.
-    pub fn spawn(self) -> std::io::Result<ServerHandle> {
-        let addr = self.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let refresh_thread = {
-            let state = Arc::clone(&self.state);
-            std::thread::spawn(move || state.run_refresh_worker())
-        };
-        let accept_thread = {
-            let state = Arc::clone(&self.state);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                for stream in self.listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    if let Ok(stream) = stream {
-                        let state = Arc::clone(&state);
-                        std::thread::spawn(move || handle_connection(stream, &state));
-                    }
-                }
-            })
-        };
-        Ok(ServerHandle {
-            addr,
-            state: self.state,
-            stop,
-            accept_thread: Some(accept_thread),
-            refresh_thread: Some(refresh_thread),
-        })
-    }
-}
-
-/// Serves one connection: requests are handled in order until the client
-/// closes or asks to. Malformed input gets a 400 and a close.
-fn handle_connection(stream: TcpStream, state: &ServeState) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut stream = stream;
-    loop {
-        match read_request(&mut reader) {
-            Ok(Some(req)) => {
-                let out = route_full(state, &req);
-                let keep = req.keep_alive && out.status < 500;
-                if write_response(&mut stream, out.status, &out.body, keep, out.deprecated).is_err()
-                    || !keep
-                {
-                    return;
-                }
-            }
-            Ok(None) => return,
-            Err(err) if err.kind() == std::io::ErrorKind::InvalidData => {
-                let _ = write_response(
-                    &mut stream,
-                    400,
-                    &error_body("bad_request", err),
-                    false,
-                    false,
-                );
-                return;
-            }
-            Err(_) => return,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::state::ServeConfig;
     use gf_core::{RatingMatrix, RatingScale};
+    use std::sync::Arc;
     use std::time::Duration;
 
     fn test_state() -> Arc<ServeState> {

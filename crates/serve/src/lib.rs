@@ -93,8 +93,11 @@
 //! # assert!(snap.default_grouping().assignment.iter().all(Option::is_some));
 //! ```
 //!
-//! To serve over TCP, wrap the state in an [`http::Server`] (or run the
-//! `gf-serve` binary, which loads a dataset and does exactly that).
+//! To serve over TCP, wrap the state in a [`net::Server`] (or run the
+//! `gf-serve` binary, which loads a dataset and does exactly that). The
+//! transport defaults to an epoll readiness loop on Linux and falls
+//! back to hardened thread-per-connection elsewhere; `--net` selects
+//! explicitly ([`net`] module docs).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -103,16 +106,16 @@
 pub mod batch;
 pub mod http;
 pub mod json;
+pub mod loadgen;
+pub mod net;
 pub mod persist;
 pub mod remap;
 pub mod state;
 
 pub use batch::BatchOutcome;
-pub use http::{
-    parse_aggregation, parse_semantics, HttpRequest, RouteOutcome, Server, ServerHandle,
-    ROUTE_TABLE,
-};
+pub use http::{parse_aggregation, parse_semantics, HttpRequest, RouteOutcome, ROUTE_TABLE};
 pub use json::Json;
+pub use net::{NetMode, NetOptions, Server, ServerHandle};
 pub use persist::{boot, spawn_checkpointer, Checkpointer, DurabilityOptions, RecoveryReport};
 pub use remap::RawIdLayer;
 pub use state::{

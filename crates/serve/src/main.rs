@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! gf-serve [--addr HOST] [--port P] \
+//!          [--net epoll|blocking] [--conn-timeout-ms MS] [--max-conn-threads N] \
+//!          [--net-workers N] \
 //!          [--data FILE [--format dat|csv|tsv|netflix] [--scale one5|zero5|half]] \
 //!          [--synth USERSxITEMS] [--raw-ids] \
 //!          [--semantics lm|av|cons|ldr] [--aggregation min|max|sum] [--k K] [--ell L] \
@@ -12,6 +14,15 @@
 //!          [--data-dir DIR] [--wal-sync always|interval] [--wal-sync-interval-ms MS] \
 //!          [--checkpoint-interval-ms MS] [--wal-retain]
 //! ```
+//!
+//! `--net` picks the transport: `epoll` (the default on Linux) drives a
+//! fixed pool of `--net-workers` readiness-loop threads over
+//! `epoll_wait`; `blocking` is the portable thread-per-connection
+//! fallback, capped at `--max-conn-threads` concurrent handler threads.
+//! Either transport closes a connection idle (or stalled mid-request /
+//! mid-response) for `--conn-timeout-ms` (default 30000; 0 disables) —
+//! the slowloris guard. See `docs/ARCHITECTURE.md` for the readiness
+//! loop and `docs/OPERATIONS.md` for tuning.
 //!
 //! With `--data`, the file format defaults from the extension (`.dat` →
 //! MovieLens dat, `.csv` → MovieLens csv, anything else → TSV) and the
@@ -69,7 +80,8 @@ use gf_datasets::io::{read_movielens_csv, read_movielens_dat, read_netflix, read
 use gf_datasets::SynthConfig;
 use gf_persist::wal::SyncMode;
 use gf_serve::{
-    parse_aggregation, parse_semantics, DurabilityOptions, ServeConfig, ServeState, Server,
+    parse_aggregation, parse_semantics, DurabilityOptions, NetMode, NetOptions, ServeConfig,
+    ServeState, Server,
 };
 use std::io::BufReader;
 use std::process::exit;
@@ -79,6 +91,7 @@ use std::time::{Duration, Instant};
 struct Options {
     addr: String,
     port: u16,
+    net: NetOptions,
     data: Option<String>,
     format: Option<String>,
     scale: RatingScale,
@@ -111,6 +124,7 @@ impl Default for Options {
         Options {
             addr: "127.0.0.1".into(),
             port: 7878,
+            net: NetOptions::default(),
             data: None,
             format: None,
             scale: RatingScale::half_star(),
@@ -140,7 +154,8 @@ impl Default for Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gf-serve [--addr HOST] [--port P] [--data FILE] [--format dat|csv|tsv|netflix] \
+        "usage: gf-serve [--addr HOST] [--port P] [--net epoll|blocking] [--conn-timeout-ms MS] \
+         [--max-conn-threads N] [--net-workers N] [--data FILE] [--format dat|csv|tsv|netflix] \
          [--scale one5|zero5|half] [--synth UxI] [--raw-ids] [--semantics lm|av|cons|ldr] \
          [--aggregation min|max|sum] [--k K] [--ell L] \
          [--grouping NAME:k=K,ell=L,agg=A,semantics=S,lambda=F]... \
@@ -180,6 +195,19 @@ fn parse_options() -> Options {
         match flag.as_str() {
             "--addr" => opts.addr = value,
             "--port" => opts.port = value.parse().unwrap_or_else(|_| usage()),
+            "--net" => opts.net.mode = NetMode::parse(&value).unwrap_or_else(|| usage()),
+            "--conn-timeout-ms" => {
+                let ms: u64 = value.parse().unwrap_or_else(|_| usage());
+                opts.net.conn_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--max-conn-threads" => {
+                opts.net.max_conn_threads = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--net-workers" => opts.net.workers = value.parse().unwrap_or_else(|_| usage()),
             "--data" => opts.data = Some(value),
             "--format" => opts.format = Some(value),
             "--scale" => {
@@ -488,14 +516,16 @@ fn main() {
     let groups = snap.default_grouping().formation.grouping.len();
     let groupings = snap.groupings.len();
     drop(snap);
-    let server = Server::bind((opts.addr.as_str(), opts.port), state)
+    let net_mode = opts.net.mode;
+    let server = Server::bind_with((opts.addr.as_str(), opts.port), state, opts.net.clone())
         .unwrap_or_else(|e| fail(format!("bind {}:{}: {e}", opts.addr, opts.port)));
     let addr = server
         .local_addr()
         .unwrap_or_else(|e| fail(format!("local addr: {e}")));
     println!(
         "gf-serve: listening on http://{addr} \
-         (users={n_users} items={n_items} groups={groups} groupings={groupings})"
+         (users={n_users} items={n_items} groups={groups} groupings={groupings} net={})",
+        net_mode.as_str()
     );
     if let Err(e) = server.run() {
         fail(format!("serve loop: {e}"));

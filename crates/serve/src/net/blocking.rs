@@ -1,0 +1,162 @@
+//! Portable blocking transport: thread-per-connection on `std::net`,
+//! hardened with socket deadlines and a concurrency cap.
+//!
+//! This is the fallback for platforms without epoll (and an always-on
+//! escape hatch via `--net blocking`). Two historical bugs are fixed
+//! here rather than inherited:
+//!
+//! * **Slowloris**: accepted streams get `set_read_timeout` /
+//!   `set_write_timeout` (`--conn-timeout-ms`, default 30s), so an idle
+//!   or byte-at-a-time client releases its thread at the deadline
+//!   instead of pinning it forever.
+//! * **Unbounded spawn**: a [`Gate`] caps concurrent handler threads
+//!   (`--max-conn-threads`). At the cap the acceptor stops calling
+//!   `accept`, so a connection flood queues in the kernel backlog and
+//!   degrades gracefully instead of exhausting process threads.
+
+use crate::net::conn::{Conn, Step};
+use crate::state::ServeState;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Counting semaphore bounding concurrent connection threads. Built on
+/// `Mutex<usize>` + `Condvar` (no std semaphore on our MSRV); waiters
+/// poll the stop flag so shutdown never deadlocks a full gate.
+pub(crate) struct Gate {
+    active: Mutex<usize>,
+    freed: Condvar,
+    cap: usize,
+}
+
+impl Gate {
+    pub(crate) fn new(cap: usize) -> Gate {
+        Gate {
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks until a slot frees up; `false` means the server stopped
+    /// while waiting.
+    fn acquire(&self, stop: &AtomicBool) -> bool {
+        let mut active = self.active.lock().unwrap();
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            if *active < self.cap {
+                *active += 1;
+                return true;
+            }
+            let (guard, _) = self
+                .freed
+                .wait_timeout(active, Duration::from_millis(100))
+                .unwrap();
+            active = guard;
+        }
+    }
+
+    fn release(&self) {
+        *self.active.lock().unwrap() -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// The accept loop. Acquires a gate slot *before* accepting, so the cap
+/// is backpressure on the kernel backlog, not a post-accept drop.
+pub(crate) fn run_accept_loop(
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    conn_timeout: Option<Duration>,
+    gate: Arc<Gate>,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        if !gate.acquire(&stop) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(err) => {
+                gate.release();
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                eprintln!("gf-serve: accept error: {err}");
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            gate.release();
+            return;
+        }
+        state.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::clone(&state);
+        let gate_for_conn = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            serve_conn(stream, &state, conn_timeout);
+            gate_for_conn.release();
+        });
+    }
+}
+
+fn is_timeout(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Serves one connection until close, error, or deadline. All protocol
+/// policy lives in [`Conn`]; this loop only moves bytes.
+pub(crate) fn serve_conn(mut stream: TcpStream, state: &ServeState, timeout: Option<Duration>) {
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    let _ = stream.set_nodelay(true);
+    let mut conn = Conn::new(false);
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        // Answer everything parseable, flushing whenever backpressure
+        // pauses the parser.
+        loop {
+            match conn.step(state) {
+                Step::Responded => continue,
+                Step::Offload(_) => unreachable!("blocking transport handles slow routes inline"),
+                Step::Idle => {
+                    if !conn.has_pending_write() {
+                        break;
+                    }
+                    while conn.has_pending_write() {
+                        match stream.write(conn.pending_write()) {
+                            Ok(0) => return,
+                            Ok(n) => conn.consume_written(n),
+                            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+                            Err(err) if is_timeout(&err) => {
+                                state.stats.conns_timed_out.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                }
+            }
+        }
+        if conn.done() {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => conn.mark_eof(),
+            Ok(n) => conn.ingest(&buf[..n]),
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(err) if is_timeout(&err) => {
+                state.stats.conns_timed_out.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}

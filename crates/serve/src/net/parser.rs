@@ -1,0 +1,159 @@
+//! Incremental HTTP/1.1 request parser shared by both transports.
+//!
+//! The blocking transport used to parse straight off a `BufReader`; an
+//! event loop cannot block, so parsing is restated as a *push* parser:
+//! bytes accumulate in a connection's read buffer and [`parse_request`]
+//! either produces one complete request (plus how many bytes it
+//! consumed), asks for more bytes, or rejects the prefix. The function
+//! is pure over the buffer, so segmentation — two requests in one read,
+//! one request across five reads, a header straddling a boundary — can
+//! never change the result.
+//!
+//! Semantics mirror the original reader exactly: lines are delimited by
+//! `\n` with trailing `\r`/`\n` trimmed, a request line must look like
+//! `METHOD TARGET HTTP/1...`, headers are `name: value` until a blank
+//! line, and `Content-Length` bodies must be UTF-8. The caps below bound
+//! how much a hostile connection can buffer.
+
+use crate::http::HttpRequest;
+
+/// Caps keeping one slow or hostile connection from hurting the rest.
+/// A line's length is counted *including* its `\n` terminator (matching
+/// the old `take(MAX_LINE + 1)` reader); the body cap is enforced from
+/// the declared `Content-Length`, before any body byte is read.
+pub(crate) const MAX_LINE: usize = 8 * 1024;
+pub(crate) const MAX_HEADERS: usize = 64;
+pub(crate) const MAX_BODY: usize = 1024 * 1024;
+
+/// Outcome of trying to parse one request from the front of `buf`.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum ParseStep {
+    /// The buffer holds a valid-so-far prefix; feed more bytes.
+    Incomplete,
+    /// One complete request plus the number of bytes it consumed.
+    Request(HttpRequest, usize),
+}
+
+/// A rejected request prefix. The connection answers the mapped status
+/// and closes; no recovery is attempted mid-stream.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum ParseError {
+    /// Syntactically invalid input — answered with `400 bad_request`.
+    Malformed(String),
+    /// A declared `Content-Length` above [`MAX_BODY`] — answered with
+    /// `413 payload_too_large` *before* buffering the body.
+    TooLarge(String),
+}
+
+/// One scanned line: its content (terminators trimmed) and the offset
+/// just past its `\n`.
+struct Line<'a> {
+    text: &'a str,
+    end: usize,
+}
+
+/// Scans the line starting at `start`. `Ok(None)` means the terminator
+/// has not arrived yet (and the partial line is still within bounds).
+fn take_line(buf: &[u8], start: usize) -> Result<Option<Line<'_>>, ParseError> {
+    let rest = &buf[start..];
+    let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+        if rest.len() > MAX_LINE {
+            return Err(ParseError::Malformed("line too long".to_string()));
+        }
+        return Ok(None);
+    };
+    if nl + 1 > MAX_LINE {
+        return Err(ParseError::Malformed("line too long".to_string()));
+    }
+    let mut line = &rest[..nl];
+    while let [head @ .., b'\r' | b'\n'] = line {
+        line = head;
+    }
+    let text = std::str::from_utf8(line)
+        .map_err(|_| ParseError::Malformed("stream did not contain valid UTF-8".to_string()))?;
+    Ok(Some(Line {
+        text,
+        end: start + nl + 1,
+    }))
+}
+
+/// Attempts to parse one complete request from the front of `buf`.
+///
+/// Errors are reported as soon as the offending *line* is complete —
+/// a malformed request line is rejected without waiting for the rest of
+/// the headers, and an oversized `Content-Length` is rejected without
+/// waiting for (or buffering) the declared body.
+pub(crate) fn parse_request(buf: &[u8]) -> Result<ParseStep, ParseError> {
+    let Some(request_line) = take_line(buf, 0)? else {
+        return Ok(ParseStep::Incomplete);
+    };
+    let (method, target, version) = {
+        let mut parts = request_line.text.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => {
+                (m.to_uppercase(), t.to_string(), v.to_string())
+            }
+            _ => {
+                return Err(ParseError::Malformed("malformed request line".to_string()));
+            }
+        }
+    };
+    // HTTP/1.1 defaults to keep-alive; an explicit `Connection` header
+    // (parsed below) overrides in either direction.
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length = 0usize;
+    let mut cursor = request_line.end;
+    let mut body_start = None;
+    for _ in 0..MAX_HEADERS {
+        let Some(line) = take_line(buf, cursor)? else {
+            return Ok(ParseStep::Incomplete);
+        };
+        cursor = line.end;
+        let header = line.text.trim_end();
+        if header.is_empty() {
+            body_start = Some(cursor);
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Malformed("malformed header".to_string()));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let parsed = value
+                .parse::<usize>()
+                .map_err(|_| ParseError::Malformed("bad content-length".to_string()))?;
+            if parsed > MAX_BODY {
+                return Err(ParseError::TooLarge(format!(
+                    "content-length {parsed} exceeds the {MAX_BODY}-byte body limit"
+                )));
+            }
+            content_length = parsed;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    let Some(body_start) = body_start else {
+        return Err(ParseError::Malformed("too many headers".to_string()));
+    };
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Ok(ParseStep::Incomplete);
+    }
+    let body = std::str::from_utf8(&buf[body_start..total])
+        .map_err(|_| ParseError::Malformed("request body is not utf-8".to_string()))?
+        .to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(ParseStep::Request(
+        HttpRequest {
+            method,
+            path,
+            query,
+            body,
+            keep_alive,
+        },
+        total,
+    ))
+}

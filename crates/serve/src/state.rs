@@ -328,6 +328,11 @@ pub struct Stats {
     pub feedback_accepted: AtomicU64,
     /// Feedback events folded into the online window by background passes.
     pub feedback_applied: AtomicU64,
+    /// TCP connections accepted by the transport (either `--net` mode).
+    pub conns_accepted: AtomicU64,
+    /// Connections closed by the idle/stall deadline (`--conn-timeout-ms`):
+    /// socket timeouts on the blocking path, the timer wheel on epoll.
+    pub conns_timed_out: AtomicU64,
 }
 
 /// A standing incremental former plus the per-grouping version its

@@ -20,7 +20,8 @@
 //! connection count and the per-connection request count locally.
 
 use gf_core::{Aggregation, FormationConfig, GrowthPolicy, RatingMatrix, RatingScale, Semantics};
-use gf_serve::{Json, ServeConfig, ServeState, Server, ServerHandle};
+use gf_serve::loadgen::{fd_budget, run_sweep, SweepConfig};
+use gf_serve::{Json, NetMode, NetOptions, ServeConfig, ServeState, Server, ServerHandle};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -39,7 +40,7 @@ fn load_scale() -> usize {
         .unwrap_or(1)
 }
 
-fn start_server_with(growth: GrowthPolicy) -> ServerHandle {
+fn start_server_net(growth: GrowthPolicy, net: NetOptions) -> ServerHandle {
     let rows: Vec<Vec<f64>> = (0..N_USERS)
         .map(|u| {
             (0..N_ITEMS)
@@ -54,7 +55,16 @@ fn start_server_with(growth: GrowthPolicy) -> ServerHandle {
     )
     .with_batch_window(Duration::from_millis(1));
     let state = ServeState::new(matrix, cfg).unwrap();
-    Server::bind("127.0.0.1:0", state).unwrap().spawn().unwrap()
+    Server::bind_with("127.0.0.1:0", state, net)
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+fn start_server_with(growth: GrowthPolicy) -> ServerHandle {
+    // Default transport: epoll on Linux, the blocking fallback elsewhere
+    // — so the main generators exercise whatever the binary would run.
+    start_server_net(growth, NetOptions::default())
 }
 
 fn start_server() -> ServerHandle {
@@ -446,4 +456,191 @@ fn keep_alive_load_generator() {
         .validate(N_USERS, 8)
         .unwrap();
     server.stop();
+}
+
+/// The same mixed keep-alive workload over the blocking fallback
+/// transport (the default tests above cover epoll on Linux): both
+/// transports must uphold the zero-lost-updates and monotone-version
+/// invariants, not just the default one.
+#[test]
+fn keep_alive_load_generator_blocking_transport() {
+    let n_connections = 4;
+    let n_requests = 24;
+    let server = start_server_net(
+        GrowthPolicy::Fixed,
+        NetOptions {
+            mode: NetMode::Blocking,
+            ..NetOptions::default()
+        },
+    );
+    let addr = server.addr();
+    let workers: Vec<_> = (0..n_connections)
+        .map(|c| std::thread::spawn(move || drive_connection(addr, 0xB10C + c as u64, n_requests)))
+        .collect();
+    let mut total_rates = 0usize;
+    for (c, worker) in workers.into_iter().enumerate() {
+        let report = worker
+            .join()
+            .expect("connection thread panicked")
+            .unwrap_or_else(|e| panic!("connection {c}: {e}"));
+        assert_eq!(report.requests, n_requests, "connection {c} fell short");
+        total_rates += report.rates_accepted;
+    }
+    server.state().flush().unwrap();
+    let stats = &server.state().stats;
+    assert_eq!(
+        stats.rates_accepted.load(Ordering::Relaxed),
+        total_rates as u64
+    );
+    assert_eq!(
+        stats.rates_applied.load(Ordering::Relaxed),
+        total_rates as u64
+    );
+    assert!(stats.conns_accepted.load(Ordering::Relaxed) >= n_connections as u64);
+    server.stop();
+}
+
+/// CI-sized connection sweep against the in-process server: 100
+/// persistent keep-alive connections (clamped to the fd budget) of
+/// interleaved `/v1/rate` + `/v1/group` + `/v1/stats`, asserting zero
+/// unexpected statuses, per-connection monotone versions (checked
+/// inside the harness) and zero lost updates afterwards.
+#[test]
+fn connection_sweep_in_process() {
+    let server = start_server();
+    let cfg = SweepConfig {
+        connections: 100.min(fd_budget().saturating_sub(64).max(8)),
+        requests_per_conn: 4 * load_scale(),
+        threads: 0,
+        users: N_USERS,
+        items: N_ITEMS,
+    };
+    let report = run_sweep(server.addr(), &cfg).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    println!("sweep[in-process]: {}", report.summary());
+    assert_eq!(
+        report.errors,
+        0,
+        "unexpected statuses: {}",
+        report.summary()
+    );
+    assert_eq!(
+        report.requests,
+        (cfg.connections * cfg.requests_per_conn) as u64
+    );
+    assert!(report.max_version >= 1, "no response carried a version");
+    server.state().flush().unwrap();
+    let stats = &server.state().stats;
+    assert_eq!(
+        stats.rates_accepted.load(Ordering::Relaxed),
+        report.rates_accepted,
+        "accepted-rate ledgers disagree"
+    );
+    assert_eq!(
+        stats.rates_applied.load(Ordering::Relaxed),
+        report.rates_accepted,
+        "a rate was acknowledged but never applied"
+    );
+    server.stop();
+}
+
+/// The full 100 → 1k → 10k persistent-connection sweep against a real
+/// `gf-serve` process (two processes, so neither side's fd table caps
+/// the other). Heavy — gated on `GF_SWEEP_10K=1`; the quick-bench CI
+/// job and the EXPERIMENTS.md table run it via
+/// `GF_SWEEP_10K=1 cargo test --release -p gf-serve --test load connection_sweep_10k -- --nocapture --ignored`.
+#[test]
+#[ignore = "10k-connection sweep; set GF_SWEEP_10K=1 and run with --ignored"]
+fn connection_sweep_10k() {
+    if std::env::var("GF_SWEEP_10K").is_err() {
+        eprintln!("connection_sweep_10k: GF_SWEEP_10K not set, skipping");
+        return;
+    }
+    let users = 500u32;
+    let items = 60u32;
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_gf-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--synth",
+            &format!("{users}x{items}"),
+            "--batch-window-ms",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn gf-serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let addr: std::net::SocketAddr = {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = stdout.read_line(&mut line).unwrap();
+            assert!(n > 0, "gf-serve exited before printing the listening line");
+            if let Some(rest) = line.split("listening on http://").nth(1) {
+                break rest
+                    .split_whitespace()
+                    .next()
+                    .expect("address after http://")
+                    .parse()
+                    .expect("parseable listen address");
+            }
+        }
+    };
+    let budget = fd_budget().saturating_sub(256);
+    let mut total_rates = 0u64;
+    for &(conns, reqs) in &[(100usize, 20usize), (1_000, 10), (10_000, 3)] {
+        let conns = conns.min(budget);
+        let report = run_sweep(
+            addr,
+            &SweepConfig {
+                connections: conns,
+                requests_per_conn: reqs,
+                threads: 0,
+                users,
+                items,
+            },
+        )
+        .unwrap_or_else(|e| panic!("sweep at {conns} connections failed: {e}"));
+        println!("sweep[10k]: {}", report.summary());
+        assert_eq!(report.errors, 0, "bad statuses at {conns} connections");
+        assert_eq!(report.requests, (conns * reqs) as u64);
+        total_rates += report.rates_accepted;
+    }
+    // Zero lost updates across the process boundary: poll /v1/stats until
+    // the background refresh has applied every acknowledged rate.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let scan = |body: &str, key: &str| -> u64 {
+        body.split_once(&format!("\"{key}\":"))
+            .and_then(|(_, rest)| {
+                rest.chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .ok()
+            })
+            .unwrap_or(u64::MAX)
+    };
+    loop {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /v1/stats HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let accepted = scan(&raw, "rates_accepted");
+        let applied = scan(&raw, "rates_applied");
+        if accepted == total_rates && applied == total_rates {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ledger never reconciled: accepted={accepted} applied={applied} sent={total_rates}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
 }
